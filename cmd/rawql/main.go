@@ -1,0 +1,200 @@
+// Command rawql runs SQL directly over raw files — no loading step.
+//
+// Tables are registered from the command line; schemas are inferred (CSV:
+// from the first row; binary: from the file header; root: from the
+// directory) unless given explicitly. Columns are named col1..colN for CSV
+// and binary files and after their branches for root trees.
+//
+// Usage:
+//
+//	rawql -csv t=data.csv -q "SELECT MAX(col11) FROM t WHERE col1 < 500000000"
+//	rawql -bin t=data.bin -csv runs=good.csv -q "SELECT COUNT(*) FROM t, runs WHERE t.col1 = runs.col1"
+//	rawql -root events.root -q "SELECT COUNT(*) FROM events WHERE runNumber < 5"
+//	rawql -csv t=data.csv -strategy insitu -explain -q "..."
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rawdb"
+	"rawdb/internal/bytesconv"
+	"rawdb/internal/storage/binfile"
+	"rawdb/internal/storage/csvfile"
+	"rawdb/internal/storage/rootfile"
+)
+
+// multiFlag collects repeated name=path flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var csvs, bins, roots multiFlag
+	flag.Var(&csvs, "csv", "register a CSV file as name=path (repeatable)")
+	flag.Var(&bins, "bin", "register a binary file as name=path (repeatable)")
+	flag.Var(&roots, "root", "register every tree of a root-like file (path; tree names become table names; repeatable)")
+	query := flag.String("q", "", "SQL query to run")
+	strategy := flag.String("strategy", "shreds", "access strategy: shreds, jit, insitu, external, dbms")
+	explain := flag.Bool("explain", false, "print the physical plan instead of executing")
+	flag.Parse()
+
+	if err := run(csvs, bins, roots, *query, *strategy, *explain); err != nil {
+		fmt.Fprintln(os.Stderr, "rawql:", err)
+		os.Exit(1)
+	}
+}
+
+func run(csvs, bins, roots []string, query, strategy string, explain bool) error {
+	if query == "" {
+		return fmt.Errorf("no query; pass -q \"SELECT ...\"")
+	}
+	strat, err := parseStrategy(strategy)
+	if err != nil {
+		return err
+	}
+	eng := raw.NewEngine(raw.Config{Strategy: strat})
+
+	for _, spec := range csvs {
+		name, path, err := splitSpec(spec)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		schema, err := inferCSVSchema(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if err := eng.RegisterCSVData(name, data, schema); err != nil {
+			return err
+		}
+	}
+	for _, spec := range bins {
+		name, path, err := splitSpec(spec)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		r, err := binfile.NewReader(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		schema := make([]raw.Column, len(r.Types()))
+		for i, t := range r.Types() {
+			schema[i] = raw.Column{Name: fmt.Sprintf("col%d", i+1), Type: t}
+		}
+		if err := eng.RegisterBinaryData(name, data, schema); err != nil {
+			return err
+		}
+	}
+	for _, path := range roots {
+		f, err := rootfile.Open(path)
+		if err != nil {
+			return err
+		}
+		for _, treeName := range f.Trees() {
+			tr, err := f.Tree(treeName)
+			if err != nil {
+				return err
+			}
+			var schema []raw.Column
+			for _, bn := range tr.Branches() {
+				br, err := tr.Branch(bn)
+				if err != nil {
+					return err
+				}
+				schema = append(schema, raw.Column{Name: bn, Type: br.Type})
+			}
+			if err := eng.RegisterRootFile(treeName, f, treeName, schema); err != nil {
+				return err
+			}
+		}
+	}
+
+	if explain {
+		out, err := eng.Explain(query, raw.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
+
+	res, err := eng.Query(query)
+	if err != nil {
+		return err
+	}
+	fmt.Println(strings.Join(res.Columns, "\t"))
+	for i := 0; i < res.NumRows(); i++ {
+		cells := make([]string, len(res.Columns))
+		for c := range res.Columns {
+			cells[c] = fmt.Sprintf("%v", res.Value(i, c))
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+	fmt.Fprintf(os.Stderr, "(%d rows, %v, strategy=%s, paths=%v)\n",
+		res.NumRows(), res.Stats.Elapsed.Round(1000), res.Stats.Strategy, res.Stats.AccessPaths)
+	return nil
+}
+
+func splitSpec(spec string) (name, path string, err error) {
+	i := strings.IndexByte(spec, '=')
+	if i <= 0 || i == len(spec)-1 {
+		return "", "", fmt.Errorf("bad table spec %q (want name=path)", spec)
+	}
+	return spec[:i], spec[i+1:], nil
+}
+
+func parseStrategy(s string) (raw.Strategy, error) {
+	switch strings.ToLower(s) {
+	case "shreds":
+		return raw.StrategyShreds, nil
+	case "jit":
+		return raw.StrategyJIT, nil
+	case "insitu":
+		return raw.StrategyInSitu, nil
+	case "external":
+		return raw.StrategyExternal, nil
+	case "dbms":
+		return raw.StrategyDBMS, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}
+
+// inferCSVSchema types each column from the first row: integer if it parses
+// as one, else float. Columns are named col1..colN (the paper's numbering).
+func inferCSVSchema(data []byte) ([]raw.Column, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("empty file")
+	}
+	var schema []raw.Column
+	pos := 0
+	for pos < len(data) {
+		start, end, next := csvfile.FieldBounds(data, pos)
+		field := data[start:end]
+		t := raw.Int64
+		if _, err := bytesconv.ParseInt64(field); err != nil {
+			if _, err := bytesconv.ParseFloat64(field); err != nil {
+				return nil, fmt.Errorf("column %d: first-row value %q is neither integer nor float",
+					len(schema)+1, field)
+			}
+			t = raw.Float64
+		}
+		schema = append(schema, raw.Column{Name: fmt.Sprintf("col%d", len(schema)+1), Type: t})
+		pos = next
+		if pos > 0 && pos <= len(data) && data[pos-1] == '\n' {
+			break
+		}
+	}
+	return schema, nil
+}

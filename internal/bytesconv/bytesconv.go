@@ -1,0 +1,248 @@
+// Package bytesconv implements fast conversions between raw byte slices and
+// numeric types.
+//
+// The paper's JIT access paths inline "a custom version of atoi(), the
+// function used to convert strings to integers" directly into generated scan
+// code. This package is that custom conversion layer: allocation-free parsers
+// that operate on sub-slices of a memory-resident raw file, avoiding the
+// string conversions and error-object allocations of strconv.
+package bytesconv
+
+import (
+	"errors"
+	"math"
+)
+
+// Conversion errors. They are sentinel values so hot paths can compare with
+// errors.Is without allocating.
+var (
+	ErrEmpty    = errors.New("bytesconv: empty field")
+	ErrSyntax   = errors.New("bytesconv: invalid syntax")
+	ErrOverflow = errors.New("bytesconv: value out of range")
+)
+
+// ParseInt64 parses a decimal integer with optional leading '-' or '+'.
+// It is the moral equivalent of the paper's convertToInteger().
+func ParseInt64(b []byte) (int64, error) {
+	if len(b) == 0 {
+		return 0, ErrEmpty
+	}
+	neg := false
+	i := 0
+	switch b[0] {
+	case '-':
+		neg = true
+		i = 1
+	case '+':
+		i = 1
+	}
+	if i == len(b) {
+		return 0, ErrSyntax
+	}
+	const cutoff = math.MaxInt64/10 + 1
+	var un uint64
+	for ; i < len(b); i++ {
+		c := b[i] - '0'
+		if c > 9 {
+			return 0, ErrSyntax
+		}
+		if un >= cutoff {
+			return 0, ErrOverflow
+		}
+		un = un*10 + uint64(c)
+	}
+	if neg {
+		if un > 1<<63 {
+			return 0, ErrOverflow
+		}
+		return -int64(un), nil
+	}
+	if un > math.MaxInt64 {
+		return 0, ErrOverflow
+	}
+	return int64(un), nil
+}
+
+// ParseInt64Fast parses a field already known to be a well-formed decimal
+// integer (e.g. validated at positional-map build time). It performs no
+// bounds or syntax checking beyond digit arithmetic; malformed input yields
+// an unspecified value. JIT access paths use it when the field length is
+// known from the positional map, exactly as the paper's custom atoi exploits
+// stored field lengths.
+func ParseInt64Fast(b []byte) int64 {
+	neg := false
+	i := 0
+	if len(b) > 0 && (b[0] == '-' || b[0] == '+') {
+		neg = b[0] == '-'
+		i = 1
+	}
+	var n int64
+	for ; i < len(b); i++ {
+		n = n*10 + int64(b[i]-'0')
+	}
+	if neg {
+		return -n
+	}
+	return n
+}
+
+// ParseFloat64 parses a decimal floating point number of the form emitted by
+// our dataset generators: [-+]?digits[.digits][eE[-+]digits]. It covers the
+// value domain of the paper's workloads without the full generality (hex
+// floats, Inf/NaN spellings) of strconv.ParseFloat.
+func ParseFloat64(b []byte) (float64, error) {
+	if len(b) == 0 {
+		return 0, ErrEmpty
+	}
+	i := 0
+	neg := false
+	switch b[0] {
+	case '-':
+		neg = true
+		i = 1
+	case '+':
+		i = 1
+	}
+	if i == len(b) {
+		return 0, ErrSyntax
+	}
+	// Integer part.
+	var mant uint64
+	var digits, frac int
+	sawDigit := false
+	for ; i < len(b); i++ {
+		c := b[i] - '0'
+		if c > 9 {
+			break
+		}
+		sawDigit = true
+		if digits < 19 {
+			mant = mant*10 + uint64(c)
+			digits++
+		} else {
+			frac-- // excess integer digits shift the exponent up
+		}
+	}
+	// Fractional part.
+	if i < len(b) && b[i] == '.' {
+		i++
+		for ; i < len(b); i++ {
+			c := b[i] - '0'
+			if c > 9 {
+				break
+			}
+			sawDigit = true
+			if digits < 19 {
+				mant = mant*10 + uint64(c)
+				digits++
+				frac++
+			}
+		}
+	}
+	if !sawDigit {
+		return 0, ErrSyntax
+	}
+	exp := 0
+	if i < len(b) && (b[i] == 'e' || b[i] == 'E') {
+		i++
+		esign := 1
+		if i < len(b) && (b[i] == '-' || b[i] == '+') {
+			if b[i] == '-' {
+				esign = -1
+			}
+			i++
+		}
+		if i == len(b) {
+			return 0, ErrSyntax
+		}
+		for ; i < len(b); i++ {
+			c := b[i] - '0'
+			if c > 9 {
+				return 0, ErrSyntax
+			}
+			if exp < 10000 {
+				exp = exp*10 + int(c)
+			}
+		}
+		exp *= esign
+	}
+	if i != len(b) {
+		return 0, ErrSyntax
+	}
+	f := float64(mant)
+	e := exp - frac
+	switch {
+	case e > 308:
+		return 0, ErrOverflow
+	case e < -323:
+		f = 0
+	case e >= 0:
+		f *= pow10(e)
+	default:
+		f /= pow10(-e)
+	}
+	if neg {
+		f = -f
+	}
+	return f, nil
+}
+
+var pow10tab = [...]float64{
+	1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9,
+	1e10, 1e11, 1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19,
+	1e20, 1e21, 1e22,
+}
+
+func pow10(e int) float64 {
+	f := 1.0
+	for e >= len(pow10tab) {
+		f *= 1e22
+		e -= 22
+	}
+	return f * pow10tab[e]
+}
+
+// AppendInt64 appends the decimal representation of v to dst.
+func AppendInt64(dst []byte, v int64) []byte {
+	if v == 0 {
+		return append(dst, '0')
+	}
+	var buf [20]byte
+	u := uint64(v)
+	if v < 0 {
+		dst = append(dst, '-')
+		u = -u
+	}
+	i := len(buf)
+	for u > 0 {
+		i--
+		buf[i] = byte('0' + u%10)
+		u /= 10
+	}
+	return append(dst, buf[i:]...)
+}
+
+// ParseBool parses "0"/"1"/"true"/"false" (the encodings our generators use).
+func ParseBool(b []byte) (bool, error) {
+	switch len(b) {
+	case 1:
+		switch b[0] {
+		case '0':
+			return false, nil
+		case '1':
+			return true, nil
+		}
+	case 4:
+		if b[0] == 't' && b[1] == 'r' && b[2] == 'u' && b[3] == 'e' {
+			return true, nil
+		}
+	case 5:
+		if b[0] == 'f' && b[1] == 'a' && b[2] == 'l' && b[3] == 's' && b[4] == 'e' {
+			return false, nil
+		}
+	}
+	if len(b) == 0 {
+		return false, ErrEmpty
+	}
+	return false, ErrSyntax
+}

@@ -1,0 +1,183 @@
+package bytesconv
+
+import (
+	"errors"
+	"math"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseInt64(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  error
+	}{
+		{"0", 0, nil},
+		{"1", 1, nil},
+		{"-1", -1, nil},
+		{"+42", 42, nil},
+		{"1000000000", 1000000000, nil},
+		{"9223372036854775807", math.MaxInt64, nil},
+		{"-9223372036854775808", math.MinInt64, nil},
+		{"9223372036854775808", 0, ErrOverflow},
+		{"-9223372036854775809", 0, ErrOverflow},
+		{"99999999999999999999", 0, ErrOverflow},
+		{"", 0, ErrEmpty},
+		{"-", 0, ErrSyntax},
+		{"+", 0, ErrSyntax},
+		{"12a", 0, ErrSyntax},
+		{"a12", 0, ErrSyntax},
+		{"1.5", 0, ErrSyntax},
+		{" 1", 0, ErrSyntax},
+	}
+	for _, c := range cases {
+		got, err := ParseInt64([]byte(c.in))
+		if !errors.Is(err, c.err) {
+			t.Errorf("ParseInt64(%q) err = %v, want %v", c.in, err, c.err)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseInt64(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseInt64MatchesStrconv(t *testing.T) {
+	f := func(v int64) bool {
+		s := strconv.FormatInt(v, 10)
+		got, err := ParseInt64([]byte(s))
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseInt64FastMatchesStrconv(t *testing.T) {
+	f := func(v int64) bool {
+		if v == math.MinInt64 {
+			return true // -u negation identity; Fast is unchecked by contract
+		}
+		s := strconv.FormatInt(v, 10)
+		return ParseInt64Fast([]byte(s)) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseFloat64(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"0", 0},
+		{"1", 1},
+		{"-1", -1},
+		{"3.25", 3.25},
+		{"-0.5", -0.5},
+		{"1e3", 1000},
+		{"1.5e-3", 0.0015},
+		{"2.5E+2", 250},
+		{"123456789.123456789", 123456789.123456789},
+	}
+	for _, c := range cases {
+		got, err := ParseFloat64([]byte(c.in))
+		if err != nil {
+			t.Errorf("ParseFloat64(%q) unexpected error %v", c.in, err)
+			continue
+		}
+		if math.Abs(got-c.want) > math.Abs(c.want)*1e-14 {
+			t.Errorf("ParseFloat64(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseFloat64Errors(t *testing.T) {
+	for _, in := range []string{"", "-", ".", "1.2.3", "e5", "1e", "1e+", "abc", "1 "} {
+		if _, err := ParseFloat64([]byte(in)); err == nil {
+			t.Errorf("ParseFloat64(%q) expected error", in)
+		}
+	}
+}
+
+func TestParseFloat64MatchesStrconv(t *testing.T) {
+	// The generators emit %.6f and short %g values; verify agreement with
+	// strconv within 1 ulp-ish relative error on that domain.
+	f := func(mant int32, frac uint16) bool {
+		s := strconv.FormatFloat(float64(mant)+float64(frac)/65536, 'f', 6, 64)
+		want, _ := strconv.ParseFloat(s, 64)
+		got, err := ParseFloat64([]byte(s))
+		if err != nil {
+			return false
+		}
+		if want == 0 {
+			return got == 0
+		}
+		return math.Abs(got-want) <= math.Abs(want)*1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendInt64RoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		b := AppendInt64(nil, v)
+		return string(b) == strconv.FormatInt(v, 10)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseBool(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want bool
+		ok   bool
+	}{
+		{"0", false, true}, {"1", true, true},
+		{"true", true, true}, {"false", false, true},
+		{"", false, false}, {"2", false, false}, {"yes", false, false},
+	} {
+		got, err := ParseBool([]byte(c.in))
+		if (err == nil) != c.ok {
+			t.Errorf("ParseBool(%q) err=%v, ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseBool(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func BenchmarkParseInt64(b *testing.B) {
+	in := []byte("123456789")
+	b.SetBytes(int64(len(in)))
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseInt64(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseInt64Fast(b *testing.B) {
+	in := []byte("123456789")
+	b.SetBytes(int64(len(in)))
+	for i := 0; i < b.N; i++ {
+		_ = ParseInt64Fast(in)
+	}
+}
+
+func BenchmarkStrconvParseInt(b *testing.B) {
+	in := "123456789"
+	b.SetBytes(int64(len(in)))
+	for i := 0; i < b.N; i++ {
+		if _, err := strconv.ParseInt(in, 10, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

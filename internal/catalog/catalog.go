@@ -1,0 +1,187 @@
+// Package catalog maintains the engine's metadata: which raw files back
+// which table names, their (possibly partial) schemas, their file formats,
+// and the access-path capabilities each format offers.
+//
+// As in the paper, registering a file does not load it: the catalog entry is
+// the only thing created at "load time". For formats with attribute-name
+// navigation (the ROOT-like format), schemas may be partial — only the fields
+// a user cares about need to be declared, out of possibly thousands in the
+// file.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"rawdb/internal/vector"
+)
+
+// Format identifies the physical file format of a table.
+type Format uint8
+
+// Supported raw file formats.
+const (
+	CSV Format = iota
+	Binary
+	Root
+	// Memory marks tables materialised by the DBMS baseline (fully loaded
+	// columnar tables with no backing raw file).
+	Memory
+)
+
+// String returns a human-readable format name.
+func (f Format) String() string {
+	switch f {
+	case CSV:
+		return "csv"
+	case Binary:
+		return "binary"
+	case Root:
+		return "root"
+	case Memory:
+		return "memory"
+	default:
+		return fmt.Sprintf("Format(%d)", uint8(f))
+	}
+}
+
+// AccessPath enumerates the generic access abstractions the executor
+// understands; formats map their concrete capabilities onto these.
+type AccessPath uint8
+
+// Access path kinds.
+const (
+	// SequentialScan reads rows in file order.
+	SequentialScan AccessPath = iota
+	// IndexScan reads entries by identifier (ROOT id-based access, binary
+	// computed offsets, CSV via positional map).
+	IndexScan
+)
+
+// Capabilities returns the access paths a format supports. CSV gains
+// IndexScan only once a positional map exists; the planner checks that
+// separately.
+func (f Format) Capabilities() []AccessPath {
+	switch f {
+	case CSV:
+		return []AccessPath{SequentialScan}
+	case Binary, Root, Memory:
+		return []AccessPath{SequentialScan, IndexScan}
+	default:
+		return nil
+	}
+}
+
+// Column is one declared field of a table.
+type Column struct {
+	Name string
+	Type vector.Type
+}
+
+// Table is one catalog entry: a named view over a raw file.
+type Table struct {
+	Name   string
+	Path   string
+	Format Format
+	// Schema lists the declared columns. For Root tables it may be a
+	// partial schema (a subset of the branches present in the file).
+	Schema []Column
+	// Tree names the tree within a Root file this table maps to.
+	Tree string
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Schema {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Types returns the column types in declaration order.
+func (t *Table) Types() []vector.Type {
+	ts := make([]vector.Type, len(t.Schema))
+	for i, c := range t.Schema {
+		ts[i] = c.Type
+	}
+	return ts
+}
+
+// Catalog is a concurrency-safe registry of tables.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Register adds a table. It fails if the name is taken or the definition is
+// inconsistent.
+func (c *Catalog) Register(t *Table) error {
+	if t.Name == "" {
+		return fmt.Errorf("catalog: table name must not be empty")
+	}
+	if len(t.Schema) == 0 {
+		return fmt.Errorf("catalog: table %q: schema must declare at least one column", t.Name)
+	}
+	seen := make(map[string]bool, len(t.Schema))
+	for _, col := range t.Schema {
+		if col.Name == "" {
+			return fmt.Errorf("catalog: table %q: empty column name", t.Name)
+		}
+		if seen[col.Name] {
+			return fmt.Errorf("catalog: table %q: duplicate column %q", t.Name, col.Name)
+		}
+		seen[col.Name] = true
+	}
+	if t.Format == Root && t.Tree == "" {
+		return fmt.Errorf("catalog: table %q: root tables must name a tree", t.Name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[t.Name]; ok {
+		return fmt.Errorf("catalog: table %q already registered", t.Name)
+	}
+	c.tables[t.Name] = t
+	return nil
+}
+
+// Lookup returns the named table.
+func (c *Catalog) Lookup(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Drop removes the named table.
+func (c *Catalog) Drop(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; !ok {
+		return fmt.Errorf("catalog: unknown table %q", name)
+	}
+	delete(c.tables, name)
+	return nil
+}
+
+// Names returns the registered table names in sorted order.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

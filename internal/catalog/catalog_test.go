@@ -1,0 +1,102 @@
+package catalog
+
+import (
+	"reflect"
+	"testing"
+
+	"rawdb/internal/vector"
+)
+
+func validTable(name string) *Table {
+	return &Table{
+		Name:   name,
+		Path:   "/tmp/x.csv",
+		Format: CSV,
+		Schema: []Column{{"a", vector.Int64}, {"b", vector.Float64}},
+	}
+}
+
+func TestRegisterLookupDrop(t *testing.T) {
+	c := New()
+	if err := c.Register(validTable("t1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Lookup("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "t1" || len(got.Schema) != 2 {
+		t.Fatalf("Lookup returned %+v", got)
+	}
+	if _, err := c.Lookup("missing"); err == nil {
+		t.Fatal("expected error for unknown table")
+	}
+	if err := c.Register(validTable("t1")); err == nil {
+		t.Fatal("expected duplicate registration error")
+	}
+	if err := c.Drop("t1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop("t1"); err == nil {
+		t.Fatal("expected error dropping missing table")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	c := New()
+	bad := []*Table{
+		{Name: "", Format: CSV, Schema: []Column{{"a", vector.Int64}}},
+		{Name: "t", Format: CSV},
+		{Name: "t", Format: CSV, Schema: []Column{{"", vector.Int64}}},
+		{Name: "t", Format: CSV, Schema: []Column{{"a", vector.Int64}, {"a", vector.Int64}}},
+		{Name: "t", Format: Root, Schema: []Column{{"a", vector.Int64}}}, // no tree
+	}
+	for i, tb := range bad {
+		if err := c.Register(tb); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	ok := &Table{Name: "r", Path: "f.root", Format: Root, Tree: "events",
+		Schema: []Column{{"a", vector.Int64}}}
+	if err := c.Register(ok); err != nil {
+		t.Errorf("valid root table rejected: %v", err)
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	c := New()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if err := c.Register(validTable(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Names(); !reflect.DeepEqual(got, []string{"alpha", "mid", "zeta"}) {
+		t.Fatalf("Names = %v", got)
+	}
+}
+
+func TestColumnIndexAndTypes(t *testing.T) {
+	tb := validTable("t")
+	if tb.ColumnIndex("b") != 1 || tb.ColumnIndex("z") != -1 {
+		t.Fatal("ColumnIndex wrong")
+	}
+	if ts := tb.Types(); len(ts) != 2 || ts[0] != vector.Int64 || ts[1] != vector.Float64 {
+		t.Fatalf("Types = %v", ts)
+	}
+}
+
+func TestFormatStringsAndCapabilities(t *testing.T) {
+	if CSV.String() != "csv" || Binary.String() != "binary" ||
+		Root.String() != "root" || Memory.String() != "memory" {
+		t.Fatal("format names wrong")
+	}
+	if caps := CSV.Capabilities(); len(caps) != 1 || caps[0] != SequentialScan {
+		t.Fatalf("CSV capabilities = %v", caps)
+	}
+	for _, f := range []Format{Binary, Root, Memory} {
+		caps := f.Capabilities()
+		if len(caps) != 2 || caps[1] != IndexScan {
+			t.Fatalf("%s capabilities = %v", f, caps)
+		}
+	}
+}

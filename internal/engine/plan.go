@@ -1,0 +1,850 @@
+package engine
+
+import (
+	"fmt"
+
+	"rawdb/internal/catalog"
+	"rawdb/internal/exec"
+	"rawdb/internal/insitu"
+	"rawdb/internal/jit"
+	"rawdb/internal/posmap"
+	"rawdb/internal/shred"
+	"rawdb/internal/storage/csvfile"
+	"rawdb/internal/vector"
+)
+
+// planCtx carries the per-query planning state: effective options, the
+// running stats record and the cache-reuse switch (cleared on retry when an
+// optimistic partial-shred choice fails at runtime).
+type planCtx struct {
+	e        *Engine
+	strategy Strategy
+	place    JoinPlacement
+	multi    bool
+	useCache bool
+	stats    *Stats
+}
+
+// pipe is a partially built pipeline over one or two tables, tracking where
+// each bound column currently lives in the batch and where each table's
+// hidden row-id column is (-1 if absent).
+type pipe struct {
+	op  exec.Operator
+	pos map[boundRef]int
+	rid map[int]int
+}
+
+func (p *pipe) width() int { return len(p.op.Schema()) }
+
+// plan builds the physical operator tree for a resolved query.
+func (pc *planCtx) plan(r *resolvedQuery) (exec.Operator, error) {
+	var p *pipe
+	var err error
+	if r.join == nil {
+		p, err = pc.planSingle(r)
+	} else {
+		p, err = pc.planJoin(r)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return pc.finish(r, p)
+}
+
+// planSingle plans a one-table query. Under StrategyShreds the filters
+// cascade: the base scan reads only the first filter column; each further
+// filter column is fetched by a late scan right before its predicate; output
+// columns are fetched last (one late scan per column, or a single
+// multi-column late scan when the option is set).
+func (pc *planCtx) planSingle(r *resolvedQuery) (*pipe, error) {
+	filterCols, outputCols := r.neededColumns()
+	t := 0
+	bt := r.tables[t]
+
+	late := pc.strategy == StrategyShreds && pc.lateCapable(bt)
+	var baseCols, lateFilterCols, lateOutputCols []int
+	if late {
+		if len(filterCols[t]) > 0 {
+			baseCols = filterCols[t][:1]
+			lateFilterCols = filterCols[t][1:]
+		}
+		lateOutputCols = outputCols[t]
+		if len(baseCols) == 0 && len(lateOutputCols) > 0 {
+			// No filters: nothing to shred against; read everything early.
+			baseCols = lateOutputCols
+			lateOutputCols = nil
+		}
+	} else {
+		baseCols = append(append([]int{}, filterCols[t]...), outputCols[t]...)
+		sortInts(baseCols)
+	}
+	needRID := late && (len(lateFilterCols)+len(lateOutputCols) > 0)
+
+	p, err := pc.baseScan(r, t, baseCols, needRID)
+	if err != nil {
+		return nil, err
+	}
+	// Apply predicates over base columns.
+	basePreds, latePreds := splitPreds(r.filters[t], baseCols)
+	if err := pc.applyFilter(p, t, basePreds); err != nil {
+		return nil, err
+	}
+	if !late {
+		if len(latePreds) > 0 {
+			return nil, fmt.Errorf("engine: internal: unfiltered predicates in full-column plan")
+		}
+		return p, nil
+	}
+	if pc.multi {
+		// One speculative late scan for every remaining column, then the
+		// remaining predicates.
+		all := append(append([]int{}, lateFilterCols...), lateOutputCols...)
+		sortInts(all)
+		if len(all) > 0 {
+			if err := pc.lateScan(p, r, t, all); err != nil {
+				return nil, err
+			}
+		}
+		if err := pc.applyFilter(p, t, latePreds); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+	// Strict cascade: fetch each filter column, filter, repeat; then fetch
+	// output columns one at a time.
+	for _, c := range lateFilterCols {
+		if err := pc.lateScan(p, r, t, []int{c}); err != nil {
+			return nil, err
+		}
+		var preds []boundPred
+		for _, bp := range latePreds {
+			if bp.col == c {
+				preds = append(preds, bp)
+			}
+		}
+		if err := pc.applyFilter(p, t, preds); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range lateOutputCols {
+		if err := pc.lateScan(p, r, t, []int{c}); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// planJoin plans a two-table query: table 0 is the probe (pipelined) side,
+// table 1 the build side. Local filters apply below the join; the placement
+// option governs where output-only columns are created relative to the join.
+func (pc *planCtx) planJoin(r *resolvedQuery) (*pipe, error) {
+	filterCols, outputCols := r.neededColumns()
+	sides := make([]*pipe, 2)
+	lateAfterJoin := make([][]int, 2)
+	for t := 0; t < 2; t++ {
+		bt := r.tables[t]
+		canLate := pc.lateCapable(bt)
+		place := pc.place
+		if pc.strategy != StrategyShreds || !canLate {
+			place = PlaceEarly
+		}
+		baseCols := append([]int{}, filterCols[t]...) // includes the join key
+		var intermediate []int
+		switch place {
+		case PlaceEarly:
+			baseCols = append(baseCols, outputCols[t]...)
+		case PlaceIntermediate:
+			intermediate = outputCols[t]
+		case PlaceLate:
+			lateAfterJoin[t] = outputCols[t]
+		}
+		sortInts(baseCols)
+		needRID := canLate && (len(intermediate) > 0 || len(lateAfterJoin[t]) > 0)
+		p, err := pc.baseScan(r, t, baseCols, needRID)
+		if err != nil {
+			return nil, err
+		}
+		if err := pc.applyFilter(p, t, r.filters[t]); err != nil {
+			return nil, err
+		}
+		if len(intermediate) > 0 {
+			if err := pc.lateScan(p, r, t, intermediate); err != nil {
+				return nil, err
+			}
+		}
+		sides[t] = p
+	}
+	left, right := sides[0], sides[1]
+	lk, ok := left.pos[boundRef{0, r.join.leftCol}]
+	if !ok {
+		return nil, fmt.Errorf("engine: internal: left join key not materialised")
+	}
+	rk, ok := right.pos[boundRef{1, r.join.rightCol}]
+	if !ok {
+		return nil, fmt.Errorf("engine: internal: right join key not materialised")
+	}
+	join, err := exec.NewHashJoin(left.op, right.op, lk, rk)
+	if err != nil {
+		return nil, err
+	}
+	// Merge layouts: right positions shift by the left width.
+	merged := &pipe{op: join, pos: make(map[boundRef]int), rid: map[int]int{0: -1, 1: -1}}
+	off := left.width()
+	for ref, i := range left.pos {
+		merged.pos[ref] = i
+	}
+	for ref, i := range right.pos {
+		merged.pos[ref] = off + i
+	}
+	if i, ok := left.rid[0]; ok && i >= 0 {
+		merged.rid[0] = i
+	}
+	if i, ok := right.rid[1]; ok && i >= 0 {
+		merged.rid[1] = off + i
+	}
+	for t := 0; t < 2; t++ {
+		if len(lateAfterJoin[t]) > 0 {
+			if err := pc.lateScan(merged, r, t, lateAfterJoin[t]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return merged, nil
+}
+
+// lateCapable reports whether column shreds can be used for this table under
+// the current cache state: CSV needs a populated positional map (built by a
+// previous query); binary and root formats address rows directly.
+func (pc *planCtx) lateCapable(bt *boundTable) bool {
+	switch bt.st.tab.Format {
+	case catalog.CSV:
+		return bt.st.pm != nil && bt.st.pm.NRows() > 0
+	case catalog.Binary, catalog.Root:
+		return true
+	case catalog.Memory:
+		return false
+	}
+	return false
+}
+
+// splitPreds partitions predicates into those whose column is in cols and
+// the rest.
+func splitPreds(preds []boundPred, cols []int) (in, out []boundPred) {
+	set := make(map[int]bool, len(cols))
+	for _, c := range cols {
+		set[c] = true
+	}
+	for _, p := range preds {
+		if set[p.col] {
+			in = append(in, p)
+		} else {
+			out = append(out, p)
+		}
+	}
+	return in, out
+}
+
+// applyFilter adds a Filter operator for preds (no-op when empty).
+func (pc *planCtx) applyFilter(p *pipe, t int, preds []boundPred) error {
+	if len(preds) == 0 {
+		return nil
+	}
+	eps := make([]exec.Pred, len(preds))
+	for i, bp := range preds {
+		pos, ok := p.pos[boundRef{t, bp.col}]
+		if !ok {
+			return fmt.Errorf("engine: internal: filter column %d not materialised", bp.col)
+		}
+		eps[i] = exec.Pred{Col: pos, Op: bp.op, I64: bp.i64, F64: bp.f64}
+	}
+	f, err := exec.NewFilter(p.op, eps)
+	if err != nil {
+		return err
+	}
+	p.op = f
+	return nil
+}
+
+// baseScan builds the bottom access path for table t materialising cols
+// (sorted), optionally emitting the hidden row-id column, and registers the
+// resulting layout.
+func (pc *planCtx) baseScan(r *resolvedQuery, t int, cols []int, needRID bool) (*pipe, error) {
+	bt := r.tables[t]
+	st := bt.st
+	tab := st.tab
+	bs := pc.e.cfg.BatchSize
+
+	p := &pipe{pos: make(map[boundRef]int), rid: map[int]int{t: -1}}
+	layout := func(order []int, ridIdx int) {
+		for i, c := range order {
+			p.pos[boundRef{t, c}] = i
+		}
+		p.rid[t] = ridIdx
+	}
+
+	// Memory tables (staged results) are strategy-independent.
+	if tab.Format == catalog.Memory {
+		schema := make(vector.Schema, len(cols))
+		vecs := make([]*vector.Vector, len(cols))
+		for i, c := range cols {
+			schema[i] = vector.Col{Name: tab.Schema[c].Name, Type: tab.Schema[c].Type}
+			vecs[i] = st.loaded[c]
+		}
+		ms, err := exec.NewMemScan(schema, vecs, bs)
+		if err != nil {
+			return nil, err
+		}
+		p.op = ms
+		layout(cols, -1)
+		pc.pathf("memory:scan(%s)", tab.Name)
+		return p, nil
+	}
+
+	switch pc.strategy {
+	case StrategyDBMS:
+		if err := pc.e.ensureLoaded(st, pc.stats); err != nil {
+			return nil, err
+		}
+		schema := make(vector.Schema, len(cols))
+		vecs := make([]*vector.Vector, len(cols))
+		for i, c := range cols {
+			schema[i] = vector.Col{Name: tab.Schema[c].Name, Type: tab.Schema[c].Type}
+			vecs[i] = st.loaded[c]
+		}
+		ms, err := exec.NewMemScan(schema, vecs, bs)
+		if err != nil {
+			return nil, err
+		}
+		p.op = ms
+		layout(cols, -1)
+		pc.pathf("dbms:memscan(%s)", tab.Name)
+		return p, nil
+
+	case StrategyExternal:
+		if tab.Format != catalog.CSV {
+			return nil, fmt.Errorf("engine: external tables support CSV only (table %q is %s)",
+				tab.Name, tab.Format)
+		}
+		sc, err := insitu.NewExternalScan(st.csvData, tab, cols, bs)
+		if err != nil {
+			return nil, err
+		}
+		p.op = sc
+		layout(cols, -1)
+		pc.pathf("external:scan(%s)", tab.Name)
+		if st.nrows < 0 {
+			st.nrows = csvfile.CountRows(st.csvData)
+		}
+		return p, nil
+
+	case StrategyInSitu:
+		return pc.baseScanInSitu(p, r, t, cols, layout)
+
+	case StrategyJIT, StrategyShreds:
+		return pc.baseScanJIT(p, r, t, cols, needRID, layout)
+	}
+	return nil, fmt.Errorf("engine: unknown strategy %d", pc.strategy)
+}
+
+// baseScanInSitu builds the NoDB-style generic scan.
+func (pc *planCtx) baseScanInSitu(p *pipe, r *resolvedQuery, t int, cols []int,
+	layout func([]int, int)) (*pipe, error) {
+	st := r.tables[t].st
+	tab := st.tab
+	bs := pc.e.cfg.BatchSize
+	switch tab.Format {
+	case catalog.CSV:
+		if st.pm != nil && st.pm.NRows() > 0 && pmCovers(st.pm, cols) {
+			sc, err := insitu.NewCSVScan(st.csvData, tab, cols, st.pm, nil, false, bs)
+			if err != nil {
+				return nil, err
+			}
+			p.op = sc
+			layout(cols, -1)
+			pc.pathf("insitu:viamap(%s)", tab.Name)
+			return p, nil
+		}
+		pm := posmap.New(pc.e.cfg.PosMapPolicy, len(tab.Schema))
+		sc, err := insitu.NewCSVScan(st.csvData, tab, cols, nil, pm, false, bs)
+		if err != nil {
+			return nil, err
+		}
+		st.pm = pm
+		p.op = sc
+		layout(cols, -1)
+		pc.pathf("insitu:seq(%s)", tab.Name)
+		if st.nrows < 0 {
+			st.nrows = csvfile.CountRows(st.csvData)
+		}
+		return p, nil
+	case catalog.Binary:
+		sc, err := insitu.NewBinScan(st.bin, tab, cols, false, bs)
+		if err != nil {
+			return nil, err
+		}
+		p.op = sc
+		layout(cols, -1)
+		pc.pathf("insitu:bin(%s)", tab.Name)
+		return p, nil
+	case catalog.Root:
+		// The paper has no generic root scan; in-situ degrades to the
+		// library-backed access path.
+		sc, err := jit.NewRootScan(st.rootTree, tab, cols, false, bs)
+		if err != nil {
+			return nil, err
+		}
+		p.op = sc
+		layout(cols, -1)
+		pc.pathf("insitu:root(%s)", tab.Name)
+		return p, nil
+	}
+	return nil, fmt.Errorf("engine: in-situ scan unsupported for format %s", tab.Format)
+}
+
+// baseScanJIT builds the JIT access path, serving columns from the shred
+// pool where possible and capturing file-read columns into it.
+func (pc *planCtx) baseScanJIT(p *pipe, r *resolvedQuery, t int, cols []int, needRID bool,
+	layout func([]int, int)) (*pipe, error) {
+	st := r.tables[t].st
+	tab := st.tab
+	bs := pc.e.cfg.BatchSize
+
+	var cached, uncached []int
+	var cachedShreds []*shred.Shred
+	for _, c := range cols {
+		var s *shred.Shred
+		if pc.useCache {
+			s = pc.e.shreds.LookupFull(shred.Key{Table: tab.Name, Col: c})
+		}
+		if s != nil {
+			cached = append(cached, c)
+			cachedShreds = append(cachedShreds, s)
+		} else {
+			uncached = append(uncached, c)
+		}
+	}
+	pc.stats.ShredHits += len(cached)
+
+	// Everything cached: stream from the pool, no raw access at all.
+	if len(uncached) == 0 && len(cached) > 0 {
+		names := make([]string, len(cached))
+		for i, c := range cached {
+			names[i] = tab.Schema[c].Name
+		}
+		sc, err := shred.NewScan(cachedShreds, names, needRID, bs)
+		if err != nil {
+			return nil, err
+		}
+		p.op = sc
+		order := append([]int{}, cached...)
+		ridIdx := -1
+		if needRID {
+			ridIdx = len(cached)
+		}
+		layout(order, ridIdx)
+		pc.pathf("shred:scan(%s)", tab.Name)
+		return p, nil
+	}
+
+	// Read uncached columns from the raw file with a generated access path.
+	// If cached columns must be appended, the scan emits row ids for the
+	// (sequential) shred late-scan doing the appending.
+	emitRID := needRID || len(cached) > 0
+	var op exec.Operator
+	var mode jit.Mode
+	pruned := false
+	switch tab.Format {
+	case catalog.CSV:
+		if st.pm != nil && st.pm.NRows() > 0 && pmCovers(st.pm, uncached) {
+			mode = jit.ViaMap
+			sc, err := jit.NewCSVMapScan(st.csvData, tab, uncached, st.pm, emitRID, bs)
+			if err != nil {
+				return nil, err
+			}
+			op = sc
+			pc.pathf("jit:viamap(%s)", tab.Name)
+		} else {
+			mode = jit.Sequential
+			pm := posmap.New(pc.e.cfg.PosMapPolicy, len(tab.Schema))
+			sc, err := jit.NewCSVSequentialScan(st.csvData, tab, uncached, pm, emitRID, bs)
+			if err != nil {
+				return nil, err
+			}
+			st.pm = pm
+			op = sc
+			pc.pathf("jit:seq(%s)", tab.Name)
+			if st.nrows < 0 {
+				st.nrows = csvfile.CountRows(st.csvData)
+			}
+		}
+	case catalog.Binary:
+		mode = jit.Direct
+		sc, err := jit.NewBinScan(st.bin, tab, uncached, emitRID, bs)
+		if err != nil {
+			return nil, err
+		}
+		op = sc
+		pc.pathf("jit:bin(%s)", tab.Name)
+	case catalog.Root:
+		mode = jit.Direct
+		// Push the first applicable predicate into the generated scan so it
+		// can skip baskets via the file's zone maps.
+		var prune *jit.Prune
+		for _, bp := range r.filters[t] {
+			applies := false
+			for _, c := range uncached {
+				if c == bp.col {
+					applies = true
+					break
+				}
+			}
+			if applies {
+				prune = &jit.Prune{Col: bp.col, Op: bp.op, I64: bp.i64, F64: bp.f64}
+				break
+			}
+		}
+		sc, err := jit.NewRootScanPruned(st.rootTree, tab, uncached, emitRID, bs, prune)
+		if err != nil {
+			return nil, err
+		}
+		op = sc
+		if prune != nil {
+			pruned = true
+			pc.pathf("jit:root+zonemap(%s)", tab.Name)
+		} else {
+			pc.pathf("jit:root(%s)", tab.Name)
+		}
+	default:
+		return nil, fmt.Errorf("engine: JIT scan unsupported for format %s", tab.Format)
+	}
+	pc.ensureTemplate(jit.Spec{
+		Format:  tab.Format,
+		Table:   tab.Name,
+		Mode:    mode,
+		Types:   tab.Types(),
+		Need:    uncached,
+		PMRead:  pmTracked(st.pm, mode == jit.ViaMap),
+		PMBuild: pmTracked(st.pm, mode == jit.Sequential),
+		EmitRID: emitRID,
+	})
+
+	order := append([]int{}, uncached...)
+	ridIdx := -1
+	if emitRID {
+		ridIdx = len(uncached)
+	}
+
+	// Capture file-read full columns into the pool. A zone-map-pruned scan
+	// skips rows, so its output is NOT a full column: capture it keyed by
+	// row ids instead (requires the rid column), or not at all.
+	if pc.useCache && !pc.e.cfg.DisableShredCache && (!pruned || emitRID) {
+		ridFor := -1
+		if pruned {
+			ridFor = len(uncached) // partial capture via the rid column
+		}
+		specs := make([]shred.CaptureSpec, len(uncached))
+		for i, c := range uncached {
+			specs[i] = shred.CaptureSpec{Key: shred.Key{Table: tab.Name, Col: c}, ColIdx: i, RIDIdx: ridFor}
+		}
+		cap, err := shred.NewCapture(op, pc.e.shreds, specs)
+		if err != nil {
+			return nil, err
+		}
+		op = cap
+	}
+
+	// Append cached columns via their row ids.
+	if len(cached) > 0 {
+		names := make([]string, len(cached))
+		for i, c := range cached {
+			names[i] = tab.Schema[c].Name
+		}
+		ls, err := shred.NewLateScan(op, ridIdx, cachedShreds, names)
+		if err != nil {
+			return nil, err
+		}
+		op = ls
+		order = append(order, cached...)
+		// Layout: cached columns sit after uncached+rid.
+		p.op = ls
+		for i, c := range uncached {
+			p.pos[boundRef{t, c}] = i
+		}
+		base := len(uncached)
+		if emitRID {
+			base++
+		}
+		for i, c := range cached {
+			p.pos[boundRef{t, c}] = base + i
+		}
+		p.rid[t] = ridIdx
+		pc.pathf("shred:append(%s)", tab.Name)
+		return p, nil
+	}
+
+	p.op = op
+	layout(order, ridIdx)
+	return p, nil
+}
+
+// lateScan appends the given columns of table t to the pipeline via a
+// column-shred access path, preferring cached shreds over raw access, and
+// captures newly read shreds into the pool.
+func (pc *planCtx) lateScan(p *pipe, r *resolvedQuery, t int, cols []int) error {
+	st := r.tables[t].st
+	tab := st.tab
+	ridIdx := p.rid[t]
+	if ridIdx < 0 {
+		return fmt.Errorf("engine: internal: late scan without row ids for table %q", tab.Name)
+	}
+	var fromCache []int
+	var cachedShreds []*shred.Shred
+	var fromFile []int
+	for _, c := range cols {
+		var s *shred.Shred
+		if pc.useCache {
+			s = pc.e.shreds.LookupAny(shred.Key{Table: tab.Name, Col: c})
+		}
+		if s != nil {
+			fromCache = append(fromCache, c)
+			cachedShreds = append(cachedShreds, s)
+		} else {
+			fromFile = append(fromFile, c)
+		}
+	}
+	pc.stats.ShredHits += len(fromCache)
+
+	if len(fromCache) > 0 {
+		names := make([]string, len(fromCache))
+		for i, c := range fromCache {
+			names[i] = tab.Schema[c].Name
+		}
+		ls, err := shred.NewLateScan(p.op, ridIdx, cachedShreds, names)
+		if err != nil {
+			return err
+		}
+		base := p.width()
+		p.op = ls
+		for i, c := range fromCache {
+			p.pos[boundRef{t, c}] = base + i
+		}
+		pc.pathf("shred:late(%s)", shredKeys(tab.Name, fromCache))
+	}
+	if len(fromFile) == 0 {
+		return nil
+	}
+
+	var ls *jit.LateScan
+	var err error
+	switch tab.Format {
+	case catalog.CSV:
+		ls, err = jit.NewCSVLateScan(p.op, st.csvData, tab, fromFile, st.pm, ridIdx)
+	case catalog.Binary:
+		ls, err = jit.NewBinLateScan(p.op, st.bin, tab, fromFile, ridIdx)
+	case catalog.Root:
+		ls, err = jit.NewRootLateScan(p.op, st.rootTree, tab, fromFile, ridIdx)
+	default:
+		return fmt.Errorf("engine: late scan unsupported for format %s", tab.Format)
+	}
+	if err != nil {
+		return err
+	}
+	pc.ensureTemplate(jit.Spec{
+		Format:  tab.Format,
+		Table:   tab.Name,
+		Mode:    jit.Late,
+		Types:   tab.Types(),
+		Need:    fromFile,
+		PMRead:  pmTracked(st.pm, tab.Format == catalog.CSV),
+		EmitRID: true,
+	})
+	pc.pathf("jit:late(%s)", shredKeys(tab.Name, fromFile))
+
+	// NewCSVLateScan sorts its columns; recover the output order.
+	sorted := append([]int{}, fromFile...)
+	sortInts(sorted)
+	base := p.width()
+	p.op = ls
+	for i, c := range sorted {
+		p.pos[boundRef{t, c}] = base + i
+	}
+
+	// Capture the shreds (partial columns keyed by row id).
+	if pc.useCache && !pc.e.cfg.DisableShredCache {
+		specs := make([]shred.CaptureSpec, len(sorted))
+		for i, c := range sorted {
+			specs[i] = shred.CaptureSpec{
+				Key:    shred.Key{Table: tab.Name, Col: c},
+				ColIdx: base + i,
+				RIDIdx: ridIdx,
+			}
+		}
+		cap, err := shred.NewCapture(p.op, pc.e.shreds, specs)
+		if err != nil {
+			return err
+		}
+		p.op = cap
+	}
+	return nil
+}
+
+// finish adds aggregation/grouping, HAVING filters and the final projection.
+func (pc *planCtx) finish(r *resolvedQuery, p *pipe) (exec.Operator, error) {
+	hasAgg := false
+	for _, it := range r.items {
+		if it.isAgg {
+			hasAgg = true
+			break
+		}
+	}
+	if !hasAgg && len(r.groupBy) == 0 && len(r.having) == 0 {
+		// Plain projection.
+		idxs := make([]int, len(r.items))
+		names := make([]string, len(r.items))
+		for i, it := range r.items {
+			pos, ok := p.pos[it.ref]
+			if !ok {
+				return nil, fmt.Errorf("engine: internal: output column %q not materialised", it.name)
+			}
+			idxs[i] = pos
+			names[i] = it.name
+		}
+		return exec.NewProject(p.op, idxs, names)
+	}
+
+	groupIdx := make([]int, len(r.groupBy))
+	for i, g := range r.groupBy {
+		pos, ok := p.pos[g]
+		if !ok {
+			return nil, fmt.Errorf("engine: internal: group column not materialised")
+		}
+		groupIdx[i] = pos
+	}
+	var specs []exec.AggSpec
+	// addSpec registers an aggregate (deduplicating identical ones) and
+	// returns its position in the Aggregate output.
+	addSpec := func(it boundItem) (int, error) {
+		col := -1
+		if !it.star {
+			pos, ok := p.pos[it.ref]
+			if !ok {
+				return 0, fmt.Errorf("engine: internal: aggregate input %q not materialised", it.name)
+			}
+			col = pos
+		}
+		for si, s := range specs {
+			if s.Func == it.agg && s.Col == col {
+				return len(r.groupBy) + si, nil
+			}
+		}
+		specs = append(specs, exec.AggSpec{Func: it.agg, Col: col, As: it.name})
+		return len(r.groupBy) + len(specs) - 1, nil
+	}
+
+	aggOut := make([]int, len(r.items)) // result position per item
+	for i, it := range r.items {
+		if !it.isAgg {
+			// Bare group column: position within the Aggregate output is its
+			// index in groupBy.
+			for gi, g := range r.groupBy {
+				if g == it.ref {
+					aggOut[i] = gi
+				}
+			}
+			continue
+		}
+		pos, err := addSpec(it)
+		if err != nil {
+			return nil, err
+		}
+		aggOut[i] = pos
+	}
+	// HAVING aggregates may add hidden specs.
+	havingPos := make([]int, len(r.having))
+	for i, h := range r.having {
+		pos, err := addSpec(h.item)
+		if err != nil {
+			return nil, err
+		}
+		havingPos[i] = pos
+	}
+	agg, err := exec.NewAggregate(p.op, specs, groupIdx)
+	if err != nil {
+		return nil, err
+	}
+	var out exec.Operator = agg
+	if len(r.having) > 0 {
+		preds := make([]exec.Pred, len(r.having))
+		for i, h := range r.having {
+			preds[i] = exec.Pred{Col: havingPos[i], Op: h.op, I64: h.i64, F64: h.f64}
+		}
+		f, err := exec.NewFilter(out, preds)
+		if err != nil {
+			return nil, err
+		}
+		out = f
+	}
+	// Re-order to the SELECT list.
+	names := make([]string, len(r.items))
+	for i, it := range r.items {
+		names[i] = it.name
+	}
+	return exec.NewProject(out, aggOut, names)
+}
+
+// ensureTemplate consults the JIT template cache, charging simulated compile
+// latency on a miss.
+func (pc *planCtx) ensureTemplate(sp jit.Spec) {
+	_, hit := pc.e.templates.Ensure(sp)
+	if hit {
+		pc.stats.TemplateHits++
+	} else {
+		pc.stats.TemplateMisses++
+	}
+}
+
+func (pc *planCtx) pathf(format string, args ...any) {
+	pc.stats.AccessPaths = append(pc.stats.AccessPaths, fmt.Sprintf(format, args...))
+}
+
+func pmCovers(pm *posmap.Map, cols []int) bool {
+	for _, c := range cols {
+		if _, ok := pm.Nearest(c); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func pmTracked(pm *posmap.Map, use bool) []int {
+	if !use || pm == nil {
+		return nil
+	}
+	return pm.TrackedColumns()
+}
+
+func shredKeys(table string, cols []int) string {
+	s := table + ".cols"
+	for _, c := range cols {
+		s += fmt.Sprintf("%d,", c)
+	}
+	return s
+}
+
+// ensureLoaded materialises every column of a table in memory (the DBMS
+// baseline's loading step), charged to the first query that touches it.
+func (e *Engine) ensureLoaded(st *tableState, stats *Stats) error {
+	if st.loaded != nil {
+		return nil
+	}
+	cols, err := loadAll(st)
+	if err != nil {
+		return err
+	}
+	st.loaded = cols
+	if len(cols) > 0 {
+		st.nrows = int64(cols[0].Len())
+	}
+	stats.LoadedTables = append(stats.LoadedTables, st.tab.Name)
+	return nil
+}

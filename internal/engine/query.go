@@ -1,0 +1,167 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"rawdb/internal/exec"
+	"rawdb/internal/shred"
+	"rawdb/internal/sql"
+)
+
+// Query parses, plans and executes one SQL statement with the engine's
+// default options.
+func (e *Engine) Query(src string) (*Result, error) {
+	return e.QueryOpt(src, Options{})
+}
+
+// QueryOpt executes one SQL statement with per-query option overrides.
+func (e *Engine) QueryOpt(src string, opts Options) (*Result, error) {
+	q, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.analyze(q)
+	if err != nil {
+		return nil, err
+	}
+
+	strategy := e.cfg.Strategy
+	if opts.Strategy != nil {
+		strategy = *opts.Strategy
+	}
+	place := e.cfg.JoinPlacement
+	if opts.JoinPlacement != nil {
+		place = *opts.JoinPlacement
+	}
+	multi := e.cfg.MultiColumnShreds
+	if opts.MultiColumnShreds != nil {
+		multi = *opts.MultiColumnShreds
+	}
+
+	res, err := e.run(r, strategy, place, multi, true)
+	if err != nil && errors.Is(err, shred.ErrNotCached) {
+		// An optimistically chosen partial shred did not subsume this
+		// query's rows; replan without cache reuse (the raw file remains the
+		// source of truth).
+		res, err = e.run(r, strategy, place, multi, false)
+	}
+	return res, err
+}
+
+func (e *Engine) run(r *resolvedQuery, strategy Strategy, place JoinPlacement,
+	multi, useCache bool) (*Result, error) {
+	unlock := lockTables(r)
+	defer unlock()
+	stats := &Stats{Strategy: strategy}
+	pc := &planCtx{
+		e:        e,
+		strategy: strategy,
+		place:    place,
+		multi:    multi,
+		useCache: useCache && !e.cfg.DisableShredCache,
+		stats:    stats,
+	}
+	start := time.Now()
+	op, err := pc.plan(r)
+	if err != nil {
+		return nil, fmt.Errorf("engine: planning %s: %w", r.describe(), err)
+	}
+	cols, err := exec.Collect(op)
+	if err != nil {
+		return nil, err
+	}
+	stats.Elapsed = time.Since(start)
+	schema := op.Schema()
+	res := &Result{Stats: *stats, cols: cols}
+	for _, c := range schema {
+		res.Columns = append(res.Columns, c.Name)
+		res.Types = append(res.Types, c.Type)
+	}
+	res.Stats.RowsOut = res.NumRows()
+	return res, nil
+}
+
+// lockTables acquires the per-table query locks of every distinct table in
+// the query, in name order (a deterministic order prevents deadlock between
+// concurrent multi-table queries), and returns the matching unlock.
+func lockTables(r *resolvedQuery) func() {
+	distinct := make([]*tableState, 0, len(r.tables))
+	for _, bt := range r.tables {
+		dup := false
+		for _, st := range distinct {
+			if st == bt.st {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			distinct = append(distinct, bt.st)
+		}
+	}
+	sort.Slice(distinct, func(i, j int) bool {
+		return distinct[i].tab.Name < distinct[j].tab.Name
+	})
+	for _, st := range distinct {
+		st.qmu.Lock()
+	}
+	return func() {
+		for i := len(distinct) - 1; i >= 0; i-- {
+			distinct[i].qmu.Unlock()
+		}
+	}
+}
+
+// Explain returns a human-readable description of the physical plan the
+// engine would choose for src under the current caches and options, without
+// executing it.
+func (e *Engine) Explain(src string, opts Options) (string, error) {
+	q, err := sql.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	r, err := e.analyze(q)
+	if err != nil {
+		return "", err
+	}
+	strategy := e.cfg.Strategy
+	if opts.Strategy != nil {
+		strategy = *opts.Strategy
+	}
+	place := e.cfg.JoinPlacement
+	if opts.JoinPlacement != nil {
+		place = *opts.JoinPlacement
+	}
+	multi := e.cfg.MultiColumnShreds
+	if opts.MultiColumnShreds != nil {
+		multi = *opts.MultiColumnShreds
+	}
+	stats := &Stats{Strategy: strategy}
+	pc := &planCtx{e: e, strategy: strategy, place: place, multi: multi,
+		useCache: !e.cfg.DisableShredCache, stats: stats}
+	op, err := pc.plan(r)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "strategy: %s\n", strategy)
+	fmt.Fprintf(&b, "output:  ")
+	for i, c := range op.Schema() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Type)
+	}
+	b.WriteString("\naccess paths:\n")
+	for _, ap := range stats.AccessPaths {
+		fmt.Fprintf(&b, "  - %s\n", ap)
+	}
+	if stats.TemplateMisses > 0 || stats.TemplateHits > 0 {
+		fmt.Fprintf(&b, "templates: %d generated, %d reused\n",
+			stats.TemplateMisses, stats.TemplateHits)
+	}
+	return b.String(), nil
+}

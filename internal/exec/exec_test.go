@@ -1,0 +1,509 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rawdb/internal/vector"
+)
+
+func intVec(vals ...int64) *vector.Vector {
+	v := vector.New(vector.Int64, len(vals))
+	v.Int64s = append(v.Int64s, vals...)
+	return v
+}
+
+func floatVec(vals ...float64) *vector.Vector {
+	v := vector.New(vector.Float64, len(vals))
+	v.Float64s = append(v.Float64s, vals...)
+	return v
+}
+
+func memScan(t *testing.T, schema vector.Schema, cols []*vector.Vector, batch int) *MemScan {
+	t.Helper()
+	s, err := NewMemScan(schema, cols, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMemScanBatching(t *testing.T) {
+	n := 10
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	s := memScan(t, vector.Schema{{Name: "a", Type: vector.Int64}},
+		[]*vector.Vector{intVec(vals...)}, 3)
+	out, err := Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Len() != n {
+		t.Fatalf("collected %d rows", out[0].Len())
+	}
+	for i, v := range out[0].Int64s {
+		if v != int64(i) {
+			t.Fatalf("row %d = %d", i, v)
+		}
+	}
+}
+
+func TestMemScanValidation(t *testing.T) {
+	schema := vector.Schema{{Name: "a", Type: vector.Int64}}
+	if _, err := NewMemScan(schema, nil, 0); err == nil {
+		t.Fatal("expected arity error")
+	}
+	if _, err := NewMemScan(schema, []*vector.Vector{floatVec(1)}, 0); err == nil {
+		t.Fatal("expected type mismatch error")
+	}
+	two := vector.Schema{{Name: "a", Type: vector.Int64}, {Name: "b", Type: vector.Int64}}
+	if _, err := NewMemScan(two, []*vector.Vector{intVec(1), intVec(1, 2)}, 0); err == nil {
+		t.Fatal("expected ragged column error")
+	}
+}
+
+func TestProject(t *testing.T) {
+	schema := vector.Schema{{Name: "a", Type: vector.Int64}, {Name: "b", Type: vector.Float64}}
+	s := memScan(t, schema, []*vector.Vector{intVec(1, 2), floatVec(0.5, 1.5)}, 0)
+	p, err := NewProject(s, []int{1}, []string{"renamed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Schema()[0].Name != "renamed" || p.Schema()[0].Type != vector.Float64 {
+		t.Fatalf("schema = %+v", p.Schema())
+	}
+	out, err := Collect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Len() != 2 || out[0].Float64s[1] != 1.5 {
+		t.Fatalf("out = %v", out[0].Float64s)
+	}
+	if _, err := NewProject(s, []int{7}, nil); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestFilterInt(t *testing.T) {
+	schema := vector.Schema{{Name: "a", Type: vector.Int64}, {Name: "b", Type: vector.Int64}}
+	a := intVec(5, 1, 9, 3, 7)
+	b := intVec(50, 10, 90, 30, 70)
+	s := memScan(t, schema, []*vector.Vector{a, b}, 2)
+	f, err := NewFilter(s, []Pred{{Col: 0, Op: Lt, I64: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Collect(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{50, 10, 30}
+	if len(out[1].Int64s) != len(want) {
+		t.Fatalf("got %v", out[1].Int64s)
+	}
+	for i, w := range want {
+		if out[1].Int64s[i] != w {
+			t.Fatalf("out[%d] = %d, want %d", i, out[1].Int64s[i], w)
+		}
+	}
+}
+
+func TestFilterConjunction(t *testing.T) {
+	schema := vector.Schema{{Name: "a", Type: vector.Int64}, {Name: "b", Type: vector.Float64}}
+	s := memScan(t, schema,
+		[]*vector.Vector{intVec(1, 2, 3, 4), floatVec(1.0, 2.0, 3.0, 4.0)}, 0)
+	f, err := NewFilter(s, []Pred{
+		{Col: 0, Op: Ge, I64: 2},
+		{Col: 1, Op: Lt, F64: 4.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Collect(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out[0].Int64s; len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFilterAllOps(t *testing.T) {
+	vals := []int64{1, 2, 3}
+	want := map[CmpOp][]int64{
+		Lt: {1}, Le: {1, 2}, Gt: {3}, Ge: {2, 3}, Eq: {2}, Ne: {1, 3},
+	}
+	for op, exp := range want {
+		s := memScan(t, vector.Schema{{Name: "a", Type: vector.Int64}},
+			[]*vector.Vector{intVec(vals...)}, 0)
+		f, err := NewFilter(s, []Pred{{Col: 0, Op: op, I64: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Collect(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out[0].Int64s) != len(exp) {
+			t.Fatalf("op %s: got %v, want %v", op, out[0].Int64s, exp)
+		}
+		for i := range exp {
+			if out[0].Int64s[i] != exp[i] {
+				t.Fatalf("op %s: got %v, want %v", op, out[0].Int64s, exp)
+			}
+		}
+	}
+}
+
+func TestFilterPropertyMatchesNaive(t *testing.T) {
+	prop := func(vals []int64, lit int64, opRaw uint8) bool {
+		op := CmpOp(opRaw % 6)
+		s, err := NewMemScan(vector.Schema{{Name: "a", Type: vector.Int64}},
+			[]*vector.Vector{intVec(vals...)}, 7)
+		if err != nil {
+			return false
+		}
+		f, err := NewFilter(s, []Pred{{Col: 0, Op: op, I64: lit}})
+		if err != nil {
+			return false
+		}
+		out, err := Collect(f)
+		if err != nil {
+			return false
+		}
+		var want []int64
+		for _, v := range vals {
+			if cmpInt64(v, lit, op) {
+				want = append(want, v)
+			}
+		}
+		if len(out[0].Int64s) != len(want) {
+			return false
+		}
+		for i := range want {
+			if out[0].Int64s[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFilterValidation(t *testing.T) {
+	s := memScan(t, vector.Schema{{Name: "a", Type: vector.Int64}},
+		[]*vector.Vector{intVec(1)}, 0)
+	if _, err := NewFilter(s, []Pred{{Col: 3, Op: Lt}}); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestAggregateUngrouped(t *testing.T) {
+	schema := vector.Schema{{Name: "a", Type: vector.Int64}, {Name: "f", Type: vector.Float64}}
+	s := memScan(t, schema,
+		[]*vector.Vector{intVec(4, 1, 3, 2), floatVec(1.0, 2.0, 3.0, 4.0)}, 3)
+	agg, err := NewAggregate(s, []AggSpec{
+		{Func: Max, Col: 0},
+		{Func: Min, Col: 0},
+		{Func: Sum, Col: 0},
+		{Func: Count, Col: -1},
+		{Func: Avg, Col: 1},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Int64s[0] != 4 || out[1].Int64s[0] != 1 || out[2].Int64s[0] != 10 {
+		t.Fatalf("max/min/sum = %d/%d/%d", out[0].Int64s[0], out[1].Int64s[0], out[2].Int64s[0])
+	}
+	if out[3].Int64s[0] != 4 {
+		t.Fatalf("count = %d", out[3].Int64s[0])
+	}
+	if out[4].Float64s[0] != 2.5 {
+		t.Fatalf("avg = %v", out[4].Float64s[0])
+	}
+}
+
+func TestAggregateEmptyInput(t *testing.T) {
+	s := memScan(t, vector.Schema{{Name: "a", Type: vector.Int64}},
+		[]*vector.Vector{intVec()}, 0)
+	agg, err := NewAggregate(s, []AggSpec{{Func: Count, Col: -1}, {Func: Max, Col: 0}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Int64s[0] != 0 || out[1].Int64s[0] != 0 {
+		t.Fatalf("empty-input aggregates = %v %v", out[0].Int64s, out[1].Int64s)
+	}
+}
+
+func TestAggregateGrouped(t *testing.T) {
+	schema := vector.Schema{{Name: "g", Type: vector.Int64}, {Name: "v", Type: vector.Int64}}
+	s := memScan(t, schema,
+		[]*vector.Vector{intVec(1, 2, 1, 2, 3), intVec(10, 20, 30, 40, 50)}, 2)
+	agg, err := NewAggregate(s, []AggSpec{{Func: Sum, Col: 1}, {Func: Count, Col: -1}}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int64][2]int64{}
+	for i := 0; i < out[0].Len(); i++ {
+		got[out[0].Int64s[i]] = [2]int64{out[1].Int64s[i], out[2].Int64s[i]}
+	}
+	want := map[int64][2]int64{1: {40, 2}, 2: {60, 2}, 3: {50, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("groups = %v", got)
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Fatalf("group %d = %v, want %v", k, got[k], w)
+		}
+	}
+}
+
+func TestAggregateSchemaNames(t *testing.T) {
+	s := memScan(t, vector.Schema{{Name: "x", Type: vector.Int64}},
+		[]*vector.Vector{intVec(1)}, 0)
+	agg, err := NewAggregate(s, []AggSpec{
+		{Func: Max, Col: 0},
+		{Func: Count, Col: -1},
+		{Func: Avg, Col: 0, As: "mean"},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := agg.Schema()
+	if sc[0].Name != "MAX(x)" || sc[1].Name != "COUNT(*)" || sc[2].Name != "mean" {
+		t.Fatalf("schema names = %v", sc)
+	}
+	if sc[2].Type != vector.Float64 {
+		t.Fatalf("AVG output type = %s", sc[2].Type)
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	s := memScan(t, vector.Schema{{Name: "x", Type: vector.Int64}},
+		[]*vector.Vector{intVec(1)}, 0)
+	if _, err := NewAggregate(s, nil, nil); err == nil {
+		t.Fatal("expected error for no specs")
+	}
+	if _, err := NewAggregate(s, []AggSpec{{Func: Max, Col: 5}}, nil); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, err := NewAggregate(s, []AggSpec{{Func: Max, Col: 0}}, []int{0, 0, 0}); err == nil {
+		t.Fatal("expected too-many-group-columns error")
+	}
+}
+
+func TestHashJoinBasic(t *testing.T) {
+	ls := vector.Schema{{Name: "lk", Type: vector.Int64}, {Name: "lv", Type: vector.Int64}}
+	rs := vector.Schema{{Name: "rk", Type: vector.Int64}, {Name: "rv", Type: vector.Float64}}
+	left := memScan(t, ls, []*vector.Vector{intVec(1, 2, 3, 4), intVec(10, 20, 30, 40)}, 2)
+	right := memScan(t, rs, []*vector.Vector{intVec(2, 4, 6), floatVec(0.2, 0.4, 0.6)}, 2)
+	j, err := NewHashJoin(left, right, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probe order preserved: keys 2 then 4.
+	if out[0].Len() != 2 {
+		t.Fatalf("join produced %d rows", out[0].Len())
+	}
+	if out[0].Int64s[0] != 2 || out[1].Int64s[0] != 20 || out[3].Float64s[0] != 0.2 {
+		t.Fatalf("row 0 = %v %v %v", out[0].Int64s[0], out[1].Int64s[0], out[3].Float64s[0])
+	}
+	if out[0].Int64s[1] != 4 || out[3].Float64s[1] != 0.4 {
+		t.Fatalf("row 1 wrong")
+	}
+}
+
+func TestHashJoinDuplicateBuildKeys(t *testing.T) {
+	ls := vector.Schema{{Name: "lk", Type: vector.Int64}}
+	rs := vector.Schema{{Name: "rk", Type: vector.Int64}, {Name: "rv", Type: vector.Int64}}
+	left := memScan(t, ls, []*vector.Vector{intVec(7, 8)}, 0)
+	right := memScan(t, rs, []*vector.Vector{intVec(7, 7, 8), intVec(1, 2, 3)}, 0)
+	j, err := NewHashJoin(left, right, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Len() != 3 {
+		t.Fatalf("got %d rows, want 3", out[0].Len())
+	}
+}
+
+// TestHashJoinPropertyMatchesNestedLoop cross-checks the hash join against a
+// naive nested-loop join on random inputs, including row order (probe order).
+func TestHashJoinPropertyMatchesNestedLoop(t *testing.T) {
+	prop := func(lraw, rraw []uint8) bool {
+		lk := make([]int64, len(lraw))
+		for i, v := range lraw {
+			lk[i] = int64(v % 16)
+		}
+		rk := make([]int64, len(rraw))
+		rv := make([]int64, len(rraw))
+		for i, v := range rraw {
+			rk[i] = int64(v % 16)
+			rv[i] = int64(i)
+		}
+		ls := vector.Schema{{Name: "lk", Type: vector.Int64}}
+		rs := vector.Schema{{Name: "rk", Type: vector.Int64}, {Name: "rv", Type: vector.Int64}}
+		left, err := NewMemScan(ls, []*vector.Vector{intVec(lk...)}, 3)
+		if err != nil {
+			return false
+		}
+		right, err := NewMemScan(rs, []*vector.Vector{intVec(rk...), intVec(rv...)}, 3)
+		if err != nil {
+			return false
+		}
+		j, err := NewHashJoin(left, right, 0, 0)
+		if err != nil {
+			return false
+		}
+		out, err := Collect(j)
+		if err != nil {
+			return false
+		}
+		// Nested loop reference (probe order, build order within a key).
+		var wantK, wantV []int64
+		for _, l := range lk {
+			for i, r := range rk {
+				if l == r {
+					wantK = append(wantK, l)
+					wantV = append(wantV, rv[i])
+				}
+			}
+		}
+		if out[0].Len() != len(wantK) {
+			return false
+		}
+		for i := range wantK {
+			if out[0].Int64s[i] != wantK[i] || out[2].Int64s[i] != wantV[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashJoinValidation(t *testing.T) {
+	ls := vector.Schema{{Name: "k", Type: vector.Float64}}
+	left := memScan(t, ls, []*vector.Vector{floatVec(1)}, 0)
+	right := memScan(t, vector.Schema{{Name: "k", Type: vector.Int64}},
+		[]*vector.Vector{intVec(1)}, 0)
+	if _, err := NewHashJoin(left, right, 0, 0); err == nil {
+		t.Fatal("expected key type error")
+	}
+	if _, err := NewHashJoin(right, right, 5, 0); err == nil {
+		t.Fatal("expected key range error")
+	}
+}
+
+func TestHashJoinLargeSpillsBatches(t *testing.T) {
+	// More output rows than one batch to exercise batch splitting.
+	n := 3000
+	lk := make([]int64, n)
+	for i := range lk {
+		lk[i] = int64(i)
+	}
+	left := memScan(t, vector.Schema{{Name: "k", Type: vector.Int64}},
+		[]*vector.Vector{intVec(lk...)}, 0)
+	right := memScan(t, vector.Schema{{Name: "k", Type: vector.Int64}},
+		[]*vector.Vector{intVec(lk...)}, 0)
+	j, err := NewHashJoin(left, right, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Len() != n {
+		t.Fatalf("got %d rows, want %d", out[0].Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if out[0].Int64s[i] != int64(i) {
+			t.Fatalf("row %d key %d", i, out[0].Int64s[i])
+		}
+	}
+}
+
+func TestAggregateOverJoinPipeline(t *testing.T) {
+	// Integration: scan -> filter -> join -> aggregate.
+	rng := rand.New(rand.NewSource(5))
+	n := 500
+	lk := make([]int64, n)
+	lv := make([]int64, n)
+	for i := range lk {
+		lk[i] = int64(i)
+		lv[i] = rng.Int63n(1000)
+	}
+	left := memScan(t, vector.Schema{{Name: "k", Type: vector.Int64}, {Name: "v", Type: vector.Int64}},
+		[]*vector.Vector{intVec(lk...), intVec(lv...)}, 64)
+	right := memScan(t, vector.Schema{{Name: "k", Type: vector.Int64}},
+		[]*vector.Vector{intVec(lk...)}, 64)
+	f, err := NewFilter(left, []Pred{{Col: 1, Op: Lt, I64: 500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := NewHashJoin(f, right, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := NewAggregate(j, []AggSpec{{Func: Max, Col: 1}, {Func: Count, Col: -1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantMax, wantCount int64
+	for i := range lk {
+		if lv[i] < 500 {
+			wantCount++
+			if lv[i] > wantMax {
+				wantMax = lv[i]
+			}
+		}
+	}
+	if out[0].Int64s[0] != wantMax || out[1].Int64s[0] != wantCount {
+		t.Fatalf("max/count = %d/%d, want %d/%d",
+			out[0].Int64s[0], out[1].Int64s[0], wantMax, wantCount)
+	}
+}
+
+func TestCmpOpString(t *testing.T) {
+	if Lt.String() != "<" || Ne.String() != "<>" || Ge.String() != ">=" {
+		t.Fatal("CmpOp strings wrong")
+	}
+}
+
+func TestAggFuncString(t *testing.T) {
+	if Min.String() != "MIN" || Avg.String() != "AVG" {
+		t.Fatal("AggFunc strings wrong")
+	}
+}

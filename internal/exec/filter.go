@@ -1,0 +1,269 @@
+package exec
+
+import (
+	"fmt"
+
+	"rawdb/internal/vector"
+)
+
+// CmpOp is a comparison operator in a predicate.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	Lt CmpOp = iota
+	Le
+	Gt
+	Ge
+	Eq
+	Ne
+)
+
+// String returns the SQL spelling of the operator.
+func (o CmpOp) String() string {
+	switch o {
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case Eq:
+		return "="
+	case Ne:
+		return "<>"
+	default:
+		return "?"
+	}
+}
+
+// Pred is a comparison of one column against a constant. Predicates on a
+// Filter are conjunctive.
+type Pred struct {
+	Col int
+	Op  CmpOp
+	// Lit holds the literal; the field matching the column type is used.
+	I64 int64
+	F64 float64
+}
+
+// Filter passes through the rows of its child that satisfy every predicate,
+// compacting batches (the output contains only qualifying rows).
+type Filter struct {
+	child  Operator
+	preds  []Pred
+	schema vector.Schema
+
+	sel []int32
+	out *vector.Batch
+}
+
+// NewFilter validates the predicates against the child schema.
+func NewFilter(child Operator, preds []Pred) (*Filter, error) {
+	schema := child.Schema()
+	for _, p := range preds {
+		if p.Col < 0 || p.Col >= len(schema) {
+			return nil, fmt.Errorf("exec: filter: column index %d out of range", p.Col)
+		}
+		switch schema[p.Col].Type {
+		case vector.Int64, vector.Float64:
+		default:
+			return nil, fmt.Errorf("exec: filter: unsupported predicate column type %s",
+				schema[p.Col].Type)
+		}
+	}
+	return &Filter{child: child, preds: preds, schema: schema}, nil
+}
+
+// Schema implements Operator.
+func (f *Filter) Schema() vector.Schema { return f.schema }
+
+// Open implements Operator.
+func (f *Filter) Open() error { return f.child.Open() }
+
+// Next implements Operator.
+func (f *Filter) Next() (*vector.Batch, error) {
+	for {
+		b, err := f.child.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		f.sel = f.sel[:0]
+		n := b.Len()
+		if len(f.preds) == 0 {
+			return b, nil
+		}
+		// First predicate scans all rows; the rest refine the selection.
+		f.sel = evalPredAll(f.sel, b.Cols[f.preds[0].Col], f.preds[0], n)
+		for _, p := range f.preds[1:] {
+			if len(f.sel) == 0 {
+				break
+			}
+			f.sel = evalPredSel(f.sel, b.Cols[p.Col], p)
+		}
+		if len(f.sel) == 0 {
+			continue // fully filtered batch; pull the next one
+		}
+		if len(f.sel) == n {
+			return b, nil // nothing filtered; pass through without copying
+		}
+		if f.out == nil {
+			f.out = vector.NewBatch(f.schema.Types(), len(f.sel))
+		}
+		f.out.Reset()
+		f.out.Gather(b, f.sel)
+		return f.out, nil
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.child.Close() }
+
+// evalPredAll appends to sel the indexes in [0, n) satisfying p over v.
+func evalPredAll(sel []int32, v *vector.Vector, p Pred, n int) []int32 {
+	switch v.Type {
+	case vector.Int64:
+		s := v.Int64s[:n]
+		lit := p.I64
+		switch p.Op {
+		case Lt:
+			for i, x := range s {
+				if x < lit {
+					sel = append(sel, int32(i))
+				}
+			}
+		case Le:
+			for i, x := range s {
+				if x <= lit {
+					sel = append(sel, int32(i))
+				}
+			}
+		case Gt:
+			for i, x := range s {
+				if x > lit {
+					sel = append(sel, int32(i))
+				}
+			}
+		case Ge:
+			for i, x := range s {
+				if x >= lit {
+					sel = append(sel, int32(i))
+				}
+			}
+		case Eq:
+			for i, x := range s {
+				if x == lit {
+					sel = append(sel, int32(i))
+				}
+			}
+		case Ne:
+			for i, x := range s {
+				if x != lit {
+					sel = append(sel, int32(i))
+				}
+			}
+		}
+	case vector.Float64:
+		s := v.Float64s[:n]
+		lit := p.F64
+		switch p.Op {
+		case Lt:
+			for i, x := range s {
+				if x < lit {
+					sel = append(sel, int32(i))
+				}
+			}
+		case Le:
+			for i, x := range s {
+				if x <= lit {
+					sel = append(sel, int32(i))
+				}
+			}
+		case Gt:
+			for i, x := range s {
+				if x > lit {
+					sel = append(sel, int32(i))
+				}
+			}
+		case Ge:
+			for i, x := range s {
+				if x >= lit {
+					sel = append(sel, int32(i))
+				}
+			}
+		case Eq:
+			for i, x := range s {
+				if x == lit {
+					sel = append(sel, int32(i))
+				}
+			}
+		case Ne:
+			for i, x := range s {
+				if x != lit {
+					sel = append(sel, int32(i))
+				}
+			}
+		}
+	}
+	return sel
+}
+
+// evalPredSel filters sel in place, keeping indexes satisfying p over v.
+func evalPredSel(sel []int32, v *vector.Vector, p Pred) []int32 {
+	out := sel[:0]
+	switch v.Type {
+	case vector.Int64:
+		s := v.Int64s
+		for _, i := range sel {
+			if cmpInt64(s[i], p.I64, p.Op) {
+				out = append(out, i)
+			}
+		}
+	case vector.Float64:
+		s := v.Float64s
+		for _, i := range sel {
+			if cmpFloat64(s[i], p.F64, p.Op) {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+func cmpInt64(x, lit int64, op CmpOp) bool {
+	switch op {
+	case Lt:
+		return x < lit
+	case Le:
+		return x <= lit
+	case Gt:
+		return x > lit
+	case Ge:
+		return x >= lit
+	case Eq:
+		return x == lit
+	case Ne:
+		return x != lit
+	}
+	return false
+}
+
+func cmpFloat64(x, lit float64, op CmpOp) bool {
+	switch op {
+	case Lt:
+		return x < lit
+	case Le:
+		return x <= lit
+	case Gt:
+		return x > lit
+	case Ge:
+		return x >= lit
+	case Eq:
+		return x == lit
+	case Ne:
+		return x != lit
+	}
+	return false
+}

@@ -1,0 +1,189 @@
+package exec
+
+import (
+	"fmt"
+
+	"rawdb/internal/vector"
+)
+
+// HashJoin is an inner equi-join on int64 key columns. As in the paper's
+// join experiments, the right-hand side is consumed fully to build a hash
+// table and the left-hand side probes it in a pipelined fashion: output rows
+// preserve the order of qualifying probe-side (left) tuples, which is what
+// makes a late scan on the left side sequential ("pipelined") and a late
+// scan on the right side random ("pipeline-breaking").
+type HashJoin struct {
+	left, right       Operator
+	leftKey, rightKey int
+	schema            vector.Schema
+	batchSize         int
+
+	built bool
+	// ht maps key -> indexes of matching build rows.
+	ht        map[int64][]int32
+	buildCols []*vector.Vector
+
+	out     *vector.Batch
+	pending *vector.Batch // current probe batch
+	ppos    int           // next probe row to resume from
+	pmatch  []int32       // unconsumed matches for probe row ppos-1
+}
+
+// NewHashJoin joins left ⋈ right on left.Schema()[leftKey] = right.Schema()[rightKey].
+func NewHashJoin(left, right Operator, leftKey, rightKey int) (*HashJoin, error) {
+	ls, rs := left.Schema(), right.Schema()
+	if leftKey < 0 || leftKey >= len(ls) {
+		return nil, fmt.Errorf("exec: hashjoin: left key index %d out of range", leftKey)
+	}
+	if rightKey < 0 || rightKey >= len(rs) {
+		return nil, fmt.Errorf("exec: hashjoin: right key index %d out of range", rightKey)
+	}
+	if ls[leftKey].Type != vector.Int64 || rs[rightKey].Type != vector.Int64 {
+		return nil, fmt.Errorf("exec: hashjoin: join keys must be %s", vector.Int64)
+	}
+	schema := make(vector.Schema, 0, len(ls)+len(rs))
+	schema = append(schema, ls...)
+	schema = append(schema, rs...)
+	return &HashJoin{
+		left: left, right: right,
+		leftKey: leftKey, rightKey: rightKey,
+		schema:    schema,
+		batchSize: vector.DefaultBatchSize,
+	}, nil
+}
+
+// Schema implements Operator.
+func (j *HashJoin) Schema() vector.Schema { return j.schema }
+
+// Open implements Operator.
+func (j *HashJoin) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	if err := j.right.Open(); err != nil {
+		return err
+	}
+	j.built = false
+	j.pending = nil
+	j.ppos = 0
+	j.pmatch = nil
+	return nil
+}
+
+// build consumes the right child into the hash table.
+func (j *HashJoin) build() error {
+	rs := j.right.Schema()
+	j.buildCols = make([]*vector.Vector, len(rs))
+	for i, c := range rs {
+		j.buildCols[i] = vector.New(c.Type, vector.DefaultBatchSize)
+	}
+	j.ht = make(map[int64][]int32)
+	for {
+		b, err := j.right.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		base := int32(j.buildCols[0].Len())
+		if len(j.buildCols) == 0 {
+			return fmt.Errorf("exec: hashjoin: build side has no columns")
+		}
+		keys := b.Cols[j.rightKey].Int64s
+		for i, k := range keys {
+			j.ht[k] = append(j.ht[k], base+int32(i))
+		}
+		for i, c := range b.Cols {
+			j.buildCols[i].AppendVector(c)
+		}
+	}
+	j.built = true
+	return nil
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next() (*vector.Batch, error) {
+	if !j.built {
+		if err := j.build(); err != nil {
+			return nil, err
+		}
+	}
+	if j.out == nil {
+		j.out = vector.NewBatch(j.schema.Types(), j.batchSize)
+	}
+	j.out.Reset()
+	nl := len(j.left.Schema())
+	emit := func(probe *vector.Batch, pi int, bi int32) {
+		for c := 0; c < nl; c++ {
+			appendRow(j.out.Cols[c], probe.Cols[c], pi)
+		}
+		for c := range j.buildCols {
+			appendRow(j.out.Cols[nl+c], j.buildCols[c], int(bi))
+		}
+	}
+	for {
+		// Drain leftover matches from a row split across output batches.
+		for len(j.pmatch) > 0 && j.out.Len() < j.batchSize {
+			emit(j.pending, j.ppos-1, j.pmatch[0])
+			j.pmatch = j.pmatch[1:]
+		}
+		if j.out.Len() >= j.batchSize {
+			return j.out, nil
+		}
+		if j.pending == nil || j.ppos >= j.pending.Len() {
+			b, err := j.left.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				if j.out.Len() > 0 {
+					return j.out, nil
+				}
+				return nil, nil
+			}
+			j.pending = b
+			j.ppos = 0
+		}
+		keys := j.pending.Cols[j.leftKey].Int64s
+		for j.ppos < j.pending.Len() && j.out.Len() < j.batchSize {
+			matches := j.ht[keys[j.ppos]]
+			j.ppos++
+			for mi, bi := range matches {
+				if j.out.Len() >= j.batchSize {
+					j.pmatch = matches[mi:]
+					break
+				}
+				emit(j.pending, j.ppos-1, bi)
+			}
+		}
+		if j.out.Len() >= j.batchSize {
+			return j.out, nil
+		}
+	}
+}
+
+func appendRow(dst, src *vector.Vector, i int) {
+	switch dst.Type {
+	case vector.Int64:
+		dst.Int64s = append(dst.Int64s, src.Int64s[i])
+	case vector.Float64:
+		dst.Float64s = append(dst.Float64s, src.Float64s[i])
+	case vector.Bool:
+		dst.Bools = append(dst.Bools, src.Bools[i])
+	case vector.Bytes:
+		dst.Bytess = append(dst.Bytess, src.Bytess[i])
+	}
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	errL := j.left.Close()
+	errR := j.right.Close()
+	j.ht = nil
+	j.buildCols = nil
+	if errL != nil {
+		return errL
+	}
+	return errR
+}

@@ -1,0 +1,174 @@
+// Package exec implements the vectorized relational operators of the engine:
+// selection, projection, hash join, and aggregation, plus the in-memory scan
+// used by the load-first DBMS baseline.
+//
+// Operators follow the Volcano model the paper links its generated scan
+// operators into, but exchange vector.Batch values (batch-at-a-time) rather
+// than tuples, in the MonetDB/X100 style of the Supersonic library RAW is
+// built on.
+package exec
+
+import (
+	"fmt"
+
+	"rawdb/internal/vector"
+)
+
+// An Operator is one node of a physical query plan. Next returns the next
+// batch of rows or nil at end of stream. Returned batches remain valid only
+// until the following Next call; consumers that need to retain data must
+// copy it.
+type Operator interface {
+	// Schema describes the columns of the batches Next produces.
+	Schema() vector.Schema
+	// Open prepares the operator (and its inputs) for execution.
+	Open() error
+	// Next returns the next batch, or (nil, nil) at end of stream.
+	Next() (*vector.Batch, error)
+	// Close releases resources. It is safe to call after an error.
+	Close() error
+}
+
+// MemScan streams a fully materialised table (a set of equal-length column
+// vectors) in batches. The DBMS baseline queries loaded tables through it,
+// and tests use it as a deterministic source.
+type MemScan struct {
+	schema    vector.Schema
+	cols      []*vector.Vector
+	batchSize int
+	pos       int
+	out       *vector.Batch
+}
+
+// NewMemScan returns a scan over cols with the given schema. batchSize <= 0
+// selects vector.DefaultBatchSize.
+func NewMemScan(schema vector.Schema, cols []*vector.Vector, batchSize int) (*MemScan, error) {
+	if len(schema) != len(cols) {
+		return nil, fmt.Errorf("exec: memscan: %d schema columns, %d vectors", len(schema), len(cols))
+	}
+	n := -1
+	for i, c := range cols {
+		if schema[i].Type != c.Type {
+			return nil, fmt.Errorf("exec: memscan: column %q type mismatch", schema[i].Name)
+		}
+		if n == -1 {
+			n = c.Len()
+		} else if c.Len() != n {
+			return nil, fmt.Errorf("exec: memscan: ragged columns (%d vs %d)", c.Len(), n)
+		}
+	}
+	if batchSize <= 0 {
+		batchSize = vector.DefaultBatchSize
+	}
+	return &MemScan{schema: schema, cols: cols, batchSize: batchSize}, nil
+}
+
+// Schema implements Operator.
+func (s *MemScan) Schema() vector.Schema { return s.schema }
+
+// Open implements Operator.
+func (s *MemScan) Open() error {
+	s.pos = 0
+	return nil
+}
+
+// Next implements Operator. Batches alias the underlying storage.
+func (s *MemScan) Next() (*vector.Batch, error) {
+	n := 0
+	if len(s.cols) > 0 {
+		n = s.cols[0].Len()
+	}
+	if s.pos >= n {
+		return nil, nil
+	}
+	end := s.pos + s.batchSize
+	if end > n {
+		end = n
+	}
+	if s.out == nil {
+		s.out = &vector.Batch{Cols: make([]*vector.Vector, len(s.cols))}
+	}
+	for i, c := range s.cols {
+		s.out.Cols[i] = c.Slice(s.pos, end)
+	}
+	s.pos = end
+	return s.out, nil
+}
+
+// Close implements Operator.
+func (s *MemScan) Close() error { return nil }
+
+// Project reorders/selects columns of its input by index and can rename them.
+type Project struct {
+	child  Operator
+	idxs   []int
+	schema vector.Schema
+	out    vector.Batch
+}
+
+// NewProject returns a projection of child onto the columns at idxs, renamed
+// to names (names may be nil to keep the child's names).
+func NewProject(child Operator, idxs []int, names []string) (*Project, error) {
+	cs := child.Schema()
+	schema := make(vector.Schema, len(idxs))
+	for i, ix := range idxs {
+		if ix < 0 || ix >= len(cs) {
+			return nil, fmt.Errorf("exec: project: column index %d out of range", ix)
+		}
+		schema[i] = cs[ix]
+		if names != nil {
+			schema[i].Name = names[i]
+		}
+	}
+	return &Project{child: child, idxs: idxs, schema: schema}, nil
+}
+
+// Schema implements Operator.
+func (p *Project) Schema() vector.Schema { return p.schema }
+
+// Open implements Operator.
+func (p *Project) Open() error { return p.child.Open() }
+
+// Next implements Operator.
+func (p *Project) Next() (*vector.Batch, error) {
+	b, err := p.child.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	if p.out.Cols == nil {
+		p.out.Cols = make([]*vector.Vector, len(p.idxs))
+	}
+	for i, ix := range p.idxs {
+		p.out.Cols[i] = b.Cols[ix]
+	}
+	return &p.out, nil
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.child.Close() }
+
+// Collect drains op and returns all of its output copied into fresh vectors.
+// It is the standard way tests and result presentation consume a plan.
+func Collect(op Operator) ([]*vector.Vector, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	schema := op.Schema()
+	out := make([]*vector.Vector, len(schema))
+	for i, c := range schema {
+		out[i] = vector.New(c.Type, vector.DefaultBatchSize)
+	}
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		for i, c := range b.Cols {
+			out[i].AppendVector(c)
+		}
+	}
+}

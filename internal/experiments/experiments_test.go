@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// tiny keeps experiment smoke tests fast.
+var tiny = Config{
+	NarrowRows:  2_000,
+	WideRows:    500,
+	JoinRows:    2_000,
+	HiggsEvents: 1_500,
+	Repeats:     1,
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tbl, err := r.Run(tiny)
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if tbl.ID != r.ID {
+				t.Fatalf("table id %q, runner id %q", tbl.ID, r.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s produced no rows", r.ID)
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Header) {
+					t.Fatalf("%s: row %v does not match header %v", r.ID, row, tbl.Header)
+				}
+			}
+		})
+	}
+}
+
+func TestFind(t *testing.T) {
+	if _, ok := Find("fig5"); !ok {
+		t.Fatal("fig5 not found")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Fatal("unexpected experiment found")
+	}
+}
+
+// TestFig5ShredsNeverSlowerAtLowSelectivity checks the paper's headline
+// shape on a small dataset: at low selectivity, shredded columns beat full
+// columns for the warm CSV query.
+func TestFig5ShredsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-shape test")
+	}
+	cfg := tiny
+	cfg.NarrowRows = 30_000
+	tbl, err := RunFig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header: selectivity, full_s, shreds_s, full_col7_s, shreds_col7_s, dbms_s.
+	lowRow := tbl.Rows[1] // 10% selectivity
+	full, _ := strconv.ParseFloat(lowRow[1], 64)
+	shreds, _ := strconv.ParseFloat(lowRow[2], 64)
+	if shreds > full*1.5 {
+		t.Errorf("at 10%% selectivity shreds (%.4fs) should not be much slower than full (%.4fs)",
+			shreds, full)
+	}
+}

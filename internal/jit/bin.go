@@ -1,0 +1,121 @@
+package jit
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"rawdb/internal/catalog"
+	"rawdb/internal/exec"
+	"rawdb/internal/storage/binfile"
+	"rawdb/internal/vector"
+)
+
+// BinScan is a JIT access path over the fixed-width binary format. The
+// generator computes every field's byte offset and the row stride once and
+// folds them into per-column reader closures; execution is column-at-a-time
+// strided decoding with no per-field position arithmetic beyond one addition
+// and no type dispatch. This is the paper's "the location of the 3rd column
+// of row 15 can be computed as 15*tupleSize + 2*dataSize ... directly
+// included in the generated code".
+type BinScan struct {
+	schema    vector.Schema
+	batchSize int
+	nrows     int64
+	readers   []func(rowStart, rowEnd int64, out *vector.Vector)
+	emitRID   bool
+	ridSlot   int
+
+	row int64
+	out *vector.Batch
+}
+
+// NewBinScan generates a binary access path materialising columns need.
+func NewBinScan(r *binfile.Reader, t *catalog.Table, need []int, emitRID bool, batchSize int) (*BinScan, error) {
+	if t.Format != catalog.Binary {
+		return nil, fmt.Errorf("jit: bin scan got format %s", t.Format)
+	}
+	if batchSize <= 0 {
+		batchSize = vector.DefaultBatchSize
+	}
+	schema, err := scanSchema(t, need, emitRID)
+	if err != nil {
+		return nil, err
+	}
+	s := &BinScan{
+		schema:    schema,
+		batchSize: batchSize,
+		nrows:     r.NRows(),
+		emitRID:   emitRID,
+		ridSlot:   len(need),
+	}
+	s.out = vector.NewBatch(schema.Types(), batchSize)
+	payload := r.Payload()
+	rowSize := r.RowSize()
+	types := r.Types()
+	for _, c := range need {
+		if c < 0 || c >= len(types) {
+			return nil, fmt.Errorf("jit: column index %d out of range", c)
+		}
+		// Offset resolved at generation time: a constant in the closure.
+		off := r.FieldOffset(c)
+		switch types[c] {
+		case vector.Int64:
+			s.readers = append(s.readers, func(rowStart, rowEnd int64, out *vector.Vector) {
+				p := int(rowStart)*rowSize + off
+				for i := rowStart; i < rowEnd; i++ {
+					out.Int64s = append(out.Int64s, int64(binary.LittleEndian.Uint64(payload[p:p+8])))
+					p += rowSize
+				}
+			})
+		case vector.Float64:
+			s.readers = append(s.readers, func(rowStart, rowEnd int64, out *vector.Vector) {
+				p := int(rowStart)*rowSize + off
+				for i := rowStart; i < rowEnd; i++ {
+					out.Float64s = append(out.Float64s, math.Float64frombits(binary.LittleEndian.Uint64(payload[p:p+8])))
+					p += rowSize
+				}
+			})
+		default:
+			return nil, fmt.Errorf("jit: unsupported binary column type %s", types[c])
+		}
+	}
+	return s, nil
+}
+
+// Schema implements exec.Operator.
+func (s *BinScan) Schema() vector.Schema { return s.schema }
+
+// Open implements exec.Operator.
+func (s *BinScan) Open() error {
+	s.row = 0
+	return nil
+}
+
+// Next implements exec.Operator.
+func (s *BinScan) Next() (*vector.Batch, error) {
+	if s.row >= s.nrows {
+		return nil, nil
+	}
+	s.out.Reset()
+	end := s.row + int64(s.batchSize)
+	if end > s.nrows {
+		end = s.nrows
+	}
+	for i, r := range s.readers {
+		r(s.row, end, s.out.Cols[i])
+	}
+	if s.emitRID {
+		rid := s.out.Cols[s.ridSlot]
+		for i := s.row; i < end; i++ {
+			rid.AppendInt64(i)
+		}
+	}
+	s.row = end
+	return s.out, nil
+}
+
+// Close implements exec.Operator.
+func (s *BinScan) Close() error { return nil }
+
+var _ exec.Operator = (*BinScan)(nil)

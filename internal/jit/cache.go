@@ -1,0 +1,92 @@
+package jit
+
+import (
+	"sync"
+	"time"
+)
+
+// CacheEntry records one generated access path: its emitted source and usage
+// statistics.
+type CacheEntry struct {
+	Key    string
+	Source string
+	// Compiles counts how many times this path was (re)generated — always 1
+	// unless the cache was reset.
+	Compiles int
+	// Hits counts reuses after the initial compilation.
+	Hits int
+}
+
+// Cache is the template cache of generated access paths. The paper keeps
+// compiled libraries keyed by access-path description and reuses them when
+// the same query shape recurs; here the cached artifact is the emitted
+// source plus the knowledge that construction cost was already paid. A
+// configurable CompileDelay models the paper's ~2 s first-query compilation
+// overhead (defaults to zero so tests and benchmarks measure pure execution;
+// the experiment harness sets it when reproducing Figure 1a).
+type Cache struct {
+	mu           sync.Mutex
+	entries      map[string]*CacheEntry
+	compileDelay time.Duration
+	sleep        func(time.Duration) // test seam; defaults to time.Sleep
+}
+
+// NewCache returns an empty template cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]*CacheEntry), sleep: time.Sleep}
+}
+
+// SetCompileDelay sets the simulated per-compilation latency charged on
+// cache misses.
+func (c *Cache) SetCompileDelay(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.compileDelay = d
+}
+
+// Ensure looks the spec up, "compiling" (emitting source and charging the
+// simulated latency) on a miss. It returns the entry and whether it was
+// already cached.
+func (c *Cache) Ensure(sp Spec) (*CacheEntry, bool) {
+	key := sp.Key()
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		e.Hits++
+		c.mu.Unlock()
+		return e, true
+	}
+	delay := c.compileDelay
+	e := &CacheEntry{Key: key, Source: sp.Source(), Compiles: 1}
+	c.entries[key] = e
+	c.mu.Unlock()
+	if delay > 0 {
+		c.sleep(delay)
+	}
+	return e, false
+}
+
+// Len returns the number of cached access paths.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Reset drops all cached templates.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*CacheEntry)
+}
+
+// Entries returns a snapshot of the cached entries.
+func (c *Cache) Entries() []*CacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*CacheEntry, 0, len(c.entries))
+	for _, e := range c.entries {
+		cp := *e
+		out = append(out, &cp)
+	}
+	return out
+}

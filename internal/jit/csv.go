@@ -1,0 +1,342 @@
+package jit
+
+import (
+	"fmt"
+
+	"rawdb/internal/bytesconv"
+	"rawdb/internal/catalog"
+	"rawdb/internal/exec"
+	"rawdb/internal/insitu"
+	"rawdb/internal/posmap"
+	"rawdb/internal/storage/csvfile"
+	"rawdb/internal/vector"
+)
+
+// rowStep is one unrolled action of a sequential JIT CSV scan: it consumes
+// part of the current row starting at pos and returns the next position.
+// The chain of steps for one row is fixed at construction — the "generated
+// code" — so the per-row inner loop carries no type switches, no column
+// loop conditions and no catalog lookups.
+type rowStep func(pos int) int
+
+// colReader reads the values of one column for rows [rowStart, rowEnd) into
+// out, using a positional map column captured at construction. It is the
+// vectorized, column-at-a-time body of a ViaMap JIT scan.
+type colReader func(rowStart, rowEnd int64, out *vector.Vector) error
+
+// CSVScan is a JIT access path over a CSV file. Construct it with
+// NewCSVSequentialScan (first query: parse front-to-back, optionally
+// building a positional map) or NewCSVMapScan (later queries: jump via the
+// positional map, column at a time).
+type CSVScan struct {
+	schema    vector.Schema
+	batchSize int
+
+	// Sequential mode.
+	data    []byte
+	steps   []rowStep
+	buildPM *posmap.Map
+	scratch []int64
+	err     error
+
+	// ViaMap mode.
+	readers []colReader
+	nrows   int64
+
+	emitRID bool
+	ridSlot int
+	pos     int
+	row     int64
+	out     *vector.Batch
+}
+
+// NewCSVSequentialScan generates a sequential access path: one specialised
+// step chain per row covering exactly the requested columns, positional-map
+// recordings and skips, with conversion functions resolved per column.
+func NewCSVSequentialScan(data []byte, t *catalog.Table, need []int,
+	buildPM *posmap.Map, emitRID bool, batchSize int) (*CSVScan, error) {
+	if t.Format != catalog.CSV {
+		return nil, fmt.Errorf("jit: csv scan got format %s", t.Format)
+	}
+	if batchSize <= 0 {
+		batchSize = vector.DefaultBatchSize
+	}
+	schema, err := scanSchema(t, need, emitRID)
+	if err != nil {
+		return nil, err
+	}
+	s := &CSVScan{
+		data:      data,
+		schema:    schema,
+		batchSize: batchSize,
+		buildPM:   buildPM,
+		emitRID:   emitRID,
+		ridSlot:   len(need),
+	}
+	s.out = vector.NewBatch(schema.Types(), batchSize)
+
+	// "Unroll the column loop": walk the table's columns once at
+	// construction and emit exactly one step per action, merging runs of
+	// uninteresting columns into single skip steps.
+	needSlot := make(map[int]int, len(need))
+	for i, c := range need {
+		needSlot[c] = i
+	}
+	trackSet := make(map[int]bool)
+	var trackIdx int
+	if buildPM != nil {
+		for _, c := range buildPM.TrackedColumns() {
+			trackSet[c] = true
+		}
+		s.scratch = make([]int64, len(buildPM.TrackedColumns()))
+	}
+	ncols := len(t.Schema)
+	pending := 0 // uninteresting columns accumulated into one skip
+	flushSkip := func() {
+		if pending == 0 {
+			return
+		}
+		n := pending
+		pending = 0
+		data := s.data
+		s.steps = append(s.steps, func(pos int) int {
+			return csvfile.SkipFields(data, pos, n)
+		})
+	}
+	for c := 0; c < ncols; c++ {
+		record := trackSet[c]
+		slot, read := needSlot[c]
+		if !record && !read {
+			pending++
+			continue
+		}
+		flushSkip()
+		if record {
+			ti := trackIdx
+			trackIdx++
+			s.steps = append(s.steps, func(pos int) int {
+				s.scratch[ti] = int64(pos)
+				return pos
+			})
+		}
+		if !read {
+			pending++
+			continue
+		}
+		// Conversion function resolved now, not per field.
+		switch t.Schema[c].Type {
+		case vector.Int64:
+			out := s.out.Cols[slot]
+			data := s.data
+			s.steps = append(s.steps, func(pos int) int {
+				start, end, next := csvfile.FieldBounds(data, pos)
+				v, err := bytesconv.ParseInt64(data[start:end])
+				if err != nil {
+					s.err = fmt.Errorf("jit csv scan: row %d: %w", s.row, err)
+					return len(data)
+				}
+				out.Int64s = append(out.Int64s, v)
+				return next
+			})
+		case vector.Float64:
+			out := s.out.Cols[slot]
+			data := s.data
+			s.steps = append(s.steps, func(pos int) int {
+				start, end, next := csvfile.FieldBounds(data, pos)
+				v, err := bytesconv.ParseFloat64(data[start:end])
+				if err != nil {
+					s.err = fmt.Errorf("jit csv scan: row %d: %w", s.row, err)
+					return len(data)
+				}
+				out.Float64s = append(out.Float64s, v)
+				return next
+			})
+		default:
+			return nil, fmt.Errorf("jit: unsupported CSV column type %s", t.Schema[c].Type)
+		}
+	}
+	// Flush any trailing uninteresting columns as one exact skip; the last
+	// field's skip or parse consumes the row's newline, landing the cursor
+	// on the next row start.
+	flushSkip()
+	return s, nil
+}
+
+// NewCSVMapScan generates a ViaMap access path: for each requested column the
+// generator resolves, once, which tracked column to jump from and how many
+// fields to skip, then emits a monomorphic column reader. Execution is
+// column-at-a-time over each batch's row range.
+func NewCSVMapScan(data []byte, t *catalog.Table, need []int, pm *posmap.Map,
+	emitRID bool, batchSize int) (*CSVScan, error) {
+	if t.Format != catalog.CSV {
+		return nil, fmt.Errorf("jit: csv scan got format %s", t.Format)
+	}
+	if pm == nil || pm.NRows() == 0 {
+		return nil, fmt.Errorf("jit: map scan requires a populated positional map")
+	}
+	if batchSize <= 0 {
+		batchSize = vector.DefaultBatchSize
+	}
+	schema, err := scanSchema(t, need, emitRID)
+	if err != nil {
+		return nil, err
+	}
+	s := &CSVScan{
+		data:      data,
+		schema:    schema,
+		batchSize: batchSize,
+		nrows:     pm.NRows(),
+		emitRID:   emitRID,
+		ridSlot:   len(need),
+	}
+	s.out = vector.NewBatch(schema.Types(), batchSize)
+	for _, c := range need {
+		r, err := newCSVColReader(data, t, c, pm)
+		if err != nil {
+			return nil, err
+		}
+		s.readers = append(s.readers, r)
+	}
+	return s, nil
+}
+
+// newCSVColReader generates the reader for one column: jump positions and
+// skip counts are resolved here, once, and captured as constants.
+func newCSVColReader(data []byte, t *catalog.Table, c int, pm *posmap.Map) (colReader, error) {
+	near, ok := pm.Nearest(c)
+	if !ok {
+		return nil, fmt.Errorf("jit: positional map cannot reach column %d", c)
+	}
+	positions := pm.Positions(near)
+	skip := c - near
+	typ := t.Schema[c].Type
+	switch typ {
+	case vector.Int64:
+		if skip == 0 {
+			return func(rowStart, rowEnd int64, out *vector.Vector) error {
+				for _, p := range positions[rowStart:rowEnd] {
+					start, end, _ := csvfile.FieldBounds(data, int(p))
+					out.Int64s = append(out.Int64s, bytesconv.ParseInt64Fast(data[start:end]))
+				}
+				return nil
+			}, nil
+		}
+		return func(rowStart, rowEnd int64, out *vector.Vector) error {
+			for _, p := range positions[rowStart:rowEnd] {
+				pos := csvfile.SkipFields(data, int(p), skip)
+				start, end, _ := csvfile.FieldBounds(data, pos)
+				out.Int64s = append(out.Int64s, bytesconv.ParseInt64Fast(data[start:end]))
+			}
+			return nil
+		}, nil
+	case vector.Float64:
+		return func(rowStart, rowEnd int64, out *vector.Vector) error {
+			for _, p := range positions[rowStart:rowEnd] {
+				pos := int(p)
+				if skip > 0 {
+					pos = csvfile.SkipFields(data, pos, skip)
+				}
+				start, end, _ := csvfile.FieldBounds(data, pos)
+				v, err := bytesconv.ParseFloat64(data[start:end])
+				if err != nil {
+					return fmt.Errorf("jit csv map scan: %w", err)
+				}
+				out.Float64s = append(out.Float64s, v)
+			}
+			return nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("jit: unsupported CSV column type %s", typ)
+	}
+}
+
+func scanSchema(t *catalog.Table, need []int, emitRID bool) (vector.Schema, error) {
+	schema := make(vector.Schema, 0, len(need)+1)
+	for _, c := range need {
+		if c < 0 || c >= len(t.Schema) {
+			return nil, fmt.Errorf("jit: column index %d out of range for table %q", c, t.Name)
+		}
+		schema = append(schema, vector.Col{Name: t.Schema[c].Name, Type: t.Schema[c].Type})
+	}
+	if emitRID {
+		schema = append(schema, vector.Col{Name: insitu.RowIDColumn, Type: vector.Int64})
+	}
+	return schema, nil
+}
+
+// Schema implements exec.Operator.
+func (s *CSVScan) Schema() vector.Schema { return s.schema }
+
+// Open implements exec.Operator.
+func (s *CSVScan) Open() error {
+	s.pos = 0
+	s.row = 0
+	s.err = nil
+	return nil
+}
+
+// Next implements exec.Operator.
+func (s *CSVScan) Next() (*vector.Batch, error) {
+	s.out.Reset()
+	if s.readers != nil {
+		return s.nextViaMap()
+	}
+	return s.nextSequential()
+}
+
+func (s *CSVScan) nextSequential() (*vector.Batch, error) {
+	data := s.data
+	steps := s.steps
+	n := 0
+	for n < s.batchSize && s.pos < len(data) {
+		pos := s.pos
+		// The generated straight-line row body.
+		for _, st := range steps {
+			pos = st(pos)
+		}
+		if s.err != nil {
+			return nil, s.err
+		}
+		s.pos = pos
+		if s.buildPM != nil {
+			s.buildPM.AppendRow(s.scratch)
+		}
+		if s.emitRID {
+			s.out.Cols[s.ridSlot].AppendInt64(s.row)
+		}
+		s.row++
+		n++
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	return s.out, nil
+}
+
+func (s *CSVScan) nextViaMap() (*vector.Batch, error) {
+	if s.row >= s.nrows {
+		return nil, nil
+	}
+	end := s.row + int64(s.batchSize)
+	if end > s.nrows {
+		end = s.nrows
+	}
+	for i, r := range s.readers {
+		if err := r(s.row, end, s.out.Cols[i]); err != nil {
+			return nil, err
+		}
+	}
+	if s.emitRID {
+		rid := s.out.Cols[s.ridSlot]
+		for i := s.row; i < end; i++ {
+			rid.AppendInt64(i)
+		}
+	}
+	s.row = end
+	return s.out, nil
+}
+
+// Close implements exec.Operator.
+func (s *CSVScan) Close() error { return nil }
+
+var _ exec.Operator = (*CSVScan)(nil)

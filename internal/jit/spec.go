@@ -1,0 +1,91 @@
+// Package jit implements Just-In-Time access paths, the paper's core
+// contribution: scan operators generated per file format, per schema and per
+// query, eliminating the interpretation overhead of general-purpose scans.
+//
+// Substitution note (documented in DESIGN.md): the paper generates C++
+// through macros, compiles it on the fly and dlopens the result. Go has no
+// supported runtime machine-code generation, so "code generation" here means
+// closure specialisation: at construction time each access path is assembled
+// as a flat chain of monomorphic step closures with all decisions — column
+// unrolling, conversion function choice, positional-map actions, binary
+// offsets — resolved before the first row is read. The inner loops contain
+// no type switches and no catalog lookups, which is the same property the
+// paper's generated code achieves. For fidelity and inspectability, every
+// spec can also emit the Go source a real generator would compile
+// (Spec.Source), and the template cache can charge a simulated one-time
+// compilation latency to the first query that uses a new access path.
+package jit
+
+import (
+	"fmt"
+	"strings"
+
+	"rawdb/internal/catalog"
+	"rawdb/internal/vector"
+)
+
+// Mode distinguishes the access-path families a spec can describe.
+type Mode uint8
+
+// Access path modes.
+const (
+	// Sequential parses the file front to back (first query over a file).
+	Sequential Mode = iota
+	// ViaMap navigates with a positional map (later queries, CSV).
+	ViaMap
+	// Direct computes positions from the schema (binary) or uses id-based
+	// library access (root).
+	Direct
+	// Late reads one or more columns for a set of surviving row ids — the
+	// column-shred access path.
+	Late
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Sequential:
+		return "seq"
+	case ViaMap:
+		return "viamap"
+	case Direct:
+		return "direct"
+	case Late:
+		return "late"
+	default:
+		return "?"
+	}
+}
+
+// Spec is the abstract description of one access path, the unit the template
+// cache is keyed by. It captures everything the "code generator" needs: the
+// format, the schema, which fields are read and how.
+type Spec struct {
+	Format catalog.Format
+	Table  string
+	Mode   Mode
+	// Types are the declared column types of the table.
+	Types []vector.Type
+	// Need lists the columns the operator materialises, in output order.
+	Need []int
+	// PMRead lists the tracked columns of the positional map consulted
+	// (ViaMap and Late over CSV).
+	PMRead []int
+	// PMBuild lists the tracked columns recorded while scanning
+	// (Sequential over CSV).
+	PMBuild []int
+	// EmitRID indicates the hidden row-id column is appended.
+	EmitRID bool
+}
+
+// Key returns a canonical string identifying the spec, used by the template
+// cache exactly like the paper's cache of generated libraries.
+func (sp Spec) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|%s|t=", sp.Format, sp.Table, sp.Mode)
+	for _, t := range sp.Types {
+		fmt.Fprintf(&b, "%d,", uint8(t))
+	}
+	fmt.Fprintf(&b, "|n=%v|pr=%v|pb=%v|rid=%v", sp.Need, sp.PMRead, sp.PMBuild, sp.EmitRID)
+	return b.String()
+}

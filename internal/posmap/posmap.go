@@ -1,0 +1,144 @@
+// Package posmap implements positional maps, the auxiliary structure NoDB
+// introduced and RAW reuses for textual formats: an index over the *structure*
+// of a raw file (byte positions of fields) rather than over its data.
+//
+// A map tracks a configurable subset of columns (the paper evaluates
+// "every 10 columns" and "every 7 columns" policies). A later query for a
+// tracked column jumps straight to its byte position; a query for an
+// untracked column jumps to the nearest tracked column at or before it and
+// parses incrementally from there. Maps are populated as a side effect of the
+// first scan over a file and consulted by the planner when choosing access
+// paths for subsequent queries.
+package posmap
+
+import (
+	"fmt"
+	"sort"
+)
+
+// A Policy decides which columns of a file the map tracks.
+type Policy struct {
+	// EveryK tracks columns 0, K, 2K, ... when K > 0 (the paper's
+	// "every 10 columns" heuristic; column numbering here is zero-based, so
+	// tracking every 10th column records columns 1, 11, 21, ... in the
+	// paper's one-based numbering).
+	EveryK int
+	// Extra lists additional column indexes to track regardless of EveryK.
+	Extra []int
+}
+
+// Columns materialises the tracked column set for a file with ncols columns,
+// in increasing order.
+func (p Policy) Columns(ncols int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	add := func(c int) {
+		if c >= 0 && c < ncols && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	if p.EveryK > 0 {
+		for c := 0; c < ncols; c += p.EveryK {
+			add(c)
+		}
+	}
+	for _, c := range p.Extra {
+		add(c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// String describes the policy for logs and experiment labels.
+func (p Policy) String() string {
+	if p.EveryK > 0 {
+		return fmt.Sprintf("every%d+%v", p.EveryK, p.Extra)
+	}
+	return fmt.Sprintf("cols%v", p.Extra)
+}
+
+// A Map stores, for each tracked column, the byte offset of that column's
+// field in every row of one raw file.
+type Map struct {
+	tracked []int       // sorted tracked column indexes
+	index   map[int]int // column -> slot in positions
+	pos     [][]int64   // per tracked column, per row, byte offset
+	nrows   int64
+}
+
+// New returns an empty map tracking the given columns of an ncols-wide file.
+func New(policy Policy, ncols int) *Map {
+	cols := policy.Columns(ncols)
+	m := &Map{
+		tracked: cols,
+		index:   make(map[int]int, len(cols)),
+		pos:     make([][]int64, len(cols)),
+	}
+	for i, c := range cols {
+		m.index[c] = i
+	}
+	return m
+}
+
+// Tracked reports whether the map records positions for column c.
+func (m *Map) Tracked(c int) bool {
+	_, ok := m.index[c]
+	return ok
+}
+
+// TrackedColumns returns the tracked column indexes in increasing order.
+func (m *Map) TrackedColumns() []int { return m.tracked }
+
+// NRows returns the number of rows recorded so far.
+func (m *Map) NRows() int64 { return m.nrows }
+
+// AppendRow records the byte offsets of the tracked columns for the next row.
+// offsets must be ordered like TrackedColumns(). The scan operators call this
+// once per row while building the map.
+func (m *Map) AppendRow(offsets []int64) {
+	for i, off := range offsets {
+		m.pos[i] = append(m.pos[i], off)
+	}
+	m.nrows++
+}
+
+// Positions returns the per-row byte offsets for tracked column c, or nil if
+// c is not tracked. The slice is shared; callers must not modify it.
+func (m *Map) Positions(c int) []int64 {
+	i, ok := m.index[c]
+	if !ok {
+		return nil
+	}
+	return m.pos[i]
+}
+
+// Nearest returns the greatest tracked column <= c, for incremental parsing
+// from a nearby position ("jump to column 7, parse forward to column 11").
+// ok is false when no tracked column precedes c.
+func (m *Map) Nearest(c int) (col int, ok bool) {
+	// tracked is sorted; find rightmost <= c.
+	i := sort.SearchInts(m.tracked, c+1) - 1
+	if i < 0 {
+		return 0, false
+	}
+	return m.tracked[i], true
+}
+
+// Lookup returns the byte position from which column c of row can be reached
+// with the fewest skipped fields: the position of column c itself if tracked
+// (skip = 0), else the position of the nearest preceding tracked column with
+// skip = c - nearest. ok is false if the map cannot help for this column.
+func (m *Map) Lookup(row int64, c int) (pos int64, skip int, ok bool) {
+	near, ok := m.Nearest(c)
+	if !ok || row >= m.nrows {
+		return 0, 0, false
+	}
+	return m.pos[m.index[near]][row], c - near, true
+}
+
+// MemoryFootprint returns the approximate size in bytes of the stored
+// positions, used by the engine's cache accounting.
+func (m *Map) MemoryFootprint() int64 {
+	return int64(len(m.tracked)) * m.nrows * 8
+}

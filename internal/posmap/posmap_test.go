@@ -1,0 +1,123 @@
+package posmap
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolicyColumns(t *testing.T) {
+	cases := []struct {
+		p     Policy
+		ncols int
+		want  []int
+	}{
+		{Policy{EveryK: 10}, 30, []int{0, 10, 20}},
+		{Policy{EveryK: 7}, 30, []int{0, 7, 14, 21, 28}},
+		{Policy{Extra: []int{5, 2}}, 10, []int{2, 5}},
+		{Policy{EveryK: 4, Extra: []int{1, 4, 99}}, 8, []int{0, 1, 4}},
+		{Policy{}, 8, nil},
+		{Policy{Extra: []int{-1, 8}}, 8, nil},
+	}
+	for _, c := range cases {
+		got := c.p.Columns(c.ncols)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%v.Columns(%d) = %v, want %v", c.p, c.ncols, got, c.want)
+		}
+	}
+}
+
+func TestTrackedAndNearest(t *testing.T) {
+	m := New(Policy{EveryK: 10}, 30) // tracks 0, 10, 20
+	if !m.Tracked(10) || m.Tracked(11) {
+		t.Fatal("Tracked wrong")
+	}
+	for _, c := range []struct {
+		col, want int
+		ok        bool
+	}{
+		{0, 0, true}, {5, 0, true}, {10, 10, true}, {11, 10, true},
+		{19, 10, true}, {20, 20, true}, {29, 20, true},
+	} {
+		got, ok := m.Nearest(c.col)
+		if ok != c.ok || got != c.want {
+			t.Errorf("Nearest(%d) = %d,%v want %d,%v", c.col, got, ok, c.want, c.ok)
+		}
+	}
+	empty := New(Policy{}, 30)
+	if _, ok := empty.Nearest(5); ok {
+		t.Fatal("Nearest on empty map should fail")
+	}
+}
+
+func TestAppendAndLookup(t *testing.T) {
+	m := New(Policy{Extra: []int{1, 3}}, 5)
+	m.AppendRow([]int64{100, 200})
+	m.AppendRow([]int64{300, 400})
+	if m.NRows() != 2 {
+		t.Fatalf("NRows = %d", m.NRows())
+	}
+	if got := m.Positions(3); len(got) != 2 || got[1] != 400 {
+		t.Fatalf("Positions(3) = %v", got)
+	}
+	if got := m.Positions(2); got != nil {
+		t.Fatalf("Positions(2) = %v, want nil", got)
+	}
+	pos, skip, ok := m.Lookup(1, 3)
+	if !ok || pos != 400 || skip != 0 {
+		t.Fatalf("Lookup(1,3) = %d,%d,%v", pos, skip, ok)
+	}
+	pos, skip, ok = m.Lookup(0, 4)
+	if !ok || pos != 200 || skip != 1 {
+		t.Fatalf("Lookup(0,4) = %d,%d,%v", pos, skip, ok)
+	}
+	if _, _, ok := m.Lookup(0, 0); ok {
+		t.Fatal("Lookup before first tracked column should fail")
+	}
+	if _, _, ok := m.Lookup(5, 3); ok {
+		t.Fatal("Lookup past recorded rows should fail")
+	}
+}
+
+// TestNearestProperty: Nearest always returns a tracked column <= c, and no
+// tracked column lies strictly between it and c.
+func TestNearestProperty(t *testing.T) {
+	f := func(k uint8, q uint8) bool {
+		ncols := 64
+		p := Policy{EveryK: int(k%12) + 1}
+		m := New(p, ncols)
+		c := int(q) % ncols
+		near, ok := m.Nearest(c)
+		if !ok {
+			return false // column 0 is always tracked with EveryK > 0
+		}
+		if near > c || !m.Tracked(near) {
+			return false
+		}
+		for x := near + 1; x <= c; x++ {
+			if m.Tracked(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryFootprint(t *testing.T) {
+	m := New(Policy{Extra: []int{0, 2}}, 4)
+	m.AppendRow([]int64{0, 10})
+	m.AppendRow([]int64{20, 30})
+	if got := m.MemoryFootprint(); got != 2*2*8 {
+		t.Fatalf("MemoryFootprint = %d", got)
+	}
+}
+
+func TestTrackedColumnsOrder(t *testing.T) {
+	m := New(Policy{Extra: []int{9, 1, 5}}, 10)
+	if got := m.TrackedColumns(); !reflect.DeepEqual(got, []int{1, 5, 9}) {
+		t.Fatalf("TrackedColumns = %v", got)
+	}
+}

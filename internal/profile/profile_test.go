@@ -1,0 +1,54 @@
+package profile
+
+import (
+	"testing"
+
+	"rawdb/internal/catalog"
+	"rawdb/internal/workload"
+)
+
+func dsTable(ds *workload.Dataset) *catalog.Table {
+	return ds.Table("t", catalog.CSV)
+}
+
+func TestBreakdownsComplete(t *testing.T) {
+	ds, err := workload.Narrow(5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := dsTable(ds)
+	need := []int{0}
+
+	g, err := GenericCSV(ds.CSV, tab, need)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := JITCSV(ds.CSV, tab, need)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Total() <= 0 || j.Total() <= 0 {
+		t.Fatalf("zero totals: generic=%v jit=%v", g, j)
+	}
+	if g.String() == "" || j.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestBreakdownErrorsOnMalformed(t *testing.T) {
+	ds, err := workload.Narrow(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := dsTable(ds)
+	bad := append([]byte("xx,"), ds.CSV...)
+	if _, err := GenericCSV(bad, tab, []int{0}); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestBreakdownEmptyString(t *testing.T) {
+	if (Breakdown{}).String() != "empty" {
+		t.Fatal("empty breakdown should print 'empty'")
+	}
+}

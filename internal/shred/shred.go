@@ -1,0 +1,362 @@
+// Package shred implements the pool of column shreds: partial (or full)
+// columns materialised as a side effect of earlier queries and reused by
+// later ones.
+//
+// A shred stores the values of one table column for a sorted set of row ids
+// (nil row ids meaning the full column). An incoming query may be served
+// from a shred iff the shred's rows subsume the rows the query needs — the
+// paper's reuse rule — and the pool evicts least-recently-used shreds under
+// a byte budget. This is RAW's answer to "at some moment data must adapt to
+// the query engine": only data that actually flowed through a query gets
+// cached, and only that cache is ever consulted.
+package shred
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"rawdb/internal/vector"
+)
+
+// ErrNotCached reports that a requested row is absent from a shred. The
+// engine uses it to fall back to raw-file access when an optimistically
+// chosen partial shred turns out not to subsume a query's rows.
+var ErrNotCached = errors.New("shred: row not cached")
+
+// Key identifies a cached column.
+type Key struct {
+	Table string
+	Col   int
+}
+
+// String returns "table.colN".
+func (k Key) String() string { return fmt.Sprintf("%s.col%d", k.Table, k.Col) }
+
+// Shred is one cached (partial) column.
+type Shred struct {
+	key Key
+	// rowIDs are the sorted row ids present; nil means the full column
+	// (rows 0..vec.Len()-1).
+	rowIDs []int64
+	vec    *vector.Vector
+}
+
+// Key returns the shred's column identity.
+func (s *Shred) Key() Key { return s.key }
+
+// Full reports whether the shred holds the entire column.
+func (s *Shred) Full() bool { return s.rowIDs == nil }
+
+// Len returns the number of cached rows.
+func (s *Shred) Len() int { return s.vec.Len() }
+
+// Vector returns the cached values (aligned with RowIDs; full columns are
+// aligned with 0..Len()-1). Callers must not modify it.
+func (s *Shred) Vector() *vector.Vector { return s.vec }
+
+// RowIDs returns the sorted row ids, or nil for a full column.
+func (s *Shred) RowIDs() []int64 { return s.rowIDs }
+
+// bytes estimates memory footprint for the pool budget.
+func (s *Shred) bytes() int64 {
+	var b int64
+	switch s.vec.Type {
+	case vector.Int64, vector.Float64:
+		b = int64(s.vec.Len()) * 8
+	case vector.Bool:
+		b = int64(s.vec.Len())
+	case vector.Bytes:
+		for _, x := range s.vec.Bytess {
+			b += int64(len(x)) + 24
+		}
+	}
+	return b + int64(len(s.rowIDs))*8
+}
+
+// Subsumes reports whether every id in rids (sorted ascending) is present in
+// the shred.
+func (s *Shred) Subsumes(rids []int64) bool {
+	if s.rowIDs == nil {
+		n := int64(s.vec.Len())
+		return len(rids) == 0 || (rids[0] >= 0 && rids[len(rids)-1] < n)
+	}
+	have := s.rowIDs
+	j := 0
+	for _, r := range rids {
+		for j < len(have) && have[j] < r {
+			j++
+		}
+		if j >= len(have) || have[j] != r {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// Extract appends the values for rids (sorted ascending, all present) to out.
+func (s *Shred) Extract(rids []int64, out *vector.Vector) error {
+	_, err := s.ExtractSeq(rids, out, 0)
+	return err
+}
+
+// ExtractSeq appends the values for rids (sorted ascending) to out, resuming
+// the merge over the shred's row-id list at cursor and returning the new
+// cursor. Streaming consumers (late scans pulling ascending batches) carry
+// the cursor across calls so a whole pass over an n-row shred costs O(n)
+// rather than O(batches*n).
+func (s *Shred) ExtractSeq(rids []int64, out *vector.Vector, cursor int) (int, error) {
+	if s.rowIDs == nil {
+		n := int64(s.vec.Len())
+		for _, r := range rids {
+			if r < 0 || r >= n {
+				return cursor, fmt.Errorf("%w: row id %d outside full column of %d rows", ErrNotCached, r, n)
+			}
+			appendAt(out, s.vec, int(r))
+		}
+		return cursor, nil
+	}
+	j := cursor
+	if j < 0 || j > len(s.rowIDs) {
+		j = 0
+	}
+	for _, r := range rids {
+		// Advance within the sorted id list; rids are ascending so j never
+		// moves backwards across one streaming pass.
+		if j < len(s.rowIDs) && s.rowIDs[j] > r {
+			j = 0 // caller went backwards (fresh pass): restart the merge
+		}
+		for j < len(s.rowIDs) && s.rowIDs[j] < r {
+			j++
+		}
+		if j >= len(s.rowIDs) || s.rowIDs[j] != r {
+			return j, fmt.Errorf("%w: row id %d missing from %s", ErrNotCached, r, s.key)
+		}
+		appendAt(out, s.vec, j)
+		j++
+	}
+	return j, nil
+}
+
+func appendAt(dst, src *vector.Vector, i int) {
+	switch dst.Type {
+	case vector.Int64:
+		dst.Int64s = append(dst.Int64s, src.Int64s[i])
+	case vector.Float64:
+		dst.Float64s = append(dst.Float64s, src.Float64s[i])
+	case vector.Bool:
+		dst.Bools = append(dst.Bools, src.Bools[i])
+	case vector.Bytes:
+		dst.Bytess = append(dst.Bytess, src.Bytess[i])
+	}
+}
+
+// Pool is a concurrency-safe LRU cache of shreds with a byte budget.
+type Pool struct {
+	mu       sync.Mutex
+	capacity int64
+	size     int64
+	lru      *list.List // *Shred, front = most recent
+	els      map[*Shred]*list.Element
+	byKey    map[Key][]*Shred
+
+	hits, misses int64
+}
+
+// NewPool returns a pool with the given capacity in bytes (<=0 selects a
+// 256 MiB default).
+func NewPool(capacityBytes int64) *Pool {
+	if capacityBytes <= 0 {
+		capacityBytes = 256 << 20
+	}
+	return &Pool{
+		capacity: capacityBytes,
+		lru:      list.New(),
+		els:      make(map[*Shred]*list.Element),
+		byKey:    make(map[Key][]*Shred),
+	}
+}
+
+// Put inserts a shred for key. rowIDs must be sorted ascending and aligned
+// with vec (nil for a full column). The pool takes ownership of both slices.
+func (p *Pool) Put(key Key, rowIDs []int64, vec *vector.Vector) *Shred {
+	s := &Shred{key: key, rowIDs: rowIDs, vec: vec}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Drop cached shreds this one makes redundant (it subsumes them), and
+	// refuse the insert if an existing shred already subsumes it.
+	for _, old := range p.byKey[key] {
+		if old.subsumesShred(s) {
+			p.touch(old)
+			return old
+		}
+	}
+	kept := p.byKey[key][:0]
+	for _, old := range p.byKey[key] {
+		if s.subsumesShred(old) {
+			p.remove(old)
+		} else {
+			kept = append(kept, old)
+		}
+	}
+	p.byKey[key] = append(kept, s)
+	p.els[s] = p.lru.PushFront(s)
+	p.size += s.bytes()
+	p.evict()
+	return s
+}
+
+// subsumesShred reports whether s covers every row of o.
+func (s *Shred) subsumesShred(o *Shred) bool {
+	if s.rowIDs == nil {
+		n := int64(s.vec.Len())
+		if o.rowIDs == nil {
+			return o.vec.Len() <= s.vec.Len()
+		}
+		return len(o.rowIDs) == 0 || (o.rowIDs[0] >= 0 && o.rowIDs[len(o.rowIDs)-1] < n)
+	}
+	if o.rowIDs == nil {
+		return false
+	}
+	return s.Subsumes(o.rowIDs)
+}
+
+// Lookup returns a shred for key subsuming rids (sorted ascending), or nil.
+// Passing nil rids requests a full column.
+func (p *Pool) Lookup(key Key, rids []int64) *Shred {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.byKey[key] {
+		if rids == nil {
+			if s.rowIDs != nil {
+				continue
+			}
+			p.touch(s)
+			p.hits++
+			return s
+		}
+		if s.Subsumes(rids) {
+			p.touch(s)
+			p.hits++
+			return s
+		}
+	}
+	p.misses++
+	return nil
+}
+
+// LookupFull returns the full-column shred for key, or nil.
+func (p *Pool) LookupFull(key Key) *Shred { return p.Lookup(key, nil) }
+
+// LookupAny returns the best cached shred for key without knowing the rows a
+// query will need — preferring a full column, falling back to the largest
+// partial shred. The planner uses it to choose access paths before
+// execution; a partial choice is verified at runtime (Extract fails with
+// ErrNotCached if optimism was misplaced).
+func (p *Pool) LookupAny(key Key) *Shred {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var best *Shred
+	for _, s := range p.byKey[key] {
+		if s.rowIDs == nil {
+			p.touch(s)
+			p.hits++
+			return s
+		}
+		if best == nil || s.vec.Len() > best.vec.Len() {
+			best = s
+		}
+	}
+	if best != nil {
+		p.touch(best)
+		p.hits++
+		return best
+	}
+	p.misses++
+	return nil
+}
+
+func (p *Pool) touch(s *Shred) {
+	if el, ok := p.els[s]; ok {
+		p.lru.MoveToFront(el)
+	}
+}
+
+func (p *Pool) remove(s *Shred) {
+	if el, ok := p.els[s]; ok {
+		p.lru.Remove(el)
+		delete(p.els, s)
+		p.size -= s.bytes()
+	}
+	kept := p.byKey[s.key][:0]
+	for _, x := range p.byKey[s.key] {
+		if x != s {
+			kept = append(kept, x)
+		}
+	}
+	if len(kept) == 0 {
+		delete(p.byKey, s.key)
+	} else {
+		p.byKey[s.key] = kept
+	}
+}
+
+func (p *Pool) evict() {
+	for p.size > p.capacity && p.lru.Len() > 0 {
+		back := p.lru.Back()
+		p.remove(back.Value.(*Shred))
+	}
+}
+
+// Stats returns cumulative lookup hits and misses.
+func (p *Pool) Stats() (hits, misses int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses
+}
+
+// Len returns the number of cached shreds.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lru.Len()
+}
+
+// SizeBytes returns the current memory accounted to the pool.
+func (p *Pool) SizeBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.size
+}
+
+// Reset drops all shreds and statistics (cold-start simulation).
+func (p *Pool) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.lru.Init()
+	p.els = make(map[*Shred]*list.Element)
+	p.byKey = make(map[Key][]*Shred)
+	p.size = 0
+	p.hits, p.misses = 0, 0
+}
+
+// Keys returns the distinct cached column identities, sorted for stable
+// output.
+func (p *Pool) Keys() []Key {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	keys := make([]Key, 0, len(p.byKey))
+	for k := range p.byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Table != keys[j].Table {
+			return keys[i].Table < keys[j].Table
+		}
+		return keys[i].Col < keys[j].Col
+	})
+	return keys
+}

@@ -1,0 +1,158 @@
+// Package sql implements the declarative front-end of the engine: a lexer,
+// a recursive-descent parser and the AST for the SQL subset the paper's
+// workloads use — single-table and two-table (join) SELECT queries with
+// aggregates, conjunctive comparison predicates and GROUP BY.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokComma
+	tokDot
+	tokLParen
+	tokRParen
+	tokStar
+	tokOp // < <= > >= = <>
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer produces tokens from a query string. Keywords are returned as
+// tokIdent; the parser matches them case-insensitively.
+type lexer struct {
+	src string
+	pos int
+}
+
+// SyntaxError reports a lexical or grammatical error with its byte position.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sql: syntax error at position %d: %s", e.Pos, e.Msg)
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case c == '.':
+		l.pos++
+		return token{tokDot, ".", start}, nil
+	case c == '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case c == ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case c == '*':
+		l.pos++
+		return token{tokStar, "*", start}, nil
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+			l.pos++
+			return token{tokOp, l.src[start:l.pos], start}, nil
+		}
+		return token{tokOp, "<", start}, nil
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{tokOp, ">=", start}, nil
+		}
+		return token{tokOp, ">", start}, nil
+	case c == '=':
+		l.pos++
+		return token{tokOp, "=", start}, nil
+	case c == '!':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{tokOp, "<>", start}, nil
+		}
+		return token{}, l.errf(start, "unexpected '!'")
+	case c == '\'':
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, l.errf(start, "unterminated string literal")
+		}
+		l.pos++
+		return token{tokString, l.src[start+1 : l.pos-1], start}, nil
+	case isDigit(c) || (c == '-' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		l.pos++
+		seenDot, seenExp := false, false
+		for l.pos < len(l.src) {
+			d := l.src[l.pos]
+			if isDigit(d) {
+				l.pos++
+				continue
+			}
+			if d == '.' && !seenDot && !seenExp {
+				seenDot = true
+				l.pos++
+				continue
+			}
+			if (d == 'e' || d == 'E') && !seenExp {
+				seenExp = true
+				l.pos++
+				if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+					l.pos++
+				}
+				continue
+			}
+			break
+		}
+		return token{tokNumber, l.src[start:l.pos], start}, nil
+	case isIdentStart(c):
+		l.pos++
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{tokIdent, l.src[start:l.pos], start}, nil
+	default:
+		return token{}, l.errf(start, "unexpected character %q", c)
+	}
+}
+
+func isSpace(c byte) bool      { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || c == '#' || isAlpha(c) }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }
+func isAlpha(c byte) bool      { return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+
+// keywordIs reports whether the token is the given keyword (case-insensitive).
+func keywordIs(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

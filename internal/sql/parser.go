@@ -1,0 +1,403 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Ref names a column, optionally qualified by a table name or alias.
+type Ref struct {
+	Table  string // empty when unqualified
+	Column string
+}
+
+// String returns the SQL spelling of the reference.
+func (r Ref) String() string {
+	if r.Table == "" {
+		return r.Column
+	}
+	return r.Table + "." + r.Column
+}
+
+// Item is one SELECT-list entry: a bare column or an aggregate call.
+type Item struct {
+	// Agg is the uppercase aggregate name (MIN/MAX/SUM/COUNT/AVG), empty
+	// for a bare column reference.
+	Agg string
+	// Star marks COUNT(*).
+	Star bool
+	Ref  Ref
+}
+
+// TableRef is one FROM-list entry.
+type TableRef struct {
+	Name  string
+	Alias string // defaults to Name
+}
+
+// Literal is a numeric constant.
+type Literal struct {
+	IsFloat bool
+	Int     int64
+	Float   float64
+}
+
+// AsFloat returns the literal as a float64.
+func (l Literal) AsFloat() float64 {
+	if l.IsFloat {
+		return l.Float
+	}
+	return float64(l.Int)
+}
+
+// Pred is one conjunct of the WHERE clause: either a comparison with a
+// literal, or a column-to-column equality (a join condition).
+type Pred struct {
+	Left Ref
+	Op   string // < <= > >= = <>
+	// Exactly one of Lit/Right is set.
+	Lit   *Literal
+	Right *Ref
+}
+
+// IsJoin reports whether the predicate is a column-to-column equality.
+func (p Pred) IsJoin() bool { return p.Right != nil }
+
+// HavingPred filters aggregate results: an aggregate expression compared to
+// a literal (e.g. HAVING COUNT(*) >= 2).
+type HavingPred struct {
+	Item Item // must be an aggregate
+	Op   string
+	Lit  Literal
+}
+
+// Query is the parsed AST of one SELECT statement.
+type Query struct {
+	Items   []Item
+	Tables  []TableRef
+	Preds   []Pred
+	GroupBy []Ref
+	Having  []HavingPred
+}
+
+var aggNames = map[string]bool{
+	"MIN": true, "MAX": true, "SUM": true, "COUNT": true, "AVG": true,
+}
+
+// Parse parses one SELECT statement.
+func Parse(src string) (*Query, error) {
+	p := &parser{lex: lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("unexpected trailing input %q", p.tok.text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	lex lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Pos: p.tok.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !keywordIs(p.tok, kw) {
+		return p.errf("expected %s, got %q", kw, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	for {
+		item, err := p.parseItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Items = append(q.Items, item)
+		if p.tok.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		q.Tables = append(q.Tables, tr)
+		if p.tok.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if len(q.Tables) > 2 {
+		return nil, p.errf("at most two tables are supported, got %d", len(q.Tables))
+	}
+	if keywordIs(p.tok, "WHERE") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for {
+			pred, err := p.parsePred()
+			if err != nil {
+				return nil, err
+			}
+			q.Preds = append(q.Preds, pred)
+			if !keywordIs(p.tok, "AND") {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if keywordIs(p.tok, "GROUP") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			ref, err := p.parseRef()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, ref)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if keywordIs(p.tok, "HAVING") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for {
+			hp, err := p.parseHaving()
+			if err != nil {
+				return nil, err
+			}
+			q.Having = append(q.Having, hp)
+			if !keywordIs(p.tok, "AND") {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return q, nil
+}
+
+func (p *parser) parseHaving() (HavingPred, error) {
+	item, err := p.parseItem()
+	if err != nil {
+		return HavingPred{}, err
+	}
+	if item.Agg == "" {
+		return HavingPred{}, p.errf("HAVING requires an aggregate expression")
+	}
+	if p.tok.kind != tokOp {
+		return HavingPred{}, p.errf("expected comparison operator in HAVING")
+	}
+	op := p.tok.text
+	if err := p.advance(); err != nil {
+		return HavingPred{}, err
+	}
+	if p.tok.kind != tokNumber {
+		return HavingPred{}, p.errf("expected numeric literal in HAVING")
+	}
+	lit, err := parseLiteral(p.tok.text)
+	if err != nil {
+		return HavingPred{}, p.errf("%v", err)
+	}
+	return HavingPred{Item: item, Op: op, Lit: lit}, p.advance()
+}
+
+func (p *parser) parseItem() (Item, error) {
+	if p.tok.kind != tokIdent {
+		return Item{}, p.errf("expected column or aggregate, got %q", p.tok.text)
+	}
+	name := strings.ToUpper(p.tok.text)
+	if aggNames[name] {
+		// Lookahead for '(' to distinguish a column named like an aggregate.
+		save := *p
+		if err := p.advance(); err != nil {
+			return Item{}, err
+		}
+		if p.tok.kind == tokLParen {
+			if err := p.advance(); err != nil {
+				return Item{}, err
+			}
+			if p.tok.kind == tokStar {
+				if name != "COUNT" {
+					return Item{}, p.errf("%s(*) is not supported", name)
+				}
+				if err := p.advance(); err != nil {
+					return Item{}, err
+				}
+				if p.tok.kind != tokRParen {
+					return Item{}, p.errf("expected ')'")
+				}
+				if err := p.advance(); err != nil {
+					return Item{}, err
+				}
+				return Item{Agg: name, Star: true}, nil
+			}
+			ref, err := p.parseRef()
+			if err != nil {
+				return Item{}, err
+			}
+			if p.tok.kind != tokRParen {
+				return Item{}, p.errf("expected ')' after aggregate argument")
+			}
+			if err := p.advance(); err != nil {
+				return Item{}, err
+			}
+			return Item{Agg: name, Ref: ref}, nil
+		}
+		*p = save // not a call: treat as column reference
+	}
+	ref, err := p.parseRef()
+	if err != nil {
+		return Item{}, err
+	}
+	return Item{Ref: ref}, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	if p.tok.kind != tokIdent {
+		return TableRef{}, p.errf("expected table name, got %q", p.tok.text)
+	}
+	tr := TableRef{Name: p.tok.text, Alias: p.tok.text}
+	if err := p.advance(); err != nil {
+		return TableRef{}, err
+	}
+	if keywordIs(p.tok, "AS") {
+		if err := p.advance(); err != nil {
+			return TableRef{}, err
+		}
+		if p.tok.kind != tokIdent {
+			return TableRef{}, p.errf("expected alias after AS")
+		}
+		tr.Alias = p.tok.text
+		return tr, p.advance()
+	}
+	// Bare alias (not a keyword that continues the query).
+	if p.tok.kind == tokIdent && !isReserved(p.tok.text) {
+		tr.Alias = p.tok.text
+		return tr, p.advance()
+	}
+	return tr, nil
+}
+
+func isReserved(s string) bool {
+	switch strings.ToUpper(s) {
+	case "WHERE", "GROUP", "BY", "AND", "FROM", "SELECT", "AS", "HAVING":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseRef() (Ref, error) {
+	if p.tok.kind != tokIdent {
+		return Ref{}, p.errf("expected identifier, got %q", p.tok.text)
+	}
+	first := p.tok.text
+	if err := p.advance(); err != nil {
+		return Ref{}, err
+	}
+	if p.tok.kind != tokDot {
+		return Ref{Column: first}, nil
+	}
+	if err := p.advance(); err != nil {
+		return Ref{}, err
+	}
+	if p.tok.kind != tokIdent {
+		return Ref{}, p.errf("expected column after '.'")
+	}
+	ref := Ref{Table: first, Column: p.tok.text}
+	return ref, p.advance()
+}
+
+func (p *parser) parsePred() (Pred, error) {
+	left, err := p.parseRef()
+	if err != nil {
+		return Pred{}, err
+	}
+	if p.tok.kind != tokOp {
+		return Pred{}, p.errf("expected comparison operator, got %q", p.tok.text)
+	}
+	op := p.tok.text
+	if err := p.advance(); err != nil {
+		return Pred{}, err
+	}
+	switch p.tok.kind {
+	case tokNumber:
+		lit, err := parseLiteral(p.tok.text)
+		if err != nil {
+			return Pred{}, p.errf("%v", err)
+		}
+		return Pred{Left: left, Op: op, Lit: &lit}, p.advance()
+	case tokIdent:
+		right, err := p.parseRef()
+		if err != nil {
+			return Pred{}, err
+		}
+		if op != "=" {
+			return Pred{}, p.errf("column-to-column predicates support '=' only")
+		}
+		return Pred{Left: left, Op: op, Right: &right}, nil
+	default:
+		return Pred{}, p.errf("expected literal or column, got %q", p.tok.text)
+	}
+}
+
+func parseLiteral(text string) (Literal, error) {
+	if !strings.ContainsAny(text, ".eE") {
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return Literal{}, fmt.Errorf("invalid integer literal %q", text)
+		}
+		return Literal{Int: v}, nil
+	}
+	f, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return Literal{}, fmt.Errorf("invalid numeric literal %q", text)
+	}
+	return Literal{IsFloat: true, Float: f}, nil
+}

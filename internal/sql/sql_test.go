@@ -1,0 +1,153 @@
+package sql
+
+import (
+	"errors"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestParseSimpleAggregate(t *testing.T) {
+	q := mustParse(t, "SELECT MAX(col11) FROM t WHERE col1 < 500000000")
+	if len(q.Items) != 1 || q.Items[0].Agg != "MAX" || q.Items[0].Ref.Column != "col11" {
+		t.Fatalf("items = %+v", q.Items)
+	}
+	if len(q.Tables) != 1 || q.Tables[0].Name != "t" || q.Tables[0].Alias != "t" {
+		t.Fatalf("tables = %+v", q.Tables)
+	}
+	if len(q.Preds) != 1 {
+		t.Fatalf("preds = %+v", q.Preds)
+	}
+	p := q.Preds[0]
+	if p.Left.Column != "col1" || p.Op != "<" || p.Lit == nil || p.Lit.Int != 500000000 || p.IsJoin() {
+		t.Fatalf("pred = %+v", p)
+	}
+}
+
+func TestParseConjunction(t *testing.T) {
+	q := mustParse(t, "select max(col6) from f where col1 < 10 and col5 >= 2.5")
+	if len(q.Preds) != 2 {
+		t.Fatalf("preds = %+v", q.Preds)
+	}
+	if q.Preds[1].Op != ">=" || !q.Preds[1].Lit.IsFloat || q.Preds[1].Lit.Float != 2.5 {
+		t.Fatalf("pred[1] = %+v", q.Preds[1])
+	}
+	if q.Preds[0].Lit.AsFloat() != 10 {
+		t.Fatalf("AsFloat = %v", q.Preds[0].Lit.AsFloat())
+	}
+}
+
+func TestParseJoin(t *testing.T) {
+	q := mustParse(t,
+		"SELECT MAX(f1.col11) FROM file1 f1, file2 AS f2 WHERE f1.col1 = f2.col1 AND f2.col2 < 100")
+	if len(q.Tables) != 2 {
+		t.Fatalf("tables = %+v", q.Tables)
+	}
+	if q.Tables[0].Alias != "f1" || q.Tables[1].Alias != "f2" || q.Tables[1].Name != "file2" {
+		t.Fatalf("tables = %+v", q.Tables)
+	}
+	var join *Pred
+	for i := range q.Preds {
+		if q.Preds[i].IsJoin() {
+			join = &q.Preds[i]
+		}
+	}
+	if join == nil || join.Left.String() != "f1.col1" || join.Right.String() != "f2.col1" {
+		t.Fatalf("join pred = %+v", join)
+	}
+}
+
+func TestParseGroupByAndCountStar(t *testing.T) {
+	q := mustParse(t, "SELECT eventID, COUNT(*), AVG(pt) FROM muons GROUP BY eventID")
+	if len(q.Items) != 3 {
+		t.Fatalf("items = %+v", q.Items)
+	}
+	if q.Items[0].Agg != "" || q.Items[0].Ref.Column != "eventID" {
+		t.Fatalf("item0 = %+v", q.Items[0])
+	}
+	if !q.Items[1].Star || q.Items[1].Agg != "COUNT" {
+		t.Fatalf("item1 = %+v", q.Items[1])
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0].Column != "eventID" {
+		t.Fatalf("groupBy = %+v", q.GroupBy)
+	}
+}
+
+func TestParseOperatorsAndNegatives(t *testing.T) {
+	q := mustParse(t, "SELECT MIN(a) FROM t WHERE a <> -5 AND b != 3 AND c <= -1.5")
+	if q.Preds[0].Op != "<>" || q.Preds[0].Lit.Int != -5 {
+		t.Fatalf("pred0 = %+v", q.Preds[0])
+	}
+	if q.Preds[1].Op != "<>" {
+		t.Fatalf("!= should normalise to <>, got %q", q.Preds[1].Op)
+	}
+	if q.Preds[2].Lit.Float != -1.5 {
+		t.Fatalf("pred2 = %+v", q.Preds[2])
+	}
+}
+
+func TestParseColumnNamedLikeAggregate(t *testing.T) {
+	// "count" used as a plain column, not a call.
+	q := mustParse(t, "SELECT count FROM t")
+	if q.Items[0].Agg != "" || q.Items[0].Ref.Column != "count" {
+		t.Fatalf("items = %+v", q.Items)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a",                        // missing FROM
+		"SELECT a FROM",                   // missing table
+		"SELECT a FROM t WHERE",           // missing predicate
+		"SELECT a FROM t WHERE a <",       // missing literal
+		"SELECT a FROM t WHERE a ! b",     // bad operator
+		"SELECT a FROM t WHERE a < 'x'",   // string literal in comparison
+		"SELECT MAX(*) FROM t",            // only COUNT(*) allowed
+		"SELECT a FROM t1, t2, t3",        // too many tables
+		"SELECT a FROM t trailing junk ;", // trailing garbage
+		"SELECT a FROM t WHERE a > b",     // non-equality column-column
+		"SELECT a. FROM t",                // dangling dot
+		"SELECT COUNT(a FROM t",           // missing ')'
+		"SELECT a FROM t GROUP BY",        // missing group column
+		"SELECT a FROM t WHERE a = 99999999999999999999", // overflow
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestSyntaxErrorType(t *testing.T) {
+	_, err := Parse("SELECT $ FROM t")
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v is not *SyntaxError", err)
+	}
+	if se.Pos != 7 {
+		t.Fatalf("error position = %d", se.Pos)
+	}
+}
+
+func TestRefString(t *testing.T) {
+	if (Ref{Column: "c"}).String() != "c" || (Ref{Table: "t", Column: "c"}).String() != "t.c" {
+		t.Fatal("Ref.String wrong")
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	q := mustParse(t, "sElEcT mAx(a) FrOm t wHeRe a < 1 GrOuP bY a")
+	if q.Items[0].Agg != "MAX" || len(q.GroupBy) != 1 {
+		t.Fatalf("q = %+v", q)
+	}
+}

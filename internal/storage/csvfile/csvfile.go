@@ -1,0 +1,171 @@
+// Package csvfile implements the textual raw-file substrate: low-level
+// tokenizer primitives over a memory-resident CSV file and a writer used by
+// the dataset generators.
+//
+// CSV is the paper's representative "extreme" text format: the byte location
+// of column N varies per row and cannot be determined in advance, so scans
+// must tokenize byte-by-byte unless a positional map provides a shortcut.
+// The tokenizer here is deliberately low level — free functions over a byte
+// slice — so that both the general-purpose in-situ scan (which composes them
+// in an interpreted per-column loop) and the JIT access paths (which chain
+// them into unrolled, query-specific step sequences) share one lexing core.
+package csvfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"rawdb/internal/bytesconv"
+	"rawdb/internal/vector"
+)
+
+// Delim is the field delimiter. The paper's datasets are comma-separated.
+const Delim = ','
+
+// FieldBounds returns the [start, end) byte bounds of the field beginning at
+// pos and the position of the first byte of the following field (past the
+// delimiter or newline). It never reads past len(data).
+func FieldBounds(data []byte, pos int) (start, end, next int) {
+	start = pos
+	i := pos
+	for i < len(data) {
+		c := data[i]
+		if c == Delim {
+			return start, i, i + 1
+		}
+		if c == '\n' {
+			return start, i, i + 1
+		}
+		i++
+	}
+	return start, i, i
+}
+
+// SkipField advances past one field and its trailing delimiter or newline.
+func SkipField(data []byte, pos int) int {
+	for pos < len(data) {
+		c := data[pos]
+		pos++
+		if c == Delim || c == '\n' {
+			return pos
+		}
+	}
+	return pos
+}
+
+// SkipFields advances past n fields.
+func SkipFields(data []byte, pos, n int) int {
+	for k := 0; k < n; k++ {
+		pos = SkipField(data, pos)
+	}
+	return pos
+}
+
+// SkipRow advances past the remainder of the current row, returning the
+// position of the first byte of the next row.
+func SkipRow(data []byte, pos int) int {
+	for pos < len(data) {
+		if data[pos] == '\n' {
+			return pos + 1
+		}
+		pos++
+	}
+	return pos
+}
+
+// CountRows counts newline-terminated rows. A non-empty trailing fragment
+// without a final newline counts as one row.
+func CountRows(data []byte) int64 {
+	var n int64
+	last := byte('\n')
+	for _, c := range data {
+		if c == '\n' {
+			n++
+		}
+		last = c
+	}
+	if last != '\n' && len(data) > 0 {
+		n++
+	}
+	return n
+}
+
+// Load reads an entire raw file into memory. It is the stand-in for the
+// paper's memory-mapped file access: all downstream code addresses the file
+// as one byte slice.
+func Load(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("csvfile: load %s: %w", path, err)
+	}
+	return data, nil
+}
+
+// A Writer emits CSV rows. It exists for the dataset generators and tests;
+// query execution never writes CSV.
+type Writer struct {
+	bw    *bufio.Writer
+	types []vector.Type
+	buf   []byte
+	rows  int64
+}
+
+// NewWriter returns a Writer producing rows whose fields have the given
+// types.
+func NewWriter(w io.Writer, types []vector.Type) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16), types: append([]vector.Type(nil), types...)}
+}
+
+// WriteRow writes one row. vals must have one entry per column; int64 values
+// feed Int64 columns, float64 values feed Float64 columns.
+func (w *Writer) WriteRow(ints []int64, floats []float64) error {
+	w.buf = w.buf[:0]
+	ii, fi := 0, 0
+	for c, t := range w.types {
+		if c > 0 {
+			w.buf = append(w.buf, Delim)
+		}
+		switch t {
+		case vector.Int64:
+			w.buf = bytesconv.AppendInt64(w.buf, ints[ii])
+			ii++
+		case vector.Float64:
+			w.buf = appendFloat(w.buf, floats[fi])
+			fi++
+		default:
+			return fmt.Errorf("csvfile: unsupported column type %s", t)
+		}
+	}
+	w.buf = append(w.buf, '\n')
+	w.rows++
+	_, err := w.bw.Write(w.buf)
+	return err
+}
+
+// Rows returns the number of rows written so far.
+func (w *Writer) Rows() int64 { return w.rows }
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// appendFloat formats f with six fractional digits, the generator encoding
+// ParseFloat64 is tested against.
+func appendFloat(dst []byte, f float64) []byte {
+	if f < 0 {
+		dst = append(dst, '-')
+		f = -f
+	}
+	ip := int64(f)
+	dst = bytesconv.AppendInt64(dst, ip)
+	dst = append(dst, '.')
+	frac := int64((f - float64(ip)) * 1e6)
+	// Zero-pad to six digits.
+	div := int64(100000)
+	for div > 0 {
+		dst = append(dst, byte('0'+(frac/div)%10))
+		div /= 10
+	}
+	return dst
+}

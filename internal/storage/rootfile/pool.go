@@ -1,0 +1,99 @@
+package rootfile
+
+import "container/list"
+
+// A DecodedBasket is one basket's values decoded into a typed slice.
+type DecodedBasket struct {
+	Int64s   []int64
+	Float64s []float64
+}
+
+// BufferPool is an LRU cache of decoded baskets. It models ROOT's in-memory
+// buffer pool of commonly-accessed objects: the hand-written analysis and the
+// engine's scans both read through it, so the second (warm) run of a query
+// skips decompression and decoding for hot baskets.
+type BufferPool struct {
+	capacity int
+	lru      *list.List // of *poolEntry, front = most recent
+	index    map[poolKey]*list.Element
+
+	hits   int64
+	misses int64
+}
+
+type poolKey struct {
+	branch *Branch
+	basket int
+}
+
+type poolEntry struct {
+	key poolKey
+	db  *DecodedBasket
+}
+
+// NewBufferPool returns a pool holding at most capacity decoded baskets.
+func NewBufferPool(capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		capacity: capacity,
+		lru:      list.New(),
+		index:    make(map[poolKey]*list.Element),
+	}
+}
+
+// Get returns the decoded basket for (branch, basket) or nil on a miss.
+func (p *BufferPool) Get(b *Branch, basket int) *DecodedBasket {
+	if el, ok := p.index[poolKey{b, basket}]; ok {
+		p.hits++
+		p.lru.MoveToFront(el)
+		return el.Value.(*poolEntry).db
+	}
+	p.misses++
+	return nil
+}
+
+// Put inserts a decoded basket, evicting the least recently used entry if the
+// pool is full.
+func (p *BufferPool) Put(b *Branch, basket int, db *DecodedBasket) {
+	key := poolKey{b, basket}
+	if el, ok := p.index[key]; ok {
+		p.lru.MoveToFront(el)
+		el.Value.(*poolEntry).db = db
+		return
+	}
+	el := p.lru.PushFront(&poolEntry{key: key, db: db})
+	p.index[key] = el
+	for p.lru.Len() > p.capacity {
+		back := p.lru.Back()
+		p.lru.Remove(back)
+		delete(p.index, back.Value.(*poolEntry).key)
+	}
+}
+
+// Len returns the number of cached baskets.
+func (p *BufferPool) Len() int { return p.lru.Len() }
+
+// Stats returns cumulative hit/miss counts.
+func (p *BufferPool) Stats() (hits, misses int64) { return p.hits, p.misses }
+
+// Reset empties the pool and clears statistics (cold-start simulation).
+func (p *BufferPool) Reset() {
+	p.lru.Init()
+	p.index = make(map[poolKey]*list.Element)
+	p.hits, p.misses = 0, 0
+}
+
+// SetCapacity resizes the pool, evicting as needed.
+func (p *BufferPool) SetCapacity(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	p.capacity = capacity
+	for p.lru.Len() > p.capacity {
+		back := p.lru.Back()
+		p.lru.Remove(back)
+		delete(p.index, back.Value.(*poolEntry).key)
+	}
+}

@@ -1,0 +1,307 @@
+package rootfile
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rawdb/internal/vector"
+)
+
+func buildFile(t *testing.T, opts Options, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, opts)
+	tw := w.Tree("events")
+	id := tw.Branch("eventID", vector.Int64)
+	eta := tw.Branch("eta", vector.Float64)
+	for i := 0; i < n; i++ {
+		id.AppendInt64(int64(i))
+		eta.AppendFloat64(float64(i) * 0.5)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		data := buildFile(t, Options{BasketEntries: 16, Compress: compress}, 100)
+		f, err := Parse(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := f.Tree("events")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.NEntries() != 100 {
+			t.Fatalf("NEntries = %d", tr.NEntries())
+		}
+		id, err := tr.Branch("eventID")
+		if err != nil {
+			t.Fatal(err)
+		}
+		eta, err := tr.Branch("eta")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < 100; i++ {
+			v, err := id.Int64At(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != i {
+				t.Fatalf("compress=%v id[%d] = %d", compress, i, v)
+			}
+			fv, err := eta.Float64At(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fv != float64(i)*0.5 {
+				t.Fatalf("compress=%v eta[%d] = %v", compress, i, fv)
+			}
+		}
+	}
+}
+
+func TestRandomAccessAcrossBaskets(t *testing.T) {
+	data := buildFile(t, Options{BasketEntries: 7}, 50) // uneven basket boundary
+	f, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := f.Tree("events")
+	id, _ := tr.Branch("eventID")
+	rng := rand.New(rand.NewSource(3))
+	for k := 0; k < 500; k++ {
+		i := rng.Int63n(50)
+		v, err := id.Int64At(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != i {
+			t.Fatalf("id[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestVectorReads(t *testing.T) {
+	data := buildFile(t, Options{BasketEntries: 8}, 60)
+	f, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := f.Tree("events")
+	id, _ := tr.Branch("eventID")
+	eta, _ := tr.Branch("eta")
+
+	got, err := id.ReadInt64s(nil, 5, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 30 {
+		t.Fatalf("read %d values", len(got))
+	}
+	for i, v := range got {
+		if v != int64(5+i) {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+	fg, err := eta.ReadFloat64s(nil, 58, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fg) != 2 || fg[1] != 59*0.5 {
+		t.Fatalf("float read = %v", fg)
+	}
+}
+
+func TestReadPropertyMatchesPointwise(t *testing.T) {
+	data := buildFile(t, Options{BasketEntries: 5}, 37)
+	f, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := f.Tree("events")
+	id, _ := tr.Branch("eventID")
+	prop := func(a, b uint8) bool {
+		start := int64(a) % 37
+		n := int64(b) % (37 - start)
+		vec, err := id.ReadInt64s(nil, start, n)
+		if err != nil || int64(len(vec)) != n {
+			return false
+		}
+		for i, v := range vec {
+			pv, err := id.Int64At(start + int64(i))
+			if err != nil || pv != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBufferPoolBehaviour(t *testing.T) {
+	data := buildFile(t, Options{BasketEntries: 10, Compress: true}, 100)
+	f, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := f.Tree("events")
+	id, _ := tr.Branch("eventID")
+
+	// Cold scan: every basket is a miss.
+	for i := int64(0); i < 100; i++ {
+		if _, err := id.Int64At(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := f.Pool().Stats()
+	if misses != 10 {
+		t.Fatalf("cold misses = %d, want 10", misses)
+	}
+	if hits != 90 {
+		t.Fatalf("cold hits = %d, want 90", hits)
+	}
+
+	// Warm scan: all hits.
+	f.Pool().Reset()
+	for i := int64(0); i < 100; i++ {
+		_, _ = id.Int64At(i)
+	}
+	h0, _ := f.Pool().Stats()
+	for i := int64(0); i < 100; i++ {
+		_, _ = id.Int64At(i)
+	}
+	h1, m1 := f.Pool().Stats()
+	if h1-h0 != 100 {
+		t.Fatalf("warm hits = %d, want 100", h1-h0)
+	}
+	if m1 != 10 {
+		t.Fatalf("warm misses = %d, want 10", m1)
+	}
+}
+
+func TestBufferPoolEviction(t *testing.T) {
+	p := NewBufferPool(2)
+	b := &Branch{}
+	p.Put(b, 0, &DecodedBasket{})
+	p.Put(b, 1, &DecodedBasket{})
+	p.Put(b, 2, &DecodedBasket{}) // evicts basket 0
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if p.Get(b, 0) != nil {
+		t.Fatal("basket 0 should have been evicted")
+	}
+	if p.Get(b, 2) == nil || p.Get(b, 1) == nil {
+		t.Fatal("baskets 1 and 2 should be cached")
+	}
+	p.SetCapacity(1)
+	if p.Len() != 1 {
+		t.Fatalf("Len after shrink = %d", p.Len())
+	}
+}
+
+func TestMultipleTrees(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Options{BasketEntries: 4})
+	t1 := w.Tree("events")
+	t1.Branch("id", vector.Int64).AppendInt64(1)
+	t2 := w.Tree("muons")
+	mb := t2.Branch("pt", vector.Float64)
+	mb.AppendFloat64(10)
+	mb.AppendFloat64(20)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Trees(); len(got) != 2 || got[0] != "events" || got[1] != "muons" {
+		t.Fatalf("Trees = %v", got)
+	}
+	mt, err := f.Tree("muons")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.NEntries() != 2 {
+		t.Fatalf("muons entries = %d", mt.NEntries())
+	}
+	if _, err := f.Tree("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing tree err = %v", err)
+	}
+	if _, err := mt.Branch("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing branch err = %v", err)
+	}
+	if br := mt.Branches(); len(br) != 1 || br[0] != "pt" {
+		t.Fatalf("Branches = %v", br)
+	}
+}
+
+func TestWriterValidatesBranchLengths(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Options{})
+	tw := w.Tree("t")
+	tw.Branch("a", vector.Int64).AppendInt64(1)
+	b := tw.Branch("b", vector.Int64)
+	b.AppendInt64(1)
+	b.AppendInt64(2)
+	if err := w.Close(); err == nil {
+		t.Fatal("expected ragged-branch error")
+	}
+}
+
+func TestWriterRejectsEmptyTree(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Options{})
+	w.Tree("empty")
+	if err := w.Close(); err == nil {
+		t.Fatal("expected error for tree with no branches")
+	}
+}
+
+func TestCorruptFiles(t *testing.T) {
+	good := buildFile(t, Options{BasketEntries: 8}, 20)
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("XXXXXXXX"), good[8:]...),
+		"truncated": good[:len(good)-6],
+	}
+	for name, data := range cases {
+		if _, err := Parse(data); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, err := Open("/nonexistent/file.root"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDropCaches(t *testing.T) {
+	data := buildFile(t, Options{BasketEntries: 8}, 20)
+	f, _ := Parse(data)
+	tr, _ := f.Tree("events")
+	id, _ := tr.Branch("eventID")
+	_, _ = id.Int64At(0)
+	if f.Pool().Len() == 0 {
+		t.Fatal("pool should be warm")
+	}
+	f.DropCaches()
+	if f.Pool().Len() != 0 {
+		t.Fatal("pool should be empty after DropCaches")
+	}
+}

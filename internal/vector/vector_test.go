@@ -1,0 +1,188 @@
+package vector
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeString(t *testing.T) {
+	for typ, want := range map[Type]string{
+		Int64: "BIGINT", Float64: "DOUBLE", Bool: "BOOLEAN", Bytes: "VARCHAR",
+	} {
+		if got := typ.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", uint8(typ), got, want)
+		}
+	}
+}
+
+func TestTypeWidth(t *testing.T) {
+	if Int64.Width() != 8 || Float64.Width() != 8 || Bool.Width() != 1 || Bytes.Width() != 0 {
+		t.Errorf("unexpected widths: %d %d %d %d",
+			Int64.Width(), Float64.Width(), Bool.Width(), Bytes.Width())
+	}
+}
+
+func TestVectorAppendLenReset(t *testing.T) {
+	v := New(Int64, 4)
+	if v.Len() != 0 {
+		t.Fatalf("new vector Len = %d", v.Len())
+	}
+	for i := int64(0); i < 10; i++ {
+		v.AppendInt64(i)
+	}
+	if v.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", v.Len())
+	}
+	v.Reset()
+	if v.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", v.Len())
+	}
+}
+
+func TestVectorValueAllTypes(t *testing.T) {
+	vi := New(Int64, 1)
+	vi.AppendInt64(7)
+	vf := New(Float64, 1)
+	vf.AppendFloat64(2.5)
+	vb := New(Bool, 1)
+	vb.AppendBool(true)
+	vs := New(Bytes, 1)
+	vs.AppendBytes([]byte("x"))
+	if vi.Value(0) != int64(7) || vf.Value(0) != 2.5 || vb.Value(0) != true || vs.Value(0) != "x" {
+		t.Errorf("Value mismatch: %v %v %v %v", vi.Value(0), vf.Value(0), vb.Value(0), vs.Value(0))
+	}
+}
+
+func TestAppendValueTypeChecks(t *testing.T) {
+	v := New(Int64, 1)
+	if err := v.AppendValue(int64(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.AppendValue("nope"); err == nil {
+		t.Fatal("expected type error appending string to Int64 vector")
+	}
+	vs := New(Bytes, 1)
+	if err := vs.AppendValue("ok"); err != nil {
+		t.Fatal(err)
+	}
+	if err := vs.AppendValue([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := vs.AppendValue(1.0); err == nil {
+		t.Fatal("expected type error appending float to Bytes vector")
+	}
+}
+
+func TestGather(t *testing.T) {
+	src := New(Int64, 8)
+	for i := int64(0); i < 8; i++ {
+		src.AppendInt64(i * 10)
+	}
+	dst := New(Int64, 4)
+	dst.Gather(src, []int32{1, 3, 5})
+	want := []int64{10, 30, 50}
+	if len(dst.Int64s) != len(want) {
+		t.Fatalf("gathered %d values, want %d", len(dst.Int64s), len(want))
+	}
+	for i, w := range want {
+		if dst.Int64s[i] != w {
+			t.Errorf("dst[%d] = %d, want %d", i, dst.Int64s[i], w)
+		}
+	}
+}
+
+func TestGatherPropertyMatchesLoop(t *testing.T) {
+	f := func(vals []int64, raw []uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		src := New(Int64, len(vals))
+		src.Int64s = append(src.Int64s, vals...)
+		idx := make([]int32, 0, len(raw))
+		for _, r := range raw {
+			idx = append(idx, int32(int(r)%len(vals)))
+		}
+		dst := New(Int64, len(idx))
+		dst.Gather(src, idx)
+		if dst.Len() != len(idx) {
+			return false
+		}
+		for i, ix := range idx {
+			if dst.Int64s[i] != vals[ix] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBatchGatherAndLen(t *testing.T) {
+	types := []Type{Int64, Float64}
+	src := NewBatch(types, 4)
+	for i := 0; i < 4; i++ {
+		src.Cols[0].AppendInt64(int64(i))
+		src.Cols[1].AppendFloat64(float64(i) / 2)
+	}
+	if src.Len() != 4 {
+		t.Fatalf("src.Len = %d", src.Len())
+	}
+	dst := NewBatch(types, 2)
+	dst.Gather(src, []int32{0, 3})
+	if dst.Len() != 2 {
+		t.Fatalf("dst.Len = %d", dst.Len())
+	}
+	if dst.Cols[0].Int64s[1] != 3 || dst.Cols[1].Float64s[1] != 1.5 {
+		t.Errorf("gather values wrong: %v %v", dst.Cols[0].Int64s, dst.Cols[1].Float64s)
+	}
+	dst.Reset()
+	if dst.Len() != 0 {
+		t.Fatalf("dst.Len after reset = %d", dst.Len())
+	}
+}
+
+func TestBatchNoColumns(t *testing.T) {
+	b := &Batch{}
+	if b.Len() != 0 {
+		t.Fatalf("empty batch Len = %d", b.Len())
+	}
+}
+
+func TestSliceAliases(t *testing.T) {
+	v := New(Float64, 4)
+	for i := 0; i < 4; i++ {
+		v.AppendFloat64(float64(i))
+	}
+	s := v.Slice(1, 3)
+	if s.Len() != 2 || s.Float64s[0] != 1 || s.Float64s[1] != 2 {
+		t.Fatalf("slice = %v", s.Float64s)
+	}
+	s.Float64s[0] = 99
+	if v.Float64s[1] != 99 {
+		t.Fatal("Slice must alias the parent storage")
+	}
+}
+
+func TestAppendVector(t *testing.T) {
+	a := New(Bytes, 2)
+	a.AppendBytes([]byte("a"))
+	b := New(Bytes, 2)
+	b.AppendBytes([]byte("b"))
+	a.AppendVector(b)
+	if a.Len() != 2 || string(a.Bytess[1]) != "b" {
+		t.Fatalf("AppendVector result: %q", a.Bytess)
+	}
+}
+
+func TestSchema(t *testing.T) {
+	s := Schema{{Name: "a", Type: Int64}, {Name: "b", Type: Float64}}
+	if s.IndexOf("b") != 1 || s.IndexOf("z") != -1 {
+		t.Errorf("IndexOf wrong: %d %d", s.IndexOf("b"), s.IndexOf("z"))
+	}
+	ts := s.Types()
+	if len(ts) != 2 || ts[0] != Int64 || ts[1] != Float64 {
+		t.Errorf("Types wrong: %v", ts)
+	}
+}

@@ -1,0 +1,212 @@
+// Package workload generates the synthetic datasets of the paper's
+// evaluation and maps experiment parameters (selectivity) onto query
+// constants.
+//
+// Two table shapes are used throughout Sections 4 and 5:
+//
+//   - the "narrow" table: 30 integer columns, values uniform in [0, 1e9)
+//     (the paper's 100M-row / 28 GB CSV and 12 GB binary files);
+//   - the "wide" table: 120 columns alternating integer and floating point
+//     (the paper's 30M-row / 45 GB CSV and 14 GB binary files), where the
+//     aggregated column is a float to expose conversion costs.
+//
+// Join experiments use a second copy of the narrow table with shuffled rows.
+// Row counts are parameters here; the harness defaults to laptop scale.
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"rawdb/internal/catalog"
+	"rawdb/internal/storage/binfile"
+	"rawdb/internal/storage/csvfile"
+	"rawdb/internal/vector"
+)
+
+// ValueRange is the exclusive upper bound of generated integer values; the
+// paper draws values "distributed randomly between 0 and 10^9".
+const ValueRange = int64(1_000_000_000)
+
+// NarrowCols is the column count of the narrow table.
+const NarrowCols = 30
+
+// WideCols is the column count of the wide table.
+const WideCols = 120
+
+// Dataset is one generated table in both raw representations.
+type Dataset struct {
+	Schema []catalog.Column
+	CSV    []byte
+	Bin    []byte
+	Rows   int
+}
+
+// ColumnName returns the 1-based column name used across the experiments
+// ("col1" ... "colN"), matching the paper's numbering.
+func ColumnName(i int) string { return fmt.Sprintf("col%d", i+1) }
+
+// Table builds a catalog entry for the dataset's CSV representation under
+// the given name (format can be overridden by the caller).
+func (d *Dataset) Table(name string, format catalog.Format) *catalog.Table {
+	return &catalog.Table{Name: name, Format: format, Schema: d.Schema}
+}
+
+// Narrow generates the 30-integer-column table with the given row count.
+func Narrow(rows int, seed int64) (*Dataset, error) {
+	types := make([]vector.Type, NarrowCols)
+	schema := make([]catalog.Column, NarrowCols)
+	for c := 0; c < NarrowCols; c++ {
+		types[c] = vector.Int64
+		schema[c] = catalog.Column{Name: ColumnName(c), Type: vector.Int64}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var cbuf, bbuf bytes.Buffer
+	cw := csvfile.NewWriter(&cbuf, types)
+	bw, err := binfile.NewWriter(&bbuf, types, int64(rows))
+	if err != nil {
+		return nil, err
+	}
+	row := make([]int64, NarrowCols)
+	for r := 0; r < rows; r++ {
+		for c := range row {
+			row[c] = rng.Int63n(ValueRange)
+		}
+		if err := cw.WriteRow(row, nil); err != nil {
+			return nil, err
+		}
+		if err := bw.WriteRow(row, nil); err != nil {
+			return nil, err
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		return nil, err
+	}
+	if err := bw.Close(); err != nil {
+		return nil, err
+	}
+	return &Dataset{Schema: schema, CSV: cbuf.Bytes(), Bin: bbuf.Bytes(), Rows: rows}, nil
+}
+
+// Wide generates the 120-column mixed int/float table. Odd columns (col2,
+// col4, ...) are floats; col1 (the filter column) is an integer, as in the
+// paper.
+func Wide(rows int, seed int64) (*Dataset, error) {
+	types := make([]vector.Type, WideCols)
+	schema := make([]catalog.Column, WideCols)
+	for c := 0; c < WideCols; c++ {
+		t := vector.Int64
+		if c%2 == 1 {
+			t = vector.Float64
+		}
+		types[c] = t
+		schema[c] = catalog.Column{Name: ColumnName(c), Type: t}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var cbuf, bbuf bytes.Buffer
+	cw := csvfile.NewWriter(&cbuf, types)
+	bw, err := binfile.NewWriter(&bbuf, types, int64(rows))
+	if err != nil {
+		return nil, err
+	}
+	ints := make([]int64, WideCols/2)
+	floats := make([]float64, WideCols/2)
+	for r := 0; r < rows; r++ {
+		for i := range ints {
+			ints[i] = rng.Int63n(ValueRange)
+			floats[i] = rng.Float64() * float64(ValueRange)
+		}
+		if err := cw.WriteRow(ints, floats); err != nil {
+			return nil, err
+		}
+		if err := bw.WriteRow(ints, floats); err != nil {
+			return nil, err
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		return nil, err
+	}
+	if err := bw.Close(); err != nil {
+		return nil, err
+	}
+	return &Dataset{Schema: schema, CSV: cbuf.Bytes(), Bin: bbuf.Bytes(), Rows: rows}, nil
+}
+
+// NarrowShuffledPair generates two narrow datasets holding the same rows,
+// the second in shuffled order, for the join experiments (file2 of Figures
+// 11 and 12). To keep join fan-out at one match per probe row, col1 of both
+// files is a permutation of 0..rows-1 scaled into the value range.
+func NarrowShuffledPair(rows int, seed int64) (file1, file2 *Dataset, err error) {
+	rng := rand.New(rand.NewSource(seed))
+	types := make([]vector.Type, NarrowCols)
+	schema := make([]catalog.Column, NarrowCols)
+	for c := 0; c < NarrowCols; c++ {
+		types[c] = vector.Int64
+		schema[c] = catalog.Column{Name: ColumnName(c), Type: vector.Int64}
+	}
+	// Materialise rows once.
+	all := make([][]int64, rows)
+	keys := rng.Perm(rows)
+	scale := ValueRange / int64(rows)
+	if scale == 0 {
+		scale = 1
+	}
+	for r := 0; r < rows; r++ {
+		row := make([]int64, NarrowCols)
+		row[0] = int64(keys[r]) * scale // unique join key, uniform-ish spread
+		for c := 1; c < NarrowCols; c++ {
+			row[c] = rng.Int63n(ValueRange)
+		}
+		all[r] = row
+	}
+	write := func(rows [][]int64) (*Dataset, error) {
+		var cbuf, bbuf bytes.Buffer
+		cw := csvfile.NewWriter(&cbuf, types)
+		bw, err := binfile.NewWriter(&bbuf, types, int64(len(rows)))
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rows {
+			if err := cw.WriteRow(row, nil); err != nil {
+				return nil, err
+			}
+			if err := bw.WriteRow(row, nil); err != nil {
+				return nil, err
+			}
+		}
+		if err := cw.Flush(); err != nil {
+			return nil, err
+		}
+		if err := bw.Close(); err != nil {
+			return nil, err
+		}
+		return &Dataset{Schema: schema, CSV: cbuf.Bytes(), Bin: bbuf.Bytes(), Rows: len(rows)}, nil
+	}
+	file1, err = write(all)
+	if err != nil {
+		return nil, nil, err
+	}
+	shuffled := append([][]int64(nil), all...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	file2, err = write(shuffled)
+	if err != nil {
+		return nil, nil, err
+	}
+	return file1, file2, nil
+}
+
+// Threshold maps a selectivity in [0, 1] onto the query constant X for
+// predicates of the form "col < X" over uniform values in [0, ValueRange).
+func Threshold(selectivity float64) int64 {
+	if selectivity < 0 {
+		selectivity = 0
+	}
+	if selectivity > 1 {
+		selectivity = 1
+	}
+	return int64(selectivity * float64(ValueRange))
+}
+
+// Selectivities is the sweep grid of the paper's figures (0%..100%).
+var Selectivities = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"testing"
+
+	"rawdb/internal/bytesconv"
+	"rawdb/internal/catalog"
+	"rawdb/internal/storage/binfile"
+	"rawdb/internal/storage/csvfile"
+	"rawdb/internal/vector"
+)
+
+// TestNarrowCSVBinConsistent verifies both representations of the narrow
+// dataset hold identical values, row by row.
+func TestNarrowCSVBinConsistent(t *testing.T) {
+	ds, err := Narrow(200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Schema) != NarrowCols || ds.Rows != 200 {
+		t.Fatalf("shape: %d cols, %d rows", len(ds.Schema), ds.Rows)
+	}
+	r, err := binfile.NewReader(ds.Bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NRows() != 200 {
+		t.Fatalf("bin rows = %d", r.NRows())
+	}
+	pos := 0
+	for row := int64(0); row < 200; row++ {
+		for c := 0; c < NarrowCols; c++ {
+			s, e, next := csvfile.FieldBounds(ds.CSV, pos)
+			v, err := bytesconv.ParseInt64(ds.CSV[s:e])
+			if err != nil {
+				t.Fatalf("row %d col %d: %v", row, c, err)
+			}
+			if bv := r.Int64At(row, c); bv != v {
+				t.Fatalf("row %d col %d: csv %d, bin %d", row, c, v, bv)
+			}
+			if v < 0 || v >= ValueRange {
+				t.Fatalf("value %d outside [0, %d)", v, ValueRange)
+			}
+			pos = next
+		}
+	}
+}
+
+func TestWideShape(t *testing.T) {
+	ds, err := Wide(50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Schema) != WideCols {
+		t.Fatalf("cols = %d", len(ds.Schema))
+	}
+	for c, col := range ds.Schema {
+		wantType := vector.Int64
+		if c%2 == 1 {
+			wantType = vector.Float64
+		}
+		if col.Type != wantType {
+			t.Fatalf("col %d type = %s", c, col.Type)
+		}
+	}
+	if ds.Schema[0].Name != "col1" || ds.Schema[119].Name != "col120" {
+		t.Fatalf("names: %s ... %s", ds.Schema[0].Name, ds.Schema[119].Name)
+	}
+}
+
+func TestNarrowShuffledPair(t *testing.T) {
+	f1, f2, err := NarrowShuffledPair(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := binfile.NewReader(f1.Bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := binfile.NewReader(f2.Bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// col1 keys must be unique and form the same set in both files.
+	set1 := map[int64]bool{}
+	set2 := map[int64]bool{}
+	for i := int64(0); i < 100; i++ {
+		k1 := r1.Int64At(i, 0)
+		if set1[k1] {
+			t.Fatalf("duplicate key %d in file1", k1)
+		}
+		set1[k1] = true
+		set2[r2.Int64At(i, 0)] = true
+	}
+	if len(set1) != len(set2) {
+		t.Fatalf("key sets differ in size")
+	}
+	for k := range set1 {
+		if !set2[k] {
+			t.Fatalf("key %d missing from file2", k)
+		}
+	}
+	// file2 must actually be shuffled.
+	same := true
+	for i := int64(0); i < 100; i++ {
+		if r1.Int64At(i, 0) != r2.Int64At(i, 0) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("file2 is not shuffled")
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	if Threshold(0) != 0 || Threshold(1) != ValueRange || Threshold(0.5) != ValueRange/2 {
+		t.Fatalf("thresholds: %d %d %d", Threshold(0), Threshold(1), Threshold(0.5))
+	}
+	if Threshold(-1) != 0 || Threshold(2) != ValueRange {
+		t.Fatal("threshold clamping wrong")
+	}
+}
+
+func TestDatasetTable(t *testing.T) {
+	ds, err := Narrow(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := ds.Table("x", catalog.Binary)
+	if tab.Name != "x" || tab.Format != catalog.Binary || len(tab.Schema) != NarrowCols {
+		t.Fatalf("table = %+v", tab)
+	}
+}

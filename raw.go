@@ -1,0 +1,218 @@
+// Package raw is a query engine that adapts itself to raw data files instead
+// of loading them — a from-scratch Go implementation of "Adaptive Query
+// Processing on RAW Data" (Karpathiotakis, Branco, Alagiannis, Ailamaki,
+// PVLDB 7(12), 2014).
+//
+// Register raw files (CSV, fixed-width binary, or a ROOT-like scientific
+// format) under table names and query them with SQL. No loading step occurs:
+// the engine generates Just-In-Time access paths per file format and query,
+// builds positional maps over textual files as a side effect of execution,
+// and caches column shreds — exactly the fragments of columns past queries
+// touched — so repeated analysis approaches in-memory DBMS speed without
+// ever ingesting the data.
+//
+//	eng := raw.NewEngine(raw.Config{})
+//	_ = eng.RegisterCSV("events", "events.csv", []raw.Column{
+//		{Name: "id", Type: raw.Int64},
+//		{Name: "energy", Type: raw.Float64},
+//	})
+//	res, err := eng.Query("SELECT MAX(energy) FROM events WHERE id < 1000")
+//
+// The engine also implements the paper's comparison points — a load-first
+// DBMS, external tables and generic NoDB-style in-situ scans — selectable
+// via Config.Strategy or per query, which is how the benchmarks in this
+// repository regenerate the paper's figures.
+package raw
+
+import (
+	"time"
+
+	"rawdb/internal/catalog"
+	"rawdb/internal/engine"
+	"rawdb/internal/posmap"
+	"rawdb/internal/storage/rootfile"
+	"rawdb/internal/vector"
+)
+
+// Type identifies the type of a table column.
+type Type = vector.Type
+
+// Column types.
+const (
+	Int64   = vector.Int64
+	Float64 = vector.Float64
+	Bool    = vector.Bool
+	Bytes   = vector.Bytes
+)
+
+// Column declares one field of a table schema.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Strategy selects how queries access raw data. See the Config documentation.
+type Strategy = engine.Strategy
+
+// Strategies, from the full RAW design down to the baselines the paper
+// compares against.
+const (
+	// StrategyShreds is RAW proper: JIT access paths plus column shreds.
+	StrategyShreds = engine.StrategyShreds
+	// StrategyJIT uses JIT access paths with full columns.
+	StrategyJIT = engine.StrategyJIT
+	// StrategyInSitu is the NoDB baseline (generic scans + positional maps).
+	StrategyInSitu = engine.StrategyInSitu
+	// StrategyExternal re-parses the file per query (external tables).
+	StrategyExternal = engine.StrategyExternal
+	// StrategyDBMS loads tables fully on first touch, then queries memory.
+	StrategyDBMS = engine.StrategyDBMS
+)
+
+// JoinPlacement selects where columns projected through a join are created.
+type JoinPlacement = engine.JoinPlacement
+
+// Join placements for projected columns (paper Section 5.3.2).
+const (
+	PlaceLate         = engine.PlaceLate
+	PlaceEarly        = engine.PlaceEarly
+	PlaceIntermediate = engine.PlaceIntermediate
+)
+
+// PosMapPolicy selects which CSV columns positional maps track.
+type PosMapPolicy = posmap.Policy
+
+// Config configures an Engine. The zero value is the full RAW design with
+// the paper's defaults.
+type Config struct {
+	// Strategy is the default access strategy (StrategyShreds).
+	Strategy Strategy
+	// PosMapPolicy selects tracked positional-map columns (default: every
+	// 10th column, the paper's heuristic).
+	PosMapPolicy PosMapPolicy
+	// BatchSize is the vector size exchanged between operators (1024).
+	BatchSize int
+	// ShredCapacityBytes bounds the column-shred cache (256 MiB).
+	ShredCapacityBytes int64
+	// CompileDelay simulates the one-time latency of compiling a generated
+	// access path, charged to the first query that needs it.
+	CompileDelay time.Duration
+	// DisableShredCache turns off column-shred capture and reuse.
+	DisableShredCache bool
+	// JoinPlacement places join-projected columns (default PlaceLate).
+	JoinPlacement JoinPlacement
+	// MultiColumnShreds fetches all late columns in one pass (Figure 9's
+	// speculative multi-column shreds).
+	MultiColumnShreds bool
+}
+
+// Options overrides engine defaults for a single query.
+type Options = engine.Options
+
+// Stats describes how a query executed: strategy, chosen access paths,
+// template-cache and shred-cache outcomes.
+type Stats = engine.Stats
+
+// Result is a fully materialised query result.
+type Result = engine.Result
+
+// Engine is a RAW query engine instance. It is safe to share across
+// goroutines for registration and querying of distinct tables; concurrent
+// queries over the same table serialise on internal caches.
+type Engine struct {
+	e *engine.Engine
+}
+
+// NewEngine returns an engine with the given configuration.
+func NewEngine(cfg Config) *Engine {
+	return &Engine{e: engine.New(engine.Config{
+		Strategy:           cfg.Strategy,
+		PosMapPolicy:       cfg.PosMapPolicy,
+		BatchSize:          cfg.BatchSize,
+		ShredCapacityBytes: cfg.ShredCapacityBytes,
+		CompileDelay:       cfg.CompileDelay,
+		DisableShredCache:  cfg.DisableShredCache,
+		JoinPlacement:      cfg.JoinPlacement,
+		MultiColumnShreds:  cfg.MultiColumnShreds,
+	})}
+}
+
+func cols(schema []Column) []catalog.Column {
+	out := make([]catalog.Column, len(schema))
+	for i, c := range schema {
+		out[i] = catalog.Column{Name: c.Name, Type: c.Type}
+	}
+	return out
+}
+
+// RegisterCSV registers a CSV file as a queryable table. Registration only
+// records metadata; the file is read lazily by the first query.
+func (e *Engine) RegisterCSV(name, path string, schema []Column) error {
+	return e.e.RegisterCSV(name, path, cols(schema))
+}
+
+// RegisterCSVData registers an in-memory CSV image.
+func (e *Engine) RegisterCSVData(name string, data []byte, schema []Column) error {
+	return e.e.RegisterCSVData(name, data, cols(schema))
+}
+
+// RegisterBinary registers a fixed-width binary file (see package
+// internal/storage/binfile for the format).
+func (e *Engine) RegisterBinary(name, path string, schema []Column) error {
+	return e.e.RegisterBinary(name, path, cols(schema))
+}
+
+// RegisterBinaryData registers an in-memory binary image.
+func (e *Engine) RegisterBinaryData(name string, data []byte, schema []Column) error {
+	return e.e.RegisterBinaryData(name, data, cols(schema))
+}
+
+// RegisterRoot registers one tree of a ROOT-like scientific file as a table.
+// The schema may be partial: only declared branches are visible, so files
+// with thousands of attributes need not be described in full.
+func (e *Engine) RegisterRoot(name, path, tree string, schema []Column) error {
+	return e.e.RegisterRoot(name, path, tree, cols(schema))
+}
+
+// RegisterRootFile registers a tree of an already-open ROOT-like file; all
+// tables registered from one file share its buffer pool.
+func (e *Engine) RegisterRootFile(name string, f *rootfile.File, tree string, schema []Column) error {
+	return e.e.RegisterRootFile(name, f, tree, cols(schema))
+}
+
+// RegisterResult registers a previous query result as an in-memory table,
+// enabling multi-stage analyses. names renames the result columns (pass nil
+// to keep them; aggregate names like "COUNT(*)" must be renamed to be
+// referenced in SQL).
+func (e *Engine) RegisterResult(name string, res *Result, names []string) error {
+	return e.e.RegisterResult(name, res, names)
+}
+
+// DropTable removes a registered table.
+func (e *Engine) DropTable(name string) error { return e.e.DropTable(name) }
+
+// Tables returns the registered table names, sorted.
+func (e *Engine) Tables() []string { return e.e.Catalog().Names() }
+
+// Query parses, plans and executes one SQL statement.
+func (e *Engine) Query(src string) (*Result, error) { return e.e.Query(src) }
+
+// QueryOpt executes one SQL statement with per-query option overrides.
+func (e *Engine) QueryOpt(src string, opts Options) (*Result, error) {
+	return e.e.QueryOpt(src, opts)
+}
+
+// Explain describes the physical plan the engine would choose for src under
+// the current cache state, without executing it.
+func (e *Engine) Explain(src string, opts Options) (string, error) {
+	return e.e.Explain(src, opts)
+}
+
+// DropCaches clears all query-derived state (positional maps, column shreds,
+// generated access paths, loaded columns, file buffer pools), simulating a
+// cold start.
+func (e *Engine) DropCaches() { e.e.DropCaches() }
+
+// Internal returns the underlying engine for benchmark and test harnesses
+// inside this module.
+func (e *Engine) Internal() *engine.Engine { return e.e }

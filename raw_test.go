@@ -1,0 +1,190 @@
+package raw_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rawdb"
+)
+
+func writeCSV(t *testing.T, rows int, seed int64) (path string, vals [][]int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	vals = make([][]int64, rows)
+	for r := 0; r < rows; r++ {
+		row := make([]int64, 3)
+		for c := range row {
+			row[c] = rng.Int63n(1000)
+			if c > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", row[c])
+		}
+		b.WriteByte('\n')
+		vals[r] = row
+	}
+	dir := t.TempDir()
+	path = filepath.Join(dir, "t.csv")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, vals
+}
+
+var schema3 = []raw.Column{
+	{Name: "a", Type: raw.Int64},
+	{Name: "b", Type: raw.Int64},
+	{Name: "c", Type: raw.Int64},
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	path, vals := writeCSV(t, 500, 1)
+	eng := raw.NewEngine(raw.Config{})
+	if err := eng.RegisterCSV("t", path, schema3); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Query("SELECT MAX(b), COUNT(*) FROM t WHERE a < 500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantMax, wantN int64
+	for _, row := range vals {
+		if row[0] < 500 {
+			wantN++
+			if row[1] > wantMax {
+				wantMax = row[1]
+			}
+		}
+	}
+	if res.Int64(0, 0) != wantMax || res.Int64(0, 1) != wantN {
+		t.Fatalf("got %d/%d, want %d/%d", res.Int64(0, 0), res.Int64(0, 1), wantMax, wantN)
+	}
+	if res.NumRows() != 1 || len(res.Columns) != 2 {
+		t.Fatalf("result shape: %d rows, cols %v", res.NumRows(), res.Columns)
+	}
+	if res.Value(0, 0) != wantMax {
+		t.Fatalf("Value = %v", res.Value(0, 0))
+	}
+}
+
+func TestPublicAPIStrategiesAgree(t *testing.T) {
+	path, vals := writeCSV(t, 400, 2)
+	var want int64
+	for _, row := range vals {
+		if row[0] < 300 && row[2] > want {
+			want = row[2]
+		}
+	}
+	for _, strat := range []raw.Strategy{
+		raw.StrategyShreds, raw.StrategyJIT, raw.StrategyInSitu,
+		raw.StrategyExternal, raw.StrategyDBMS,
+	} {
+		eng := raw.NewEngine(raw.Config{Strategy: strat})
+		if err := eng.RegisterCSV("t", path, schema3); err != nil {
+			t.Fatal(err)
+		}
+		for pass := 0; pass < 2; pass++ {
+			res, err := eng.Query("SELECT MAX(c) FROM t WHERE a < 300")
+			if err != nil {
+				t.Fatalf("%v pass %d: %v", strat, pass, err)
+			}
+			if res.Int64(0, 0) != want {
+				t.Fatalf("%v pass %d: %d, want %d", strat, pass, res.Int64(0, 0), want)
+			}
+		}
+	}
+}
+
+func TestPublicAPIResultStaging(t *testing.T) {
+	path, _ := writeCSV(t, 300, 3)
+	eng := raw.NewEngine(raw.Config{})
+	if err := eng.RegisterCSV("t", path, schema3); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Query("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) >= 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterResult("counts", res, []string{"a", "n"}); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := eng.Query("SELECT SUM(n) FROM counts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Int64(0, 0) != 300 {
+		t.Fatalf("SUM(n) = %d, want 300", res2.Int64(0, 0))
+	}
+	if err := eng.DropTable("counts"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Query("SELECT SUM(n) FROM counts"); err == nil {
+		t.Fatal("dropped table should be gone")
+	}
+}
+
+func TestPublicAPIExplainAndTables(t *testing.T) {
+	path, _ := writeCSV(t, 50, 4)
+	eng := raw.NewEngine(raw.Config{Strategy: raw.StrategyJIT})
+	if err := eng.RegisterCSV("t", path, schema3); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Tables(); len(got) != 1 || got[0] != "t" {
+		t.Fatalf("Tables = %v", got)
+	}
+	plan, err := eng.Explain("SELECT MAX(a) FROM t", raw.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "jit:seq(t)") {
+		t.Fatalf("plan:\n%s", plan)
+	}
+}
+
+func TestPublicAPIDropCaches(t *testing.T) {
+	path, _ := writeCSV(t, 100, 5)
+	eng := raw.NewEngine(raw.Config{})
+	if err := eng.RegisterCSV("t", path, schema3); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := eng.Query("SELECT MAX(a) FROM t WHERE a >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := eng.Query("SELECT MAX(a) FROM t WHERE a >= 0")
+	if r2.Stats.ShredHits == 0 {
+		t.Fatal("warm query should hit the shred cache")
+	}
+	eng.DropCaches()
+	r3, err := eng.Query("SELECT MAX(a) FROM t WHERE a >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Stats.ShredHits != 0 {
+		t.Fatal("cold query after DropCaches should not hit caches")
+	}
+	if r1.Int64(0, 0) != r3.Int64(0, 0) {
+		t.Fatal("answers changed across cache drop")
+	}
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	eng := raw.NewEngine(raw.Config{})
+	if _, err := eng.Query("SELECT MAX(a) FROM missing"); err == nil {
+		t.Fatal("expected unknown-table error")
+	}
+	if err := eng.RegisterCSV("bad", "/nonexistent.csv", schema3); err != nil {
+		t.Fatal("registration must be lazy (no file access)")
+	}
+	if _, err := eng.Query("SELECT MAX(a) FROM bad"); err == nil {
+		t.Fatal("expected file-open error at query time")
+	}
+	if _, err := eng.Query("THIS IS NOT SQL"); err == nil {
+		t.Fatal("expected syntax error")
+	}
+}
