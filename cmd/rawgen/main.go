@@ -1,13 +1,15 @@
 // Command rawgen generates the synthetic datasets used by the examples and
 // the experiment harness: the paper's narrow (30 integer columns) and wide
-// (120 mixed columns) tables in CSV and binary form, the shuffled join pair,
-// and the ATLAS-like Higgs dataset (ROOT-like file plus good-runs CSV).
+// (120 mixed columns) tables in CSV/binary form (narrow also as flat JSONL),
+// the shuffled join pair, the nested-JSON events table, and the ATLAS-like
+// Higgs dataset (ROOT-like file plus good-runs CSV).
 //
 // Usage:
 //
 //	rawgen -kind narrow -rows 100000 -out data/
 //	rawgen -kind wide   -rows 20000  -out data/
 //	rawgen -kind join   -rows 50000  -out data/
+//	rawgen -kind events -rows 100000 -out data/
 //	rawgen -kind higgs  -rows 30000  -out data/
 package main
 
@@ -22,7 +24,7 @@ import (
 )
 
 func main() {
-	kind := flag.String("kind", "narrow", "dataset kind: narrow, wide, join, higgs")
+	kind := flag.String("kind", "narrow", "dataset kind: narrow, wide, join, events, higgs")
 	rows := flag.Int("rows", 100_000, "row count (events for -kind higgs)")
 	out := flag.String("out", ".", "output directory")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -55,7 +57,19 @@ func run(kind string, rows int, out string, seed int64) error {
 		if err := write("narrow.csv", ds.CSV); err != nil {
 			return err
 		}
-		return write("narrow.bin", ds.Bin)
+		if err := write("narrow.bin", ds.Bin); err != nil {
+			return err
+		}
+		return write("narrow.jsonl", ds.JSONL)
+	case "events":
+		ds, err := workload.Events(rows, seed)
+		if err != nil {
+			return err
+		}
+		if err := write("events.jsonl", ds.JSONL); err != nil {
+			return err
+		}
+		return write("events.csv", ds.CSV)
 	case "wide":
 		ds, err := workload.Wide(rows, seed)
 		if err != nil {
@@ -93,6 +107,6 @@ func run(kind string, rows int, out string, seed int64) error {
 		fmt.Printf("ground truth: %d Higgs candidates\n", d.Candidates)
 		return nil
 	default:
-		return fmt.Errorf("unknown kind %q (want narrow, wide, join or higgs)", kind)
+		return fmt.Errorf("unknown kind %q (want narrow, wide, join, events or higgs)", kind)
 	}
 }

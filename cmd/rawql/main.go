@@ -1,14 +1,16 @@
 // Command rawql runs SQL directly over raw files — no loading step.
 //
 // Tables are registered from the command line; schemas are inferred (CSV:
-// from the first row; binary: from the file header; root: from the
-// directory) unless given explicitly. Columns are named col1..colN for CSV
-// and binary files and after their branches for root trees.
+// from the first row; JSONL: numeric leaf paths of the first object; binary:
+// from the file header; root: from the directory) unless given explicitly.
+// Columns are named col1..colN for CSV and binary files, after their dotted
+// paths for JSONL files, and after their branches for root trees.
 //
 // Usage:
 //
 //	rawql -csv t=data.csv -q "SELECT MAX(col11) FROM t WHERE col1 < 500000000"
 //	rawql -bin t=data.bin -csv runs=good.csv -q "SELECT COUNT(*) FROM t, runs WHERE t.col1 = runs.col1"
+//	rawql -json ev=events.jsonl -q "SELECT MAX(payload.energy) FROM ev WHERE id < 1000"
 //	rawql -root events.root -q "SELECT COUNT(*) FROM events WHERE runNumber < 5"
 //	rawql -csv t=data.csv -strategy insitu -explain -q "..."
 package main
@@ -23,6 +25,7 @@ import (
 	"rawdb/internal/bytesconv"
 	"rawdb/internal/storage/binfile"
 	"rawdb/internal/storage/csvfile"
+	"rawdb/internal/storage/jsonfile"
 	"rawdb/internal/storage/rootfile"
 )
 
@@ -33,22 +36,23 @@ func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
-	var csvs, bins, roots multiFlag
+	var csvs, bins, jsons, roots multiFlag
 	flag.Var(&csvs, "csv", "register a CSV file as name=path (repeatable)")
 	flag.Var(&bins, "bin", "register a binary file as name=path (repeatable)")
+	flag.Var(&jsons, "json", "register a JSONL file as name=path (repeatable)")
 	flag.Var(&roots, "root", "register every tree of a root-like file (path; tree names become table names; repeatable)")
 	query := flag.String("q", "", "SQL query to run")
 	strategy := flag.String("strategy", "shreds", "access strategy: shreds, jit, insitu, external, dbms")
 	explain := flag.Bool("explain", false, "print the physical plan instead of executing")
 	flag.Parse()
 
-	if err := run(csvs, bins, roots, *query, *strategy, *explain); err != nil {
+	if err := run(csvs, bins, jsons, roots, *query, *strategy, *explain); err != nil {
 		fmt.Fprintln(os.Stderr, "rawql:", err)
 		os.Exit(1)
 	}
 }
 
-func run(csvs, bins, roots []string, query, strategy string, explain bool) error {
+func run(csvs, bins, jsons, roots []string, query, strategy string, explain bool) error {
 	if query == "" {
 		return fmt.Errorf("no query; pass -q \"SELECT ...\"")
 	}
@@ -72,6 +76,23 @@ func run(csvs, bins, roots []string, query, strategy string, explain bool) error
 			return fmt.Errorf("%s: %w", path, err)
 		}
 		if err := eng.RegisterCSVData(name, data, schema); err != nil {
+			return err
+		}
+	}
+	for _, spec := range jsons {
+		name, path, err := splitSpec(spec)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		schema, err := inferJSONSchema(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if err := eng.RegisterJSONData(name, data, schema); err != nil {
 			return err
 		}
 	}
@@ -169,6 +190,55 @@ func parseStrategy(s string) (raw.Strategy, error) {
 	default:
 		return 0, fmt.Errorf("unknown strategy %q", s)
 	}
+}
+
+// inferJSONSchema collects the numeric leaf paths of the first object (in
+// member order, descending into nested objects with dotted names): integer
+// if the value parses as one, else float. Non-numeric members are skipped —
+// they remain in the file but invisible, the partial-schema model.
+func inferJSONSchema(data []byte) ([]raw.Column, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("empty file")
+	}
+	var schema []raw.Column
+	var walk func(pos int, prefix string) error
+	walk = func(pos int, prefix string) error {
+		pos, ok := jsonfile.EnterObject(data, pos)
+		if !ok {
+			return fmt.Errorf("first row is not a JSON object")
+		}
+		for {
+			ks, ke, vpos, next, done, err := jsonfile.NextMember(data, pos)
+			if err != nil {
+				return err
+			}
+			if done {
+				return nil
+			}
+			path := prefix + string(data[ks:ke])
+			if data[vpos] == '{' {
+				if err := walk(vpos, path+"."); err != nil {
+					return err
+				}
+				pos = jsonfile.SkipValue(data, next)
+				continue
+			}
+			field := data[vpos:jsonfile.NumberEnd(data, vpos)]
+			if _, err := bytesconv.ParseInt64(field); err == nil {
+				schema = append(schema, raw.Column{Name: path, Type: raw.Int64})
+			} else if _, err := bytesconv.ParseFloat64(field); err == nil {
+				schema = append(schema, raw.Column{Name: path, Type: raw.Float64})
+			}
+			pos = jsonfile.SkipValue(data, next)
+		}
+	}
+	if err := walk(0, ""); err != nil {
+		return nil, err
+	}
+	if len(schema) == 0 {
+		return nil, fmt.Errorf("first row has no numeric leaf paths")
+	}
+	return schema, nil
 }
 
 // inferCSVSchema types each column from the first row: integer if it parses

@@ -1,0 +1,3 @@
+module rawdb
+
+go 1.24

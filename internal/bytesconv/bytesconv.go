@@ -222,6 +222,28 @@ func AppendInt64(dst []byte, v int64) []byte {
 	return append(dst, buf[i:]...)
 }
 
+// AppendFloat6 appends f formatted with exactly six fractional digits, the
+// encoding every dataset generator in this repository uses (CSV and JSON
+// writers share it so identical rows are byte-identical across formats, and
+// ParseFloat64 round-trips it exactly).
+func AppendFloat6(dst []byte, f float64) []byte {
+	if f < 0 {
+		dst = append(dst, '-')
+		f = -f
+	}
+	ip := int64(f)
+	dst = AppendInt64(dst, ip)
+	dst = append(dst, '.')
+	frac := int64((f - float64(ip)) * 1e6)
+	// Zero-pad to six digits.
+	div := int64(100000)
+	for div > 0 {
+		dst = append(dst, byte('0'+(frac/div)%10))
+		div /= 10
+	}
+	return dst
+}
+
 // ParseBool parses "0"/"1"/"true"/"false" (the encodings our generators use).
 func ParseBool(b []byte) (bool, error) {
 	switch len(b) {

@@ -28,23 +28,10 @@ const (
 	// Memory marks tables materialised by the DBMS baseline (fully loaded
 	// columnar tables with no backing raw file).
 	Memory
+	// JSON is newline-delimited JSON (one object per line); schemas declare
+	// the dotted paths a query touches, like partial Root schemas.
+	JSON
 )
-
-// String returns a human-readable format name.
-func (f Format) String() string {
-	switch f {
-	case CSV:
-		return "csv"
-	case Binary:
-		return "binary"
-	case Root:
-		return "root"
-	case Memory:
-		return "memory"
-	default:
-		return fmt.Sprintf("Format(%d)", uint8(f))
-	}
-}
 
 // AccessPath enumerates the generic access abstractions the executor
 // understands; formats map their concrete capabilities onto these.
@@ -55,22 +42,52 @@ const (
 	// SequentialScan reads rows in file order.
 	SequentialScan AccessPath = iota
 	// IndexScan reads entries by identifier (ROOT id-based access, binary
-	// computed offsets, CSV via positional map).
+	// computed offsets, CSV via positional map, JSON via structural index).
 	IndexScan
 )
 
-// Capabilities returns the access paths a format supports. CSV gains
-// IndexScan only once a positional map exists; the planner checks that
-// separately.
-func (f Format) Capabilities() []AccessPath {
-	switch f {
-	case CSV:
-		return []AccessPath{SequentialScan}
-	case Binary, Root, Memory:
-		return []AccessPath{SequentialScan, IndexScan}
-	default:
-		return nil
+// formatInfo is the static metadata of one format. Adding a format is one
+// entry here (plus its storage adapter); String, Capabilities and Formats
+// derive from the table.
+type formatInfo struct {
+	name string
+	caps []AccessPath
+}
+
+// formats is indexed by Format. Textual self-describing formats (CSV, JSON)
+// list SequentialScan only: they gain IndexScan at runtime once a positional
+// map / structural index has been built, which the planner checks separately.
+var formats = [...]formatInfo{
+	CSV:    {"csv", []AccessPath{SequentialScan}},
+	Binary: {"binary", []AccessPath{SequentialScan, IndexScan}},
+	Root:   {"root", []AccessPath{SequentialScan, IndexScan}},
+	Memory: {"memory", []AccessPath{SequentialScan, IndexScan}},
+	JSON:   {"json", []AccessPath{SequentialScan}},
+}
+
+// Formats returns every registered format, in declaration order.
+func Formats() []Format {
+	out := make([]Format, len(formats))
+	for i := range formats {
+		out[i] = Format(i)
 	}
+	return out
+}
+
+// String returns a human-readable format name.
+func (f Format) String() string {
+	if int(f) < len(formats) {
+		return formats[f].name
+	}
+	return fmt.Sprintf("Format(%d)", uint8(f))
+}
+
+// Capabilities returns the access paths a format statically supports.
+func (f Format) Capabilities() []AccessPath {
+	if int(f) < len(formats) {
+		return formats[f].caps
+	}
+	return nil
 }
 
 // Column is one declared field of a table.

@@ -1,6 +1,7 @@
 package catalog
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -87,16 +88,49 @@ func TestColumnIndexAndTypes(t *testing.T) {
 
 func TestFormatStringsAndCapabilities(t *testing.T) {
 	if CSV.String() != "csv" || Binary.String() != "binary" ||
-		Root.String() != "root" || Memory.String() != "memory" {
+		Root.String() != "root" || Memory.String() != "memory" || JSON.String() != "json" {
 		t.Fatal("format names wrong")
 	}
-	if caps := CSV.Capabilities(); len(caps) != 1 || caps[0] != SequentialScan {
-		t.Fatalf("CSV capabilities = %v", caps)
+	// Textual self-describing formats start with sequential scans only;
+	// index access appears at runtime once a map/index is built.
+	for _, f := range []Format{CSV, JSON} {
+		if caps := f.Capabilities(); len(caps) != 1 || caps[0] != SequentialScan {
+			t.Fatalf("%s capabilities = %v", f, caps)
+		}
 	}
 	for _, f := range []Format{Binary, Root, Memory} {
 		caps := f.Capabilities()
 		if len(caps) != 2 || caps[1] != IndexScan {
 			t.Fatalf("%s capabilities = %v", f, caps)
 		}
+	}
+}
+
+// TestFormatTableComplete enumerates every format: each must have a
+// non-placeholder name, at least one capability, and a unique name. A new
+// format added to the table automatically comes under test here.
+func TestFormatTableComplete(t *testing.T) {
+	all := Formats()
+	if len(all) < 5 {
+		t.Fatalf("Formats() = %v, expected at least 5 formats", all)
+	}
+	seen := make(map[string]bool)
+	for _, f := range all {
+		name := f.String()
+		if name == "" || seen[name] {
+			t.Fatalf("format %d: bad or duplicate name %q", f, name)
+		}
+		if _, err := fmt.Sscanf(name, "Format(%d)", new(int)); err == nil {
+			t.Fatalf("format %d has placeholder name %q", f, name)
+		}
+		seen[name] = true
+		if len(f.Capabilities()) == 0 {
+			t.Fatalf("format %s declares no capabilities", name)
+		}
+	}
+	// Out-of-table values degrade gracefully.
+	bogus := Format(200)
+	if bogus.String() != "Format(200)" || bogus.Capabilities() != nil {
+		t.Fatalf("out-of-range format: %q %v", bogus.String(), bogus.Capabilities())
 	}
 }

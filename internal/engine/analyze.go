@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -8,6 +9,10 @@ import (
 	"rawdb/internal/sql"
 	"rawdb/internal/vector"
 )
+
+// errAmbiguousColumn distinguishes "found in several tables" from "found
+// nowhere" so the dotted-path fallback can surface the real problem.
+var errAmbiguousColumn = errors.New("ambiguous column")
 
 // resolvedQuery is the analyzed form of a parsed query: every reference
 // bound to (table index, column index), predicates classified into local
@@ -77,11 +82,39 @@ func (e *Engine) analyze(q *sql.Query) (*resolvedQuery, error) {
 	}
 	r.filters = make([][]boundPred, len(r.tables))
 
+	// searchColumn finds an unqualified column name across all tables.
+	searchColumn := func(name string) (boundRef, error) {
+		found := boundRef{-1, -1}
+		for ti, bt := range r.tables {
+			if ci := bt.st.tab.ColumnIndex(name); ci >= 0 {
+				if found.table >= 0 {
+					return boundRef{}, fmt.Errorf("engine: %w %q", errAmbiguousColumn, name)
+				}
+				found = boundRef{ti, ci}
+			}
+		}
+		if found.table < 0 {
+			return boundRef{}, fmt.Errorf("engine: unknown column %q", name)
+		}
+		return found, nil
+	}
+
 	resolveRef := func(ref sql.Ref) (boundRef, error) {
 		if ref.Table != "" {
 			ti, ok := seen[ref.Table]
 			if !ok {
-				return boundRef{}, fmt.Errorf("engine: unknown table alias %q", ref.Table)
+				// Not a table alias: a dotted reference like "payload.energy"
+				// may name a nested JSON path; the whole dotted spelling is
+				// the column name then.
+				br, err := searchColumn(ref.Table + "." + ref.Column)
+				if err == nil {
+					return br, nil
+				}
+				if errors.Is(err, errAmbiguousColumn) {
+					return boundRef{}, err
+				}
+				return boundRef{}, fmt.Errorf("engine: unknown column %q (and no table alias %q)",
+					ref.Table+"."+ref.Column, ref.Table)
 			}
 			ci := r.tables[ti].st.tab.ColumnIndex(ref.Column)
 			if ci < 0 {
@@ -89,19 +122,7 @@ func (e *Engine) analyze(q *sql.Query) (*resolvedQuery, error) {
 			}
 			return boundRef{ti, ci}, nil
 		}
-		found := boundRef{-1, -1}
-		for ti, bt := range r.tables {
-			if ci := bt.st.tab.ColumnIndex(ref.Column); ci >= 0 {
-				if found.table >= 0 {
-					return boundRef{}, fmt.Errorf("engine: ambiguous column %q", ref.Column)
-				}
-				found = boundRef{ti, ci}
-			}
-		}
-		if found.table < 0 {
-			return boundRef{}, fmt.Errorf("engine: unknown column %q", ref.Column)
-		}
-		return found, nil
+		return searchColumn(ref.Column)
 	}
 
 	for _, p := range q.Preds {

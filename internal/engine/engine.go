@@ -17,10 +17,12 @@ import (
 
 	"rawdb/internal/catalog"
 	"rawdb/internal/jit"
+	"rawdb/internal/jsonidx"
 	"rawdb/internal/posmap"
 	"rawdb/internal/shred"
 	"rawdb/internal/storage/binfile"
 	"rawdb/internal/storage/csvfile"
+	"rawdb/internal/storage/jsonfile"
 	"rawdb/internal/storage/rootfile"
 	"rawdb/internal/vector"
 )
@@ -147,10 +149,12 @@ type tableState struct {
 	qmu      sync.Mutex
 	tab      *catalog.Table
 	csvData  []byte
+	jsonData []byte
 	bin      *binfile.Reader
 	rootFile *rootfile.File
 	rootTree *rootfile.Tree
 	pm       *posmap.Map
+	jidx     *jsonidx.Index   // structural index over a JSONL file
 	loaded   []*vector.Vector // DBMS-loaded full columns
 	nrows    int64            // -1 until known
 }
@@ -197,6 +201,22 @@ func (e *Engine) RegisterCSVData(name string, data []byte, schema []catalog.Colu
 	}
 	st := &tableState{csvData: data}
 	return e.register(&catalog.Table{Name: name, Format: catalog.CSV, Schema: schema}, st)
+}
+
+// RegisterJSON registers a newline-delimited JSON file under name. The
+// schema is partial: columns name the dotted paths queries touch (e.g.
+// "payload.energy"), out of possibly many more members in each object.
+func (e *Engine) RegisterJSON(name, path string, schema []catalog.Column) error {
+	return e.register(&catalog.Table{Name: name, Path: path, Format: catalog.JSON, Schema: schema}, nil)
+}
+
+// RegisterJSONData registers an in-memory JSONL image (tests, benchmarks).
+func (e *Engine) RegisterJSONData(name string, data []byte, schema []catalog.Column) error {
+	if data == nil {
+		data = []byte{} // non-nil marks the image as present (an empty file)
+	}
+	st := &tableState{jsonData: data}
+	return e.register(&catalog.Table{Name: name, Format: catalog.JSON, Schema: schema}, st)
 }
 
 // RegisterBinary registers a fixed-width binary file under name.
@@ -315,6 +335,14 @@ func (e *Engine) state(name string) (*tableState, error) {
 			}
 			st.csvData = data
 		}
+	case catalog.JSON:
+		if st.jsonData == nil {
+			data, err := jsonfile.Load(st.tab.Path)
+			if err != nil {
+				return nil, err
+			}
+			st.jsonData = data
+		}
 	case catalog.Binary:
 		if st.bin == nil {
 			r, err := binfile.Open(st.tab.Path)
@@ -357,6 +385,7 @@ func (e *Engine) DropCaches() {
 			continue // memory tables have no raw backing to re-read
 		}
 		st.pm = nil
+		st.jidx = nil
 		st.loaded = nil
 		if st.tab.Format != catalog.Binary && st.tab.Format != catalog.Root {
 			st.nrows = -1

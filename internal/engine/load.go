@@ -24,6 +24,8 @@ func loadAll(st *tableState) ([]*vector.Vector, error) {
 	switch tab.Format {
 	case catalog.CSV:
 		op, err = jit.NewCSVSequentialScan(st.csvData, tab, all, nil, false, vector.DefaultBatchSize)
+	case catalog.JSON:
+		op, err = jit.NewJSONSequentialScan(st.jsonData, tab, all, nil, false, vector.DefaultBatchSize)
 	case catalog.Binary:
 		op, err = jit.NewBinScan(st.bin, tab, all, false, vector.DefaultBatchSize)
 	case catalog.Root:

@@ -7,9 +7,11 @@ import (
 	"rawdb/internal/exec"
 	"rawdb/internal/insitu"
 	"rawdb/internal/jit"
+	"rawdb/internal/jsonidx"
 	"rawdb/internal/posmap"
 	"rawdb/internal/shred"
 	"rawdb/internal/storage/csvfile"
+	"rawdb/internal/storage/jsonfile"
 	"rawdb/internal/vector"
 )
 
@@ -219,6 +221,8 @@ func (pc *planCtx) lateCapable(bt *boundTable) bool {
 	switch bt.st.tab.Format {
 	case catalog.CSV:
 		return bt.st.pm != nil && bt.st.pm.NRows() > 0
+	case catalog.JSON:
+		return bt.st.jidx != nil && bt.st.jidx.NRows() > 0
 	case catalog.Binary, catalog.Root:
 		return true
 	case catalog.Memory:
@@ -397,6 +401,31 @@ func (pc *planCtx) baseScanInSitu(p *pipe, r *resolvedQuery, t int, cols []int,
 		layout(cols, -1)
 		pc.pathf("insitu:root(%s)", tab.Name)
 		return p, nil
+	case catalog.JSON:
+		// JSON likewise predates no generic scan in the paper; in-situ
+		// degrades to the structural-index access paths (which still build
+		// and consult the index, NoDB-style).
+		var sc *jit.JSONScan
+		var err error
+		if st.jidx != nil && st.jidx.NRows() > 0 {
+			sc, err = jit.NewJSONMapScan(st.jsonData, tab, cols, st.jidx, false, bs)
+		} else {
+			idx := jsonidx.New(0)
+			sc, err = jit.NewJSONSequentialScan(st.jsonData, tab, cols, idx, false, bs)
+			if err == nil {
+				st.jidx = idx
+				if st.nrows < 0 {
+					st.nrows = jsonfile.CountRows(st.jsonData)
+				}
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		p.op = sc
+		layout(cols, -1)
+		pc.pathf("insitu:json(%s)", tab.Name)
+		return p, nil
 	}
 	return nil, fmt.Errorf("engine: in-situ scan unsupported for format %s", tab.Format)
 }
@@ -477,6 +506,29 @@ func (pc *planCtx) baseScanJIT(p *pipe, r *resolvedQuery, t int, cols []int, nee
 				st.nrows = csvfile.CountRows(st.csvData)
 			}
 		}
+	case catalog.JSON:
+		if st.jidx != nil && st.jidx.NRows() > 0 {
+			mode = jit.ViaMap
+			sc, err := jit.NewJSONMapScan(st.jsonData, tab, uncached, st.jidx, emitRID, bs)
+			if err != nil {
+				return nil, err
+			}
+			op = sc
+			pc.pathf("jit:jsonidx(%s)", tab.Name)
+		} else {
+			mode = jit.Sequential
+			idx := jsonidx.New(0)
+			sc, err := jit.NewJSONSequentialScan(st.jsonData, tab, uncached, idx, emitRID, bs)
+			if err != nil {
+				return nil, err
+			}
+			st.jidx = idx
+			op = sc
+			pc.pathf("jit:jsonseq(%s)", tab.Name)
+			if st.nrows < 0 {
+				st.nrows = jsonfile.CountRows(st.jsonData)
+			}
+		}
 	case catalog.Binary:
 		mode = jit.Direct
 		sc, err := jit.NewBinScan(st.bin, tab, uncached, emitRID, bs)
@@ -517,16 +569,28 @@ func (pc *planCtx) baseScanJIT(p *pipe, r *resolvedQuery, t int, cols []int, nee
 	default:
 		return nil, fmt.Errorf("engine: JIT scan unsupported for format %s", tab.Format)
 	}
-	pc.ensureTemplate(jit.Spec{
+	spec := jit.Spec{
 		Format:  tab.Format,
 		Table:   tab.Name,
 		Mode:    mode,
 		Types:   tab.Types(),
 		Need:    uncached,
-		PMRead:  pmTracked(st.pm, mode == jit.ViaMap),
-		PMBuild: pmTracked(st.pm, mode == jit.Sequential),
 		EmitRID: emitRID,
-	})
+	}
+	switch tab.Format {
+	case catalog.CSV:
+		spec.PMRead = pmTracked(st.pm, mode == jit.ViaMap)
+		spec.PMBuild = pmTracked(st.pm, mode == jit.Sequential)
+	case catalog.JSON:
+		spec.Paths = jsonPaths(tab, uncached)
+		if mode == jit.ViaMap {
+			spec.PMRead = jidxTracked(st.jidx, tab)
+		} else {
+			// A sequential scan records every requested path.
+			spec.PMBuild = uncached
+		}
+	}
+	pc.ensureTemplate(spec)
 
 	order := append([]int{}, uncached...)
 	ridIdx := -1
@@ -639,6 +703,8 @@ func (pc *planCtx) lateScan(p *pipe, r *resolvedQuery, t int, cols []int) error 
 	switch tab.Format {
 	case catalog.CSV:
 		ls, err = jit.NewCSVLateScan(p.op, st.csvData, tab, fromFile, st.pm, ridIdx)
+	case catalog.JSON:
+		ls, err = jit.NewJSONLateScan(p.op, st.jsonData, tab, fromFile, st.jidx, ridIdx)
 	case catalog.Binary:
 		ls, err = jit.NewBinLateScan(p.op, st.bin, tab, fromFile, ridIdx)
 	case catalog.Root:
@@ -649,7 +715,7 @@ func (pc *planCtx) lateScan(p *pipe, r *resolvedQuery, t int, cols []int) error 
 	if err != nil {
 		return err
 	}
-	pc.ensureTemplate(jit.Spec{
+	lateSpec := jit.Spec{
 		Format:  tab.Format,
 		Table:   tab.Name,
 		Mode:    jit.Late,
@@ -657,7 +723,12 @@ func (pc *planCtx) lateScan(p *pipe, r *resolvedQuery, t int, cols []int) error 
 		Need:    fromFile,
 		PMRead:  pmTracked(st.pm, tab.Format == catalog.CSV),
 		EmitRID: true,
-	})
+	}
+	if tab.Format == catalog.JSON {
+		lateSpec.Paths = jsonPaths(tab, fromFile)
+		lateSpec.PMRead = jidxTracked(st.jidx, tab)
+	}
+	pc.ensureTemplate(lateSpec)
 	pc.pathf("jit:late(%s)", shredKeys(tab.Name, fromFile))
 
 	// NewCSVLateScan sorts its columns; recover the output order.
@@ -821,6 +892,30 @@ func pmTracked(pm *posmap.Map, use bool) []int {
 		return nil
 	}
 	return pm.TrackedColumns()
+}
+
+// jsonPaths returns the dotted paths of the given schema columns.
+func jsonPaths(tab *catalog.Table, cols []int) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = tab.Schema[c].Name
+	}
+	return out
+}
+
+// jidxTracked returns the schema column indexes whose paths the structural
+// index currently tracks.
+func jidxTracked(idx *jsonidx.Index, tab *catalog.Table) []int {
+	if idx == nil {
+		return nil
+	}
+	var out []int
+	for c, col := range tab.Schema {
+		if idx.Tracked(col.Name) {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 func shredKeys(table string, cols []int) string {

@@ -92,6 +92,7 @@ func All() []Runner {
 		{"fig11", "Join, projected column on pipelined side", RunFig11},
 		{"fig12", "Join, projected column on pipeline-breaking side", RunFig12},
 		{"table3", "Higgs analysis: hand-written vs RAW, cold and warm", RunTable3},
+		{"json", "JSON adapter: cold vs structural-index-warm vs shred-hot, against CSV", RunJSON},
 	}
 }
 
@@ -150,6 +151,59 @@ func narrowEngine(ds *workload.Dataset, format string, strat engine.Strategy,
 
 const q1 = "SELECT MAX(col1) FROM t WHERE col1 < %d"
 const q2 = "SELECT MAX(col11) FROM t WHERE col1 < %d"
+
+// RunJSON compares the JSON adapter against CSV on identical rows (the
+// narrow table in both serialisations), through the adaptive warm-up arc:
+// a cold first query (sequential scan, index construction), a warm second
+// query over a different column (structural index / positional map
+// navigation), and the same query again (served from column shreds).
+func RunJSON(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	ds, err := workload.Narrow(cfg.NarrowRows, 1)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "json", Title: "JSON vs CSV: cold, index-warm and shred-hot queries",
+		Header: []string{"format", "q1 cold (s)", "q2 warm (s)", "q2 hot (s)"}}
+	for _, format := range []string{"csv", "json"} {
+		e := engine.New(engine.Config{
+			Strategy:     engine.StrategyShreds,
+			PosMapPolicy: posmap.Policy{EveryK: 10},
+			CompileDelay: cfg.CompileDelay,
+		})
+		if format == "csv" {
+			err = e.RegisterCSVData("t", ds.CSV, ds.Schema)
+		} else {
+			err = e.RegisterJSONData("t", ds.JSONL, ds.Schema)
+		}
+		if err != nil {
+			return nil, err
+		}
+		cold, err := timeQuery(1, func() error {
+			_, err := e.Query(fmt.Sprintf(q1, workload.Threshold(0.5)))
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		warm, err := timeQuery(1, func() error {
+			_, err := e.Query(fmt.Sprintf(q2, workload.Threshold(0.4)))
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		hot, err := timeQuery(cfg.Repeats, func() error {
+			_, err := e.Query(fmt.Sprintf(q2, workload.Threshold(0.4)))
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{format, secs(cold), secs(warm), secs(hot)})
+	}
+	return t, nil
+}
 
 // RunFig1a times the first (cold) query per access-path variant over the
 // narrow CSV file. The paper's corresponding figure shows DBMS and external

@@ -1,0 +1,562 @@
+package jit
+
+import (
+	"bytes"
+	"fmt"
+
+	"rawdb/internal/bytesconv"
+	"rawdb/internal/catalog"
+	"rawdb/internal/exec"
+	"rawdb/internal/jsonidx"
+	"rawdb/internal/storage/jsonfile"
+	"rawdb/internal/vector"
+)
+
+// The JSON access paths follow the same generation discipline as the CSV
+// ones: everything a general-purpose scan would decide per field — which
+// dotted paths matter, where they nest, which conversion applies — is
+// resolved at construction into a matcher tree of raw key bytes and
+// monomorphic leaf actions. The per-row walk compares member keys against
+// the tree and skips everything else; there are no map lookups, no
+// reflection and no allocation per field.
+
+// jsonTarget is the compiled action for one matched object member.
+type jsonTarget struct {
+	slot int // output vector slot, -1 when the value is not materialised
+	rec  int // structural-index recording slot, -1 when not recorded
+	typ  vector.Type
+	sub  *jsonMatcher // non-nil: descend into a nested object
+}
+
+// jsonMatcher matches the members of one (possibly nested) object level.
+type jsonMatcher struct {
+	keys [][]byte
+	tgts []*jsonTarget
+}
+
+func (m *jsonMatcher) target(segs []string) *jsonTarget {
+	cur := m
+	for d := 0; ; d++ {
+		key := []byte(segs[d])
+		var tgt *jsonTarget
+		for i, k := range cur.keys {
+			if bytes.Equal(k, key) {
+				tgt = cur.tgts[i]
+				break
+			}
+		}
+		if tgt == nil {
+			tgt = &jsonTarget{slot: -1, rec: -1}
+			cur.keys = append(cur.keys, key)
+			cur.tgts = append(cur.tgts, tgt)
+		}
+		if d == len(segs)-1 {
+			return tgt
+		}
+		if tgt.sub == nil {
+			tgt.sub = &jsonMatcher{}
+		}
+		cur = tgt.sub
+	}
+}
+
+// jsonEntry is one path the matcher must act on.
+type jsonEntry struct {
+	path string
+	slot int
+	rec  int
+	typ  vector.Type
+}
+
+// compileJSONMatcher builds the matcher tree for a set of dotted paths.
+func compileJSONMatcher(entries []jsonEntry) (*jsonMatcher, int, error) {
+	root := &jsonMatcher{}
+	nleaves := 0
+	for _, e := range entries {
+		segs := jsonfile.SplitPath(e.path)
+		for _, s := range segs {
+			if s == "" {
+				return nil, 0, fmt.Errorf("jit: json path %q has an empty segment", e.path)
+			}
+		}
+		tgt := root.target(segs)
+		if tgt.sub != nil {
+			return nil, 0, fmt.Errorf("jit: json path %q conflicts with a longer declared path", e.path)
+		}
+		if tgt.slot >= 0 || tgt.rec >= 0 {
+			return nil, 0, fmt.Errorf("jit: duplicate json path %q", e.path)
+		}
+		tgt.slot, tgt.rec, tgt.typ = e.slot, e.rec, e.typ
+		nleaves++
+	}
+	return root, nleaves, nil
+}
+
+// jsonColReader reads one column's values for rows [rowStart, rowEnd), the
+// column-at-a-time body of a structural-index (ViaMap) JSON scan.
+type jsonColReader func(rowStart, rowEnd int64, out *vector.Vector) error
+
+// JSONScan is a JIT access path over a JSONL file. Construct it with
+// NewJSONSequentialScan (first query: walk every object front to back,
+// building the structural index as a side effect) or NewJSONMapScan (later
+// queries: jump via recorded value offsets, recording any newly touched
+// paths adaptively).
+type JSONScan struct {
+	schema    vector.Schema
+	batchSize int
+	data      []byte
+
+	// Sequential mode.
+	matcher *jsonMatcher
+	nexpect int
+	rec     *jsonidx.Recorder
+	recOffs []int64
+
+	// ViaMap (structural index) mode.
+	readers  []jsonColReader
+	nrows    int64
+	adaptive *jsonidx.Recorder
+
+	emitRID   bool
+	ridSlot   int
+	pos       int
+	row       int64
+	committed bool
+	out       *vector.Batch
+}
+
+// NewJSONSequentialScan generates a sequential access path over a JSONL
+// file: a per-query matcher tree covering exactly the requested paths, with
+// conversions resolved per leaf. When idx is non-nil (and unpopulated) the
+// scan records row starts and the value offsets of every requested path,
+// committing them to the index at end of file.
+func NewJSONSequentialScan(data []byte, t *catalog.Table, need []int,
+	idx *jsonidx.Index, emitRID bool, batchSize int) (*JSONScan, error) {
+	if t.Format != catalog.JSON {
+		return nil, fmt.Errorf("jit: json scan got format %s", t.Format)
+	}
+	if batchSize <= 0 {
+		batchSize = vector.DefaultBatchSize
+	}
+	schema, err := scanSchema(t, need, emitRID)
+	if err != nil {
+		return nil, err
+	}
+	s := &JSONScan{
+		data:      data,
+		schema:    schema,
+		batchSize: batchSize,
+		emitRID:   emitRID,
+		ridSlot:   len(need),
+	}
+	s.out = vector.NewBatch(schema.Types(), batchSize)
+
+	recSlot := make(map[string]int)
+	if idx != nil {
+		paths := make([]string, len(need))
+		for i, c := range need {
+			paths[i] = t.Schema[c].Name
+		}
+		s.rec = idx.Record(paths)
+		staged := s.rec.Paths()
+		s.recOffs = make([]int64, len(staged))
+		for i, p := range staged {
+			recSlot[p] = i
+		}
+	}
+	entries := make([]jsonEntry, len(need))
+	for i, c := range need {
+		path := t.Schema[c].Name
+		rec := -1
+		if ri, ok := recSlot[path]; ok {
+			rec = ri
+		}
+		switch t.Schema[c].Type {
+		case vector.Int64, vector.Float64:
+		default:
+			return nil, fmt.Errorf("jit: unsupported JSON column type %s", t.Schema[c].Type)
+		}
+		entries[i] = jsonEntry{path: path, slot: i, rec: rec, typ: t.Schema[c].Type}
+	}
+	m, nleaves, err := compileJSONMatcher(entries)
+	if err != nil {
+		return nil, err
+	}
+	s.matcher, s.nexpect = m, nleaves
+	return s, nil
+}
+
+// NewJSONMapScan generates a structural-index access path: for each
+// requested path the generator resolves, once, whether recorded value
+// offsets exist (jump straight to the value) or the row-start offsets must
+// be used (walk the object from the row start, recording the path's offsets
+// as a side effect — the adaptive population of the structural index).
+// Execution is column-at-a-time over each batch's row range.
+func NewJSONMapScan(data []byte, t *catalog.Table, need []int, idx *jsonidx.Index,
+	emitRID bool, batchSize int) (*JSONScan, error) {
+	if t.Format != catalog.JSON {
+		return nil, fmt.Errorf("jit: json scan got format %s", t.Format)
+	}
+	if idx == nil || idx.NRows() == 0 {
+		return nil, fmt.Errorf("jit: json map scan requires a populated structural index")
+	}
+	if batchSize <= 0 {
+		batchSize = vector.DefaultBatchSize
+	}
+	schema, err := scanSchema(t, need, emitRID)
+	if err != nil {
+		return nil, err
+	}
+	s := &JSONScan{
+		data:      data,
+		schema:    schema,
+		batchSize: batchSize,
+		nrows:     idx.NRows(),
+		emitRID:   emitRID,
+		ridSlot:   len(need),
+	}
+	s.out = vector.NewBatch(schema.Types(), batchSize)
+
+	// Declare the untracked paths up front so one recorder stages them all.
+	var newPaths []string
+	for _, c := range need {
+		if p := t.Schema[c].Name; !idx.Tracked(p) {
+			newPaths = append(newPaths, p)
+		}
+	}
+	if len(newPaths) > 0 {
+		s.adaptive = idx.Record(newPaths)
+	}
+	adaptSlot := make(map[string]int)
+	if s.adaptive != nil {
+		for i, p := range s.adaptive.Paths() {
+			adaptSlot[p] = i
+		}
+	}
+	for _, c := range need {
+		r, err := newJSONColReader(data, t, c, idx, s.adaptive, adaptSlot)
+		if err != nil {
+			return nil, err
+		}
+		s.readers = append(s.readers, r)
+	}
+	return s, nil
+}
+
+// newJSONColReader generates the reader for one column; which navigation it
+// uses (recorded offsets vs row-start walk) and which conversion applies are
+// resolved here, once, and captured as constants.
+func newJSONColReader(data []byte, t *catalog.Table, c int, idx *jsonidx.Index,
+	adaptive *jsonidx.Recorder, adaptSlot map[string]int) (jsonColReader, error) {
+	path := t.Schema[c].Name
+	typ := t.Schema[c].Type
+	if positions := idx.Positions(path); positions != nil {
+		switch typ {
+		case vector.Int64:
+			return func(rowStart, rowEnd int64, out *vector.Vector) error {
+				for _, p := range positions[rowStart:rowEnd] {
+					end := jsonfile.NumberEnd(data, int(p))
+					out.Int64s = append(out.Int64s, bytesconv.ParseInt64Fast(data[p:end]))
+				}
+				return nil
+			}, nil
+		case vector.Float64:
+			return func(rowStart, rowEnd int64, out *vector.Vector) error {
+				for _, p := range positions[rowStart:rowEnd] {
+					end := jsonfile.NumberEnd(data, int(p))
+					v, err := bytesconv.ParseFloat64(data[p:end])
+					if err != nil {
+						return fmt.Errorf("jit json map scan: %w", err)
+					}
+					out.Float64s = append(out.Float64s, v)
+				}
+				return nil
+			}, nil
+		default:
+			return nil, fmt.Errorf("jit: unsupported JSON column type %s", typ)
+		}
+	}
+	// Untracked path: walk from the recorded row starts, recording offsets.
+	segs := jsonfile.SplitPath(path)
+	ai := adaptSlot[path]
+	switch typ {
+	case vector.Int64, vector.Float64:
+	default:
+		return nil, fmt.Errorf("jit: unsupported JSON column type %s", typ)
+	}
+	isInt := typ == vector.Int64
+	return func(rowStart, rowEnd int64, out *vector.Vector) error {
+		for r := rowStart; r < rowEnd; r++ {
+			pos := jsonfile.FindPath(data, int(idx.RowStart(r)), segs)
+			if pos < 0 {
+				return fmt.Errorf("jit json map scan: row %d: path %q absent", r, path)
+			}
+			if adaptive != nil {
+				adaptive.AppendPathOffset(ai, int64(pos))
+			}
+			end := jsonfile.NumberEnd(data, pos)
+			if isInt {
+				v, err := bytesconv.ParseInt64(data[pos:end])
+				if err != nil {
+					return fmt.Errorf("jit json map scan: row %d path %q: %w", r, path, err)
+				}
+				out.Int64s = append(out.Int64s, v)
+			} else {
+				v, err := bytesconv.ParseFloat64(data[pos:end])
+				if err != nil {
+					return fmt.Errorf("jit json map scan: row %d path %q: %w", r, path, err)
+				}
+				out.Float64s = append(out.Float64s, v)
+			}
+		}
+		return nil
+	}, nil
+}
+
+// walkObject runs the compiled matcher over one object: every member either
+// hits a target (record offset, descend, or parse with the pre-resolved
+// conversion) or is skipped wholesale. It returns the position past the
+// object and the number of leaf targets found.
+func (s *JSONScan) walkObject(m *jsonMatcher, pos int) (int, int, error) {
+	data := s.data
+	pos, ok := jsonfile.EnterObject(data, pos)
+	if !ok {
+		return pos, 0, fmt.Errorf("jit json scan: row %d: expected object at offset %d", s.row, pos)
+	}
+	found := 0
+	for {
+		ks, ke, vpos, next, done, err := jsonfile.NextMember(data, pos)
+		if err != nil {
+			return pos, found, fmt.Errorf("jit json scan: row %d: %w", s.row, err)
+		}
+		if done {
+			return next, found, nil
+		}
+		key := data[ks:ke]
+		var tgt *jsonTarget
+		for i, k := range m.keys {
+			if bytes.Equal(k, key) {
+				tgt = m.tgts[i]
+				break
+			}
+		}
+		if tgt == nil {
+			pos = jsonfile.SkipValue(data, next)
+			continue
+		}
+		if tgt.rec >= 0 {
+			s.recOffs[tgt.rec] = int64(vpos)
+		}
+		if tgt.sub != nil {
+			var sub int
+			pos, sub, err = s.walkObject(tgt.sub, vpos)
+			if err != nil {
+				return pos, found, err
+			}
+			found += sub
+			continue
+		}
+		if tgt.slot < 0 {
+			found++
+			pos = jsonfile.SkipValue(data, next)
+			continue
+		}
+		end := jsonfile.NumberEnd(data, vpos)
+		switch tgt.typ {
+		case vector.Int64:
+			v, err := bytesconv.ParseInt64(data[vpos:end])
+			if err != nil {
+				return pos, found, fmt.Errorf("jit json scan: row %d key %q: %w", s.row, key, err)
+			}
+			s.out.Cols[tgt.slot].Int64s = append(s.out.Cols[tgt.slot].Int64s, v)
+		case vector.Float64:
+			v, err := bytesconv.ParseFloat64(data[vpos:end])
+			if err != nil {
+				return pos, found, fmt.Errorf("jit json scan: row %d key %q: %w", s.row, key, err)
+			}
+			s.out.Cols[tgt.slot].Float64s = append(s.out.Cols[tgt.slot].Float64s, v)
+		}
+		found++
+		pos = end
+	}
+}
+
+// Schema implements exec.Operator.
+func (s *JSONScan) Schema() vector.Schema { return s.schema }
+
+// Open implements exec.Operator.
+func (s *JSONScan) Open() error {
+	s.pos = 0
+	s.row = 0
+	return nil
+}
+
+// Next implements exec.Operator.
+func (s *JSONScan) Next() (*vector.Batch, error) {
+	s.out.Reset()
+	if s.readers != nil {
+		return s.nextViaMap()
+	}
+	return s.nextSequential()
+}
+
+func (s *JSONScan) nextSequential() (*vector.Batch, error) {
+	data := s.data
+	n := 0
+	for n < s.batchSize && s.pos < len(data) {
+		if data[s.pos] == '\n' {
+			s.pos++ // tolerate blank separator lines
+			continue
+		}
+		rowStart := s.pos
+		pos, found, err := s.walkObject(s.matcher, s.pos)
+		if err != nil {
+			return nil, err
+		}
+		if found != s.nexpect {
+			return nil, fmt.Errorf("jit json scan: row %d: %d of %d required paths present",
+				s.row, found, s.nexpect)
+		}
+		if s.rec != nil {
+			s.rec.AppendRow(int64(rowStart), s.recOffs)
+		}
+		if s.emitRID {
+			s.out.Cols[s.ridSlot].AppendInt64(s.row)
+		}
+		s.pos = jsonfile.NextRow(data, pos)
+		s.row++
+		n++
+	}
+	if s.pos >= len(data) && s.rec != nil && !s.committed {
+		s.rec.Commit()
+		s.committed = true
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	return s.out, nil
+}
+
+func (s *JSONScan) nextViaMap() (*vector.Batch, error) {
+	if s.row >= s.nrows {
+		return nil, nil
+	}
+	end := s.row + int64(s.batchSize)
+	if end > s.nrows {
+		end = s.nrows
+	}
+	for i, r := range s.readers {
+		if err := r(s.row, end, s.out.Cols[i]); err != nil {
+			return nil, err
+		}
+	}
+	if s.emitRID {
+		rid := s.out.Cols[s.ridSlot]
+		for i := s.row; i < end; i++ {
+			rid.AppendInt64(i)
+		}
+	}
+	s.row = end
+	if s.row >= s.nrows && s.adaptive != nil && !s.committed {
+		s.adaptive.Commit()
+		s.committed = true
+	}
+	return s.out, nil
+}
+
+// Close implements exec.Operator.
+func (s *JSONScan) Close() error { return nil }
+
+var _ exec.Operator = (*JSONScan)(nil)
+
+// NewJSONLateScan generates a column-shred access path over a JSONL file:
+// for each surviving row id it jumps via the structural index — straight to
+// the value for tracked paths, to the row start plus one object walk for
+// untracked ones.
+func NewJSONLateScan(child exec.Operator, data []byte, t *catalog.Table, cols []int,
+	idx *jsonidx.Index, ridIdx int) (*LateScan, error) {
+	if t.Format != catalog.JSON {
+		return nil, fmt.Errorf("jit: json late scan got format %s", t.Format)
+	}
+	if idx == nil || idx.NRows() == 0 {
+		return nil, fmt.Errorf("jit: json late scan requires a populated structural index")
+	}
+	s, err := newLateScan(child, ridIdx, t, cols)
+	if err != nil {
+		return nil, err
+	}
+	nrows := idx.NRows()
+	type jsonFetch struct {
+		slot int
+		fn   func(rid int64, out *vector.Vector) error
+	}
+	var fetchers []jsonFetch
+	for slot, c := range cols {
+		path := t.Schema[c].Name
+		typ := t.Schema[c].Type
+		positions := idx.Positions(path)
+		var segs []string
+		if positions == nil {
+			segs = jsonfile.SplitPath(path)
+		}
+		// locate resolves the value offset for one row with whichever
+		// navigation the generator chose above.
+		locate := func(rid int64) (int, error) {
+			if positions != nil {
+				return int(positions[rid]), nil
+			}
+			pos := jsonfile.FindPath(data, int(idx.RowStart(rid)), segs)
+			if pos < 0 {
+				return 0, fmt.Errorf("jit json late scan: row %d: path %q absent", rid, path)
+			}
+			return pos, nil
+		}
+		switch typ {
+		case vector.Int64:
+			fetchers = append(fetchers, jsonFetch{slot, func(rid int64, out *vector.Vector) error {
+				pos, err := locate(rid)
+				if err != nil {
+					return err
+				}
+				end := jsonfile.NumberEnd(data, pos)
+				v, err := bytesconv.ParseInt64(data[pos:end])
+				if err != nil {
+					return fmt.Errorf("jit json late scan: row %d path %q: %w", rid, path, err)
+				}
+				out.Int64s = append(out.Int64s, v)
+				return nil
+			}})
+		case vector.Float64:
+			fetchers = append(fetchers, jsonFetch{slot, func(rid int64, out *vector.Vector) error {
+				pos, err := locate(rid)
+				if err != nil {
+					return err
+				}
+				end := jsonfile.NumberEnd(data, pos)
+				v, err := bytesconv.ParseFloat64(data[pos:end])
+				if err != nil {
+					return fmt.Errorf("jit json late scan: row %d path %q: %w", rid, path, err)
+				}
+				out.Float64s = append(out.Float64s, v)
+				return nil
+			}})
+		default:
+			return nil, fmt.Errorf("jit: unsupported JSON column type %s", typ)
+		}
+	}
+	s.fetch = func(rids []int64, outs []*vector.Vector) error {
+		for _, f := range fetchers {
+			out := outs[f.slot]
+			for _, rid := range rids {
+				if rid < 0 || rid >= nrows {
+					return fmt.Errorf("jit: late scan row id %d out of range", rid)
+				}
+				if err := f.fn(rid, out); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return s, nil
+}

@@ -24,6 +24,10 @@ func (sp Spec) Source() string {
 		sp.emitCSVSequential(&b)
 	case sp.Format == catalog.CSV && (sp.Mode == ViaMap || sp.Mode == Late):
 		sp.emitCSVViaMap(&b)
+	case sp.Format == catalog.JSON && sp.Mode == Sequential:
+		sp.emitJSONSequential(&b)
+	case sp.Format == catalog.JSON && (sp.Mode == ViaMap || sp.Mode == Late):
+		sp.emitJSONViaMap(&b)
 	case sp.Format == catalog.Binary:
 		sp.emitBinary(&b)
 	case sp.Format == catalog.Root:
@@ -120,6 +124,76 @@ func (sp Spec) emitRoot(b *strings.Builder) {
 		fmt.Fprintf(b, "\tfor _, id := range ids {\n")
 		fmt.Fprintf(b, "\t\tcol%d.append(readROOTField(branchID%d, id))\n", c, c)
 		b.WriteString("\t}\n")
+	}
+	b.WriteString("}\n")
+}
+
+// pathOf returns the dotted field path of column c (JSON specs carry them;
+// other formats fall back to a positional name).
+func (sp Spec) pathOf(i int) string {
+	if i < len(sp.Paths) {
+		return sp.Paths[i]
+	}
+	return fmt.Sprintf("col%d", sp.Need[i])
+}
+
+func (sp Spec) emitJSONSequential(b *strings.Builder) {
+	trackSet := make(map[int]bool)
+	for _, c := range sp.PMBuild {
+		trackSet[c] = true
+	}
+	b.WriteString("func scan(data []byte) {\n")
+	b.WriteString("\tpos := 0\n")
+	b.WriteString("\tfor pos < len(data) { // per row; matcher tree compiled below\n")
+	b.WriteString("\t\tstructidx.rows.append(pos)\n")
+	b.WriteString("\t\tfor each member { // unmatched keys: skipValue\n")
+	for i, c := range sp.Need {
+		path := sp.pathOf(i)
+		if trackSet[c] {
+			fmt.Fprintf(b, "\t\t\tcase %q: structidx.path(%q).append(pos); col%d.append(%s(valueAt(data, pos)))\n",
+				path, path, c, convFn(sp.Types[c]))
+		} else {
+			fmt.Fprintf(b, "\t\t\tcase %q: col%d.append(%s(valueAt(data, pos)))\n",
+				path, c, convFn(sp.Types[c]))
+		}
+	}
+	b.WriteString("\t\t}\n")
+	if sp.EmitRID {
+		b.WriteString("\t\trid.append(row); row++\n")
+	}
+	b.WriteString("\t\tpos = nextRow(data, pos)\n")
+	b.WriteString("\t}\n}\n")
+}
+
+func (sp Spec) emitJSONViaMap(b *strings.Builder) {
+	trackSet := make(map[int]bool)
+	for _, c := range sp.PMRead {
+		trackSet[c] = true
+	}
+	b.WriteString("func scan(data []byte) {\n")
+	for i, c := range sp.Need {
+		path := sp.pathOf(i)
+		if trackSet[c] {
+			fmt.Fprintf(b, "\t// path %q via structural index (recorded value offsets)\n", path)
+			fmt.Fprintf(b, "\tfor _, pos := range structidx.path(%q).positions {\n", path)
+			fmt.Fprintf(b, "\t\tcol%d.append(%s(valueAt(data, pos)))\n", c, convFn(sp.Types[c]))
+			b.WriteString("\t}\n")
+		} else if sp.Mode == Late {
+			// Late scans visit only surviving rows, so the partial offsets
+			// they see are never committed to the index: walk, don't record.
+			fmt.Fprintf(b, "\t// path %q untracked: walk from each surviving row's start\n", path)
+			b.WriteString("\tfor _, rid := range rids {\n")
+			fmt.Fprintf(b, "\t\tpos := findPath(data, structidx.rows.positions[rid], %q)\n", path)
+			fmt.Fprintf(b, "\t\tcol%d.append(%s(valueAt(data, pos)))\n", c, convFn(sp.Types[c]))
+			b.WriteString("\t}\n")
+		} else {
+			fmt.Fprintf(b, "\t// path %q untracked: walk from row starts, record adaptively\n", path)
+			b.WriteString("\tfor _, pos := range structidx.rows.positions {\n")
+			fmt.Fprintf(b, "\t\tpos = findPath(data, pos, %q)\n", path)
+			fmt.Fprintf(b, "\t\tstructidx.path(%q).append(pos)\n", path)
+			fmt.Fprintf(b, "\t\tcol%d.append(%s(valueAt(data, pos)))\n", c, convFn(sp.Types[c]))
+			b.WriteString("\t}\n")
+		}
 	}
 	b.WriteString("}\n")
 }

@@ -68,11 +68,14 @@ type Spec struct {
 	Types []vector.Type
 	// Need lists the columns the operator materialises, in output order.
 	Need []int
-	// PMRead lists the tracked columns of the positional map consulted
-	// (ViaMap and Late over CSV).
+	// Paths lists the dotted field paths of the Need columns (JSON only;
+	// the path set is part of the generated code's identity there).
+	Paths []string
+	// PMRead lists the tracked columns of the positional map / structural
+	// index consulted (ViaMap and Late over CSV and JSON).
 	PMRead []int
 	// PMBuild lists the tracked columns recorded while scanning
-	// (Sequential over CSV).
+	// (Sequential over CSV and JSON).
 	PMBuild []int
 	// EmitRID indicates the hidden row-id column is appended.
 	EmitRID bool
@@ -87,5 +90,8 @@ func (sp Spec) Key() string {
 		fmt.Fprintf(&b, "%d,", uint8(t))
 	}
 	fmt.Fprintf(&b, "|n=%v|pr=%v|pb=%v|rid=%v", sp.Need, sp.PMRead, sp.PMBuild, sp.EmitRID)
+	if len(sp.Paths) > 0 {
+		fmt.Fprintf(&b, "|paths=%v", sp.Paths)
+	}
 	return b.String()
 }

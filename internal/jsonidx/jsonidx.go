@@ -1,0 +1,183 @@
+// Package jsonidx implements the structural index, the positional-map idea
+// of NoDB/RAW (package posmap) generalized to self-describing formats: an
+// index over the *structure* of a JSONL file rather than over its data.
+//
+// Where a CSV positional map records byte offsets of every K-th column —
+// columns have fixed ordinal positions, so a nearby anchor is always useful —
+// JSON objects carry their own field names and may order members freely, so
+// the index instead records, per row, the byte offset of each *path a query
+// actually touched* plus the offset of the row itself. Later queries over a
+// tracked path jump straight to its value; queries over an untracked path
+// jump to the row start, walk the object once, and record the new path's
+// offsets as a side effect (adaptive population, the same
+// query-work-becomes-index behaviour positional maps have). Tracked paths
+// are evicted least-recently-used beyond a budget, so the index stays
+// proportional to the working set of queried paths, not to the file's
+// vocabulary.
+package jsonidx
+
+import "sort"
+
+// DefaultMaxPaths bounds the tracked-path set of one index. The paper sizes
+// positional maps by column-sampling policy; for JSON the path working set
+// plays that role and an LRU budget keeps the footprint bounded.
+const DefaultMaxPaths = 64
+
+// Index is the structural index of one JSONL file. The engine serialises
+// queries per table, so (like posmap.Map) it is not internally locked.
+type Index struct {
+	rows  []int64            // byte offset of each row start
+	paths map[string][]int64 // tracked path -> per-row value offsets
+	use   map[string]int64   // logical access clock per path, for LRU
+	clock int64
+	max   int
+}
+
+// New returns an empty index; maxPaths <= 0 selects DefaultMaxPaths.
+func New(maxPaths int) *Index {
+	if maxPaths <= 0 {
+		maxPaths = DefaultMaxPaths
+	}
+	return &Index{
+		paths: make(map[string][]int64),
+		use:   make(map[string]int64),
+		max:   maxPaths,
+	}
+}
+
+// NRows returns the number of rows whose starts are recorded; 0 means the
+// index is unpopulated and a sequential scan must run first.
+func (x *Index) NRows() int64 { return int64(len(x.rows)) }
+
+// RowStart returns the byte offset of the given row.
+func (x *Index) RowStart(row int64) int64 { return x.rows[row] }
+
+// Tracked reports whether value offsets for the path are recorded.
+func (x *Index) Tracked(path string) bool {
+	_, ok := x.paths[path]
+	return ok
+}
+
+// TrackedPaths returns the tracked paths in sorted order.
+func (x *Index) TrackedPaths() []string {
+	out := make([]string, 0, len(x.paths))
+	for p := range x.paths {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Positions returns the per-row value offsets of a tracked path (nil if
+// untracked) and marks the path recently used. The slice is shared; callers
+// must not modify it.
+func (x *Index) Positions(path string) []int64 {
+	offs, ok := x.paths[path]
+	if !ok {
+		return nil
+	}
+	x.clock++
+	x.use[path] = x.clock
+	return offs
+}
+
+// MemoryFootprint returns the approximate byte size of the stored offsets.
+func (x *Index) MemoryFootprint() int64 {
+	n := int64(len(x.rows)) * 8
+	for _, offs := range x.paths {
+		n += int64(len(offs)) * 8
+	}
+	return n
+}
+
+// A Recorder stages structural observations made by one scan — row starts
+// and value offsets for a fixed set of paths — and installs them atomically
+// when the scan completes. Scans that fail mid-file therefore never leave a
+// partially populated index behind, and concurrent plan/execute interleaving
+// within one query never observes half-built state.
+type Recorder struct {
+	x     *Index
+	paths []string
+	rows  []int64
+	offs  [][]int64
+	// firstScan is true when the index had no rows yet: the recorder is then
+	// also responsible for committing row starts.
+	firstScan bool
+}
+
+// Record returns a recorder staging offsets for the given paths (paths
+// already tracked are skipped). Pass the paths in the order AppendRow will
+// supply offsets.
+func (x *Index) Record(paths []string) *Recorder {
+	r := &Recorder{x: x, firstScan: len(x.rows) == 0}
+	for _, p := range paths {
+		if x.Tracked(p) {
+			continue
+		}
+		r.paths = append(r.paths, p)
+		r.offs = append(r.offs, nil)
+	}
+	return r
+}
+
+// Paths returns the paths the recorder actually stages (tracked paths were
+// dropped), in AppendRow offset order.
+func (r *Recorder) Paths() []string { return r.paths }
+
+// AppendRow stages one row: its start offset and the value offsets of the
+// recorder's paths (aligned with Paths()).
+func (r *Recorder) AppendRow(rowStart int64, offs []int64) {
+	if r.firstScan {
+		r.rows = append(r.rows, rowStart)
+	}
+	for i, o := range offs {
+		r.offs[i] = append(r.offs[i], o)
+	}
+}
+
+// AppendPathOffset stages the next row's value offset for staged path i
+// (aligned with Paths()). Column-at-a-time scans that visit each path in an
+// independent pass use this instead of AppendRow; Commit still verifies that
+// every path saw every row.
+func (r *Recorder) AppendPathOffset(i int, off int64) {
+	r.offs[i] = append(r.offs[i], off)
+}
+
+// Commit installs the staged offsets into the index, evicting
+// least-recently-used paths beyond the budget. It is a no-op unless the
+// staged row count matches the index (guarding against partial scans).
+func (r *Recorder) Commit() {
+	x := r.x
+	if r.firstScan {
+		if len(r.rows) == 0 {
+			return
+		}
+		x.rows = r.rows
+	}
+	n := len(x.rows)
+	for i, p := range r.paths {
+		if len(r.offs[i]) != n {
+			continue // partial recording (e.g. errored scan): discard
+		}
+		x.clock++
+		x.paths[p] = r.offs[i]
+		x.use[p] = x.clock
+	}
+	x.evict()
+}
+
+// evict drops least-recently-used paths until the budget is met.
+func (x *Index) evict() {
+	for len(x.paths) > x.max {
+		var victim string
+		var oldest int64
+		first := true
+		for p, t := range x.use {
+			if first || t < oldest {
+				victim, oldest, first = p, t, false
+			}
+		}
+		delete(x.paths, victim)
+		delete(x.use, victim)
+	}
+}

@@ -1,0 +1,121 @@
+package jsonidx
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRecordCommitLookup(t *testing.T) {
+	x := New(0)
+	if x.NRows() != 0 || x.Tracked("a") {
+		t.Fatal("new index not empty")
+	}
+	rec := x.Record([]string{"a", "p.b"})
+	if !reflect.DeepEqual(rec.Paths(), []string{"a", "p.b"}) {
+		t.Fatalf("Paths = %v", rec.Paths())
+	}
+	for r := int64(0); r < 5; r++ {
+		rec.AppendRow(r*100, []int64{r*100 + 5, r*100 + 20})
+	}
+	rec.Commit()
+	if x.NRows() != 5 || x.RowStart(3) != 300 {
+		t.Fatalf("rows = %d start3 = %d", x.NRows(), x.RowStart(3))
+	}
+	if !x.Tracked("a") || !x.Tracked("p.b") || x.Tracked("z") {
+		t.Fatal("tracked set wrong")
+	}
+	if pos := x.Positions("p.b"); pos[4] != 420 {
+		t.Fatalf("p.b positions = %v", pos)
+	}
+	if x.Positions("z") != nil {
+		t.Fatal("untracked path returned positions")
+	}
+	if got := x.TrackedPaths(); !reflect.DeepEqual(got, []string{"a", "p.b"}) {
+		t.Fatalf("TrackedPaths = %v", got)
+	}
+	if x.MemoryFootprint() != (5+5+5)*8 {
+		t.Fatalf("footprint = %d", x.MemoryFootprint())
+	}
+}
+
+// TestAdaptiveExtension: a second scan over known rows adds a new path
+// without touching row starts; already-tracked paths are skipped.
+func TestAdaptiveExtension(t *testing.T) {
+	x := New(0)
+	rec := x.Record([]string{"a"})
+	for r := int64(0); r < 3; r++ {
+		rec.AppendRow(r*10, []int64{r*10 + 2})
+	}
+	rec.Commit()
+
+	rec2 := x.Record([]string{"a", "b"})
+	if !reflect.DeepEqual(rec2.Paths(), []string{"b"}) {
+		t.Fatalf("second recorder paths = %v", rec2.Paths())
+	}
+	for r := int64(0); r < 3; r++ {
+		rec2.AppendRow(r*10, []int64{r*10 + 7})
+	}
+	rec2.Commit()
+	if x.NRows() != 3 {
+		t.Fatalf("rows changed: %d", x.NRows())
+	}
+	if pos := x.Positions("b"); pos[2] != 27 {
+		t.Fatalf("b positions = %v", pos)
+	}
+}
+
+// TestPartialScanDiscarded: a recorder that saw fewer rows than the file
+// (errored scan) must not publish anything.
+func TestPartialScanDiscarded(t *testing.T) {
+	x := New(0)
+	rec := x.Record([]string{"a"})
+	rec.AppendRow(0, []int64{2})
+	rec.AppendRow(10, []int64{12})
+	rec.Commit()
+
+	rec2 := x.Record([]string{"b"})
+	rec2.AppendRow(0, []int64{5}) // only 1 of 2 rows
+	rec2.Commit()
+	if x.Tracked("b") {
+		t.Fatal("partial path recording was committed")
+	}
+
+	// Empty first scan leaves the index unpopulated.
+	y := New(0)
+	y.Record([]string{"a"}).Commit()
+	if y.NRows() != 0 {
+		t.Fatal("empty commit populated rows")
+	}
+}
+
+// TestLRUEviction: paths beyond the budget are evicted least-recently-used;
+// recently read paths survive.
+func TestLRUEviction(t *testing.T) {
+	x := New(3)
+	commit := func(path string, val int64) {
+		rec := x.Record([]string{path})
+		rec.AppendRow(0, []int64{val})
+		rec.Commit()
+	}
+	commit("p0", 0)
+	commit("p1", 1)
+	commit("p2", 2)
+	x.Positions("p0") // touch p0: p1 becomes LRU
+	commit("p3", 3)
+	if x.Tracked("p1") {
+		t.Fatal("LRU path p1 survived eviction")
+	}
+	for _, p := range []string{"p0", "p2", "p3"} {
+		if !x.Tracked(p) {
+			t.Fatalf("path %s evicted unexpectedly", p)
+		}
+	}
+	// Hammer more paths: the budget holds.
+	for i := 4; i < 20; i++ {
+		commit(fmt.Sprintf("p%d", i), int64(i))
+	}
+	if len(x.TrackedPaths()) != 3 {
+		t.Fatalf("tracked = %v", x.TrackedPaths())
+	}
+}

@@ -344,14 +344,23 @@ func (p *parser) parseRef() (Ref, error) {
 	if p.tok.kind != tokDot {
 		return Ref{Column: first}, nil
 	}
-	if err := p.advance(); err != nil {
-		return Ref{}, err
+	// Consume every further dotted segment: "t.col", but also nested JSON
+	// paths like "payload.energy" or "t.payload.energy" — the analyzer
+	// decides whether the head is a table alias or the first path segment.
+	var segs []string
+	for p.tok.kind == tokDot {
+		if err := p.advance(); err != nil {
+			return Ref{}, err
+		}
+		if p.tok.kind != tokIdent {
+			return Ref{}, p.errf("expected column after '.'")
+		}
+		segs = append(segs, p.tok.text)
+		if err := p.advance(); err != nil {
+			return Ref{}, err
+		}
 	}
-	if p.tok.kind != tokIdent {
-		return Ref{}, p.errf("expected column after '.'")
-	}
-	ref := Ref{Table: first, Column: p.tok.text}
-	return ref, p.advance()
+	return Ref{Table: first, Column: strings.Join(segs, ".")}, nil
 }
 
 func (p *parser) parsePred() (Pred, error) {

@@ -151,3 +151,24 @@ func TestParseCaseInsensitiveKeywords(t *testing.T) {
 		t.Fatalf("q = %+v", q)
 	}
 }
+
+func TestParseNestedDottedRef(t *testing.T) {
+	// Two segments: classic table.column — unchanged.
+	q := mustParse(t, "SELECT t.col1 FROM t")
+	if q.Items[0].Ref.Table != "t" || q.Items[0].Ref.Column != "col1" {
+		t.Fatalf("ref = %+v", q.Items[0].Ref)
+	}
+	// Three and four segments: nested JSON paths; the head stays in Table
+	// and the analyzer decides whether it is an alias or a path segment.
+	q = mustParse(t, "SELECT MAX(payload.cells.n) FROM ev WHERE ev.payload.energy < 2.5")
+	if r := q.Items[0].Ref; r.Table != "payload" || r.Column != "cells.n" {
+		t.Fatalf("item ref = %+v", r)
+	}
+	if r := q.Preds[0].Left; r.Table != "ev" || r.Column != "payload.energy" {
+		t.Fatalf("pred ref = %+v", r)
+	}
+	// Trailing dot stays an error.
+	if _, err := Parse("SELECT a. FROM t"); err == nil {
+		t.Fatal("expected error for trailing dot")
+	}
+}

@@ -132,7 +132,7 @@ func (w *Writer) WriteRow(ints []int64, floats []float64) error {
 			w.buf = bytesconv.AppendInt64(w.buf, ints[ii])
 			ii++
 		case vector.Float64:
-			w.buf = appendFloat(w.buf, floats[fi])
+			w.buf = bytesconv.AppendFloat6(w.buf, floats[fi])
 			fi++
 		default:
 			return fmt.Errorf("csvfile: unsupported column type %s", t)
@@ -149,23 +149,3 @@ func (w *Writer) Rows() int64 { return w.rows }
 
 // Flush flushes buffered output.
 func (w *Writer) Flush() error { return w.bw.Flush() }
-
-// appendFloat formats f with six fractional digits, the generator encoding
-// ParseFloat64 is tested against.
-func appendFloat(dst []byte, f float64) []byte {
-	if f < 0 {
-		dst = append(dst, '-')
-		f = -f
-	}
-	ip := int64(f)
-	dst = bytesconv.AppendInt64(dst, ip)
-	dst = append(dst, '.')
-	frac := int64((f - float64(ip)) * 1e6)
-	// Zero-pad to six digits.
-	div := int64(100000)
-	for div > 0 {
-		dst = append(dst, byte('0'+(frac/div)%10))
-		div /= 10
-	}
-	return dst
-}

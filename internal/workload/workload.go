@@ -22,6 +22,7 @@ import (
 	"rawdb/internal/catalog"
 	"rawdb/internal/storage/binfile"
 	"rawdb/internal/storage/csvfile"
+	"rawdb/internal/storage/jsonfile"
 	"rawdb/internal/vector"
 )
 
@@ -35,11 +36,14 @@ const NarrowCols = 30
 // WideCols is the column count of the wide table.
 const WideCols = 120
 
-// Dataset is one generated table in both raw representations.
+// Dataset is one generated table in its raw representations. JSONL is
+// populated by Narrow and Events (the generators backing the JSON adapter's
+// parity tests and benchmarks); Bin by the fixed-width generators.
 type Dataset struct {
 	Schema []catalog.Column
 	CSV    []byte
 	Bin    []byte
+	JSONL  []byte
 	Rows   int
 }
 
@@ -53,18 +57,25 @@ func (d *Dataset) Table(name string, format catalog.Format) *catalog.Table {
 	return &catalog.Table{Name: name, Format: format, Schema: d.Schema}
 }
 
-// Narrow generates the 30-integer-column table with the given row count.
+// Narrow generates the 30-integer-column table with the given row count, in
+// CSV, binary and flat JSONL form (identical rows across all three).
 func Narrow(rows int, seed int64) (*Dataset, error) {
 	types := make([]vector.Type, NarrowCols)
 	schema := make([]catalog.Column, NarrowCols)
+	fields := make([]jsonfile.Field, NarrowCols)
 	for c := 0; c < NarrowCols; c++ {
 		types[c] = vector.Int64
 		schema[c] = catalog.Column{Name: ColumnName(c), Type: vector.Int64}
+		fields[c] = jsonfile.Field{Path: ColumnName(c), Type: vector.Int64}
 	}
 	rng := rand.New(rand.NewSource(seed))
-	var cbuf, bbuf bytes.Buffer
+	var cbuf, bbuf, jbuf bytes.Buffer
 	cw := csvfile.NewWriter(&cbuf, types)
 	bw, err := binfile.NewWriter(&bbuf, types, int64(rows))
+	if err != nil {
+		return nil, err
+	}
+	jw, err := jsonfile.NewWriter(&jbuf, fields)
 	if err != nil {
 		return nil, err
 	}
@@ -79,6 +90,9 @@ func Narrow(rows int, seed int64) (*Dataset, error) {
 		if err := bw.WriteRow(row, nil); err != nil {
 			return nil, err
 		}
+		if err := jw.WriteRow(row, nil); err != nil {
+			return nil, err
+		}
 	}
 	if err := cw.Flush(); err != nil {
 		return nil, err
@@ -86,7 +100,61 @@ func Narrow(rows int, seed int64) (*Dataset, error) {
 	if err := bw.Close(); err != nil {
 		return nil, err
 	}
-	return &Dataset{Schema: schema, CSV: cbuf.Bytes(), Bin: bbuf.Bytes(), Rows: rows}, nil
+	if err := jw.Flush(); err != nil {
+		return nil, err
+	}
+	return &Dataset{Schema: schema, CSV: cbuf.Bytes(), Bin: bbuf.Bytes(),
+		JSONL: jbuf.Bytes(), Rows: rows}, nil
+}
+
+// EventCols is the schema of the Events dataset: flat ids plus leaves nested
+// under "payload". CSV columns carry the same dotted names, so the two
+// representations hold identical rows under identical schemas.
+var EventCols = []catalog.Column{
+	{Name: "id", Type: vector.Int64},
+	{Name: "run", Type: vector.Int64},
+	{Name: "payload.energy", Type: vector.Float64},
+	{Name: "payload.eta", Type: vector.Float64},
+	{Name: "payload.ncells", Type: vector.Int64},
+}
+
+// Events generates a nested semi-structured dataset in JSONL and CSV form:
+// one event object per row with a nested "payload" object, the workload
+// shape of the JSON adapter's parity tests and demos.
+func Events(rows int, seed int64) (*Dataset, error) {
+	types := make([]vector.Type, len(EventCols))
+	fields := make([]jsonfile.Field, len(EventCols))
+	for i, c := range EventCols {
+		types[i] = c.Type
+		fields[i] = jsonfile.Field{Path: c.Name, Type: c.Type}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var cbuf, jbuf bytes.Buffer
+	cw := csvfile.NewWriter(&cbuf, types)
+	jw, err := jsonfile.NewWriter(&jbuf, fields)
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < rows; r++ {
+		ints := []int64{int64(r), rng.Int63n(100), rng.Int63n(64)}
+		floats := []float64{
+			float64(rng.Int63n(ValueRange)) / 1024,
+			float64(rng.Int63n(5000))/1000 - 2.5,
+		}
+		if err := cw.WriteRow(ints, floats); err != nil {
+			return nil, err
+		}
+		if err := jw.WriteRow(ints, floats); err != nil {
+			return nil, err
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		return nil, err
+	}
+	if err := jw.Flush(); err != nil {
+		return nil, err
+	}
+	return &Dataset{Schema: EventCols, CSV: cbuf.Bytes(), JSONL: jbuf.Bytes(), Rows: rows}, nil
 }
 
 // Wide generates the 120-column mixed int/float table. Odd columns (col2,

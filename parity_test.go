@@ -1,0 +1,107 @@
+// Format-parity suite: every query must return byte-identical results over
+// CSV and JSONL serialisations of the same rows, cold (first query over the
+// raw file) and warm (positional map / structural index and column shreds
+// populated). This is the correctness contract of the adaptive machinery:
+// however a format's access paths navigate, the answers never change.
+package raw_test
+
+import (
+	"fmt"
+	"testing"
+
+	"rawdb"
+	"rawdb/internal/workload"
+)
+
+// parityQueries is the shared suite run over both formats of a dataset.
+func parityQueries(cols []string) []string {
+	x := workload.Threshold(0.4)
+	return []string{
+		fmt.Sprintf("SELECT COUNT(*) FROM t WHERE %s >= 0", cols[0]),
+		fmt.Sprintf("SELECT MAX(%s) FROM t WHERE %s < %d", cols[1], cols[0], x),
+		fmt.Sprintf("SELECT MIN(%s), MAX(%s), COUNT(*) FROM t WHERE %s >= %d",
+			cols[2], cols[1], cols[0], x/2),
+		fmt.Sprintf("SELECT SUM(%s) FROM t WHERE %s < %d AND %s >= 0",
+			cols[2], cols[0], x, cols[1]),
+		fmt.Sprintf("SELECT %s FROM t WHERE %s < %d", cols[1], cols[0], workload.Threshold(0.02)),
+	}
+}
+
+func runParity(t *testing.T, label string, csvData, jsonData []byte,
+	schema []raw.Column, queries []string) {
+	t.Helper()
+	engCSV := raw.NewEngine(raw.Config{})
+	if err := engCSV.RegisterCSVData("t", csvData, schema); err != nil {
+		t.Fatal(err)
+	}
+	engJSON := raw.NewEngine(raw.Config{})
+	if err := engJSON.RegisterJSONData("t", jsonData, schema); err != nil {
+		t.Fatal(err)
+	}
+	// Two rounds: round 0 runs cold (building maps/indexes and capturing
+	// shreds), round 1 re-runs the full suite warm over the populated caches.
+	for round := 0; round < 2; round++ {
+		for qi, q := range queries {
+			rc, err := engCSV.Query(q)
+			if err != nil {
+				t.Fatalf("%s round %d csv %q: %v", label, round, q, err)
+			}
+			rj, err := engJSON.Query(q)
+			if err != nil {
+				t.Fatalf("%s round %d json %q: %v", label, round, q, err)
+			}
+			if rc.NumRows() != rj.NumRows() || len(rc.Columns) != len(rj.Columns) {
+				t.Fatalf("%s round %d query %d: shape %dx%d (csv) vs %dx%d (json)",
+					label, round, qi, rc.NumRows(), len(rc.Columns), rj.NumRows(), len(rj.Columns))
+			}
+			for c := range rc.Columns {
+				if rc.Columns[c] != rj.Columns[c] || rc.Types[c] != rj.Types[c] {
+					t.Fatalf("%s round %d query %d: column %d metadata differs", label, round, qi, c)
+				}
+			}
+			for r := 0; r < rc.NumRows(); r++ {
+				for c := range rc.Columns {
+					if rc.Value(r, c) != rj.Value(r, c) {
+						t.Fatalf("%s round %d query %d (%s): cell (%d,%d): csv=%v json=%v",
+							label, round, qi, q, r, c, rc.Value(r, c), rj.Value(r, c))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFormatParityNarrow runs the suite over the flat 30-column table.
+func TestFormatParityNarrow(t *testing.T) {
+	ds, err := workload.Narrow(3000, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := make([]raw.Column, len(ds.Schema))
+	cols := make([]string, len(ds.Schema))
+	for i, c := range ds.Schema {
+		schema[i] = raw.Column{Name: c.Name, Type: c.Type}
+		cols[i] = c.Name
+	}
+	runParity(t, "narrow", ds.CSV, ds.JSONL, schema, parityQueries(cols[:3]))
+}
+
+// TestFormatParityEvents runs the suite over the nested events table, where
+// the JSON side navigates into the "payload" object while the CSV side reads
+// flat columns carrying the same dotted names.
+func TestFormatParityEvents(t *testing.T) {
+	ds, err := workload.Events(2500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := make([]raw.Column, len(ds.Schema))
+	for i, c := range ds.Schema {
+		schema[i] = raw.Column{Name: c.Name, Type: c.Type}
+	}
+	queries := parityQueries([]string{"id", "payload.energy", "payload.ncells"})
+	queries = append(queries,
+		"SELECT run, COUNT(*) FROM t WHERE payload.eta >= 0.0 GROUP BY run",
+		"SELECT MAX(payload.energy) FROM t WHERE payload.ncells >= 32 AND run < 50",
+	)
+	runParity(t, "events", ds.CSV, ds.JSONL, schema, queries)
+}

@@ -3,11 +3,12 @@
 // Processing on RAW Data" (Karpathiotakis, Branco, Alagiannis, Ailamaki,
 // PVLDB 7(12), 2014).
 //
-// Register raw files (CSV, fixed-width binary, or a ROOT-like scientific
-// format) under table names and query them with SQL. No loading step occurs:
-// the engine generates Just-In-Time access paths per file format and query,
-// builds positional maps over textual files as a side effect of execution,
-// and caches column shreds — exactly the fragments of columns past queries
+// Register raw files (CSV, newline-delimited JSON, fixed-width binary, or a
+// ROOT-like scientific format) under table names and query them with SQL. No
+// loading step occurs: the engine generates Just-In-Time access paths per
+// file format and query, builds positional maps (and, for JSON, structural
+// indexes over the touched field paths) as a side effect of execution, and
+// caches column shreds — exactly the fragments of columns past queries
 // touched — so repeated analysis approaches in-memory DBMS speed without
 // ever ingesting the data.
 //
@@ -17,6 +18,15 @@
 //		{Name: "energy", Type: raw.Float64},
 //	})
 //	res, err := eng.Query("SELECT MAX(energy) FROM events WHERE id < 1000")
+//
+// JSON tables declare only the dotted paths queries touch (a partial schema,
+// like ROOT tables), and those paths are usable directly in SQL:
+//
+//	_ = eng.RegisterJSON("hits", "hits.jsonl", []raw.Column{
+//		{Name: "id", Type: raw.Int64},
+//		{Name: "payload.energy", Type: raw.Float64},
+//	})
+//	res, err = eng.Query("SELECT MAX(payload.energy) FROM hits WHERE id < 1000")
 //
 // The engine also implements the paper's comparison points — a load-first
 // DBMS, external tables and generic NoDB-style in-situ scans — selectable
@@ -154,6 +164,22 @@ func (e *Engine) RegisterCSV(name, path string, schema []Column) error {
 // RegisterCSVData registers an in-memory CSV image.
 func (e *Engine) RegisterCSVData(name string, data []byte, schema []Column) error {
 	return e.e.RegisterCSVData(name, data, cols(schema))
+}
+
+// RegisterJSON registers a newline-delimited JSON file (one object per
+// line) as a queryable table. The schema is partial: each column names a
+// dotted path into the objects (e.g. "payload.energy"), and only declared
+// paths are visible — files with arbitrarily rich objects need not be
+// described in full. Registration only records metadata; the file is read
+// lazily by the first query, which also builds a structural index over the
+// touched paths so later queries jump straight to the needed fields.
+func (e *Engine) RegisterJSON(name, path string, schema []Column) error {
+	return e.e.RegisterJSON(name, path, cols(schema))
+}
+
+// RegisterJSONData registers an in-memory JSONL image.
+func (e *Engine) RegisterJSONData(name string, data []byte, schema []Column) error {
+	return e.e.RegisterJSONData(name, data, cols(schema))
 }
 
 // RegisterBinary registers a fixed-width binary file (see package
