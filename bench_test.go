@@ -508,6 +508,55 @@ func BenchmarkJSONAdapter_Nested_Warm(b *testing.B) {
 	}
 }
 
+// --- Morsel-driven parallel scans -------------------------------------------
+//
+// Cold aggregate scans over the narrow table with the worker count swept:
+// each iteration builds a fresh engine (no positional map, no shreds), so
+// the measurement covers the tokenize/parse/convert work the morsel workers
+// split. Speedup over workers=1 tracks available cores (near-linear on
+// multicore hosts; ~1x when GOMAXPROCS=1).
+
+func benchParallelScan(b *testing.B, format string, workers int) {
+	ds := narrow(b)
+	rawBytes := ds.CSV
+	if format == "json" {
+		rawBytes = ds.JSONL
+	}
+	q := "SELECT MIN(col1), MAX(col1), COUNT(*) FROM t WHERE col1 >= 0"
+	b.SetBytes(int64(len(rawBytes)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := engine.New(engine.Config{
+			Strategy:          engine.StrategyJIT,
+			PosMapPolicy:      posmap.Policy{EveryK: 10},
+			Parallelism:       workers,
+			DisableShredCache: true,
+		})
+		var err error
+		if format == "csv" {
+			err = e.RegisterCSVData("t", ds.CSV, ds.Schema)
+		} else {
+			err = e.RegisterJSONData("t", ds.JSONL, ds.Schema)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		mustQuery(b, e, q)
+	}
+}
+
+func BenchmarkParallelScanCSV(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchParallelScan(b, "csv", w) })
+	}
+}
+
+func BenchmarkParallelScanJSON(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchParallelScan(b, "json", w) })
+	}
+}
+
 // --- Shred cache: warm repeated query (the RAW warm-path effect) -----------
 
 func BenchmarkShredCacheWarm(b *testing.B) {

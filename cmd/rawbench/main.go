@@ -20,12 +20,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig1a, fig1b, fig2, fig3, fig5, fig6, table2, fig7, fig8, fig9, fig11, fig12, table3, json) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (fig1a, fig1b, fig2, fig3, fig5, fig6, table2, fig7, fig8, fig9, fig11, fig12, table3, json, parallel) or 'all'")
 	rows := flag.Int("rows", 0, "narrow-table rows (default 100000)")
 	wideRows := flag.Int("wide-rows", 0, "wide-table rows (default 20000)")
 	joinRows := flag.Int("join-rows", 0, "join-table rows (default 50000)")
 	higgsEvents := flag.Int("higgs-events", 0, "Higgs events (default 30000)")
 	repeats := flag.Int("repeats", 0, "timed repeats per point, min kept (default 2)")
+	workers := flag.Int("workers", 0, "max morsel-parallel workers swept by the parallel experiment (default 8)")
 	compileDelay := flag.Duration("compile-delay", 0, "simulated access-path compile latency (e.g. 2s) charged to first queries")
 	md := flag.Bool("md", false, "emit markdown tables")
 	flag.Parse()
@@ -36,6 +37,7 @@ func main() {
 		JoinRows:     *joinRows,
 		HiggsEvents:  *higgsEvents,
 		Repeats:      *repeats,
+		Workers:      *workers,
 		CompileDelay: *compileDelay,
 	}
 

@@ -13,6 +13,7 @@
 //	rawql -json ev=events.jsonl -q "SELECT MAX(payload.energy) FROM ev WHERE id < 1000"
 //	rawql -root events.root -q "SELECT COUNT(*) FROM events WHERE runNumber < 5"
 //	rawql -csv t=data.csv -strategy insitu -explain -q "..."
+//	rawql -csv t=data.csv -workers 8 -q "SELECT COUNT(*) FROM t WHERE col1 < 500000000"
 package main
 
 import (
@@ -43,16 +44,17 @@ func main() {
 	flag.Var(&roots, "root", "register every tree of a root-like file (path; tree names become table names; repeatable)")
 	query := flag.String("q", "", "SQL query to run")
 	strategy := flag.String("strategy", "shreds", "access strategy: shreds, jit, insitu, external, dbms")
+	workers := flag.Int("workers", 1, "morsel-parallel scan workers (<=1 serial; joins and other ineligible plans fall back to serial automatically)")
 	explain := flag.Bool("explain", false, "print the physical plan instead of executing")
 	flag.Parse()
 
-	if err := run(csvs, bins, jsons, roots, *query, *strategy, *explain); err != nil {
+	if err := run(csvs, bins, jsons, roots, *query, *strategy, *workers, *explain); err != nil {
 		fmt.Fprintln(os.Stderr, "rawql:", err)
 		os.Exit(1)
 	}
 }
 
-func run(csvs, bins, jsons, roots []string, query, strategy string, explain bool) error {
+func run(csvs, bins, jsons, roots []string, query, strategy string, workers int, explain bool) error {
 	if query == "" {
 		return fmt.Errorf("no query; pass -q \"SELECT ...\"")
 	}
@@ -60,7 +62,7 @@ func run(csvs, bins, jsons, roots []string, query, strategy string, explain bool
 	if err != nil {
 		return err
 	}
-	eng := raw.NewEngine(raw.Config{Strategy: strat})
+	eng := raw.NewEngine(raw.Config{Strategy: strat, Parallelism: workers})
 
 	for _, spec := range csvs {
 		name, path, err := splitSpec(spec)

@@ -105,6 +105,10 @@ type Config struct {
 	PosMapPolicy posmap.Policy
 	// BatchSize is the vector size exchanged between operators.
 	BatchSize int
+	// Parallelism is the number of worker goroutines eligible queries fan
+	// out over (morsel-driven parallel scans). Values <= 1 keep every query
+	// on the serial plan; see planParallel for the fallback rules.
+	Parallelism int
 	// ShredCapacityBytes bounds the column-shred pool (default 256 MiB).
 	ShredCapacityBytes int64
 	// CompileDelay simulates the one-time cost of compiling a generated
@@ -127,6 +131,9 @@ type Options struct {
 	Strategy          *Strategy
 	JoinPlacement     *JoinPlacement
 	MultiColumnShreds *bool
+	// Parallelism overrides Config.Parallelism for this query (<= 1 forces
+	// the serial plan).
+	Parallelism *int
 }
 
 // Engine is a RAW query engine instance.

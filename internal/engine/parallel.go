@@ -1,0 +1,747 @@
+package engine
+
+import (
+	"fmt"
+
+	"rawdb/internal/catalog"
+	"rawdb/internal/exec"
+	"rawdb/internal/insitu"
+	"rawdb/internal/jit"
+	"rawdb/internal/jsonidx"
+	"rawdb/internal/posmap"
+	"rawdb/internal/shred"
+	"rawdb/internal/storage/csvfile"
+	"rawdb/internal/storage/jsonfile"
+	"rawdb/internal/vector"
+)
+
+// morselsPerWorker oversubscribes the morsel count so slow morsels (denser
+// rows, colder cache lines) do not leave workers idle at the tail.
+const morselsPerWorker = 2
+
+// planParallel attempts the morsel-driven parallel plan: the raw file is cut
+// into record-aligned morsels, a cloned scan → filter (→ partial aggregate)
+// pipeline runs per morsel on a worker pool (exec.Parallel), and merge
+// operators above the exchange — ordered concatenation for plain queries, a
+// final combining aggregate for grouped/aggregate ones — reproduce the
+// serial plan's output byte for byte.
+//
+// ok is false when the query must fall back to the serial plan: joins, HAVING
+// (its hidden aggregates complicate the partial/final split), AVG and SUM
+// over DOUBLE columns (merging partials would re-associate floating-point
+// addition and change result bits), ROOT tables (library-paced access), a
+// partially cached column set (late materialization), and queries whose file
+// yields fewer than two morsels.
+func (pc *planCtx) planParallel(r *resolvedQuery) (exec.Operator, bool, error) {
+	if r.join != nil || len(r.tables) != 1 || len(r.having) > 0 {
+		return nil, false, nil
+	}
+	st := r.tables[0].st
+	tab := st.tab
+
+	hasAgg := false
+	for _, it := range r.items {
+		if !it.isAgg {
+			continue
+		}
+		hasAgg = true
+		if it.agg == exec.Avg {
+			return nil, false, nil
+		}
+		if it.agg == exec.Sum && !it.star && tab.Schema[it.ref.col].Type == vector.Float64 {
+			return nil, false, nil
+		}
+	}
+	if !hasAgg && len(r.groupBy) > 0 {
+		return nil, false, nil // bare GROUP BY projections stay serial
+	}
+
+	filterCols, outputCols := r.neededColumns()
+	cols := append(append([]int{}, filterCols[0]...), outputCols[0]...)
+	sortInts(cols)
+	if len(cols) == 0 {
+		if !hasAgg {
+			return nil, false, nil
+		}
+		// Unfiltered COUNT(*): materialise one column so morsel batches
+		// carry a row count (zero-column scans cannot).
+		cols = []int{0}
+	}
+
+	parts, done, ok, err := pc.morselScans(r, cols)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+
+	// Shared column layout of every morsel pipeline: cols in sorted order.
+	needSlot := make(map[int]int, len(cols))
+	for i, c := range cols {
+		needSlot[c] = i
+	}
+
+	// Clone the filter onto each morsel pipeline.
+	var eps []exec.Pred
+	for _, bp := range r.filters[0] {
+		slot, ok := needSlot[bp.col]
+		if !ok {
+			return nil, false, fmt.Errorf("engine: internal: parallel filter column %d not materialised", bp.col)
+		}
+		eps = append(eps, exec.Pred{Col: slot, Op: bp.op, I64: bp.i64, F64: bp.f64})
+	}
+	for i, part := range parts {
+		if len(eps) > 0 {
+			f, err := exec.NewFilter(part, eps)
+			if err != nil {
+				return nil, false, err
+			}
+			parts[i] = f
+		}
+	}
+
+	bs := pc.e.cfg.BatchSize
+	if !hasAgg {
+		par, err := exec.NewParallel(parts, pc.workers, bs, done)
+		if err != nil {
+			return nil, false, err
+		}
+		p := &pipe{op: par, pos: make(map[boundRef]int), rid: map[int]int{0: -1}}
+		for i, c := range cols {
+			p.pos[boundRef{0, c}] = i
+		}
+		op, err := pc.finish(r, p)
+		if err != nil {
+			return nil, false, err
+		}
+		return op, true, nil
+	}
+
+	op, err := pc.finishParallelAgg(r, parts, needSlot, done)
+	if err != nil {
+		return nil, false, err
+	}
+	return op, true, nil
+}
+
+// finishParallelAgg splits aggregation into a per-morsel partial aggregate
+// and a final combining aggregate above the exchange. COUNT partials merge
+// by summation; MIN/MAX/SUM merge by re-applying the same function (exact
+// for integers, and for float MIN/MAX). Group keys stay in first-encounter
+// order because morsels partition the file in order and the exchange replays
+// partial outputs in morsel order.
+func (pc *planCtx) finishParallelAgg(r *resolvedQuery, parts []exec.Operator,
+	needSlot map[int]int, done func() error) (exec.Operator, error) {
+	groupIdx := make([]int, len(r.groupBy))
+	for i, g := range r.groupBy {
+		slot, ok := needSlot[g.col]
+		if !ok {
+			return nil, fmt.Errorf("engine: internal: parallel group column %d not materialised", g.col)
+		}
+		groupIdx[i] = slot
+	}
+
+	// Deduplicate aggregate specs exactly like the serial finish() so the
+	// output layout (groups first, then specs in first-use order) matches.
+	var specs []exec.AggSpec
+	addSpec := func(it boundItem) int {
+		col := -1
+		if !it.star {
+			col = needSlot[it.ref.col]
+		}
+		for si, s := range specs {
+			if s.Func == it.agg && s.Col == col {
+				return len(r.groupBy) + si
+			}
+		}
+		specs = append(specs, exec.AggSpec{Func: it.agg, Col: col, As: it.name})
+		return len(r.groupBy) + len(specs) - 1
+	}
+	aggOut := make([]int, len(r.items))
+	for i, it := range r.items {
+		if !it.isAgg {
+			for gi, g := range r.groupBy {
+				if g == it.ref {
+					aggOut[i] = gi
+				}
+			}
+			continue
+		}
+		aggOut[i] = addSpec(it)
+	}
+
+	// Ungrouped partials emit one row even when their morsel filtered down
+	// to nothing (COUNT = 0 with identity-less zero aggregates); those rows
+	// must not feed MIN/MAX/SUM merging. Reuse a requested COUNT as the
+	// guard, or stage a hidden one, and filter empty partials out. Grouped
+	// partials only emit groups that saw rows, so no guard is needed there.
+	partialSpecs := specs
+	guardIdx := -1
+	if len(groupIdx) == 0 {
+		for si, s := range specs {
+			if s.Func == exec.Count {
+				guardIdx = si
+				break
+			}
+		}
+		if guardIdx < 0 {
+			partialSpecs = append(append([]exec.AggSpec{}, specs...),
+				exec.AggSpec{Func: exec.Count, Col: -1, As: "#partial_rows"})
+			guardIdx = len(partialSpecs) - 1
+		}
+	}
+
+	for i, part := range parts {
+		agg, err := exec.NewAggregate(part, partialSpecs, groupIdx)
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = agg
+	}
+	par, err := exec.NewParallel(parts, pc.workers, pc.e.cfg.BatchSize, done)
+	if err != nil {
+		return nil, err
+	}
+	var child exec.Operator = par
+	if guardIdx >= 0 {
+		f, err := exec.NewFilter(child, []exec.Pred{{Col: guardIdx, Op: exec.Gt, I64: 0}})
+		if err != nil {
+			return nil, err
+		}
+		child = f
+	}
+
+	finalGroup := make([]int, len(groupIdx))
+	for i := range finalGroup {
+		finalGroup[i] = i
+	}
+	finalSpecs := make([]exec.AggSpec, len(specs))
+	for si, s := range specs {
+		fn := s.Func
+		if fn == exec.Count {
+			fn = exec.Sum // total count = sum of partial counts
+		}
+		finalSpecs[si] = exec.AggSpec{Func: fn, Col: len(groupIdx) + si, As: s.As}
+	}
+	fagg, err := exec.NewAggregate(child, finalSpecs, finalGroup)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(r.items))
+	for i, it := range r.items {
+		names[i] = it.name
+	}
+	return exec.NewProject(fagg, aggOut, names)
+}
+
+// morselScans builds one base scan per morsel materialising cols (sorted),
+// plus the merge-on-completion hook that publishes per-morsel cache
+// fragments (positional map, structural index, captured column shreds) once
+// every worker finished. ok is false when this strategy × format × cache
+// state has no parallel form and the serial plan must run.
+func (pc *planCtx) morselScans(r *resolvedQuery, cols []int) (parts []exec.Operator, done func() error, ok bool, err error) {
+	st := r.tables[0].st
+	tab := st.tab
+	bs := pc.e.cfg.BatchSize
+	nm := pc.workers * morselsPerWorker
+
+	// Memory tables and the loaded-DBMS baseline scan row ranges of resident
+	// vectors.
+	if tab.Format == catalog.Memory {
+		parts, err := pc.memMorsels(tab, st.loaded, cols, nm, bs)
+		if err != nil || parts == nil {
+			return nil, nil, false, err
+		}
+		pc.pathf("par[%d]:memory:scan(%s)", len(parts), tab.Name)
+		return parts, nil, true, nil
+	}
+	if pc.strategy == StrategyDBMS {
+		if err := pc.e.ensureLoaded(st, pc.stats); err != nil {
+			return nil, nil, false, err
+		}
+		parts, err := pc.memMorsels(tab, st.loaded, cols, nm, bs)
+		if err != nil || parts == nil {
+			return nil, nil, false, err
+		}
+		pc.pathf("par[%d]:dbms:memscan(%s)", len(parts), tab.Name)
+		return parts, nil, true, nil
+	}
+
+	switch pc.strategy {
+	case StrategyExternal:
+		if tab.Format != catalog.CSV {
+			return nil, nil, false, nil
+		}
+		spans := csvfile.Split(st.csvData, nm)
+		if len(spans) < 2 {
+			return nil, nil, false, nil
+		}
+		for _, sp := range spans {
+			sc, err := insitu.NewExternalScan(st.csvData[sp.Start:sp.End], tab, cols, bs)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			parts = append(parts, sc)
+		}
+		if st.nrows < 0 {
+			st.nrows = csvfile.CountRows(st.csvData)
+		}
+		pc.pathf("par[%d]:external:scan(%s)", len(parts), tab.Name)
+		return parts, nil, true, nil
+
+	case StrategyInSitu:
+		switch tab.Format {
+		case catalog.CSV:
+			return pc.csvMorsels(r, cols, false)
+		case catalog.JSON:
+			return pc.jsonMorsels(r, cols, false)
+		case catalog.Binary:
+			ranges := splitRows(st.bin.NRows(), nm)
+			if len(ranges) < 2 {
+				return nil, nil, false, nil
+			}
+			for _, rr := range ranges {
+				sc, err := insitu.NewBinScan(st.bin, tab, cols, false, bs)
+				if err != nil {
+					return nil, nil, false, err
+				}
+				if err := sc.SetRowRange(rr[0], rr[1]); err != nil {
+					return nil, nil, false, err
+				}
+				parts = append(parts, sc)
+			}
+			pc.pathf("par[%d]:insitu:bin(%s)", len(parts), tab.Name)
+			return parts, nil, true, nil
+		}
+		return nil, nil, false, nil
+
+	case StrategyJIT, StrategyShreds:
+		// All requested columns cached as full shreds: scan row ranges of
+		// the pool vectors, no raw access at all.
+		if pc.useCache {
+			cached := make([]*shred.Shred, 0, len(cols))
+			for _, c := range cols {
+				s := pc.e.shreds.LookupFull(shred.Key{Table: tab.Name, Col: c})
+				if s == nil {
+					break
+				}
+				cached = append(cached, s)
+			}
+			if len(cached) == len(cols) && len(cols) > 0 {
+				vecs := make([]*vector.Vector, len(cols))
+				for i, s := range cached {
+					vecs[i] = s.Vector()
+				}
+				parts, err := memVectorMorsels(tab, vecs, cols, nm, bs)
+				if err != nil || parts == nil {
+					return nil, nil, false, err
+				}
+				pc.stats.ShredHits += len(cols)
+				pc.pathf("par[%d]:shred:scan(%s)", len(parts), tab.Name)
+				return parts, nil, true, nil
+			}
+			if len(cached) > 0 {
+				// Partially cached column set: the serial late-materialization
+				// cascade handles the mix.
+				return nil, nil, false, nil
+			}
+		}
+		switch tab.Format {
+		case catalog.CSV:
+			return pc.csvMorsels(r, cols, true)
+		case catalog.JSON:
+			return pc.jsonMorsels(r, cols, true)
+		case catalog.Binary:
+			ranges := splitRows(st.bin.NRows(), nm)
+			if len(ranges) < 2 {
+				return nil, nil, false, nil
+			}
+			var caps []*morselCapture
+			for _, rr := range ranges {
+				sc, err := jit.NewBinScan(st.bin, tab, cols, false, bs)
+				if err != nil {
+					return nil, nil, false, err
+				}
+				if err := sc.SetRowRange(rr[0], rr[1]); err != nil {
+					return nil, nil, false, err
+				}
+				op, cap := pc.wrapCapture(tab, sc, cols)
+				if cap != nil {
+					caps = append(caps, cap)
+				}
+				parts = append(parts, op)
+			}
+			pc.ensureTemplate(jit.Spec{
+				Format: tab.Format, Table: tab.Name, Mode: jit.Direct,
+				Types: tab.Types(), Need: cols,
+			})
+			pc.pathf("par[%d]:jit:bin(%s)", len(parts), tab.Name)
+			return parts, pc.captureDone(tab, cols, caps, nil), true, nil
+		}
+		return nil, nil, false, nil
+	}
+	return nil, nil, false, nil
+}
+
+// csvMorsels builds the CSV morsel scans: row ranges through the positional
+// map when it covers every needed column, byte-range morsels with private
+// fragment maps (merged on completion) otherwise. jitMode selects the
+// generated access paths (and shred capture) over the generic in-situ ones.
+func (pc *planCtx) csvMorsels(r *resolvedQuery, cols []int, jitMode bool) (parts []exec.Operator, done func() error, ok bool, err error) {
+	st := r.tables[0].st
+	tab := st.tab
+	bs := pc.e.cfg.BatchSize
+	nm := pc.workers * morselsPerWorker
+	var caps []*morselCapture
+
+	if st.pm != nil && st.pm.NRows() > 0 && pmCovers(st.pm, cols) {
+		ranges := splitRows(st.pm.NRows(), nm)
+		if len(ranges) < 2 {
+			return nil, nil, false, nil
+		}
+		for _, rr := range ranges {
+			var sc exec.Operator
+			if jitMode {
+				js, err := jit.NewCSVMapScan(st.csvData, tab, cols, st.pm, false, bs)
+				if err != nil {
+					return nil, nil, false, err
+				}
+				if err := js.SetRowRange(rr[0], rr[1]); err != nil {
+					return nil, nil, false, err
+				}
+				op, cap := pc.wrapCapture(tab, js, cols)
+				if cap != nil {
+					caps = append(caps, cap)
+				}
+				sc = op
+			} else {
+				is, err := insitu.NewCSVScan(st.csvData, tab, cols, st.pm, nil, false, bs)
+				if err != nil {
+					return nil, nil, false, err
+				}
+				if err := is.SetRowRange(rr[0], rr[1]); err != nil {
+					return nil, nil, false, err
+				}
+				sc = is
+			}
+			parts = append(parts, sc)
+		}
+		if jitMode {
+			pc.ensureTemplate(jit.Spec{
+				Format: tab.Format, Table: tab.Name, Mode: jit.ViaMap,
+				Types: tab.Types(), Need: cols,
+				PMRead: pmTracked(st.pm, true),
+			})
+			pc.pathf("par[%d]:jit:viamap(%s)", len(parts), tab.Name)
+		} else {
+			pc.pathf("par[%d]:insitu:viamap(%s)", len(parts), tab.Name)
+		}
+		return parts, pc.captureDone(tab, cols, caps, nil), true, nil
+	}
+
+	// Cold file: byte-range morsels, each building a private positional-map
+	// fragment over its subslice; fragments merge in morsel order on
+	// completion, so the installed map is identical to a serial scan's.
+	spans := csvfile.Split(st.csvData, nm)
+	if len(spans) < 2 {
+		return nil, nil, false, nil
+	}
+	frags := make([]*posmap.Map, len(spans))
+	for i, sp := range spans {
+		frag := posmap.New(pc.e.cfg.PosMapPolicy, len(tab.Schema))
+		frags[i] = frag
+		var sc exec.Operator
+		if jitMode {
+			js, err := jit.NewCSVSequentialScan(st.csvData[sp.Start:sp.End], tab, cols, frag, false, bs)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			op, cap := pc.wrapCapture(tab, js, cols)
+			if cap != nil {
+				caps = append(caps, cap)
+			}
+			sc = op
+		} else {
+			is, err := insitu.NewCSVScan(st.csvData[sp.Start:sp.End], tab, cols, nil, frag, false, bs)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			sc = is
+		}
+		parts = append(parts, sc)
+	}
+	mergePM := func() error {
+		merged := posmap.New(pc.e.cfg.PosMapPolicy, len(tab.Schema))
+		for i, frag := range frags {
+			if err := merged.Merge(frag, int64(spans[i].Start)); err != nil {
+				return err
+			}
+		}
+		st.pm = merged
+		if st.nrows < 0 {
+			st.nrows = merged.NRows()
+		}
+		return nil
+	}
+	if jitMode {
+		pc.ensureTemplate(jit.Spec{
+			Format: tab.Format, Table: tab.Name, Mode: jit.Sequential,
+			Types: tab.Types(), Need: cols,
+			PMBuild: pmTracked(frags[0], true),
+		})
+		pc.pathf("par[%d]:jit:seq(%s)", len(parts), tab.Name)
+	} else {
+		pc.pathf("par[%d]:insitu:seq(%s)", len(parts), tab.Name)
+	}
+	return parts, pc.captureDone(tab, cols, caps, mergePM), true, nil
+}
+
+// jsonMorsels builds the JSONL morsel scans: row ranges through the
+// structural index when populated (the index is internally locked for the
+// concurrent readers), byte-range morsels with private fragment indexes
+// (merged on completion) otherwise.
+func (pc *planCtx) jsonMorsels(r *resolvedQuery, cols []int, jitMode bool) (parts []exec.Operator, done func() error, ok bool, err error) {
+	st := r.tables[0].st
+	tab := st.tab
+	bs := pc.e.cfg.BatchSize
+	nm := pc.workers * morselsPerWorker
+	var caps []*morselCapture
+
+	if st.jidx != nil && st.jidx.NRows() > 0 {
+		ranges := splitRows(st.jidx.NRows(), nm)
+		if len(ranges) < 2 {
+			return nil, nil, false, nil
+		}
+		for _, rr := range ranges {
+			js, err := jit.NewJSONMapScan(st.jsonData, tab, cols, st.jidx, false, bs)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			if err := js.SetRowRange(rr[0], rr[1]); err != nil {
+				return nil, nil, false, err
+			}
+			op := exec.Operator(js)
+			if jitMode {
+				wrapped, cap := pc.wrapCapture(tab, js, cols)
+				if cap != nil {
+					caps = append(caps, cap)
+				}
+				op = wrapped
+			}
+			parts = append(parts, op)
+		}
+		if jitMode {
+			pc.ensureTemplate(jit.Spec{
+				Format: tab.Format, Table: tab.Name, Mode: jit.ViaMap,
+				Types: tab.Types(), Need: cols,
+				Paths:  jsonPaths(tab, cols),
+				PMRead: jidxTracked(st.jidx, tab),
+			})
+			pc.pathf("par[%d]:jit:jsonidx(%s)", len(parts), tab.Name)
+		} else {
+			pc.pathf("par[%d]:insitu:json(%s)", len(parts), tab.Name)
+		}
+		return parts, pc.captureDone(tab, cols, caps, nil), true, nil
+	}
+
+	// Cold file: byte-range morsels with private fragment indexes; each
+	// sequential scan commits its recordings into its own fragment at end of
+	// morsel, and the fragments merge in morsel order on completion.
+	spans := jsonfile.Split(st.jsonData, nm)
+	if len(spans) < 2 {
+		return nil, nil, false, nil
+	}
+	frags := make([]*jsonidx.Index, len(spans))
+	offs := make([]int64, len(spans))
+	for i, sp := range spans {
+		frag := jsonidx.New(0)
+		frags[i] = frag
+		offs[i] = int64(sp.Start)
+		js, err := jit.NewJSONSequentialScan(st.jsonData[sp.Start:sp.End], tab, cols, frag, false, bs)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		op := exec.Operator(js)
+		if jitMode {
+			wrapped, cap := pc.wrapCapture(tab, js, cols)
+			if cap != nil {
+				caps = append(caps, cap)
+			}
+			op = wrapped
+		}
+		parts = append(parts, op)
+	}
+	mergeIdx := func() error {
+		merged := jsonidx.Merge(frags, offs, 0)
+		st.jidx = merged
+		if st.nrows < 0 {
+			st.nrows = merged.NRows()
+		}
+		return nil
+	}
+	if jitMode {
+		pc.ensureTemplate(jit.Spec{
+			Format: tab.Format, Table: tab.Name, Mode: jit.Sequential,
+			Types: tab.Types(), Need: cols,
+			Paths:   jsonPaths(tab, cols),
+			PMBuild: cols,
+		})
+		pc.pathf("par[%d]:jit:jsonseq(%s)", len(parts), tab.Name)
+	} else {
+		pc.pathf("par[%d]:insitu:jsonseq(%s)", len(parts), tab.Name)
+	}
+	return parts, pc.captureDone(tab, cols, caps, mergeIdx), true, nil
+}
+
+// memMorsels builds row-range MemScans over resident column vectors.
+func (pc *planCtx) memMorsels(tab *catalog.Table, loaded []*vector.Vector, cols []int,
+	nm, bs int) ([]exec.Operator, error) {
+	if loaded == nil {
+		return nil, nil
+	}
+	vecs := make([]*vector.Vector, len(cols))
+	for i, c := range cols {
+		vecs[i] = loaded[c]
+	}
+	return memVectorMorsels(tab, vecs, cols, nm, bs)
+}
+
+// memVectorMorsels builds row-range MemScans over arbitrary vectors aligned
+// with cols (loaded DBMS columns, memory tables, or full column shreds).
+func memVectorMorsels(tab *catalog.Table, vecs []*vector.Vector, cols []int,
+	nm, bs int) ([]exec.Operator, error) {
+	if len(vecs) == 0 {
+		return nil, nil
+	}
+	nrows := int64(vecs[0].Len())
+	ranges := splitRows(nrows, nm)
+	if len(ranges) < 2 {
+		return nil, nil
+	}
+	schema := make(vector.Schema, len(cols))
+	for i, c := range cols {
+		schema[i] = vector.Col{Name: tab.Schema[c].Name, Type: tab.Schema[c].Type}
+	}
+	parts := make([]exec.Operator, 0, len(ranges))
+	for _, rr := range ranges {
+		sliced := make([]*vector.Vector, len(vecs))
+		for i, v := range vecs {
+			sliced[i] = v.Slice(int(rr[0]), int(rr[1]))
+		}
+		ms, err := exec.NewMemScan(schema, sliced, bs)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, ms)
+	}
+	return parts, nil
+}
+
+// wrapCapture tees the scanned (pre-filter) columns of one morsel into
+// private vectors when the strategy captures shreds; captureDone later
+// concatenates the morsel vectors in order and publishes full columns to the
+// pool — merge-on-completion, so workers never write shared cache state.
+func (pc *planCtx) wrapCapture(tab *catalog.Table, scan exec.Operator, cols []int) (exec.Operator, *morselCapture) {
+	if !pc.useCache || pc.e.cfg.DisableShredCache {
+		return scan, nil
+	}
+	types := make([]vector.Type, len(cols))
+	for i, c := range cols {
+		types[i] = tab.Schema[c].Type
+	}
+	cap := newMorselCapture(scan, types)
+	return cap, cap
+}
+
+// captureDone combines the cache-merge hook with shred publication. Either
+// may be nil.
+func (pc *planCtx) captureDone(tab *catalog.Table, cols []int, caps []*morselCapture,
+	mergeCaches func() error) func() error {
+	if len(caps) == 0 && mergeCaches == nil {
+		return nil
+	}
+	return func() error {
+		if mergeCaches != nil {
+			if err := mergeCaches(); err != nil {
+				return err
+			}
+		}
+		if len(caps) == 0 {
+			return nil
+		}
+		for ci, c := range cols {
+			total := 0
+			for _, mc := range caps {
+				total += mc.vecs[ci].Len()
+			}
+			full := vector.New(tab.Schema[c].Type, total)
+			for _, mc := range caps {
+				full.AppendVector(mc.vecs[ci])
+			}
+			pc.e.shreds.Put(shred.Key{Table: tab.Name, Col: c}, nil, full)
+		}
+		return nil
+	}
+}
+
+// morselCapture tees every batch of its child into private per-column
+// vectors (copies — batches are reused by the scans beneath).
+type morselCapture struct {
+	child exec.Operator
+	vecs  []*vector.Vector
+}
+
+func newMorselCapture(child exec.Operator, types []vector.Type) *morselCapture {
+	c := &morselCapture{child: child, vecs: make([]*vector.Vector, len(types))}
+	for i, t := range types {
+		c.vecs[i] = vector.New(t, vector.DefaultBatchSize)
+	}
+	return c
+}
+
+// Schema implements exec.Operator.
+func (c *morselCapture) Schema() vector.Schema { return c.child.Schema() }
+
+// Open implements exec.Operator.
+func (c *morselCapture) Open() error {
+	for _, v := range c.vecs {
+		v.Reset()
+	}
+	return c.child.Open()
+}
+
+// Next implements exec.Operator.
+func (c *morselCapture) Next() (*vector.Batch, error) {
+	b, err := c.child.Next()
+	if err != nil || b == nil {
+		return b, err
+	}
+	for i, v := range c.vecs {
+		v.AppendVector(b.Cols[i])
+	}
+	return b, nil
+}
+
+// Close implements exec.Operator.
+func (c *morselCapture) Close() error { return c.child.Close() }
+
+var _ exec.Operator = (*morselCapture)(nil)
+
+// splitRows cuts [0, nrows) into at most n contiguous non-empty row ranges.
+func splitRows(nrows int64, n int) [][2]int64 {
+	if nrows <= 0 || n < 1 {
+		return nil
+	}
+	if int64(n) > nrows {
+		n = int(nrows)
+	}
+	ranges := make([][2]int64, 0, n)
+	var start int64
+	for i := 1; i <= n; i++ {
+		end := nrows * int64(i) / int64(n)
+		if end <= start {
+			continue
+		}
+		ranges = append(ranges, [2]int64{start, end})
+		start = end
+	}
+	return ranges
+}

@@ -23,6 +23,7 @@ type planCtx struct {
 	strategy Strategy
 	place    JoinPlacement
 	multi    bool
+	workers  int // morsel-parallel worker count; <= 1 plans serially
 	useCache bool
 	stats    *Stats
 }
@@ -38,8 +39,18 @@ type pipe struct {
 
 func (p *pipe) width() int { return len(p.op.Schema()) }
 
-// plan builds the physical operator tree for a resolved query.
+// plan builds the physical operator tree for a resolved query, preferring
+// the morsel-parallel plan when the query and cache state are eligible.
 func (pc *planCtx) plan(r *resolvedQuery) (exec.Operator, error) {
+	if pc.workers > 1 {
+		op, ok, err := pc.planParallel(r)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return op, nil
+		}
+	}
 	var p *pipe
 	var err error
 	if r.join == nil {
@@ -81,6 +92,12 @@ func (pc *planCtx) planSingle(r *resolvedQuery) (*pipe, error) {
 		sortInts(baseCols)
 	}
 	needRID := late && (len(lateFilterCols)+len(lateOutputCols) > 0)
+
+	// A query touching no columns at all (unfiltered COUNT(*)) still needs
+	// one materialised column: zero-column batches cannot carry a row count.
+	if len(baseCols) == 0 && len(lateFilterCols)+len(lateOutputCols) == 0 {
+		baseCols = []int{0}
+	}
 
 	p, err := pc.baseScan(r, t, baseCols, needRID)
 	if err != nil {

@@ -41,19 +41,23 @@ func (e *Engine) QueryOpt(src string, opts Options) (*Result, error) {
 	if opts.MultiColumnShreds != nil {
 		multi = *opts.MultiColumnShreds
 	}
+	workers := e.cfg.Parallelism
+	if opts.Parallelism != nil {
+		workers = *opts.Parallelism
+	}
 
-	res, err := e.run(r, strategy, place, multi, true)
+	res, err := e.run(r, strategy, place, multi, workers, true)
 	if err != nil && errors.Is(err, shred.ErrNotCached) {
 		// An optimistically chosen partial shred did not subsume this
 		// query's rows; replan without cache reuse (the raw file remains the
 		// source of truth).
-		res, err = e.run(r, strategy, place, multi, false)
+		res, err = e.run(r, strategy, place, multi, workers, false)
 	}
 	return res, err
 }
 
 func (e *Engine) run(r *resolvedQuery, strategy Strategy, place JoinPlacement,
-	multi, useCache bool) (*Result, error) {
+	multi bool, workers int, useCache bool) (*Result, error) {
 	unlock := lockTables(r)
 	defer unlock()
 	stats := &Stats{Strategy: strategy}
@@ -62,6 +66,7 @@ func (e *Engine) run(r *resolvedQuery, strategy Strategy, place JoinPlacement,
 		strategy: strategy,
 		place:    place,
 		multi:    multi,
+		workers:  workers,
 		useCache: useCache && !e.cfg.DisableShredCache,
 		stats:    stats,
 	}
@@ -139,9 +144,13 @@ func (e *Engine) Explain(src string, opts Options) (string, error) {
 	if opts.MultiColumnShreds != nil {
 		multi = *opts.MultiColumnShreds
 	}
+	workers := e.cfg.Parallelism
+	if opts.Parallelism != nil {
+		workers = *opts.Parallelism
+	}
 	stats := &Stats{Strategy: strategy}
 	pc := &planCtx{e: e, strategy: strategy, place: place, multi: multi,
-		useCache: !e.cfg.DisableShredCache, stats: stats}
+		workers: workers, useCache: !e.cfg.DisableShredCache, stats: stats}
 	op, err := pc.plan(r)
 	if err != nil {
 		return "", err

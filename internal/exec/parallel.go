@@ -1,0 +1,162 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"rawdb/internal/vector"
+)
+
+// Parallel is the morsel-driven exchange operator: it executes a set of
+// cloned pipelines — one per morsel of a raw file, typically scan → filter
+// (→ partial aggregate) — on a bounded worker pool, then re-emits their
+// buffered outputs strictly in morsel order. Because morsels partition the
+// file in order and every part's output is replayed in sequence, the
+// concatenated stream is byte-identical to what one serial pipeline over the
+// whole file would produce; partial-aggregate merging happens in the
+// operators planned above the exchange.
+type Parallel struct {
+	schema    vector.Schema
+	parts     []Operator
+	workers   int
+	batchSize int
+
+	// onDone runs after every part drained successfully (still inside Open),
+	// the merge-on-completion hook parallel plans use to publish per-morsel
+	// cache fragments (positional maps, structural indexes, column shreds).
+	onDone func() error
+
+	results [][]*vector.Vector
+	part    int
+	pos     int
+	out     *vector.Batch
+}
+
+// NewParallel validates that every part produces the same schema. workers
+// bounds the number of goroutines draining parts concurrently; batchSize <= 0
+// selects vector.DefaultBatchSize for the re-emitted stream. onDone may be
+// nil.
+func NewParallel(parts []Operator, workers, batchSize int, onDone func() error) (*Parallel, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("exec: parallel needs at least one pipeline")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if batchSize <= 0 {
+		batchSize = vector.DefaultBatchSize
+	}
+	schema := parts[0].Schema()
+	for i, p := range parts[1:] {
+		ps := p.Schema()
+		if len(ps) != len(schema) {
+			return nil, fmt.Errorf("exec: parallel part %d has %d columns, part 0 has %d",
+				i+1, len(ps), len(schema))
+		}
+		for c := range ps {
+			if ps[c].Type != schema[c].Type || ps[c].Name != schema[c].Name {
+				return nil, fmt.Errorf("exec: parallel part %d column %d (%s %s) differs from part 0 (%s %s)",
+					i+1, c, ps[c].Name, ps[c].Type, schema[c].Name, schema[c].Type)
+			}
+		}
+	}
+	return &Parallel{
+		schema: schema, parts: parts, workers: workers,
+		batchSize: batchSize, onDone: onDone,
+	}, nil
+}
+
+// Schema implements Operator.
+func (p *Parallel) Schema() vector.Schema { return p.schema }
+
+// Open implements Operator. It runs every part to completion on the worker
+// pool; by the time Open returns, all morsel work (and the merge hook) is
+// done and Next only replays buffered vectors.
+func (p *Parallel) Open() error {
+	p.part, p.pos = 0, 0
+	p.results = make([][]*vector.Vector, len(p.parts))
+
+	workers := p.workers
+	if workers > len(p.parts) {
+		workers = len(p.parts)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				mu.Lock()
+				failed := firstErr != nil
+				mu.Unlock()
+				if failed {
+					continue // drain remaining indexes without running them
+				}
+				cols, err := Collect(p.parts[i])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				p.results[i] = cols
+			}
+		}()
+	}
+	for i := range p.parts {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if p.onDone != nil {
+		return p.onDone()
+	}
+	return nil
+}
+
+// Next implements Operator: it streams the buffered per-part outputs in part
+// order. Emitted batches are views over the buffers (no copying).
+func (p *Parallel) Next() (*vector.Batch, error) {
+	for p.part < len(p.results) {
+		cols := p.results[p.part]
+		n := 0
+		if len(cols) > 0 {
+			n = cols[0].Len()
+		}
+		if p.pos >= n {
+			p.part++
+			p.pos = 0
+			continue
+		}
+		end := p.pos + p.batchSize
+		if end > n {
+			end = n
+		}
+		if p.out == nil {
+			p.out = &vector.Batch{Cols: make([]*vector.Vector, len(cols))}
+		}
+		for i, c := range cols {
+			p.out.Cols[i] = c.Slice(p.pos, end)
+		}
+		p.pos = end
+		return p.out, nil
+	}
+	return nil, nil
+}
+
+// Close implements Operator. Parts are opened and closed inside Open's
+// workers; Close only drops the buffered results.
+func (p *Parallel) Close() error {
+	p.results = nil
+	return nil
+}
+
+var _ Operator = (*Parallel)(nil)

@@ -40,6 +40,9 @@ type Config struct {
 	// Repeats re-runs each timed query and keeps the minimum, de-noising
 	// small datasets.
 	Repeats int
+	// Workers bounds the morsel-parallel worker sweep of the "parallel"
+	// experiment (default 8).
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -57,6 +60,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Repeats <= 0 {
 		c.Repeats = 2
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
 	}
 	return c
 }
@@ -93,6 +99,7 @@ func All() []Runner {
 		{"fig12", "Join, projected column on pipeline-breaking side", RunFig12},
 		{"table3", "Higgs analysis: hand-written vs RAW, cold and warm", RunTable3},
 		{"json", "JSON adapter: cold vs structural-index-warm vs shred-hot, against CSV", RunJSON},
+		{"parallel", "Morsel-parallel cold aggregate scans: workers sweep over CSV and JSONL", RunParallel},
 	}
 }
 
@@ -201,6 +208,62 @@ func RunJSON(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		t.Rows = append(t.Rows, []string{format, secs(cold), secs(warm), secs(hot)})
+	}
+	return t, nil
+}
+
+// RunParallel sweeps the morsel-parallel worker count over cold aggregate
+// scans of the narrow table in CSV and JSONL form. Each point runs a fresh
+// engine (no positional map, no shreds), so the measurement covers the full
+// tokenize/parse/convert work the morsel workers split; speedup is relative
+// to the serial plan (workers=1). On a single-core host the sweep degenerates
+// to ~1x — the morsels timeshare one CPU — which is itself a useful overhead
+// check for the exchange operator.
+func RunParallel(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	ds, err := workload.Narrow(cfg.NarrowRows, 1)
+	if err != nil {
+		return nil, err
+	}
+	var sweep []int
+	for w := 1; w <= cfg.Workers; w *= 2 {
+		sweep = append(sweep, w)
+	}
+	const q = "SELECT MIN(col1), MAX(col1), COUNT(*) FROM t WHERE col1 >= 0"
+	t := &Table{ID: "parallel", Title: "Cold aggregate scan: morsel-parallel worker sweep",
+		Header: []string{"format", "workers", "seconds", "speedup_vs_1"}}
+	for _, format := range []string{"csv", "json"} {
+		var base time.Duration
+		for _, w := range sweep {
+			d, err := timeQuery(cfg.Repeats, func() error {
+				e := engine.New(engine.Config{
+					Strategy:          engine.StrategyJIT,
+					PosMapPolicy:      posmap.Policy{EveryK: 10},
+					Parallelism:       w,
+					DisableShredCache: true,
+				})
+				var rerr error
+				if format == "csv" {
+					rerr = e.RegisterCSVData("t", ds.CSV, ds.Schema)
+				} else {
+					rerr = e.RegisterJSONData("t", ds.JSONL, ds.Schema)
+				}
+				if rerr != nil {
+					return rerr
+				}
+				_, qerr := e.Query(q)
+				return qerr
+			})
+			if err != nil {
+				return nil, err
+			}
+			if w == 1 {
+				base = d
+			}
+			speedup := float64(base) / float64(d)
+			t.Rows = append(t.Rows, []string{format, fmt.Sprintf("%d", w), secs(d),
+				fmt.Sprintf("%.2fx", speedup)})
+		}
 	}
 	return t, nil
 }

@@ -21,8 +21,22 @@ type BinScan struct {
 	schema    vector.Schema
 	emitRID   bool
 
+	// Row range [rngStart, rngEnd) restricts the scan to a morsel of the
+	// file; the zero rngEnd means "to the last row".
+	rngStart, rngEnd int64
+
 	row int64
 	out *vector.Batch
+}
+
+// SetRowRange restricts the scan to rows [start, end), the morsel form used
+// by parallel plans. The emitted row ids stay absolute.
+func (s *BinScan) SetRowRange(start, end int64) error {
+	if start < 0 || end < start || end > s.r.NRows() {
+		return fmt.Errorf("insitu: row range [%d,%d) outside 0..%d", start, end, s.r.NRows())
+	}
+	s.rngStart, s.rngEnd = start, end
+	return nil
 }
 
 // NewBinScan returns a generic binary scan materialising columns need.
@@ -52,13 +66,17 @@ func (s *BinScan) Schema() vector.Schema { return s.schema }
 
 // Open implements exec.Operator.
 func (s *BinScan) Open() error {
-	s.row = 0
+	s.row = s.rngStart
 	return nil
 }
 
 // Next implements exec.Operator.
 func (s *BinScan) Next() (*vector.Batch, error) {
-	if s.row >= s.r.NRows() {
+	limit := s.r.NRows()
+	if s.rngEnd > 0 {
+		limit = s.rngEnd
+	}
+	if s.row >= limit {
 		return nil, nil
 	}
 	if s.out == nil {
@@ -70,7 +88,7 @@ func (s *BinScan) Next() (*vector.Batch, error) {
 		ridSlot = len(s.need)
 	}
 	types := s.r.Types()
-	for s.out.Len() < s.batchSize && s.row < s.r.NRows() {
+	for s.out.Len() < s.batchSize && s.row < limit {
 		// Generic row loop: per needed field, recompute the position and
 		// branch on the type — the work JIT folds into constants.
 		for oi, c := range s.need {

@@ -177,9 +177,28 @@ type CSVScan struct {
 	scratch  []int64
 
 	nrows int64 // total rows when known (readPM mode)
-	pos   int
-	row   int64
-	out   *vector.Batch
+
+	// Row range [rngStart, rngEnd) restricts a via-map scan to a morsel of
+	// the file; the zero rngEnd means "to the last row".
+	rngStart, rngEnd int64
+
+	pos int
+	row int64
+	out *vector.Batch
+}
+
+// SetRowRange restricts a via-map scan to rows [start, end), the row-morsel
+// form used by parallel plans over an already-built positional map. The
+// emitted row ids stay absolute.
+func (s *CSVScan) SetRowRange(start, end int64) error {
+	if s.readPM == nil {
+		return fmt.Errorf("insitu: row ranges require a via-map csv scan")
+	}
+	if start < 0 || end < start || end > s.nrows {
+		return fmt.Errorf("insitu: row range [%d,%d) outside 0..%d", start, end, s.nrows)
+	}
+	s.rngStart, s.rngEnd = start, end
+	return nil
 }
 
 // NewCSVScan returns a general-purpose scan. If readPM is non-nil the scan
@@ -230,7 +249,7 @@ func (s *CSVScan) Schema() vector.Schema { return s.schema }
 // Open implements exec.Operator.
 func (s *CSVScan) Open() error {
 	s.pos = 0
-	s.row = 0
+	s.row = s.rngStart
 	return nil
 }
 
@@ -312,7 +331,11 @@ func (s *CSVScan) nextViaMap() (*vector.Batch, error) {
 	if s.emitRID {
 		ridSlot = len(s.need)
 	}
-	for s.out.Len() < s.batchSize && s.row < s.nrows {
+	limit := s.nrows
+	if s.rngEnd > 0 {
+		limit = s.rngEnd
+	}
+	for s.out.Len() < s.batchSize && s.row < limit {
 		for oi, c := range s.need {
 			pos64, skip, ok := s.readPM.Lookup(s.row, c)
 			if !ok {

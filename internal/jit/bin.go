@@ -26,8 +26,23 @@ type BinScan struct {
 	emitRID   bool
 	ridSlot   int
 
+	// Row range [rngStart, rngEnd) restricts the scan to a morsel of the
+	// file; the zero rngEnd means "to the last row".
+	rngStart, rngEnd int64
+
 	row int64
 	out *vector.Batch
+}
+
+// SetRowRange restricts the scan to rows [start, end), the morsel form used
+// by parallel plans (fixed-stride arithmetic makes any row range addressable
+// directly). The emitted row ids stay absolute.
+func (s *BinScan) SetRowRange(start, end int64) error {
+	if start < 0 || end < start || end > s.nrows {
+		return fmt.Errorf("jit: row range [%d,%d) outside 0..%d", start, end, s.nrows)
+	}
+	s.rngStart, s.rngEnd = start, end
+	return nil
 }
 
 // NewBinScan generates a binary access path materialising columns need.
@@ -88,19 +103,23 @@ func (s *BinScan) Schema() vector.Schema { return s.schema }
 
 // Open implements exec.Operator.
 func (s *BinScan) Open() error {
-	s.row = 0
+	s.row = s.rngStart
 	return nil
 }
 
 // Next implements exec.Operator.
 func (s *BinScan) Next() (*vector.Batch, error) {
-	if s.row >= s.nrows {
+	limit := s.nrows
+	if s.rngEnd > 0 {
+		limit = s.rngEnd
+	}
+	if s.row >= limit {
 		return nil, nil
 	}
 	s.out.Reset()
 	end := s.row + int64(s.batchSize)
-	if end > s.nrows {
-		end = s.nrows
+	if end > limit {
+		end = limit
 	}
 	for i, r := range s.readers {
 		r(s.row, end, s.out.Cols[i])

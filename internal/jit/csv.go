@@ -43,11 +43,29 @@ type CSVScan struct {
 	readers []colReader
 	nrows   int64
 
+	// Row range [rngStart, rngEnd) restricts a ViaMap scan to a morsel of
+	// the file; the zero rngEnd means "to the last row".
+	rngStart, rngEnd int64
+
 	emitRID bool
 	ridSlot int
 	pos     int
 	row     int64
 	out     *vector.Batch
+}
+
+// SetRowRange restricts a ViaMap scan to rows [start, end), the row-morsel
+// form used by parallel plans over an already-built positional map. The
+// emitted row ids stay absolute.
+func (s *CSVScan) SetRowRange(start, end int64) error {
+	if s.readers == nil {
+		return fmt.Errorf("jit: row ranges require a via-map csv scan")
+	}
+	if start < 0 || end < start || end > s.nrows {
+		return fmt.Errorf("jit: row range [%d,%d) outside 0..%d", start, end, s.nrows)
+	}
+	s.rngStart, s.rngEnd = start, end
+	return nil
 }
 
 // NewCSVSequentialScan generates a sequential access path: one specialised
@@ -270,7 +288,7 @@ func (s *CSVScan) Schema() vector.Schema { return s.schema }
 // Open implements exec.Operator.
 func (s *CSVScan) Open() error {
 	s.pos = 0
-	s.row = 0
+	s.row = s.rngStart
 	s.err = nil
 	return nil
 }
@@ -314,12 +332,16 @@ func (s *CSVScan) nextSequential() (*vector.Batch, error) {
 }
 
 func (s *CSVScan) nextViaMap() (*vector.Batch, error) {
-	if s.row >= s.nrows {
+	limit := s.nrows
+	if s.rngEnd > 0 {
+		limit = s.rngEnd
+	}
+	if s.row >= limit {
 		return nil, nil
 	}
 	end := s.row + int64(s.batchSize)
-	if end > s.nrows {
-		end = s.nrows
+	if end > limit {
+		end = limit
 	}
 	for i, r := range s.readers {
 		if err := r(s.row, end, s.out.Cols[i]); err != nil {

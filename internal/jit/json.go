@@ -117,12 +117,31 @@ type JSONScan struct {
 	nrows    int64
 	adaptive *jsonidx.Recorder
 
+	// Row range [rngStart, rngEnd) restricts a ViaMap scan to a morsel of
+	// the file; the zero rngEnd means "to the last row".
+	rngStart, rngEnd int64
+
 	emitRID   bool
 	ridSlot   int
 	pos       int
 	row       int64
 	committed bool
 	out       *vector.Batch
+}
+
+// SetRowRange restricts a ViaMap scan to rows [start, end), the row-morsel
+// form used by parallel plans over a populated structural index. The emitted
+// row ids stay absolute. Adaptive recordings staged by a ranged scan are
+// discarded at commit (their row counts never match the whole file).
+func (s *JSONScan) SetRowRange(start, end int64) error {
+	if s.readers == nil {
+		return fmt.Errorf("jit: row ranges require a via-map json scan")
+	}
+	if start < 0 || end < start || end > s.nrows {
+		return fmt.Errorf("jit: row range [%d,%d) outside 0..%d", start, end, s.nrows)
+	}
+	s.rngStart, s.rngEnd = start, end
+	return nil
 }
 
 // NewJSONSequentialScan generates a sequential access path over a JSONL
@@ -387,7 +406,7 @@ func (s *JSONScan) Schema() vector.Schema { return s.schema }
 // Open implements exec.Operator.
 func (s *JSONScan) Open() error {
 	s.pos = 0
-	s.row = 0
+	s.row = s.rngStart
 	return nil
 }
 
@@ -438,12 +457,16 @@ func (s *JSONScan) nextSequential() (*vector.Batch, error) {
 }
 
 func (s *JSONScan) nextViaMap() (*vector.Batch, error) {
-	if s.row >= s.nrows {
+	limit := s.nrows
+	if s.rngEnd > 0 {
+		limit = s.rngEnd
+	}
+	if s.row >= limit {
 		return nil, nil
 	}
 	end := s.row + int64(s.batchSize)
-	if end > s.nrows {
-		end = s.nrows
+	if end > limit {
+		end = limit
 	}
 	for i, r := range s.readers {
 		if err := r(s.row, end, s.out.Cols[i]); err != nil {

@@ -16,7 +16,10 @@
 // vocabulary.
 package jsonidx
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // DefaultMaxPaths bounds the tracked-path set of one index. The paper sizes
 // positional maps by column-sampling policy; for JSON the path working set
@@ -24,9 +27,14 @@ import "sort"
 const DefaultMaxPaths = 64
 
 // Index is the structural index of one JSONL file. The engine serialises
-// queries per table, so (like posmap.Map) it is not internally locked.
+// queries per table, but one query's morsel workers consult the index
+// concurrently, so the tracked-path table (and its LRU clock) is internally
+// locked. Row starts are written exactly once — by the first committed scan,
+// before any concurrent reader can exist — and are read without locking.
 type Index struct {
-	rows  []int64            // byte offset of each row start
+	rows []int64 // byte offset of each row start
+
+	mu    sync.Mutex         // guards paths, use, clock
 	paths map[string][]int64 // tracked path -> per-row value offsets
 	use   map[string]int64   // logical access clock per path, for LRU
 	clock int64
@@ -54,12 +62,16 @@ func (x *Index) RowStart(row int64) int64 { return x.rows[row] }
 
 // Tracked reports whether value offsets for the path are recorded.
 func (x *Index) Tracked(path string) bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
 	_, ok := x.paths[path]
 	return ok
 }
 
 // TrackedPaths returns the tracked paths in sorted order.
 func (x *Index) TrackedPaths() []string {
+	x.mu.Lock()
+	defer x.mu.Unlock()
 	out := make([]string, 0, len(x.paths))
 	for p := range x.paths {
 		out = append(out, p)
@@ -69,9 +81,11 @@ func (x *Index) TrackedPaths() []string {
 }
 
 // Positions returns the per-row value offsets of a tracked path (nil if
-// untracked) and marks the path recently used. The slice is shared; callers
-// must not modify it.
+// untracked) and marks the path recently used. The slice is shared and never
+// mutated once installed; callers must not modify it.
 func (x *Index) Positions(path string) []int64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
 	offs, ok := x.paths[path]
 	if !ok {
 		return nil
@@ -83,11 +97,58 @@ func (x *Index) Positions(path string) []int64 {
 
 // MemoryFootprint returns the approximate byte size of the stored offsets.
 func (x *Index) MemoryFootprint() int64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
 	n := int64(len(x.rows)) * 8
 	for _, offs := range x.paths {
 		n += int64(len(offs)) * 8
 	}
 	return n
+}
+
+// Merge combines per-morsel fragment indexes into one index over the whole
+// file: frags[i] indexes the bytes of the morsel starting at byte offs[i],
+// in file order. Row starts concatenate with their morsel offsets applied; a
+// path survives only if every fragment committed a full recording for it, so
+// the merged index is indistinguishable from one built by a serial scan.
+// Fragments are private to their workers, so no locking is needed on them.
+func Merge(frags []*Index, offs []int64, maxPaths int) *Index {
+	x := New(maxPaths)
+	if len(frags) == 0 {
+		return x
+	}
+	total := 0
+	for _, f := range frags {
+		total += len(f.rows)
+	}
+	x.rows = make([]int64, 0, total)
+	for i, f := range frags {
+		for _, r := range f.rows {
+			x.rows = append(x.rows, r+offs[i])
+		}
+	}
+	for _, p := range frags[0].TrackedPaths() {
+		merged := make([]int64, 0, total)
+		complete := true
+		for i, f := range frags {
+			po := f.paths[p]
+			if len(po) != len(f.rows) {
+				complete = false
+				break
+			}
+			for _, o := range po {
+				merged = append(merged, o+offs[i])
+			}
+		}
+		if !complete {
+			continue
+		}
+		x.clock++
+		x.paths[p] = merged
+		x.use[p] = x.clock
+	}
+	x.evict()
+	return x
 }
 
 // A Recorder stages structural observations made by one scan — row starts
@@ -109,9 +170,11 @@ type Recorder struct {
 // already tracked are skipped). Pass the paths in the order AppendRow will
 // supply offsets.
 func (x *Index) Record(paths []string) *Recorder {
+	x.mu.Lock()
+	defer x.mu.Unlock()
 	r := &Recorder{x: x, firstScan: len(x.rows) == 0}
 	for _, p := range paths {
-		if x.Tracked(p) {
+		if _, tracked := x.paths[p]; tracked {
 			continue
 		}
 		r.paths = append(r.paths, p)
@@ -145,9 +208,13 @@ func (r *Recorder) AppendPathOffset(i int, off int64) {
 
 // Commit installs the staged offsets into the index, evicting
 // least-recently-used paths beyond the budget. It is a no-op unless the
-// staged row count matches the index (guarding against partial scans).
+// staged row count matches the index (guarding against partial scans, which
+// includes the partial recordings row-range morsel workers stage: their
+// counts never match the whole file, so concurrent commits discard safely).
 func (r *Recorder) Commit() {
 	x := r.x
+	x.mu.Lock()
+	defer x.mu.Unlock()
 	if r.firstScan {
 		if len(r.rows) == 0 {
 			return

@@ -137,6 +137,29 @@ func (m *Map) Lookup(row int64, c int) (pos int64, skip int, ok bool) {
 	return m.pos[m.index[near]][row], c - near, true
 }
 
+// Merge appends the rows of frag to m, shifting every recorded position by
+// byteOff. frag must track the same columns as m. Parallel scans build one
+// private fragment map per byte-range morsel and merge them in morsel order
+// once all workers finish, so the shared map is never written concurrently
+// and, after the merge, is indistinguishable from one built by a serial scan.
+func (m *Map) Merge(frag *Map, byteOff int64) error {
+	if len(frag.tracked) != len(m.tracked) {
+		return fmt.Errorf("posmap: merge of map tracking %d columns into %d", len(frag.tracked), len(m.tracked))
+	}
+	for i := range m.tracked {
+		if m.tracked[i] != frag.tracked[i] {
+			return fmt.Errorf("posmap: merge of maps tracking different columns")
+		}
+	}
+	for i := range m.pos {
+		for _, p := range frag.pos[i] {
+			m.pos[i] = append(m.pos[i], p+byteOff)
+		}
+	}
+	m.nrows += frag.nrows
+	return nil
+}
+
 // MemoryFootprint returns the approximate size in bytes of the stored
 // positions, used by the engine's cache accounting.
 func (m *Map) MemoryFootprint() int64 {

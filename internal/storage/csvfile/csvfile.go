@@ -13,6 +13,7 @@ package csvfile
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"os"
@@ -73,6 +74,52 @@ func SkipRow(data []byte, pos int) int {
 		pos++
 	}
 	return pos
+}
+
+// A Span is one morsel of a text file: the half-open byte range
+// [Start, End). Spans produced by Split are contiguous, non-empty, cover the
+// file exactly once, and every span boundary sits just past a newline, so no
+// record is ever split across morsels.
+type Span struct {
+	Start, End int
+}
+
+// Split cuts data into at most n record-aligned morsels of roughly equal
+// size. Each span except possibly the last ends immediately after a '\n';
+// a file with fewer records than n yields fewer spans.
+func Split(data []byte, n int) []Span {
+	if len(data) == 0 {
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	spans := make([]Span, 0, n)
+	start := 0
+	for i := 1; i < n && start < len(data); i++ {
+		cut := len(data) * i / n
+		if cut <= start {
+			continue
+		}
+		// Advance the tentative cut to the next record boundary.
+		j := bytes.IndexByte(data[cut:], '\n')
+		if j < 0 {
+			break // no further newline: the remainder is one span
+		}
+		boundary := cut + j + 1
+		if boundary >= len(data) {
+			break
+		}
+		if boundary <= start {
+			continue
+		}
+		spans = append(spans, Span{start, boundary})
+		start = boundary
+	}
+	if start < len(data) {
+		spans = append(spans, Span{start, len(data)})
+	}
+	return spans
 }
 
 // CountRows counts newline-terminated rows. A non-empty trailing fragment

@@ -1,0 +1,108 @@
+package jsonfile
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSplit checks the JSONL morsel-splitter invariants on arbitrary bytes:
+// spans are contiguous and non-empty, cover the file exactly once, every
+// boundary sits just past a newline (object rows are never split across
+// morsels), and per-span row counts sum to the whole file's.
+func FuzzSplit(f *testing.F) {
+	f.Add([]byte(""), 4)
+	f.Add([]byte("{\"a\":1}\n{\"a\":2}\n"), 2)
+	f.Add([]byte("{\"a\":1}\n{\"a\":2}"), 3) // no trailing newline
+	f.Add([]byte("\n\n\n"), 5)
+	f.Add(bytes.Repeat([]byte("{\"x\":{\"y\":7}}\n"), 100), 16)
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		if n < 0 {
+			n = -n
+		}
+		n = n%64 + 1
+		spans := Split(data, n)
+		if len(data) == 0 {
+			if spans != nil {
+				t.Fatalf("empty file produced %d spans", len(spans))
+			}
+			return
+		}
+		if len(spans) == 0 || len(spans) > n {
+			t.Fatalf("%d spans for n=%d", len(spans), n)
+		}
+		pos := 0
+		var rows int64
+		for i, sp := range spans {
+			if sp.Start != pos {
+				t.Fatalf("span %d starts at %d, want %d (gap or overlap)", i, sp.Start, pos)
+			}
+			if sp.End <= sp.Start {
+				t.Fatalf("span %d is empty or inverted: [%d,%d)", i, sp.Start, sp.End)
+			}
+			if sp.End != len(data) && data[sp.End-1] != '\n' {
+				t.Fatalf("span %d ends mid-row at %d", i, sp.End)
+			}
+			rows += CountRows(data[sp.Start:sp.End])
+			pos = sp.End
+		}
+		if pos != len(data) {
+			t.Fatalf("spans cover %d of %d bytes", pos, len(data))
+		}
+		if want := CountRows(data); rows != want {
+			t.Fatalf("per-span rows sum to %d, whole file has %d (row split across morsels)", rows, want)
+		}
+	})
+}
+
+// FuzzScanLine drives the JSONL scanner primitives over arbitrary bytes: no
+// panics, every returned position stays within bounds, and the row walk
+// makes progress so scan loops terminate even on malformed input.
+func FuzzScanLine(f *testing.F) {
+	f.Add([]byte("{\"a\":1,\"b\":{\"c\":2.5}}\n"))
+	f.Add([]byte("{\"s\":\"x\\\"y\",\"t\":true,\"n\":null,\"f\":false}\n"))
+	f.Add([]byte("{\"unterminated\":\"str\n{\"next\":[1,2,{\"d\":3}]}\n"))
+	f.Add([]byte("tru"))
+	f.Add([]byte("{}{}{}"))
+	f.Add([]byte("[1,[2,[3]]]"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pos := 0
+		for steps := 0; pos < len(data); steps++ {
+			if steps > len(data)+1 {
+				t.Fatalf("row walk failed to terminate (pos=%d)", pos)
+			}
+			rowEnd := NextRow(data, pos)
+			if rowEnd <= pos || rowEnd > len(data) {
+				t.Fatalf("NextRow(%d) = %d", pos, rowEnd)
+			}
+			// Walk the members of the row's object, if it is one.
+			if inner, ok := EnterObject(data, pos); ok {
+				mp := inner
+				for msteps := 0; msteps <= len(data); msteps++ {
+					ks, ke, vpos, next, done, err := NextMember(data, mp)
+					if err != nil || done {
+						break
+					}
+					if ks > ke || ke > len(data) || vpos > len(data) || next < vpos {
+						t.Fatalf("NextMember(%d) = (%d,%d,%d,%d) out of order/bounds", mp, ks, ke, vpos, next)
+					}
+					after := SkipValue(data, next)
+					if after < 0 || after > len(data) {
+						t.Fatalf("SkipValue(%d) = %d out of bounds", next, after)
+					}
+					if after <= mp {
+						break // malformed row: no progress possible
+					}
+					mp = after
+				}
+			}
+			if end := SkipValue(data, pos); end < 0 || end > len(data) {
+				t.Fatalf("SkipValue(%d) = %d out of bounds", pos, end)
+			}
+			if end := NumberEnd(data, pos); end < pos || end > len(data) {
+				t.Fatalf("NumberEnd(%d) = %d", pos, end)
+			}
+			FindPath(data, pos, []string{"a", "b"}) // must not panic
+			pos = rowEnd
+		}
+	})
+}

@@ -98,6 +98,13 @@ func stringEnd(data []byte, pos int) int {
 	return -1
 }
 
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
 // NumberEnd returns the position just past the number token starting at pos.
 func NumberEnd(data []byte, pos int) int {
 	for pos < len(data) {
@@ -153,9 +160,9 @@ func SkipValue(data []byte, pos int) int {
 		}
 		return end + 1
 	case 't', 'n': // true, null
-		return pos + 4
+		return minInt(pos+4, len(data))
 	case 'f': // false
-		return pos + 5
+		return minInt(pos+5, len(data))
 	default:
 		return NumberEnd(data, pos)
 	}
@@ -202,6 +209,51 @@ func NextRow(data []byte, pos int) int {
 		return pos + i + 1
 	}
 	return len(data)
+}
+
+// A Span is one morsel of a JSONL file: the half-open byte range
+// [Start, End). Spans produced by Split are contiguous, non-empty, cover the
+// file exactly once, and every span boundary sits just past a newline, so no
+// object row is ever split across morsels.
+type Span struct {
+	Start, End int
+}
+
+// Split cuts data into at most n row-aligned morsels of roughly equal size.
+// Each span except possibly the last ends immediately after a '\n'; a file
+// with fewer rows than n yields fewer spans.
+func Split(data []byte, n int) []Span {
+	if len(data) == 0 {
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	spans := make([]Span, 0, n)
+	start := 0
+	for i := 1; i < n && start < len(data); i++ {
+		cut := len(data) * i / n
+		if cut <= start {
+			continue
+		}
+		j := bytes.IndexByte(data[cut:], '\n')
+		if j < 0 {
+			break // no further newline: the remainder is one span
+		}
+		boundary := cut + j + 1
+		if boundary >= len(data) {
+			break
+		}
+		if boundary <= start {
+			continue
+		}
+		spans = append(spans, Span{start, boundary})
+		start = boundary
+	}
+	if start < len(data) {
+		spans = append(spans, Span{start, len(data)})
+	}
+	return spans
 }
 
 // CountRows counts newline-terminated rows; a non-empty trailing fragment

@@ -102,6 +102,12 @@ type Config struct {
 	PosMapPolicy PosMapPolicy
 	// BatchSize is the vector size exchanged between operators (1024).
 	BatchSize int
+	// Parallelism is the number of worker goroutines eligible queries fan
+	// out over (morsel-driven parallel scans). Values <= 1 keep every query
+	// serial; queries the parallel planner cannot cover (joins, HAVING, AVG,
+	// SUM over DOUBLE, ROOT tables, partially cached columns) fall back to
+	// the serial plan automatically, with identical results.
+	Parallelism int
 	// ShredCapacityBytes bounds the column-shred cache (256 MiB).
 	ShredCapacityBytes int64
 	// CompileDelay simulates the one-time latency of compiling a generated
@@ -139,6 +145,7 @@ func NewEngine(cfg Config) *Engine {
 		Strategy:           cfg.Strategy,
 		PosMapPolicy:       cfg.PosMapPolicy,
 		BatchSize:          cfg.BatchSize,
+		Parallelism:        cfg.Parallelism,
 		ShredCapacityBytes: cfg.ShredCapacityBytes,
 		CompileDelay:       cfg.CompileDelay,
 		DisableShredCache:  cfg.DisableShredCache,
