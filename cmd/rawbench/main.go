@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig1a, fig1b, fig2, fig3, fig5, fig6, table2, fig7, fig8, fig9, fig11, fig12, table3, json, parallel) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (fig1a, fig1b, fig2, fig3, fig5, fig6, table2, fig7, fig8, fig9, fig11, fig12, table3, json, parallel, vault) or 'all'")
 	rows := flag.Int("rows", 0, "narrow-table rows (default 100000)")
 	wideRows := flag.Int("wide-rows", 0, "wide-table rows (default 20000)")
 	joinRows := flag.Int("join-rows", 0, "join-table rows (default 50000)")
@@ -28,6 +28,8 @@ func main() {
 	repeats := flag.Int("repeats", 0, "timed repeats per point, min kept (default 2)")
 	workers := flag.Int("workers", 0, "max morsel-parallel workers swept by the parallel experiment (default 8)")
 	compileDelay := flag.Duration("compile-delay", 0, "simulated access-path compile latency (e.g. 2s) charged to first queries")
+	cacheDir := flag.String("cachedir", "", "persistent vault directory for the vault experiment (default: fresh temp dir)")
+	cacheBudget := flag.Int64("cachebudget", 0, "unified cache budget in bytes for the vault experiment's engines (0 = per-structure defaults)")
 	md := flag.Bool("md", false, "emit markdown tables")
 	flag.Parse()
 
@@ -39,6 +41,8 @@ func main() {
 		Repeats:      *repeats,
 		Workers:      *workers,
 		CompileDelay: *compileDelay,
+		CacheDir:     *cacheDir,
+		CacheBudget:  *cacheBudget,
 	}
 
 	var runners []experiments.Runner

@@ -14,6 +14,8 @@
 //	rawql -root events.root -q "SELECT COUNT(*) FROM events WHERE runNumber < 5"
 //	rawql -csv t=data.csv -strategy insitu -explain -q "..."
 //	rawql -csv t=data.csv -workers 8 -q "SELECT COUNT(*) FROM t WHERE col1 < 500000000"
+//	rawql -csv t=data.csv -cachedir .rawvault -q "..."   # second run starts warm
+
 package main
 
 import (
@@ -45,16 +47,19 @@ func main() {
 	query := flag.String("q", "", "SQL query to run")
 	strategy := flag.String("strategy", "shreds", "access strategy: shreds, jit, insitu, external, dbms")
 	workers := flag.Int("workers", 1, "morsel-parallel scan workers (<=1 serial; joins and other ineligible plans fall back to serial automatically)")
+	cacheDir := flag.String("cachedir", "", "persistent vault directory: positional maps, structural indexes and column shreds persist here across runs (safe to delete at any time)")
+	cacheBudget := flag.Int64("cachebudget", 0, "unified in-memory cache budget in bytes across positional maps, structural indexes and column shreds (0 keeps per-structure defaults)")
 	explain := flag.Bool("explain", false, "print the physical plan instead of executing")
 	flag.Parse()
 
-	if err := run(csvs, bins, jsons, roots, *query, *strategy, *workers, *explain); err != nil {
+	if err := run(csvs, bins, jsons, roots, *query, *strategy, *workers, *cacheDir, *cacheBudget, *explain); err != nil {
 		fmt.Fprintln(os.Stderr, "rawql:", err)
 		os.Exit(1)
 	}
 }
 
-func run(csvs, bins, jsons, roots []string, query, strategy string, workers int, explain bool) error {
+func run(csvs, bins, jsons, roots []string, query, strategy string, workers int,
+	cacheDir string, cacheBudget int64, explain bool) error {
 	if query == "" {
 		return fmt.Errorf("no query; pass -q \"SELECT ...\"")
 	}
@@ -62,7 +67,9 @@ func run(csvs, bins, jsons, roots []string, query, strategy string, workers int,
 	if err != nil {
 		return err
 	}
-	eng := raw.NewEngine(raw.Config{Strategy: strat, Parallelism: workers})
+	eng := raw.NewEngine(raw.Config{Strategy: strat, Parallelism: workers,
+		CacheDir: cacheDir, CacheBudget: cacheBudget})
+	defer eng.Close() // flush vault write-backs so the next run starts warm
 
 	for _, spec := range csvs {
 		name, path, err := splitSpec(spec)

@@ -1,0 +1,614 @@
+// Differential-testing harness: a seeded random query generator drives the
+// engine across every strategy × format × worker count × vault mode, and a
+// naive in-memory oracle executor independently computes each query's answer
+// over the same rows. Results must match the oracle byte for byte (floats by
+// bit pattern), which subsumes the hand-written parity cases as the coverage
+// backbone: any divergence between access paths — JIT vs generic scans,
+// positional-map navigation, shred reuse, morsel-parallel merges, vault
+// restore — surfaces as an oracle mismatch with a reproducible seed.
+//
+// The oracle mirrors the engine's documented semantics exactly: filters are
+// conjunctions evaluated per row in file order; ungrouped aggregates emit one
+// row (zeroes at COUNT = 0); grouped aggregates emit groups in
+// first-encounter file order; float SUM/AVG accumulate in file order (the
+// parallel planner falls back to serial for those, so order is total).
+package raw_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rawdb"
+	"rawdb/internal/storage/binfile"
+	"rawdb/internal/vector"
+)
+
+// difftestQueries is the per-strategy×format query budget. Every query runs
+// against the oracle in every vault mode of the combination.
+const difftestQueries = 200
+
+// dtTable is a randomly generated table: schema plus column-major data.
+type dtTable struct {
+	cols   []raw.Column
+	ints   map[int][]int64
+	floats map[int][]float64
+	group  int // small-cardinality BIGINT column for GROUP BY
+	nrows  int
+}
+
+// genTable builds a random schema (mixed BIGINT/DOUBLE, one low-cardinality
+// group column, one nested JSON path) and data. Float values are multiples
+// of 1/64 so their decimal renderings parse back bit-exactly through every
+// text format.
+func genTable(rng *rand.Rand, nrows int) *dtTable {
+	ncols := 5 + rng.Intn(3)
+	t := &dtTable{
+		ints:   make(map[int][]int64),
+		floats: make(map[int][]float64),
+		nrows:  nrows,
+	}
+	t.group = 1 + rng.Intn(ncols-1)
+	nestedDone := false
+	for c := 0; c < ncols; c++ {
+		name := fmt.Sprintf("col%d", c+1)
+		isFloat := c != 0 && c != t.group && rng.Intn(5) < 2
+		if isFloat && !nestedDone {
+			name = "p.x" // one nested path exercises JSON object navigation
+			nestedDone = true
+		}
+		typ := raw.Int64
+		if isFloat {
+			typ = raw.Float64
+		}
+		t.cols = append(t.cols, raw.Column{Name: name, Type: typ})
+		for r := 0; r < nrows; r++ {
+			switch {
+			case isFloat:
+				t.floats[c] = append(t.floats[c], float64(rng.Int63n(1<<21)-(1<<20))/64)
+			case c == t.group:
+				t.ints[c] = append(t.ints[c], rng.Int63n(7))
+			default:
+				t.ints[c] = append(t.ints[c], rng.Int63n(2_000_001)-1_000_000)
+			}
+		}
+	}
+	return t
+}
+
+func (t *dtTable) renderCSV() []byte {
+	var b strings.Builder
+	for r := 0; r < t.nrows; r++ {
+		for c := range t.cols {
+			if c > 0 {
+				b.WriteByte(',')
+			}
+			if t.cols[c].Type == raw.Int64 {
+				b.WriteString(strconv.FormatInt(t.ints[c][r], 10))
+			} else {
+				b.WriteString(strconv.FormatFloat(t.floats[c][r], 'f', -1, 64))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+func (t *dtTable) renderJSONL() []byte {
+	var b strings.Builder
+	for r := 0; r < t.nrows; r++ {
+		b.WriteByte('{')
+		for c := range t.cols {
+			if c > 0 {
+				b.WriteByte(',')
+			}
+			name := t.cols[c].Name
+			var val string
+			if t.cols[c].Type == raw.Int64 {
+				val = strconv.FormatInt(t.ints[c][r], 10)
+			} else {
+				val = strconv.FormatFloat(t.floats[c][r], 'f', -1, 64)
+			}
+			if dot := strings.IndexByte(name, '.'); dot >= 0 {
+				fmt.Fprintf(&b, "%q:{%q:%s}", name[:dot], name[dot+1:], val)
+			} else {
+				fmt.Fprintf(&b, "%q:%s", name, val)
+			}
+		}
+		b.WriteString("}\n")
+	}
+	return []byte(b.String())
+}
+
+func (t *dtTable) renderBin(tb testing.TB) []byte {
+	var buf strings.Builder
+	types := make([]vector.Type, len(t.cols))
+	for c, col := range t.cols {
+		types[c] = col.Type
+	}
+	w, err := binfile.NewWriter(&buf, types, int64(t.nrows))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ints := make([]int64, 0, len(t.cols))
+	floats := make([]float64, 0, len(t.cols))
+	for r := 0; r < t.nrows; r++ {
+		ints, floats = ints[:0], floats[:0]
+		for c := range t.cols {
+			if t.cols[c].Type == raw.Int64 {
+				ints = append(ints, t.ints[c][r])
+			} else {
+				floats = append(floats, t.floats[c][r])
+			}
+		}
+		if err := w.WriteRow(ints, floats); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return []byte(buf.String())
+}
+
+// --- random queries ---
+
+type dtItem struct {
+	agg  string // "", COUNT, MIN, MAX, SUM, AVG
+	star bool
+	col  int
+}
+
+type dtPred struct {
+	col int
+	op  string
+	i64 int64
+	f64 float64
+}
+
+type dtQuery struct {
+	items   []dtItem
+	preds   []dtPred
+	groupBy int // -1 for none
+}
+
+var dtOps = []string{"<", "<=", ">", ">=", "=", "<>"}
+
+func genPred(rng *rand.Rand, t *dtTable) dtPred {
+	c := rng.Intn(len(t.cols))
+	p := dtPred{col: c, op: dtOps[rng.Intn(len(dtOps))]}
+	r := rng.Intn(t.nrows)
+	if t.cols[c].Type == raw.Int64 {
+		p.i64 = t.ints[c][r] + rng.Int63n(3) - 1
+	} else {
+		p.f64 = t.floats[c][r] // exact data value: '=' can match
+	}
+	return p
+}
+
+func genAggItem(rng *rand.Rand, t *dtTable) dtItem {
+	switch rng.Intn(6) {
+	case 0:
+		return dtItem{agg: "COUNT", star: true}
+	case 1:
+		return dtItem{agg: "MIN", col: rng.Intn(len(t.cols))}
+	case 2:
+		return dtItem{agg: "MAX", col: rng.Intn(len(t.cols))}
+	case 3:
+		return dtItem{agg: "SUM", col: rng.Intn(len(t.cols))}
+	case 4:
+		return dtItem{agg: "AVG", col: rng.Intn(len(t.cols))}
+	default:
+		return dtItem{agg: "COUNT", col: rng.Intn(len(t.cols))}
+	}
+}
+
+func genQuery(rng *rand.Rand, t *dtTable) dtQuery {
+	q := dtQuery{groupBy: -1}
+	for n := rng.Intn(3); n > 0; n-- {
+		q.preds = append(q.preds, genPred(rng, t))
+	}
+	switch kind := rng.Intn(4); {
+	case kind == 0: // plain projection
+		for n := 1 + rng.Intn(3); n > 0; n-- {
+			q.items = append(q.items, dtItem{col: rng.Intn(len(t.cols))})
+		}
+		if len(q.preds) == 0 { // keep projected row counts modest
+			q.preds = append(q.preds, genPred(rng, t))
+		}
+	case kind == 1 && t.cols[t.group].Type == raw.Int64: // grouped aggregate
+		q.groupBy = t.group
+		if rng.Intn(2) == 0 {
+			q.items = append(q.items, dtItem{col: t.group})
+		}
+		for n := 1 + rng.Intn(2); n > 0; n-- {
+			q.items = append(q.items, genAggItem(rng, t))
+		}
+	default: // ungrouped aggregate
+		for n := 1 + rng.Intn(3); n > 0; n-- {
+			q.items = append(q.items, genAggItem(rng, t))
+		}
+	}
+	return q
+}
+
+func (q dtQuery) SQL(t *dtTable) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range q.items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case it.star:
+			b.WriteString("COUNT(*)")
+		case it.agg != "":
+			fmt.Fprintf(&b, "%s(%s)", it.agg, t.cols[it.col].Name)
+		default:
+			b.WriteString(t.cols[it.col].Name)
+		}
+	}
+	b.WriteString(" FROM t")
+	for i, p := range q.preds {
+		if i == 0 {
+			b.WriteString(" WHERE ")
+		} else {
+			b.WriteString(" AND ")
+		}
+		if t.cols[p.col].Type == raw.Int64 {
+			fmt.Fprintf(&b, "%s %s %d", t.cols[p.col].Name, p.op, p.i64)
+		} else {
+			fmt.Fprintf(&b, "%s %s %s", t.cols[p.col].Name, p.op,
+				strconv.FormatFloat(p.f64, 'f', -1, 64))
+		}
+	}
+	if q.groupBy >= 0 {
+		fmt.Fprintf(&b, " GROUP BY %s", t.cols[q.groupBy].Name)
+	}
+	return b.String()
+}
+
+// --- the oracle ---
+
+type oracleCell struct {
+	i int64
+	f float64
+}
+
+// oracle evaluates a query naively: filter in file order, aggregate in file
+// order, groups in first-encounter order. Returns row-major cells plus the
+// output type per item.
+func oracle(t *dtTable, q dtQuery) (rows [][]oracleCell, types []raw.Type) {
+	for _, it := range q.items {
+		switch {
+		case it.star, it.agg == "COUNT":
+			types = append(types, raw.Int64)
+		case it.agg == "AVG":
+			types = append(types, raw.Float64)
+		default:
+			types = append(types, t.cols[it.col].Type)
+		}
+	}
+
+	match := func(r int) bool {
+		for _, p := range q.preds {
+			var cmp int
+			if t.cols[p.col].Type == raw.Int64 {
+				v := t.ints[p.col][r]
+				switch {
+				case v < p.i64:
+					cmp = -1
+				case v > p.i64:
+					cmp = 1
+				}
+			} else {
+				v := t.floats[p.col][r]
+				switch {
+				case v < p.f64:
+					cmp = -1
+				case v > p.f64:
+					cmp = 1
+				}
+			}
+			ok := false
+			switch p.op {
+			case "<":
+				ok = cmp < 0
+			case "<=":
+				ok = cmp <= 0
+			case ">":
+				ok = cmp > 0
+			case ">=":
+				ok = cmp >= 0
+			case "=":
+				ok = cmp == 0
+			case "<>":
+				ok = cmp != 0
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+
+	var selected []int
+	for r := 0; r < t.nrows; r++ {
+		if match(r) {
+			selected = append(selected, r)
+		}
+	}
+
+	hasAgg := false
+	for _, it := range q.items {
+		if it.agg != "" {
+			hasAgg = true
+		}
+	}
+	if !hasAgg && q.groupBy < 0 {
+		for _, r := range selected {
+			var row []oracleCell
+			for _, it := range q.items {
+				if t.cols[it.col].Type == raw.Int64 {
+					row = append(row, oracleCell{i: t.ints[it.col][r]})
+				} else {
+					row = append(row, oracleCell{f: t.floats[it.col][r]})
+				}
+			}
+			rows = append(rows, row)
+		}
+		return rows, types
+	}
+
+	// aggState mirrors the engine's per-spec accumulator exactly (order of
+	// float accumulation = file order).
+	type aggState struct {
+		count int64
+		i     int64
+		f     float64
+	}
+	update := func(st *aggState, it dtItem, r int) {
+		if it.agg == "COUNT" { // counts rows regardless of column (no NULLs)
+			st.count++
+			return
+		}
+		if t.cols[it.col].Type == raw.Int64 {
+			v := t.ints[it.col][r]
+			switch it.agg {
+			case "MIN":
+				if st.count == 0 || v < st.i {
+					st.i = v
+				}
+			case "MAX":
+				if st.count == 0 || v > st.i {
+					st.i = v
+				}
+			case "SUM", "AVG":
+				if st.count == 0 {
+					st.i = 0
+				}
+				st.i += v
+			}
+		} else {
+			v := t.floats[it.col][r]
+			switch it.agg {
+			case "MIN":
+				if st.count == 0 || v < st.f {
+					st.f = v
+				}
+			case "MAX":
+				if st.count == 0 || v > st.f {
+					st.f = v
+				}
+			case "SUM", "AVG":
+				if st.count == 0 {
+					st.f = 0
+				}
+				st.f += v
+			}
+		}
+		st.count++
+	}
+	emit := func(st aggState, it dtItem) oracleCell {
+		switch {
+		case it.agg == "COUNT":
+			return oracleCell{i: st.count}
+		case it.agg == "AVG":
+			var sum float64
+			if t.cols[it.col].Type == raw.Int64 {
+				sum = float64(st.i)
+			} else {
+				sum = st.f
+			}
+			if st.count == 0 {
+				return oracleCell{f: 0}
+			}
+			return oracleCell{f: sum / float64(st.count)}
+		case t.cols[it.col].Type == raw.Int64:
+			if st.count == 0 {
+				return oracleCell{i: 0}
+			}
+			return oracleCell{i: st.i}
+		default:
+			if st.count == 0 {
+				return oracleCell{f: 0}
+			}
+			return oracleCell{f: st.f}
+		}
+	}
+
+	if q.groupBy < 0 {
+		states := make([]aggState, len(q.items))
+		for _, r := range selected {
+			for i, it := range q.items {
+				update(&states[i], it, r)
+			}
+		}
+		row := make([]oracleCell, len(q.items))
+		for i, it := range q.items {
+			row[i] = emit(states[i], it)
+		}
+		return [][]oracleCell{row}, types
+	}
+
+	// Grouped: first-encounter order over the filtered rows.
+	slot := make(map[int64]int)
+	var keys []int64
+	var states [][]aggState
+	for _, r := range selected {
+		k := t.ints[q.groupBy][r]
+		s, ok := slot[k]
+		if !ok {
+			s = len(keys)
+			slot[k] = s
+			keys = append(keys, k)
+			states = append(states, make([]aggState, len(q.items)))
+		}
+		for i, it := range q.items {
+			if it.agg != "" {
+				update(&states[s][i], it, r)
+			}
+		}
+	}
+	for s, k := range keys {
+		row := make([]oracleCell, len(q.items))
+		for i, it := range q.items {
+			if it.agg == "" {
+				row[i] = oracleCell{i: k} // bare group column
+			} else {
+				row[i] = emit(states[s][i], it)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, types
+}
+
+// checkOracle compares an engine result against the oracle bit for bit.
+func checkOracle(t *testing.T, label, sql string, res *raw.Result, want [][]oracleCell, types []raw.Type) {
+	t.Helper()
+	if res.NumRows() != len(want) || len(res.Columns) != len(types) {
+		t.Fatalf("%s: %q: shape %dx%d, oracle %dx%d",
+			label, sql, res.NumRows(), len(res.Columns), len(want), len(types))
+	}
+	for c, typ := range types {
+		if res.Types[c] != typ {
+			t.Fatalf("%s: %q: column %d type %v, oracle %v", label, sql, c, res.Types[c], typ)
+		}
+	}
+	for r := range want {
+		for c := range types {
+			if types[c] == raw.Float64 {
+				g, w := res.Float64(r, c), want[r][c].f
+				if math.Float64bits(g) != math.Float64bits(w) {
+					t.Fatalf("%s: %q: cell (%d,%d) = %v (bits %x), oracle %v (bits %x)",
+						label, sql, r, c, g, math.Float64bits(g), w, math.Float64bits(w))
+				}
+			} else if g := res.Int64(r, c); g != want[r][c].i {
+				t.Fatalf("%s: %q: cell (%d,%d) = %d, oracle %d", label, sql, r, c, g, want[r][c].i)
+			}
+		}
+	}
+}
+
+// registerDT registers the generated table under one format.
+func registerDT(t *testing.T, e *raw.Engine, tab *dtTable, format string,
+	csv, jsonl, bin []byte) {
+	t.Helper()
+	var err error
+	switch format {
+	case "csv":
+		err = e.RegisterCSVData("t", csv, tab.cols)
+	case "json":
+		err = e.RegisterJSONData("t", jsonl, tab.cols)
+	case "bin":
+		err = e.RegisterBinaryData("t", bin, tab.cols)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDifferentialOracle is the coverage backbone: difftestQueries random
+// queries per strategy × format, each executed at workers 1/2/8 (cycling)
+// and, for the cache-building strategies, in three vault modes — vault off,
+// vault enabled from a cold directory, and a restarted engine loading the
+// populated directory — all compared against the oracle.
+func TestDifferentialOracle(t *testing.T) {
+	strategies := []struct {
+		name  string
+		strat raw.Strategy
+		vault bool // strategy builds persistent structures worth vault modes
+	}{
+		{"shreds", raw.StrategyShreds, true},
+		{"jit", raw.StrategyJIT, true},
+		{"insitu", raw.StrategyInSitu, true},
+		{"external", raw.StrategyExternal, false},
+		{"dbms", raw.StrategyDBMS, false},
+	}
+	workerCycle := []int{1, 2, 8}
+	for si, s := range strategies {
+		for fi, format := range []string{"csv", "json", "bin"} {
+			if s.strat == raw.StrategyExternal && format != "csv" {
+				continue
+			}
+			t.Run(s.name+"/"+format, func(t *testing.T) {
+				seed := int64(1000 + 100*si + fi)
+				rng := rand.New(rand.NewSource(seed))
+				tab := genTable(rng, 150)
+				csv, jsonl := tab.renderCSV(), tab.renderJSONL()
+				bin := tab.renderBin(t)
+
+				queries := make([]dtQuery, difftestQueries)
+				for i := range queries {
+					queries[i] = genQuery(rng, tab)
+				}
+
+				type mode struct {
+					name string
+					eng  *raw.Engine
+				}
+				modes := []mode{{"vault-off", raw.NewEngine(raw.Config{Strategy: s.strat})}}
+				var dir string
+				if s.vault {
+					dir = t.TempDir()
+					modes = append(modes, mode{"vault-cold",
+						raw.NewEngine(raw.Config{Strategy: s.strat, CacheDir: dir})})
+				}
+				for _, m := range modes {
+					registerDT(t, m.eng, tab, format, csv, jsonl, bin)
+				}
+				run := func(m mode) {
+					for qi, q := range queries {
+						sql := q.SQL(tab)
+						w := workerCycle[qi%len(workerCycle)]
+						res, err := m.eng.QueryOpt(sql, raw.Options{Parallelism: &w})
+						if err != nil {
+							t.Fatalf("%s (seed %d) query %d %q: %v", m.name, seed, qi, sql, err)
+						}
+						want, types := oracle(tab, q)
+						checkOracle(t, fmt.Sprintf("%s (seed %d) query %d workers %d", m.name, seed, qi, w),
+							sql, res, want, types)
+					}
+				}
+				for _, m := range modes {
+					run(m)
+				}
+				if s.vault {
+					// Flush the populated vault and "restart" into it: the
+					// same suite must pass starting from vault-loaded
+					// structures.
+					modes[1].eng.Close()
+					restarted := mode{"vault-restart",
+						raw.NewEngine(raw.Config{Strategy: s.strat, CacheDir: dir})}
+					registerDT(t, restarted.eng, tab, format, csv, jsonl, bin)
+					run(restarted)
+					restarted.eng.Close()
+				}
+			})
+		}
+	}
+}

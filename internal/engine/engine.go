@@ -24,6 +24,7 @@ import (
 	"rawdb/internal/storage/csvfile"
 	"rawdb/internal/storage/jsonfile"
 	"rawdb/internal/storage/rootfile"
+	"rawdb/internal/vault"
 	"rawdb/internal/vector"
 )
 
@@ -124,6 +125,19 @@ type Config struct {
 	// operator pass (speculative multi-column shreds, Figure 9) instead of
 	// one operator per column.
 	MultiColumnShreds bool
+	// CacheDir, when non-empty, enables the persistent raw-data vault:
+	// positional maps, structural indexes and column shreds are written back
+	// to <CacheDir>/<table>/*.rawv after queries and loaded on Register*, so
+	// the first query after a restart runs against the cache state earlier
+	// processes built. Entries are fingerprint-validated against the raw
+	// file; deleting or corrupting the directory is always safe (cold
+	// rebuild).
+	CacheDir string
+	// CacheBudget, when > 0, bounds the total in-memory bytes of positional
+	// maps, structural indexes and column shreds with one unified LRU budget
+	// (replacing the per-structure limits; ShredCapacityBytes is ignored
+	// then).
+	CacheBudget int64
 }
 
 // Options overrides Config for a single query. Nil pointers inherit.
@@ -142,6 +156,9 @@ type Engine struct {
 	cat       *catalog.Catalog
 	templates *jit.Cache
 	shreds    *shred.Pool
+	vault     *vault.Store  // nil unless Config.CacheDir is set (and usable)
+	budget    *vault.Budget // nil unless Config.CacheBudget > 0
+	vaultWG   sync.WaitGroup
 
 	mu     sync.Mutex
 	tables map[string]*tableState
@@ -157,13 +174,79 @@ type tableState struct {
 	tab      *catalog.Table
 	csvData  []byte
 	jsonData []byte
+	binData  []byte // raw binary image when registered from memory
 	bin      *binfile.Reader
 	rootFile *rootfile.File
 	rootTree *rootfile.Tree
-	pm       *posmap.Map
-	jidx     *jsonidx.Index   // structural index over a JSONL file
 	loaded   []*vector.Vector // DBMS-loaded full columns
 	nrows    int64            // -1 until known
+
+	// cmu guards the pm/jidx pointers alone: queries read and install them
+	// under qmu, but the unified cache budget may evict them from any
+	// goroutine, so the pointer load/store is separately locked. Readers
+	// snapshot the pointer once and keep using the structure they got (a
+	// concurrent eviction only drops the shared reference, never the data).
+	cmu  sync.Mutex
+	pm   *posmap.Map
+	jidx *jsonidx.Index // structural index over a JSONL file
+
+	// Vault state (guarded by qmu, like the caches themselves): the raw
+	// file fingerprint entries are saved under, and the last-saved markers
+	// the write-back uses to detect dirty structures.
+	fp            vault.Fingerprint
+	hasFP         bool
+	savedPM       *posmap.Map
+	savedJIdx     *jsonidx.Index
+	savedJIdxVer  uint64
+	savedShredVer int64
+	// wmu serialises this table's disk writes; it is locked by the
+	// completing query (preserving save order) and unlocked by the
+	// asynchronous writer goroutine.
+	wmu sync.Mutex
+}
+
+// posMap returns the current positional map (nil when absent or evicted).
+func (st *tableState) posMap() *posmap.Map {
+	st.cmu.Lock()
+	defer st.cmu.Unlock()
+	return st.pm
+}
+
+func (st *tableState) setPosMap(pm *posmap.Map) {
+	st.cmu.Lock()
+	st.pm = pm
+	st.cmu.Unlock()
+}
+
+// dropPosMap clears the positional map iff it still is old (budget eviction
+// callback; a newer map installed meanwhile stays).
+func (st *tableState) dropPosMap(old *posmap.Map) {
+	st.cmu.Lock()
+	if st.pm == old {
+		st.pm = nil
+	}
+	st.cmu.Unlock()
+}
+
+// jsonIdx returns the current structural index (nil when absent or evicted).
+func (st *tableState) jsonIdx() *jsonidx.Index {
+	st.cmu.Lock()
+	defer st.cmu.Unlock()
+	return st.jidx
+}
+
+func (st *tableState) setJSONIdx(x *jsonidx.Index) {
+	st.cmu.Lock()
+	st.jidx = x
+	st.cmu.Unlock()
+}
+
+func (st *tableState) dropJSONIdx(old *jsonidx.Index) {
+	st.cmu.Lock()
+	if st.jidx == old {
+		st.jidx = nil
+	}
+	st.cmu.Unlock()
 }
 
 // New returns an engine with the given configuration.
@@ -182,6 +265,17 @@ func New(cfg Config) *Engine {
 		tables:    make(map[string]*tableState),
 	}
 	e.templates.SetCompileDelay(cfg.CompileDelay)
+	if cfg.CacheBudget > 0 {
+		e.budget = vault.NewBudget(cfg.CacheBudget)
+		e.shreds.SetAccountant(e.budget)
+	}
+	if cfg.CacheDir != "" {
+		// The vault is a cache: if the directory cannot be created the
+		// engine degrades to purely in-memory operation rather than failing.
+		if s, err := vault.Open(cfg.CacheDir); err == nil {
+			e.vault = s
+		}
+	}
 	return e
 }
 
@@ -194,6 +288,14 @@ func (e *Engine) TemplateCache() *jit.Cache { return e.templates }
 
 // ShredPool exposes the column-shred pool for inspection.
 func (e *Engine) ShredPool() *shred.Pool { return e.shreds }
+
+// Budget exposes the unified cache-budget manager (nil unless
+// Config.CacheBudget is set).
+func (e *Engine) Budget() *vault.Budget { return e.budget }
+
+// Vault exposes the persistent cache store (nil unless Config.CacheDir is
+// set and usable).
+func (e *Engine) Vault() *vault.Store { return e.vault }
 
 // RegisterCSV registers a CSV file under name. Registration stores metadata
 // only; the file is read lazily on first query (in-situ semantics).
@@ -237,7 +339,7 @@ func (e *Engine) RegisterBinaryData(name string, data []byte, schema []catalog.C
 	if err != nil {
 		return err
 	}
-	st := &tableState{bin: r, nrows: r.NRows()}
+	st := &tableState{bin: r, binData: data, nrows: r.NRows()}
 	return e.register(&catalog.Table{Name: name, Format: catalog.Binary, Schema: schema}, st)
 }
 
@@ -294,6 +396,10 @@ func (e *Engine) DropTable(name string) error {
 	e.mu.Lock()
 	delete(e.tables, name)
 	e.mu.Unlock()
+	if e.budget != nil {
+		e.budget.Remove("posmap:" + name)
+		e.budget.Remove("jsonidx:" + name)
+	}
 	return nil
 }
 
@@ -319,6 +425,12 @@ func (e *Engine) register(tab *catalog.Table, st *tableState) error {
 		st.nrows = -1
 	}
 	st.tab = tab
+	// Warm the table from the vault before it becomes queryable: valid
+	// entries restore the positional map / structural index and re-seed the
+	// shred pool, so the first query after a restart plans against them.
+	if e.vault != nil {
+		e.vaultLoad(st)
+	}
 	e.mu.Lock()
 	e.tables[tab.Name] = st
 	e.mu.Unlock()
@@ -387,12 +499,19 @@ func (e *Engine) DropCaches() {
 	defer e.mu.Unlock()
 	e.shreds.Reset()
 	e.templates.Reset()
+	if e.budget != nil {
+		e.budget.Reset()
+	}
 	for _, st := range e.tables {
 		if st.tab.Format == catalog.Memory {
 			continue // memory tables have no raw backing to re-read
 		}
+		st.cmu.Lock()
 		st.pm = nil
 		st.jidx = nil
+		st.cmu.Unlock()
+		st.savedPM, st.savedJIdx = nil, nil
+		st.savedJIdxVer, st.savedShredVer = 0, 0
 		st.loaded = nil
 		if st.tab.Format != catalog.Binary && st.tab.Format != catalog.Root {
 			st.nrows = -1

@@ -392,15 +392,15 @@ func (pc *planCtx) csvMorsels(r *resolvedQuery, cols []int, jitMode bool) (parts
 	nm := pc.workers * morselsPerWorker
 	var caps []*morselCapture
 
-	if st.pm != nil && st.pm.NRows() > 0 && pmCovers(st.pm, cols) {
-		ranges := splitRows(st.pm.NRows(), nm)
+	if pm := st.posMap(); pm != nil && pm.NRows() > 0 && pmCovers(pm, cols) {
+		ranges := splitRows(pm.NRows(), nm)
 		if len(ranges) < 2 {
 			return nil, nil, false, nil
 		}
 		for _, rr := range ranges {
 			var sc exec.Operator
 			if jitMode {
-				js, err := jit.NewCSVMapScan(st.csvData, tab, cols, st.pm, false, bs)
+				js, err := jit.NewCSVMapScan(st.csvData, tab, cols, pm, false, bs)
 				if err != nil {
 					return nil, nil, false, err
 				}
@@ -413,7 +413,7 @@ func (pc *planCtx) csvMorsels(r *resolvedQuery, cols []int, jitMode bool) (parts
 				}
 				sc = op
 			} else {
-				is, err := insitu.NewCSVScan(st.csvData, tab, cols, st.pm, nil, false, bs)
+				is, err := insitu.NewCSVScan(st.csvData, tab, cols, pm, nil, false, bs)
 				if err != nil {
 					return nil, nil, false, err
 				}
@@ -428,7 +428,7 @@ func (pc *planCtx) csvMorsels(r *resolvedQuery, cols []int, jitMode bool) (parts
 			pc.ensureTemplate(jit.Spec{
 				Format: tab.Format, Table: tab.Name, Mode: jit.ViaMap,
 				Types: tab.Types(), Need: cols,
-				PMRead: pmTracked(st.pm, true),
+				PMRead: pmTracked(pm, true),
 			})
 			pc.pathf("par[%d]:jit:viamap(%s)", len(parts), tab.Name)
 		} else {
@@ -475,7 +475,7 @@ func (pc *planCtx) csvMorsels(r *resolvedQuery, cols []int, jitMode bool) (parts
 				return err
 			}
 		}
-		st.pm = merged
+		st.setPosMap(merged)
 		if st.nrows < 0 {
 			st.nrows = merged.NRows()
 		}
@@ -505,13 +505,13 @@ func (pc *planCtx) jsonMorsels(r *resolvedQuery, cols []int, jitMode bool) (part
 	nm := pc.workers * morselsPerWorker
 	var caps []*morselCapture
 
-	if st.jidx != nil && st.jidx.NRows() > 0 {
-		ranges := splitRows(st.jidx.NRows(), nm)
+	if idx := st.jsonIdx(); idx != nil && idx.NRows() > 0 {
+		ranges := splitRows(idx.NRows(), nm)
 		if len(ranges) < 2 {
 			return nil, nil, false, nil
 		}
 		for _, rr := range ranges {
-			js, err := jit.NewJSONMapScan(st.jsonData, tab, cols, st.jidx, false, bs)
+			js, err := jit.NewJSONMapScan(st.jsonData, tab, cols, idx, false, bs)
 			if err != nil {
 				return nil, nil, false, err
 			}
@@ -533,7 +533,7 @@ func (pc *planCtx) jsonMorsels(r *resolvedQuery, cols []int, jitMode bool) (part
 				Format: tab.Format, Table: tab.Name, Mode: jit.ViaMap,
 				Types: tab.Types(), Need: cols,
 				Paths:  jsonPaths(tab, cols),
-				PMRead: jidxTracked(st.jidx, tab),
+				PMRead: jidxTracked(idx, tab),
 			})
 			pc.pathf("par[%d]:jit:jsonidx(%s)", len(parts), tab.Name)
 		} else {
@@ -571,7 +571,7 @@ func (pc *planCtx) jsonMorsels(r *resolvedQuery, cols []int, jitMode bool) (part
 	}
 	mergeIdx := func() error {
 		merged := jsonidx.Merge(frags, offs, 0)
-		st.jidx = merged
+		st.setJSONIdx(merged)
 		if st.nrows < 0 {
 			st.nrows = merged.NRows()
 		}

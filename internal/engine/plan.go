@@ -237,9 +237,11 @@ func (pc *planCtx) planJoin(r *resolvedQuery) (*pipe, error) {
 func (pc *planCtx) lateCapable(bt *boundTable) bool {
 	switch bt.st.tab.Format {
 	case catalog.CSV:
-		return bt.st.pm != nil && bt.st.pm.NRows() > 0
+		pm := bt.st.posMap()
+		return pm != nil && pm.NRows() > 0
 	case catalog.JSON:
-		return bt.st.jidx != nil && bt.st.jidx.NRows() > 0
+		x := bt.st.jsonIdx()
+		return x != nil && x.NRows() > 0
 	case catalog.Binary, catalog.Root:
 		return true
 	case catalog.Memory:
@@ -375,8 +377,8 @@ func (pc *planCtx) baseScanInSitu(p *pipe, r *resolvedQuery, t int, cols []int,
 	bs := pc.e.cfg.BatchSize
 	switch tab.Format {
 	case catalog.CSV:
-		if st.pm != nil && st.pm.NRows() > 0 && pmCovers(st.pm, cols) {
-			sc, err := insitu.NewCSVScan(st.csvData, tab, cols, st.pm, nil, false, bs)
+		if pm := st.posMap(); pm != nil && pm.NRows() > 0 && pmCovers(pm, cols) {
+			sc, err := insitu.NewCSVScan(st.csvData, tab, cols, pm, nil, false, bs)
 			if err != nil {
 				return nil, err
 			}
@@ -390,7 +392,7 @@ func (pc *planCtx) baseScanInSitu(p *pipe, r *resolvedQuery, t int, cols []int,
 		if err != nil {
 			return nil, err
 		}
-		st.pm = pm
+		st.setPosMap(pm)
 		p.op = sc
 		layout(cols, -1)
 		pc.pathf("insitu:seq(%s)", tab.Name)
@@ -424,13 +426,13 @@ func (pc *planCtx) baseScanInSitu(p *pipe, r *resolvedQuery, t int, cols []int,
 		// and consult the index, NoDB-style).
 		var sc *jit.JSONScan
 		var err error
-		if st.jidx != nil && st.jidx.NRows() > 0 {
-			sc, err = jit.NewJSONMapScan(st.jsonData, tab, cols, st.jidx, false, bs)
+		if idx := st.jsonIdx(); idx != nil && idx.NRows() > 0 {
+			sc, err = jit.NewJSONMapScan(st.jsonData, tab, cols, idx, false, bs)
 		} else {
 			idx := jsonidx.New(0)
 			sc, err = jit.NewJSONSequentialScan(st.jsonData, tab, cols, idx, false, bs)
 			if err == nil {
-				st.jidx = idx
+				st.setJSONIdx(idx)
 				if st.nrows < 0 {
 					st.nrows = jsonfile.CountRows(st.jsonData)
 				}
@@ -499,11 +501,13 @@ func (pc *planCtx) baseScanJIT(p *pipe, r *resolvedQuery, t int, cols []int, nee
 	var op exec.Operator
 	var mode jit.Mode
 	pruned := false
+	pm := st.posMap()   // snapshot: eviction may clear the shared pointer
+	idx := st.jsonIdx() // likewise
 	switch tab.Format {
 	case catalog.CSV:
-		if st.pm != nil && st.pm.NRows() > 0 && pmCovers(st.pm, uncached) {
+		if pm != nil && pm.NRows() > 0 && pmCovers(pm, uncached) {
 			mode = jit.ViaMap
-			sc, err := jit.NewCSVMapScan(st.csvData, tab, uncached, st.pm, emitRID, bs)
+			sc, err := jit.NewCSVMapScan(st.csvData, tab, uncached, pm, emitRID, bs)
 			if err != nil {
 				return nil, err
 			}
@@ -511,12 +515,12 @@ func (pc *planCtx) baseScanJIT(p *pipe, r *resolvedQuery, t int, cols []int, nee
 			pc.pathf("jit:viamap(%s)", tab.Name)
 		} else {
 			mode = jit.Sequential
-			pm := posmap.New(pc.e.cfg.PosMapPolicy, len(tab.Schema))
+			pm = posmap.New(pc.e.cfg.PosMapPolicy, len(tab.Schema))
 			sc, err := jit.NewCSVSequentialScan(st.csvData, tab, uncached, pm, emitRID, bs)
 			if err != nil {
 				return nil, err
 			}
-			st.pm = pm
+			st.setPosMap(pm)
 			op = sc
 			pc.pathf("jit:seq(%s)", tab.Name)
 			if st.nrows < 0 {
@@ -524,9 +528,9 @@ func (pc *planCtx) baseScanJIT(p *pipe, r *resolvedQuery, t int, cols []int, nee
 			}
 		}
 	case catalog.JSON:
-		if st.jidx != nil && st.jidx.NRows() > 0 {
+		if idx != nil && idx.NRows() > 0 {
 			mode = jit.ViaMap
-			sc, err := jit.NewJSONMapScan(st.jsonData, tab, uncached, st.jidx, emitRID, bs)
+			sc, err := jit.NewJSONMapScan(st.jsonData, tab, uncached, idx, emitRID, bs)
 			if err != nil {
 				return nil, err
 			}
@@ -534,12 +538,12 @@ func (pc *planCtx) baseScanJIT(p *pipe, r *resolvedQuery, t int, cols []int, nee
 			pc.pathf("jit:jsonidx(%s)", tab.Name)
 		} else {
 			mode = jit.Sequential
-			idx := jsonidx.New(0)
+			idx = jsonidx.New(0)
 			sc, err := jit.NewJSONSequentialScan(st.jsonData, tab, uncached, idx, emitRID, bs)
 			if err != nil {
 				return nil, err
 			}
-			st.jidx = idx
+			st.setJSONIdx(idx)
 			op = sc
 			pc.pathf("jit:jsonseq(%s)", tab.Name)
 			if st.nrows < 0 {
@@ -596,12 +600,12 @@ func (pc *planCtx) baseScanJIT(p *pipe, r *resolvedQuery, t int, cols []int, nee
 	}
 	switch tab.Format {
 	case catalog.CSV:
-		spec.PMRead = pmTracked(st.pm, mode == jit.ViaMap)
-		spec.PMBuild = pmTracked(st.pm, mode == jit.Sequential)
+		spec.PMRead = pmTracked(pm, mode == jit.ViaMap)
+		spec.PMBuild = pmTracked(pm, mode == jit.Sequential)
 	case catalog.JSON:
 		spec.Paths = jsonPaths(tab, uncached)
 		if mode == jit.ViaMap {
-			spec.PMRead = jidxTracked(st.jidx, tab)
+			spec.PMRead = jidxTracked(idx, tab)
 		} else {
 			// A sequential scan records every requested path.
 			spec.PMBuild = uncached
@@ -717,11 +721,13 @@ func (pc *planCtx) lateScan(p *pipe, r *resolvedQuery, t int, cols []int) error 
 
 	var ls *jit.LateScan
 	var err error
+	pm := st.posMap()
+	idx := st.jsonIdx()
 	switch tab.Format {
 	case catalog.CSV:
-		ls, err = jit.NewCSVLateScan(p.op, st.csvData, tab, fromFile, st.pm, ridIdx)
+		ls, err = jit.NewCSVLateScan(p.op, st.csvData, tab, fromFile, pm, ridIdx)
 	case catalog.JSON:
-		ls, err = jit.NewJSONLateScan(p.op, st.jsonData, tab, fromFile, st.jidx, ridIdx)
+		ls, err = jit.NewJSONLateScan(p.op, st.jsonData, tab, fromFile, idx, ridIdx)
 	case catalog.Binary:
 		ls, err = jit.NewBinLateScan(p.op, st.bin, tab, fromFile, ridIdx)
 	case catalog.Root:
@@ -738,12 +744,12 @@ func (pc *planCtx) lateScan(p *pipe, r *resolvedQuery, t int, cols []int) error 
 		Mode:    jit.Late,
 		Types:   tab.Types(),
 		Need:    fromFile,
-		PMRead:  pmTracked(st.pm, tab.Format == catalog.CSV),
+		PMRead:  pmTracked(pm, tab.Format == catalog.CSV),
 		EmitRID: true,
 	}
 	if tab.Format == catalog.JSON {
 		lateSpec.Paths = jsonPaths(tab, fromFile)
-		lateSpec.PMRead = jidxTracked(st.jidx, tab)
+		lateSpec.PMRead = jidxTracked(idx, tab)
 	}
 	pc.ensureTemplate(lateSpec)
 	pc.pathf("jit:late(%s)", shredKeys(tab.Name, fromFile))

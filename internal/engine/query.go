@@ -80,6 +80,10 @@ func (e *Engine) run(r *resolvedQuery, strategy Strategy, place JoinPlacement,
 		return nil, err
 	}
 	stats.Elapsed = time.Since(start)
+	// Refresh unified-budget accounting and schedule vault write-backs for
+	// structures this query built or grew (locks still held: the encodes
+	// snapshot consistent state; only disk I/O happens asynchronously).
+	e.vaultUpdate(r)
 	schema := op.Schema()
 	res := &Result{Stats: *stats, cols: cols}
 	for _, c := range schema {

@@ -17,6 +17,8 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"rawdb/internal/catalog"
@@ -43,6 +45,12 @@ type Config struct {
 	// Workers bounds the morsel-parallel worker sweep of the "parallel"
 	// experiment (default 8).
 	Workers int
+	// CacheDir is the persistent-vault directory the "vault" experiment uses
+	// (default: a fresh temporary directory, removed afterwards).
+	CacheDir string
+	// CacheBudget is the unified cache budget in bytes handed to the vault
+	// experiment's engines (0 keeps per-structure defaults).
+	CacheBudget int64
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +108,7 @@ func All() []Runner {
 		{"table3", "Higgs analysis: hand-written vs RAW, cold and warm", RunTable3},
 		{"json", "JSON adapter: cold vs structural-index-warm vs shred-hot, against CSV", RunJSON},
 		{"parallel", "Morsel-parallel cold aggregate scans: workers sweep over CSV and JSONL", RunParallel},
+		{"vault", "Persistent vault: cold vs restart-warm vs in-memory-warm first queries", RunVault},
 	}
 }
 
@@ -264,6 +273,97 @@ func RunParallel(cfg Config) (*Table, error) {
 			t.Rows = append(t.Rows, []string{format, fmt.Sprintf("%d", w), secs(d),
 				fmt.Sprintf("%.2fx", speedup)})
 		}
+	}
+	return t, nil
+}
+
+// RunVault measures what the persistent vault buys across process restarts:
+// for CSV and JSONL, the cold first query (fresh engine, nothing cached), the
+// first query of a "restarted" engine that loads the previous engine's
+// vault entries at registration, and the in-memory warm repeat on the
+// original engine. With working persistence, restart-warm tracks
+// in-memory-warm rather than cold: the positional map / structural index and
+// the column shreds all come back from disk, so the probe query never
+// re-tokenizes the raw file.
+func RunVault(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	ds, err := workload.Narrow(cfg.NarrowRows, 1)
+	if err != nil {
+		return nil, err
+	}
+	dir := cfg.CacheDir
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "rawdb-vault-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	t := &Table{ID: "vault", Title: "Vault: first-query cost cold vs restart-warm vs in-memory-warm",
+		Header: []string{"format", "cold (s)", "restart_warm (s)", "mem_warm (s)"}}
+	probe := fmt.Sprintf(q2, workload.Threshold(0.4))
+	warmup := fmt.Sprintf(q1, workload.Threshold(0.4))
+	for _, format := range []string{"csv", "json"} {
+		mk := func(cachedir string) (*engine.Engine, error) {
+			e := engine.New(engine.Config{
+				Strategy:     engine.StrategyShreds,
+				PosMapPolicy: posmap.Policy{EveryK: 10},
+				CompileDelay: cfg.CompileDelay,
+				CacheDir:     cachedir,
+				CacheBudget:  cfg.CacheBudget,
+			})
+			var rerr error
+			if format == "csv" {
+				rerr = e.RegisterCSVData("t", ds.CSV, ds.Schema)
+			} else {
+				rerr = e.RegisterJSONData("t", ds.JSONL, ds.Schema)
+			}
+			if rerr != nil {
+				return nil, rerr
+			}
+			return e, nil
+		}
+		// Cold and in-memory warm, no vault involved.
+		e1, err := mk("")
+		if err != nil {
+			return nil, err
+		}
+		cold, err := timeQuery(1, func() error { _, err := e1.Query(probe); return err })
+		if err != nil {
+			return nil, err
+		}
+		if _, err := e1.Query(warmup); err != nil { // cache the filter column too
+			return nil, err
+		}
+		memWarm, err := timeQuery(cfg.Repeats, func() error { _, err := e1.Query(probe); return err })
+		if err != nil {
+			return nil, err
+		}
+		// Populate the vault in one "process", then restart into it.
+		fdir := filepath.Join(dir, format)
+		ev, err := mk(fdir)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := ev.Query(probe); err != nil {
+			return nil, err
+		}
+		if _, err := ev.Query(warmup); err != nil {
+			return nil, err
+		}
+		ev.Close()
+		e2, err := mk(fdir)
+		if err != nil {
+			return nil, err
+		}
+		// One repeat: the restart-warm effect exists only on e2's first query
+		// (repeats would measure the in-memory warm state it settles into).
+		restart, err := timeQuery(1, func() error { _, err := e2.Query(probe); return err })
+		if err != nil {
+			return nil, err
+		}
+		e2.Close()
+		t.Rows = append(t.Rows, []string{format, secs(cold), secs(restart), secs(memWarm)})
 	}
 	return t, nil
 }

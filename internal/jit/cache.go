@@ -1,6 +1,7 @@
 package jit
 
 import (
+	"container/list"
 	"sync"
 	"time"
 )
@@ -11,29 +12,65 @@ type CacheEntry struct {
 	Key    string
 	Source string
 	// Compiles counts how many times this path was (re)generated — always 1
-	// unless the cache was reset.
+	// unless the cache was reset or the entry was evicted and rebuilt.
 	Compiles int
 	// Hits counts reuses after the initial compilation.
 	Hits int
 }
 
+// DefaultCapacityBytes bounds the template cache. Generated sources are a
+// few KiB each, so the default holds thousands of distinct access paths —
+// effectively unbounded for normal workloads while keeping the accounting in
+// bytes (an entry-counted limit would say nothing about memory).
+const DefaultCapacityBytes = 8 << 20
+
+// entryOverheadBytes approximates the fixed cost of one entry beyond its key
+// and source strings (map bucket, list element, struct header).
+const entryOverheadBytes = 96
+
+func entryBytes(e *CacheEntry) int64 {
+	return int64(len(e.Key)) + int64(len(e.Source)) + entryOverheadBytes
+}
+
 // Cache is the template cache of generated access paths. The paper keeps
 // compiled libraries keyed by access-path description and reuses them when
 // the same query shape recurs; here the cached artifact is the emitted
-// source plus the knowledge that construction cost was already paid. A
+// source plus the knowledge that construction cost was already paid. Entries
+// are byte-accounted and evicted least-recently-used beyond a capacity; an
+// evicted template is simply regenerated (and re-charged) on next use. A
 // configurable CompileDelay models the paper's ~2 s first-query compilation
 // overhead (defaults to zero so tests and benchmarks measure pure execution;
 // the experiment harness sets it when reproducing Figure 1a).
 type Cache struct {
 	mu           sync.Mutex
-	entries      map[string]*CacheEntry
+	entries      map[string]*list.Element // of *CacheEntry
+	lru          *list.List               // front = most recent
+	size         int64
+	capacity     int64
 	compileDelay time.Duration
 	sleep        func(time.Duration) // test seam; defaults to time.Sleep
 }
 
-// NewCache returns an empty template cache.
+// NewCache returns an empty template cache with the default byte capacity.
 func NewCache() *Cache {
-	return &Cache{entries: make(map[string]*CacheEntry), sleep: time.Sleep}
+	return &Cache{
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+		capacity: DefaultCapacityBytes,
+		sleep:    time.Sleep,
+	}
+}
+
+// SetCapacityBytes changes the cache's byte budget (<= 0 restores the
+// default) and evicts immediately if the cache is over it.
+func (c *Cache) SetCapacityBytes(n int64) {
+	if n <= 0 {
+		n = DefaultCapacityBytes
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.capacity = n
+	c.evict()
 }
 
 // SetCompileDelay sets the simulated per-compilation latency charged on
@@ -50,14 +87,18 @@ func (c *Cache) SetCompileDelay(d time.Duration) {
 func (c *Cache) Ensure(sp Spec) (*CacheEntry, bool) {
 	key := sp.Key()
 	c.mu.Lock()
-	if e, ok := c.entries[key]; ok {
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*CacheEntry)
 		e.Hits++
+		c.lru.MoveToFront(el)
 		c.mu.Unlock()
 		return e, true
 	}
 	delay := c.compileDelay
 	e := &CacheEntry{Key: key, Source: sp.Source(), Compiles: 1}
-	c.entries[key] = e
+	c.entries[key] = c.lru.PushFront(e)
+	c.size += entryBytes(e)
+	c.evict()
 	c.mu.Unlock()
 	if delay > 0 {
 		c.sleep(delay)
@@ -65,27 +106,50 @@ func (c *Cache) Ensure(sp Spec) (*CacheEntry, bool) {
 	return e, false
 }
 
+// evict drops least-recently-used entries until the byte budget is met,
+// always retaining the most recent entry (evicting the template a query is
+// about to use would only force an immediate recompilation).
+func (c *Cache) evict() {
+	for c.size > c.capacity && c.lru.Len() > 1 {
+		el := c.lru.Back()
+		e := el.Value.(*CacheEntry)
+		c.lru.Remove(el)
+		delete(c.entries, e.Key)
+		c.size -= entryBytes(e)
+	}
+}
+
 // Len returns the number of cached access paths.
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.entries)
+	return c.lru.Len()
+}
+
+// SizeBytes returns the bytes accounted to cached entries.
+func (c *Cache) SizeBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
 }
 
 // Reset drops all cached templates.
 func (c *Cache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.entries = make(map[string]*CacheEntry)
+	c.entries = make(map[string]*list.Element)
+	c.lru.Init()
+	c.size = 0
 }
 
-// Entries returns a snapshot of the cached entries.
+// Entries returns a snapshot of the cached entries, most recently used
+// first.
 func (c *Cache) Entries() []*CacheEntry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]*CacheEntry, 0, len(c.entries))
-	for _, e := range c.entries {
-		cp := *e
+	out := make([]*CacheEntry, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		cp := *el.Value.(*CacheEntry)
 		out = append(out, &cp)
 	}
 	return out

@@ -591,6 +591,55 @@ func TestCacheEnsure(t *testing.T) {
 	}
 }
 
+// TestCacheByteEviction pins the byte-accounted LRU behaviour of the
+// template cache: entries beyond the capacity evict least-recently-used
+// first, a reused template survives, and the newest entry is never evicted.
+func TestCacheByteEviction(t *testing.T) {
+	mk := func(table string) Spec {
+		return Spec{Format: catalog.Binary, Table: table, Mode: Direct,
+			Types: []vector.Type{vector.Int64}, Need: []int{0}}
+	}
+	c := NewCache()
+	c.Ensure(mk("t1"))
+	one := c.SizeBytes()
+	if one <= 0 {
+		t.Fatal("entry accounted zero bytes")
+	}
+	// Capacity for two same-shaped entries (equal key/source lengths).
+	c.Reset()
+	c.SetCapacityBytes(2 * one)
+	c.Ensure(mk("t1"))
+	c.Ensure(mk("t2"))
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	// Touch t1 so t2 is the LRU victim when t3 arrives.
+	if _, hit := c.Ensure(mk("t1")); !hit {
+		t.Fatal("t1 not cached")
+	}
+	c.Ensure(mk("t3"))
+	if _, hit := c.Ensure(mk("t1")); !hit {
+		t.Fatal("recently used t1 was evicted")
+	}
+	if c.SizeBytes() > 2*one {
+		t.Fatalf("size %d exceeds the %d-byte capacity", c.SizeBytes(), 2*one)
+	}
+	// t2 must have been the victim: re-ensuring it is a miss.
+	if _, hit := c.Ensure(mk("t2")); hit {
+		t.Fatal("LRU entry t2 survived eviction")
+	}
+	// A capacity smaller than a single entry still retains the newest.
+	c.Reset()
+	c.SetCapacityBytes(1)
+	c.Ensure(mk("t9"))
+	if c.Len() != 1 {
+		t.Fatalf("newest entry evicted at Len = %d", c.Len())
+	}
+	if _, hit := c.Ensure(mk("t9")); !hit {
+		t.Fatal("oversized lone entry not reusable")
+	}
+}
+
 func TestCacheCompileDelay(t *testing.T) {
 	c := NewCache()
 	var slept time.Duration

@@ -21,10 +21,13 @@ import (
 	"sync"
 )
 
-// DefaultMaxPaths bounds the tracked-path set of one index. The paper sizes
-// positional maps by column-sampling policy; for JSON the path working set
-// plays that role and an LRU budget keeps the footprint bounded.
-const DefaultMaxPaths = 64
+// DefaultMaxBytes bounds the tracked-path offsets of one index, in bytes.
+// The paper sizes positional maps by column-sampling policy; for JSON the
+// path working set plays that role and a byte-accounted LRU budget keeps the
+// footprint bounded and meaningful under the engine's unified cache budget
+// (an entry-counted limit would let footprint scale with file size
+// unchecked).
+const DefaultMaxBytes = 64 << 20
 
 // Index is the structural index of one JSONL file. The engine serialises
 // queries per table, but one query's morsel workers consult the index
@@ -34,28 +37,73 @@ const DefaultMaxPaths = 64
 type Index struct {
 	rows []int64 // byte offset of each row start
 
-	mu    sync.Mutex         // guards paths, use, clock
+	mu    sync.Mutex         // guards paths, use, clock, bytes, ver
 	paths map[string][]int64 // tracked path -> per-row value offsets
 	use   map[string]int64   // logical access clock per path, for LRU
 	clock int64
-	max   int
+	bytes int64 // accounted bytes of tracked paths (names + offsets)
+	max   int64 // byte budget for tracked paths
+	ver   uint64
 }
 
-// New returns an empty index; maxPaths <= 0 selects DefaultMaxPaths.
-func New(maxPaths int) *Index {
-	if maxPaths <= 0 {
-		maxPaths = DefaultMaxPaths
+// New returns an empty index; maxBytes <= 0 selects DefaultMaxBytes.
+func New(maxBytes int64) *Index {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
 	}
 	return &Index{
 		paths: make(map[string][]int64),
 		use:   make(map[string]int64),
-		max:   maxPaths,
+		max:   maxBytes,
 	}
+}
+
+// Restore reconstructs an index from its serialised parts: the row-start
+// offsets and the per-path value offsets (each of length len(rows); shorter
+// or longer recordings are dropped as incomplete). maxBytes <= 0 selects
+// DefaultMaxBytes. It is the decode-side counterpart of the vault codec.
+func Restore(rows []int64, paths map[string][]int64, maxBytes int64) *Index {
+	x := New(maxBytes)
+	x.rows = rows
+	names := make([]string, 0, len(paths))
+	for p := range paths {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	for _, p := range names {
+		if len(paths[p]) != len(rows) {
+			continue
+		}
+		x.clock++
+		x.paths[p] = paths[p]
+		x.use[p] = x.clock
+		x.bytes += pathBytes(p, paths[p])
+	}
+	x.evict()
+	return x
+}
+
+// pathBytes is the accounted footprint of one tracked path.
+func pathBytes(name string, offs []int64) int64 {
+	return int64(len(name)) + int64(len(offs))*8
 }
 
 // NRows returns the number of rows whose starts are recorded; 0 means the
 // index is unpopulated and a sequential scan must run first.
 func (x *Index) NRows() int64 { return int64(len(x.rows)) }
+
+// RowStarts returns the byte offsets of every row start. The slice is shared
+// and immutable once committed; callers must not modify it.
+func (x *Index) RowStarts() []int64 { return x.rows }
+
+// Version counts committed mutations of the tracked-path set. The engine's
+// vault write-back uses it to detect that an index grew since the last save
+// (the index mutates in place, so pointer identity is not enough).
+func (x *Index) Version() uint64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.ver
+}
 
 // RowStart returns the byte offset of the given row.
 func (x *Index) RowStart(row int64) int64 { return x.rows[row] }
@@ -112,8 +160,8 @@ func (x *Index) MemoryFootprint() int64 {
 // path survives only if every fragment committed a full recording for it, so
 // the merged index is indistinguishable from one built by a serial scan.
 // Fragments are private to their workers, so no locking is needed on them.
-func Merge(frags []*Index, offs []int64, maxPaths int) *Index {
-	x := New(maxPaths)
+func Merge(frags []*Index, offs []int64, maxBytes int64) *Index {
+	x := New(maxBytes)
 	if len(frags) == 0 {
 		return x
 	}
@@ -146,6 +194,8 @@ func Merge(frags []*Index, offs []int64, maxPaths int) *Index {
 		x.clock++
 		x.paths[p] = merged
 		x.use[p] = x.clock
+		x.bytes += pathBytes(p, merged)
+		x.ver++
 	}
 	x.evict()
 	return x
@@ -220,22 +270,30 @@ func (r *Recorder) Commit() {
 			return
 		}
 		x.rows = r.rows
+		x.ver++
 	}
 	n := len(x.rows)
 	for i, p := range r.paths {
 		if len(r.offs[i]) != n {
 			continue // partial recording (e.g. errored scan): discard
 		}
+		if old, ok := x.paths[p]; ok {
+			x.bytes -= pathBytes(p, old)
+		}
 		x.clock++
 		x.paths[p] = r.offs[i]
 		x.use[p] = x.clock
+		x.bytes += pathBytes(p, r.offs[i])
+		x.ver++
 	}
 	x.evict()
 }
 
-// evict drops least-recently-used paths until the budget is met.
+// evict drops least-recently-used paths until the byte budget is met,
+// always retaining at least the most recently used path (dropping the whole
+// working set would force rebuild loops without bounding anything useful).
 func (x *Index) evict() {
-	for len(x.paths) > x.max {
+	for x.bytes > x.max && len(x.paths) > 1 {
 		var victim string
 		var oldest int64
 		first := true
@@ -244,7 +302,9 @@ func (x *Index) evict() {
 				victim, oldest, first = p, t, false
 			}
 		}
+		x.bytes -= pathBytes(victim, x.paths[victim])
 		delete(x.paths, victim)
 		delete(x.use, victim)
+		x.ver++
 	}
 }

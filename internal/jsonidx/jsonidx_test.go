@@ -89,10 +89,11 @@ func TestPartialScanDiscarded(t *testing.T) {
 	}
 }
 
-// TestLRUEviction: paths beyond the budget are evicted least-recently-used;
-// recently read paths survive.
+// TestLRUEviction: path bytes beyond the budget are evicted
+// least-recently-used; recently read paths survive. Each 2-character path
+// over one row accounts 2 + 8 = 10 bytes, so a 30-byte budget holds three.
 func TestLRUEviction(t *testing.T) {
-	x := New(3)
+	x := New(30)
 	commit := func(path string, val int64) {
 		rec := x.Record([]string{path})
 		rec.AppendRow(0, []int64{val})
@@ -111,11 +112,52 @@ func TestLRUEviction(t *testing.T) {
 			t.Fatalf("path %s evicted unexpectedly", p)
 		}
 	}
-	// Hammer more paths: the budget holds.
-	for i := 4; i < 20; i++ {
+	// Hammer more paths: the byte budget holds.
+	for i := 4; i < 10; i++ {
 		commit(fmt.Sprintf("p%d", i), int64(i))
 	}
 	if len(x.TrackedPaths()) != 3 {
 		t.Fatalf("tracked = %v", x.TrackedPaths())
+	}
+}
+
+// TestByteEvictionOrder pins the eviction order of the byte-accounted LRU:
+// inserting past the budget drops the least recently used paths first, and a
+// single oversized path is still retained (the budget never empties the
+// index below one path).
+func TestByteEvictionOrder(t *testing.T) {
+	x := New(30)
+	commit := func(path string, val int64) {
+		rec := x.Record([]string{path})
+		rec.AppendRow(0, []int64{val})
+		rec.Commit()
+	}
+	for i := 0; i < 3; i++ {
+		commit(fmt.Sprintf("p%d", i), int64(i))
+	}
+	// Insertion order is the use order: p0 must go first, then p1.
+	commit("p3", 3)
+	if x.Tracked("p0") || !x.Tracked("p1") {
+		t.Fatalf("first eviction not LRU: tracked = %v", x.TrackedPaths())
+	}
+	commit("p4", 4)
+	if x.Tracked("p1") || !x.Tracked("p2") {
+		t.Fatalf("second eviction not LRU: tracked = %v", x.TrackedPaths())
+	}
+
+	// A lone path larger than the whole budget survives (floor of one).
+	y := New(10)
+	recY := y.Record([]string{"big"})
+	for r := int64(0); r < 4; r++ { // 3 + 4*8 = 35 bytes > 10
+		recY.AppendRow(r*10, []int64{r*10 + 1})
+	}
+	recY.Commit()
+	if !y.Tracked("big") {
+		t.Fatal("oversized lone path evicted; index would thrash")
+	}
+
+	// Version advances on every committed mutation and eviction.
+	if x.Version() == 0 {
+		t.Fatal("version never advanced")
 	}
 }

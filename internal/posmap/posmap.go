@@ -81,6 +81,39 @@ func New(policy Policy, ncols int) *Map {
 	return m
 }
 
+// Restore reconstructs a map from its serialised parts: the sorted tracked
+// column indexes, the per-tracked-column position slices (each of length
+// nrows, taken over without copying) and the row count. It is the decode-side
+// counterpart of the vault codec; a map restored from a valid entry is
+// indistinguishable from one built by a scan.
+func Restore(tracked []int, pos [][]int64, nrows int64) (*Map, error) {
+	if len(tracked) != len(pos) {
+		return nil, fmt.Errorf("posmap: %d tracked columns for %d position slices", len(tracked), len(pos))
+	}
+	if nrows < 0 {
+		return nil, fmt.Errorf("posmap: negative row count %d", nrows)
+	}
+	m := &Map{
+		tracked: tracked,
+		index:   make(map[int]int, len(tracked)),
+		pos:     pos,
+		nrows:   nrows,
+	}
+	for i, c := range tracked {
+		if c < 0 {
+			return nil, fmt.Errorf("posmap: negative tracked column %d", c)
+		}
+		if i > 0 && c <= tracked[i-1] {
+			return nil, fmt.Errorf("posmap: tracked columns not strictly ascending")
+		}
+		if int64(len(pos[i])) != nrows {
+			return nil, fmt.Errorf("posmap: column %d has %d positions for %d rows", c, len(pos[i]), nrows)
+		}
+		m.index[c] = i
+	}
+	return m, nil
+}
+
 // Tracked reports whether the map records positions for column c.
 func (m *Map) Tracked(c int) bool {
 	_, ok := m.index[c]

@@ -154,7 +154,21 @@ func appendAt(dst, src *vector.Vector, i int) {
 	}
 }
 
-// Pool is a concurrency-safe LRU cache of shreds with a byte budget.
+// An Accountant tracks the pool's shreds in an external cache budget shared
+// with other structure types (the engine's unified byte budget). When set,
+// the pool stops enforcing its own capacity: the accountant decides evictions
+// and calls back the evict closure handed to Set. vault.Budget implements it.
+type Accountant interface {
+	// Set records (or updates) an entry and marks it most recently used.
+	Set(key string, size int64, evict func())
+	// Touch marks an entry most recently used.
+	Touch(key string)
+	// Remove forgets an entry without invoking its eviction callback.
+	Remove(key string)
+}
+
+// Pool is a concurrency-safe LRU cache of shreds with a byte budget (its
+// own, or an external Accountant's).
 type Pool struct {
 	mu       sync.Mutex
 	capacity int64
@@ -162,6 +176,14 @@ type Pool struct {
 	lru      *list.List // *Shred, front = most recent
 	els      map[*Shred]*list.Element
 	byKey    map[Key][]*Shred
+	keyOf    map[*Shred]string // accountant key per shred
+	tver     map[string]int64  // per-table mutation version
+	seq      int64
+
+	// acct is set once before the pool is shared (SetAccountant); pool
+	// methods call it only after releasing mu, so accountant callbacks may
+	// re-enter the pool without deadlocking.
+	acct Accountant
 
 	hits, misses int64
 }
@@ -177,26 +199,41 @@ func NewPool(capacityBytes int64) *Pool {
 		lru:      list.New(),
 		els:      make(map[*Shred]*list.Element),
 		byKey:    make(map[Key][]*Shred),
+		keyOf:    make(map[*Shred]string),
+		tver:     make(map[string]int64),
 	}
 }
+
+// SetAccountant delegates byte budgeting to an external accountant. Must be
+// called before the pool is shared across goroutines (the engine sets it at
+// construction).
+func (p *Pool) SetAccountant(a Accountant) { p.acct = a }
 
 // Put inserts a shred for key. rowIDs must be sorted ascending and aligned
 // with vec (nil for a full column). The pool takes ownership of both slices.
 func (p *Pool) Put(key Key, rowIDs []int64, vec *vector.Vector) *Shred {
 	s := &Shred{key: key, rowIDs: rowIDs, vec: vec}
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	// Drop cached shreds this one makes redundant (it subsumes them), and
 	// refuse the insert if an existing shred already subsumes it.
 	for _, old := range p.byKey[key] {
 		if old.subsumesShred(s) {
 			p.touch(old)
+			ak := p.keyOf[old]
+			p.mu.Unlock()
+			if p.acct != nil && ak != "" {
+				p.acct.Touch(ak)
+			}
 			return old
 		}
 	}
+	var removed []string
 	kept := p.byKey[key][:0]
 	for _, old := range p.byKey[key] {
 		if s.subsumesShred(old) {
+			if ak := p.keyOf[old]; ak != "" {
+				removed = append(removed, ak)
+			}
 			p.remove(old)
 		} else {
 			kept = append(kept, old)
@@ -204,9 +241,33 @@ func (p *Pool) Put(key Key, rowIDs []int64, vec *vector.Vector) *Shred {
 	}
 	p.byKey[key] = append(kept, s)
 	p.els[s] = p.lru.PushFront(s)
-	p.size += s.bytes()
-	p.evict()
+	p.seq++
+	ak := fmt.Sprintf("shred:%s#%d", key, p.seq)
+	p.keyOf[s] = ak
+	p.tver[key.Table]++
+	bytes := s.bytes()
+	p.size += bytes
+	if p.acct == nil {
+		p.evict()
+		p.mu.Unlock()
+		return s
+	}
+	p.mu.Unlock()
+	for _, k := range removed {
+		p.acct.Remove(k)
+	}
+	p.acct.Set(ak, bytes, func() { p.dropEvicted(s) })
 	return s
+}
+
+// dropEvicted removes a shred the accountant evicted (idempotent: the shred
+// may already be gone if a subsuming Put raced the eviction).
+func (p *Pool) dropEvicted(s *Shred) {
+	p.mu.Lock()
+	if _, ok := p.els[s]; ok {
+		p.remove(s)
+	}
+	p.mu.Unlock()
 }
 
 // subsumesShred reports whether s covers every row of o.
@@ -228,23 +289,24 @@ func (s *Shred) subsumesShred(o *Shred) bool {
 // Passing nil rids requests a full column.
 func (p *Pool) Lookup(key Key, rids []int64) *Shred {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	for _, s := range p.byKey[key] {
-		if rids == nil {
-			if s.rowIDs != nil {
-				continue
-			}
-			p.touch(s)
-			p.hits++
-			return s
+		if rids != nil && !s.Subsumes(rids) {
+			continue
 		}
-		if s.Subsumes(rids) {
-			p.touch(s)
-			p.hits++
-			return s
+		if rids == nil && s.rowIDs != nil {
+			continue
 		}
+		p.touch(s)
+		p.hits++
+		ak := p.keyOf[s]
+		p.mu.Unlock()
+		if p.acct != nil && ak != "" {
+			p.acct.Touch(ak)
+		}
+		return s
 	}
 	p.misses++
+	p.mu.Unlock()
 	return nil
 }
 
@@ -258,25 +320,29 @@ func (p *Pool) LookupFull(key Key) *Shred { return p.Lookup(key, nil) }
 // ErrNotCached if optimism was misplaced).
 func (p *Pool) LookupAny(key Key) *Shred {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	var best *Shred
 	for _, s := range p.byKey[key] {
 		if s.rowIDs == nil {
-			p.touch(s)
-			p.hits++
-			return s
+			best = s
+			break
 		}
 		if best == nil || s.vec.Len() > best.vec.Len() {
 			best = s
 		}
 	}
-	if best != nil {
-		p.touch(best)
-		p.hits++
-		return best
+	if best == nil {
+		p.misses++
+		p.mu.Unlock()
+		return nil
 	}
-	p.misses++
-	return nil
+	p.touch(best)
+	p.hits++
+	ak := p.keyOf[best]
+	p.mu.Unlock()
+	if p.acct != nil && ak != "" {
+		p.acct.Touch(ak)
+	}
+	return best
 }
 
 func (p *Pool) touch(s *Shred) {
@@ -291,6 +357,8 @@ func (p *Pool) remove(s *Shred) {
 		delete(p.els, s)
 		p.size -= s.bytes()
 	}
+	delete(p.keyOf, s)
+	p.tver[s.key.Table]++
 	kept := p.byKey[s.key][:0]
 	for _, x := range p.byKey[s.key] {
 		if x != s {
@@ -335,12 +403,53 @@ func (p *Pool) SizeBytes() int64 {
 // Reset drops all shreds and statistics (cold-start simulation).
 func (p *Pool) Reset() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	var removed []string
+	if p.acct != nil {
+		for _, ak := range p.keyOf {
+			removed = append(removed, ak)
+		}
+	}
 	p.lru.Init()
 	p.els = make(map[*Shred]*list.Element)
 	p.byKey = make(map[Key][]*Shred)
+	p.keyOf = make(map[*Shred]string)
+	p.tver = make(map[string]int64)
 	p.size = 0
 	p.hits, p.misses = 0, 0
+	p.mu.Unlock()
+	for _, ak := range removed {
+		p.acct.Remove(ak)
+	}
+}
+
+// TableVersion returns a counter that advances on every mutation (insert or
+// removal) of a table's shreds. The engine's vault write-back compares it to
+// the version at the last save to detect dirty tables cheaply.
+func (p *Pool) TableVersion(table string) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tver[table]
+}
+
+// ShredsOf returns a snapshot of the cached shreds of one table, sorted by
+// column then size for deterministic serialisation. Shred contents are
+// immutable once pooled, so callers may read them without further locking.
+func (p *Pool) ShredsOf(table string) []*Shred {
+	p.mu.Lock()
+	var out []*Shred
+	for k, list := range p.byKey {
+		if k.Table == table {
+			out = append(out, list...)
+		}
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].key.Col != out[j].key.Col {
+			return out[i].key.Col < out[j].key.Col
+		}
+		return out[i].vec.Len() < out[j].vec.Len()
+	})
+	return out
 }
 
 // Keys returns the distinct cached column identities, sorted for stable

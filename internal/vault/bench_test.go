@@ -1,0 +1,71 @@
+package vault
+
+import (
+	"testing"
+
+	"rawdb/internal/posmap"
+	"rawdb/internal/vector"
+)
+
+// Codec benchmarks: encode/decode cost is paid under the per-table query
+// lock (encode) and at Register* (decode), so it must stay linear and brisk.
+
+func benchPosMap(rows int64) *posmap.Map {
+	pm := posmap.New(posmap.Policy{EveryK: 10}, 30)
+	offs := make([]int64, len(pm.TrackedColumns()))
+	for r := int64(0); r < rows; r++ {
+		for i := range offs {
+			offs[i] = r*100 + int64(i)*10
+		}
+		pm.AppendRow(offs)
+	}
+	return pm
+}
+
+func BenchmarkVaultCodecPosMap(b *testing.B) {
+	pm := benchPosMap(20_000)
+	fp := Fingerprint{Size: 1, MTime: 2, Sum: 3, Schema: 4}
+	enc := EncodePosMap(fp, pm)
+	b.SetBytes(int64(len(enc)))
+	b.Run("encode", func(b *testing.B) {
+		b.SetBytes(int64(len(enc)))
+		for i := 0; i < b.N; i++ {
+			EncodePosMap(fp, pm)
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.SetBytes(int64(len(enc)))
+		for i := 0; i < b.N; i++ {
+			if _, _, err := DecodePosMap(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkVaultCodecShreds(b *testing.B) {
+	const rows = 20_000
+	iv := vector.New(vector.Int64, rows)
+	fv := vector.New(vector.Float64, rows)
+	for r := 0; r < rows; r++ {
+		iv.AppendInt64(int64(r) * 3)
+		fv.AppendFloat64(float64(r) / 64)
+	}
+	shreds := []TableShred{{Col: 0, Vec: iv}, {Col: 11, Vec: fv}}
+	fp := Fingerprint{Size: 1, MTime: 2, Sum: 3, Schema: 4}
+	enc := EncodeShreds(fp, shreds)
+	b.Run("encode", func(b *testing.B) {
+		b.SetBytes(int64(len(enc)))
+		for i := 0; i < b.N; i++ {
+			EncodeShreds(fp, shreds)
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.SetBytes(int64(len(enc)))
+		for i := 0; i < b.N; i++ {
+			if _, _, err := DecodeShreds(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,179 @@
+package vault
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rawdb/internal/jsonidx"
+	"rawdb/internal/posmap"
+)
+
+// Store is one on-disk vault: a directory holding, per table, up to one
+// entry per structure kind. All methods are safe for concurrent use by
+// multiple goroutines (and, thanks to atomic rename-on-publish, by multiple
+// processes sharing the directory: readers see either the old complete entry
+// or the new complete entry, never a torn mix).
+type Store struct {
+	dir string
+}
+
+// Open creates (if needed) and opens a vault directory.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("vault: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the vault's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// tableDirName escapes a table name into a safe single path component.
+func tableDirName(table string) string {
+	safe := make([]byte, 0, len(table))
+	for i := 0; i < len(table); i++ {
+		c := table[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '_', c == '-':
+			safe = append(safe, c)
+		default:
+			safe = append(safe, '%', "0123456789abcdef"[c>>4], "0123456789abcdef"[c&0xf])
+		}
+	}
+	if len(safe) == 0 {
+		return "%empty"
+	}
+	return string(safe)
+}
+
+func kindFile(kind Kind) string {
+	switch kind {
+	case KindPosMap:
+		return "posmap.rawv"
+	case KindJSONIdx:
+		return "jsonidx.rawv"
+	case KindShreds:
+		return "shreds.rawv"
+	}
+	return fmt.Sprintf("kind%d.rawv", kind)
+}
+
+// EntryPath returns the path an entry is published at.
+func (s *Store) EntryPath(table string, kind Kind) string {
+	return filepath.Join(s.dir, tableDirName(table), kindFile(kind))
+}
+
+// WriteEntry atomically publishes one encoded entry: the bytes are written to
+// a temporary file in the table directory and renamed over the final name, so
+// a concurrent reader (or a crash mid-write) never observes partial content.
+func (s *Store) WriteEntry(table string, kind Kind, data []byte) error {
+	dir := filepath.Join(s.dir, tableDirName(table))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, kindFile(kind))); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// ReadEntry returns the raw bytes of an entry, or nil when absent or
+// unreadable (the vault is a cache: every read failure means "cold").
+func (s *Store) ReadEntry(table string, kind Kind) []byte {
+	b, err := os.ReadFile(s.EntryPath(table, kind))
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// Invalidate removes one entry (best effort); used when a load finds a stale
+// or corrupt entry so the next restart does not retry the same bytes.
+func (s *Store) Invalidate(table string, kind Kind) {
+	os.Remove(s.EntryPath(table, kind))
+}
+
+// RemoveTable deletes every entry of one table.
+func (s *Store) RemoveTable(table string) error {
+	return os.RemoveAll(filepath.Join(s.dir, tableDirName(table)))
+}
+
+// SavePosMap publishes a positional map under the fingerprint.
+func (s *Store) SavePosMap(table string, fp Fingerprint, pm *posmap.Map) error {
+	return s.WriteEntry(table, KindPosMap, EncodePosMap(fp, pm))
+}
+
+// LoadPosMap returns the stored positional map if present and still valid
+// for fp; stale or corrupt entries are removed and nil is returned.
+func (s *Store) LoadPosMap(table string, fp Fingerprint) *posmap.Map {
+	b := s.ReadEntry(table, KindPosMap)
+	if b == nil {
+		return nil
+	}
+	got, pm, err := DecodePosMap(b)
+	if err != nil || got != fp {
+		s.Invalidate(table, KindPosMap)
+		return nil
+	}
+	return pm
+}
+
+// SaveJSONIdx publishes a structural index under the fingerprint.
+func (s *Store) SaveJSONIdx(table string, fp Fingerprint, x *jsonidx.Index) error {
+	return s.WriteEntry(table, KindJSONIdx, EncodeJSONIdx(fp, x))
+}
+
+// LoadJSONIdx returns the stored structural index if present and still valid
+// for fp; stale or corrupt entries are removed and nil is returned.
+func (s *Store) LoadJSONIdx(table string, fp Fingerprint) *jsonidx.Index {
+	b := s.ReadEntry(table, KindJSONIdx)
+	if b == nil {
+		return nil
+	}
+	got, x, err := DecodeJSONIdx(b)
+	if err != nil || got != fp {
+		s.Invalidate(table, KindJSONIdx)
+		return nil
+	}
+	return x
+}
+
+// SaveShreds publishes a table's column shreds under the fingerprint.
+func (s *Store) SaveShreds(table string, fp Fingerprint, shreds []TableShred) error {
+	return s.WriteEntry(table, KindShreds, EncodeShreds(fp, shreds))
+}
+
+// LoadShreds returns the stored shreds if present and still valid for fp;
+// stale or corrupt entries are removed and nil is returned.
+func (s *Store) LoadShreds(table string, fp Fingerprint) []TableShred {
+	b := s.ReadEntry(table, KindShreds)
+	if b == nil {
+		return nil
+	}
+	got, shreds, err := DecodeShreds(b)
+	if err != nil || got != fp {
+		s.Invalidate(table, KindShreds)
+		return nil
+	}
+	return shreds
+}

@@ -120,6 +120,18 @@ type Config struct {
 	// MultiColumnShreds fetches all late columns in one pass (Figure 9's
 	// speculative multi-column shreds).
 	MultiColumnShreds bool
+	// CacheDir, when non-empty, enables the persistent raw-data vault:
+	// positional maps, JSON structural indexes and column shreds are written
+	// back to <CacheDir>/<table>/*.rawv after queries and reloaded on
+	// Register*, so the first query after a process restart runs warm.
+	// Entries are validated against a fingerprint of the raw file (size,
+	// mtime, sampled checksum, schema); any mismatch or corruption falls
+	// back to a cold rebuild, so deleting the directory is always safe.
+	CacheDir string
+	// CacheBudget, when > 0, bounds the total in-memory bytes of positional
+	// maps, structural indexes and column shreds under one unified LRU
+	// budget (ShredCapacityBytes is ignored then).
+	CacheBudget int64
 }
 
 // Options overrides engine defaults for a single query.
@@ -151,6 +163,8 @@ func NewEngine(cfg Config) *Engine {
 		DisableShredCache:  cfg.DisableShredCache,
 		JoinPlacement:      cfg.JoinPlacement,
 		MultiColumnShreds:  cfg.MultiColumnShreds,
+		CacheDir:           cfg.CacheDir,
+		CacheBudget:        cfg.CacheBudget,
 	})}
 }
 
@@ -243,8 +257,18 @@ func (e *Engine) Explain(src string, opts Options) (string, error) {
 
 // DropCaches clears all query-derived state (positional maps, column shreds,
 // generated access paths, loaded columns, file buffer pools), simulating a
-// cold start.
+// cold start. The persistent vault (Config.CacheDir) is not touched: it is
+// only read at Register* time.
 func (e *Engine) DropCaches() { e.e.DropCaches() }
+
+// FlushVault writes back every dirty adaptive structure to the persistent
+// vault and waits for in-flight asynchronous write-backs. A no-op without
+// Config.CacheDir.
+func (e *Engine) FlushVault() { e.e.FlushVault() }
+
+// Close flushes pending vault write-backs so the next process restarts warm.
+// The engine remains usable afterwards.
+func (e *Engine) Close() error { return e.e.Close() }
 
 // Internal returns the underlying engine for benchmark and test harnesses
 // inside this module.
