@@ -557,6 +557,67 @@ func BenchmarkParallelScanJSON(b *testing.B) {
 	}
 }
 
+// --- Predicate pushdown: selective cold scans, absorbed vs Filter-above ----
+//
+// Each iteration builds a fresh engine (shred cache off: capture and in-scan
+// pruning are mutually exclusive, and these benchmarks measure the pruning
+// side) and runs a 1%-selectivity query reading eight output columns, so a
+// failing inlined predicate short-circuits real conversion work. The off/on
+// sub-benchmarks differ only in DisablePushdown/DisableZoneMaps.
+
+func benchPushdown(b *testing.B, format string, disable bool) {
+	ds := narrow(b)
+	rawBytes := ds.CSV
+	switch format {
+	case "json":
+		rawBytes = ds.JSONL
+	case "bin":
+		rawBytes = ds.Bin
+	}
+	q := fmt.Sprintf("SELECT MAX(col11), MAX(col12), MAX(col13), MAX(col14), "+
+		"MAX(col15), MAX(col16), MAX(col17), MAX(col18) FROM t WHERE col1 < %d",
+		workload.Threshold(0.01))
+	b.SetBytes(int64(len(rawBytes)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := engine.New(engine.Config{
+			Strategy:          engine.StrategyJIT,
+			PosMapPolicy:      posmap.Policy{EveryK: 10},
+			DisableShredCache: true,
+			DisablePushdown:   disable,
+			DisableZoneMaps:   disable,
+		})
+		var err error
+		switch format {
+		case "csv":
+			err = e.RegisterCSVData("t", ds.CSV, ds.Schema)
+		case "json":
+			err = e.RegisterJSONData("t", ds.JSONL, ds.Schema)
+		default:
+			err = e.RegisterBinaryData("t", ds.Bin, ds.Schema)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		mustQuery(b, e, q)
+	}
+}
+
+func BenchmarkPushdownCSV(b *testing.B) {
+	b.Run("off", func(b *testing.B) { benchPushdown(b, "csv", true) })
+	b.Run("on", func(b *testing.B) { benchPushdown(b, "csv", false) })
+}
+
+func BenchmarkPushdownJSON(b *testing.B) {
+	b.Run("off", func(b *testing.B) { benchPushdown(b, "json", true) })
+	b.Run("on", func(b *testing.B) { benchPushdown(b, "json", false) })
+}
+
+func BenchmarkPushdownBin(b *testing.B) {
+	b.Run("off", func(b *testing.B) { benchPushdown(b, "bin", true) })
+	b.Run("on", func(b *testing.B) { benchPushdown(b, "bin", false) })
+}
+
 // --- Shred cache: warm repeated query (the RAW warm-path effect) -----------
 
 func BenchmarkShredCacheWarm(b *testing.B) {

@@ -49,17 +49,21 @@ func main() {
 	workers := flag.Int("workers", 1, "morsel-parallel scan workers (<=1 serial; joins and other ineligible plans fall back to serial automatically)")
 	cacheDir := flag.String("cachedir", "", "persistent vault directory: positional maps, structural indexes and column shreds persist here across runs (safe to delete at any time)")
 	cacheBudget := flag.Int64("cachebudget", 0, "unified in-memory cache budget in bytes across positional maps, structural indexes and column shreds (0 keeps per-structure defaults)")
-	explain := flag.Bool("explain", false, "print the physical plan instead of executing")
+	noPushdown := flag.Bool("nopushdown", false, "keep WHERE predicates in Filter operators instead of pushing them into the generated access paths")
+	noShredCache := flag.Bool("noshredcache", false, "disable column-shred capture and reuse (raw-file scans then absorb predicates and skip zone-map-excluded blocks; capture otherwise wins that conflict)")
+	noZoneMaps := flag.Bool("nozonemaps", false, "disable per-block min/max zone maps (no block or morsel skipping)")
+	explain := flag.Bool("explain", false, "print the physical plan (access paths, pushdown, zone-map decisions) instead of executing")
 	flag.Parse()
 
-	if err := run(csvs, bins, jsons, roots, *query, *strategy, *workers, *cacheDir, *cacheBudget, *explain); err != nil {
+	if err := run(csvs, bins, jsons, roots, *query, *strategy, *workers, *cacheDir, *cacheBudget,
+		*noPushdown, *noZoneMaps, *noShredCache, *explain); err != nil {
 		fmt.Fprintln(os.Stderr, "rawql:", err)
 		os.Exit(1)
 	}
 }
 
 func run(csvs, bins, jsons, roots []string, query, strategy string, workers int,
-	cacheDir string, cacheBudget int64, explain bool) error {
+	cacheDir string, cacheBudget int64, noPushdown, noZoneMaps, noShredCache, explain bool) error {
 	if query == "" {
 		return fmt.Errorf("no query; pass -q \"SELECT ...\"")
 	}
@@ -68,7 +72,9 @@ func run(csvs, bins, jsons, roots []string, query, strategy string, workers int,
 		return err
 	}
 	eng := raw.NewEngine(raw.Config{Strategy: strat, Parallelism: workers,
-		CacheDir: cacheDir, CacheBudget: cacheBudget})
+		CacheDir: cacheDir, CacheBudget: cacheBudget,
+		DisablePushdown: noPushdown, DisableZoneMaps: noZoneMaps,
+		DisableShredCache: noShredCache})
 	defer eng.Close() // flush vault write-backs so the next run starts warm
 
 	for _, spec := range csvs {
@@ -173,6 +179,10 @@ func run(csvs, bins, jsons, roots []string, query, strategy string, workers int,
 	}
 	fmt.Fprintf(os.Stderr, "(%d rows, %v, strategy=%s, paths=%v)\n",
 		res.NumRows(), res.Stats.Elapsed.Round(1000), res.Stats.Strategy, res.Stats.AccessPaths)
+	if s := res.Stats; s.PredsPushed > 0 || s.RowsPruned > 0 || s.BlocksSkipped > 0 || s.MorselsSkipped > 0 {
+		fmt.Fprintf(os.Stderr, "(pushdown: %d predicate(s) absorbed, %d row(s) pruned in-scan, %d block(s) and %d morsel(s) zone-map skipped)\n",
+			s.PredsPushed, s.RowsPruned, s.BlocksSkipped, s.MorselsSkipped)
+	}
 	return nil
 }
 

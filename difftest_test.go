@@ -572,11 +572,23 @@ func TestDifferentialOracle(t *testing.T) {
 					eng  *raw.Engine
 				}
 				modes := []mode{{"vault-off", raw.NewEngine(raw.Config{Strategy: s.strat})}}
+				// Pushdown and zone maps forced off (they are on by default, so
+				// the other modes exercise them wherever a scan can absorb
+				// predicates): any divergence between in-scan pruning and the
+				// Filter-above plan shape surfaces as an oracle mismatch.
+				modes = append(modes, mode{"nopush", raw.NewEngine(raw.Config{
+					Strategy: s.strat, DisablePushdown: true, DisableZoneMaps: true})})
+				// And the opposite extreme: shred capture disabled, so every
+				// eligible scan absorbs its predicates and consults zone maps
+				// (capture otherwise wins the capture-vs-pruning conflict).
+				modes = append(modes, mode{"push-nocache", raw.NewEngine(raw.Config{
+					Strategy: s.strat, DisableShredCache: true})})
 				var dir string
+				var vaultEng *raw.Engine
 				if s.vault {
 					dir = t.TempDir()
-					modes = append(modes, mode{"vault-cold",
-						raw.NewEngine(raw.Config{Strategy: s.strat, CacheDir: dir})})
+					vaultEng = raw.NewEngine(raw.Config{Strategy: s.strat, CacheDir: dir})
+					modes = append(modes, mode{"vault-cold", vaultEng})
 				}
 				for _, m := range modes {
 					registerDT(t, m.eng, tab, format, csv, jsonl, bin)
@@ -600,8 +612,8 @@ func TestDifferentialOracle(t *testing.T) {
 				if s.vault {
 					// Flush the populated vault and "restart" into it: the
 					// same suite must pass starting from vault-loaded
-					// structures.
-					modes[1].eng.Close()
+					// structures (positional maps, indexes, shreds, synopses).
+					vaultEng.Close()
 					restarted := mode{"vault-restart",
 						raw.NewEngine(raw.Config{Strategy: s.strat, CacheDir: dir})}
 					registerDT(t, restarted.eng, tab, format, csv, jsonl, bin)

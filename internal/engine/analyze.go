@@ -160,14 +160,25 @@ func (e *Engine) analyze(q *sql.Query) (*resolvedQuery, error) {
 		}
 		bp := boundPred{col: left.col, op: op}
 		ct := r.tables[left.table].st.tab.Schema[left.col].Type
+		// Literal binding is normalised here, once: every consumer — Filter
+		// operators, pushed-down scan predicates, zone-map exclusion tests,
+		// ROOT basket pruning — reads the field matching the COLUMN type, and
+		// both fields carry consistent values so a mismatched read cannot
+		// silently compare against a zero. In particular an integer literal
+		// against a DOUBLE column is widened exactly once, right here:
+		// "WHERE fcol > 5" and "WHERE fcol > 5.0" bind identically.
 		switch ct {
 		case vector.Int64:
 			if p.Lit.IsFloat {
 				return nil, fmt.Errorf("engine: float literal compared with BIGINT column")
 			}
 			bp.i64 = p.Lit.Int
+			bp.f64 = float64(p.Lit.Int)
 		case vector.Float64:
 			bp.f64 = p.Lit.AsFloat()
+			if !p.Lit.IsFloat {
+				bp.i64 = p.Lit.Int
+			}
 		default:
 			return nil, fmt.Errorf("engine: cannot filter on %s column", ct)
 		}

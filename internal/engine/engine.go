@@ -24,6 +24,7 @@ import (
 	"rawdb/internal/storage/csvfile"
 	"rawdb/internal/storage/jsonfile"
 	"rawdb/internal/storage/rootfile"
+	"rawdb/internal/synopsis"
 	"rawdb/internal/vault"
 	"rawdb/internal/vector"
 )
@@ -138,6 +139,19 @@ type Config struct {
 	// (replacing the per-structure limits; ShredCapacityBytes is ignored
 	// then).
 	CacheBudget int64
+	// DisablePushdown keeps every WHERE conjunct in a separate Filter
+	// operator instead of absorbing eligible ones into the generated access
+	// paths (A/B comparisons, differential testing). Pushdown is on by
+	// default for the JIT strategies.
+	DisablePushdown bool
+	// DisableZoneMaps turns off building and consulting the per-block
+	// min/max synopses that let warm scans and the parallel planner skip
+	// blocks and morsels a predicate excludes.
+	DisableZoneMaps bool
+	// SynopsisBlockRows overrides the zone-map block granularity (default
+	// synopsis.DefaultBlockRows); tests use small blocks to exercise
+	// skipping on small files.
+	SynopsisBlockRows int
 }
 
 // Options overrides Config for a single query. Nil pointers inherit.
@@ -148,6 +162,11 @@ type Options struct {
 	// Parallelism overrides Config.Parallelism for this query (<= 1 forces
 	// the serial plan).
 	Parallelism *int
+	// Pushdown overrides predicate pushdown for this query (true enables,
+	// false forces every predicate into Filter operators).
+	Pushdown *bool
+	// ZoneMaps overrides zone-map pruning for this query.
+	ZoneMaps *bool
 }
 
 // Engine is a RAW query engine instance.
@@ -181,14 +200,15 @@ type tableState struct {
 	loaded   []*vector.Vector // DBMS-loaded full columns
 	nrows    int64            // -1 until known
 
-	// cmu guards the pm/jidx pointers alone: queries read and install them
-	// under qmu, but the unified cache budget may evict them from any
+	// cmu guards the pm/jidx/syn pointers alone: queries read and install
+	// them under qmu, but the unified cache budget may evict them from any
 	// goroutine, so the pointer load/store is separately locked. Readers
 	// snapshot the pointer once and keep using the structure they got (a
 	// concurrent eviction only drops the shared reference, never the data).
 	cmu  sync.Mutex
 	pm   *posmap.Map
-	jidx *jsonidx.Index // structural index over a JSONL file
+	jidx *jsonidx.Index     // structural index over a JSONL file
+	syn  *synopsis.Synopsis // per-block min/max zone maps
 
 	// Vault state (guarded by qmu, like the caches themselves): the raw
 	// file fingerprint entries are saved under, and the last-saved markers
@@ -199,6 +219,7 @@ type tableState struct {
 	savedJIdx     *jsonidx.Index
 	savedJIdxVer  uint64
 	savedShredVer int64
+	savedSyn      *synopsis.Synopsis
 	// wmu serialises this table's disk writes; it is locked by the
 	// completing query (preserving save order) and unlocked by the
 	// asynchronous writer goroutine.
@@ -245,6 +266,27 @@ func (st *tableState) dropJSONIdx(old *jsonidx.Index) {
 	st.cmu.Lock()
 	if st.jidx == old {
 		st.jidx = nil
+	}
+	st.cmu.Unlock()
+}
+
+// synopsis returns the current zone maps (nil when absent or evicted).
+func (st *tableState) synopsis() *synopsis.Synopsis {
+	st.cmu.Lock()
+	defer st.cmu.Unlock()
+	return st.syn
+}
+
+func (st *tableState) setSynopsis(s *synopsis.Synopsis) {
+	st.cmu.Lock()
+	st.syn = s
+	st.cmu.Unlock()
+}
+
+func (st *tableState) dropSynopsis(old *synopsis.Synopsis) {
+	st.cmu.Lock()
+	if st.syn == old {
+		st.syn = nil
 	}
 	st.cmu.Unlock()
 }
@@ -399,6 +441,7 @@ func (e *Engine) DropTable(name string) error {
 	if e.budget != nil {
 		e.budget.Remove("posmap:" + name)
 		e.budget.Remove("jsonidx:" + name)
+		e.budget.Remove("synopsis:" + name)
 	}
 	return nil
 }
@@ -509,8 +552,9 @@ func (e *Engine) DropCaches() {
 		st.cmu.Lock()
 		st.pm = nil
 		st.jidx = nil
+		st.syn = nil
 		st.cmu.Unlock()
-		st.savedPM, st.savedJIdx = nil, nil
+		st.savedPM, st.savedJIdx, st.savedSyn = nil, nil, nil
 		st.savedJIdxVer, st.savedShredVer = 0, 0
 		st.loaded = nil
 		if st.tab.Format != catalog.Binary && st.tab.Format != catalog.Root {
@@ -537,6 +581,20 @@ type Stats struct {
 	LoadedTables []string
 	// RowsOut is the number of result rows.
 	RowsOut int
+	// PredsPushed counts the WHERE conjuncts absorbed into generated access
+	// paths (no separate Filter evaluation for them).
+	PredsPushed int
+	// RowsPruned counts rows eliminated inside scans by pushed-down
+	// predicates: short-circuited mid-row (sequential paths) or deselected
+	// vectorized (via-map/direct paths), including rows inside zone-map-
+	// skipped blocks.
+	RowsPruned int64
+	// BlocksSkipped counts batch ranges scans skipped wholesale via zone
+	// maps without touching a raw byte.
+	BlocksSkipped int64
+	// MorselsSkipped counts whole morsels the parallel planner excluded via
+	// zone maps before dispatching them to workers.
+	MorselsSkipped int
 }
 
 // Result is a fully materialised query result.

@@ -12,6 +12,7 @@ import (
 	"rawdb/internal/shred"
 	"rawdb/internal/storage/csvfile"
 	"rawdb/internal/storage/jsonfile"
+	"rawdb/internal/synopsis"
 	"rawdb/internal/vector"
 )
 
@@ -68,7 +69,7 @@ func (pc *planCtx) planParallel(r *resolvedQuery) (exec.Operator, bool, error) {
 		cols = []int{0}
 	}
 
-	parts, done, ok, err := pc.morselScans(r, cols)
+	parts, done, residual, ok, err := pc.morselScans(r, cols, r.filters[0])
 	if err != nil || !ok {
 		return nil, false, err
 	}
@@ -79,9 +80,10 @@ func (pc *planCtx) planParallel(r *resolvedQuery) (exec.Operator, bool, error) {
 		needSlot[c] = i
 	}
 
-	// Clone the filter onto each morsel pipeline.
+	// Clone the residual filter (predicates the morsel scans did not absorb)
+	// onto each morsel pipeline.
 	var eps []exec.Pred
-	for _, bp := range r.filters[0] {
+	for _, bp := range residual {
 		slot, ok := needSlot[bp.col]
 		if !ok {
 			return nil, false, fmt.Errorf("engine: internal: parallel filter column %d not materialised", bp.col)
@@ -232,12 +234,61 @@ func (pc *planCtx) finishParallelAgg(r *resolvedQuery, parts []exec.Operator,
 	return exec.NewProject(fagg, aggOut, names)
 }
 
+// skipMorsels drops row ranges a zone map excludes before they are ever
+// dispatched to a worker, counting them in the query stats. At least one
+// range is always kept (operator shapes need one part); callers hand the
+// same skip test to the per-morsel scans, whose scan-level check empties the
+// kept range if it too is excluded. (Shred-backed mem morsels use memSkip
+// instead — MemScan has no scan-level skip hook.)
+func (pc *planCtx) skipMorsels(ranges [][2]int64, skip func(start, end int64) bool) [][2]int64 {
+	if skip == nil {
+		return ranges
+	}
+	kept := make([][2]int64, 0, len(ranges))
+	for _, rr := range ranges {
+		if skip(rr[0], rr[1]) {
+			pc.stats.MorselsSkipped++
+			continue
+		}
+		kept = append(kept, rr)
+	}
+	if len(kept) == 0 {
+		pc.stats.MorselsSkipped--
+		kept = append(kept, ranges[0])
+	}
+	return kept
+}
+
+// parallelPush decides the pushdown shape of a morsel-parallel scan over the
+// raw file: candidates are absorbed only when shred capture is inactive (a
+// morsel scan that eliminates rows cannot publish full columns, and capture
+// wins that conflict — see captureActive). Scans over cached shreds use
+// shredPush instead.
+func (pc *planCtx) parallelPush(candidates []boundPred) (pushable, residual []boundPred) {
+	if !pc.pushdown || !pc.jitCapable() || pc.captureActive() {
+		return nil, candidates
+	}
+	return candidates, nil
+}
+
+// shredPush is parallelPush for scans over already-cached full shreds, where
+// no capture is involved: absorb whenever pushdown is on.
+func (pc *planCtx) shredPush(candidates []boundPred) (pushable, residual []boundPred) {
+	if !pc.pushdown {
+		return nil, candidates
+	}
+	return candidates, nil
+}
+
 // morselScans builds one base scan per morsel materialising cols (sorted),
 // plus the merge-on-completion hook that publishes per-morsel cache
-// fragments (positional map, structural index, captured column shreds) once
-// every worker finished. ok is false when this strategy × format × cache
-// state has no parallel form and the serial plan must run.
-func (pc *planCtx) morselScans(r *resolvedQuery, cols []int) (parts []exec.Operator, done func() error, ok bool, err error) {
+// fragments (positional map, structural index, zone maps, captured column
+// shreds) once every worker finished. candidates are the predicates on cols;
+// JIT morsel scans absorb them (and zone maps exclude whole morsels before
+// dispatch), with the unabsorbed residual returned for the per-morsel
+// Filter. ok is false when this strategy × format × cache state has no
+// parallel form and the serial plan must run.
+func (pc *planCtx) morselScans(r *resolvedQuery, cols []int, candidates []boundPred) (parts []exec.Operator, done func() error, residual []boundPred, ok bool, err error) {
 	st := r.tables[0].st
 	tab := st.tab
 	bs := pc.e.cfg.BatchSize
@@ -248,36 +299,36 @@ func (pc *planCtx) morselScans(r *resolvedQuery, cols []int) (parts []exec.Opera
 	if tab.Format == catalog.Memory {
 		parts, err := pc.memMorsels(tab, st.loaded, cols, nm, bs)
 		if err != nil || parts == nil {
-			return nil, nil, false, err
+			return nil, nil, nil, false, err
 		}
 		pc.pathf("par[%d]:memory:scan(%s)", len(parts), tab.Name)
-		return parts, nil, true, nil
+		return parts, nil, candidates, true, nil
 	}
 	if pc.strategy == StrategyDBMS {
 		if err := pc.e.ensureLoaded(st, pc.stats); err != nil {
-			return nil, nil, false, err
+			return nil, nil, nil, false, err
 		}
 		parts, err := pc.memMorsels(tab, st.loaded, cols, nm, bs)
 		if err != nil || parts == nil {
-			return nil, nil, false, err
+			return nil, nil, nil, false, err
 		}
 		pc.pathf("par[%d]:dbms:memscan(%s)", len(parts), tab.Name)
-		return parts, nil, true, nil
+		return parts, nil, candidates, true, nil
 	}
 
 	switch pc.strategy {
 	case StrategyExternal:
 		if tab.Format != catalog.CSV {
-			return nil, nil, false, nil
+			return nil, nil, nil, false, nil
 		}
 		spans := csvfile.Split(st.csvData, nm)
 		if len(spans) < 2 {
-			return nil, nil, false, nil
+			return nil, nil, nil, false, nil
 		}
 		for _, sp := range spans {
 			sc, err := insitu.NewExternalScan(st.csvData[sp.Start:sp.End], tab, cols, bs)
 			if err != nil {
-				return nil, nil, false, err
+				return nil, nil, nil, false, err
 			}
 			parts = append(parts, sc)
 		}
@@ -285,37 +336,39 @@ func (pc *planCtx) morselScans(r *resolvedQuery, cols []int) (parts []exec.Opera
 			st.nrows = csvfile.CountRows(st.csvData)
 		}
 		pc.pathf("par[%d]:external:scan(%s)", len(parts), tab.Name)
-		return parts, nil, true, nil
+		return parts, nil, candidates, true, nil
 
 	case StrategyInSitu:
 		switch tab.Format {
 		case catalog.CSV:
-			return pc.csvMorsels(r, cols, false)
+			return pc.csvMorsels(r, cols, candidates, false)
 		case catalog.JSON:
-			return pc.jsonMorsels(r, cols, false)
+			return pc.jsonMorsels(r, cols, candidates, false)
 		case catalog.Binary:
 			ranges := splitRows(st.bin.NRows(), nm)
 			if len(ranges) < 2 {
-				return nil, nil, false, nil
+				return nil, nil, nil, false, nil
 			}
 			for _, rr := range ranges {
 				sc, err := insitu.NewBinScan(st.bin, tab, cols, false, bs)
 				if err != nil {
-					return nil, nil, false, err
+					return nil, nil, nil, false, err
 				}
 				if err := sc.SetRowRange(rr[0], rr[1]); err != nil {
-					return nil, nil, false, err
+					return nil, nil, nil, false, err
 				}
 				parts = append(parts, sc)
 			}
 			pc.pathf("par[%d]:insitu:bin(%s)", len(parts), tab.Name)
-			return parts, nil, true, nil
+			return parts, nil, candidates, true, nil
 		}
-		return nil, nil, false, nil
+		return nil, nil, nil, false, nil
 
 	case StrategyJIT, StrategyShreds:
 		// All requested columns cached as full shreds: scan row ranges of
-		// the pool vectors, no raw access at all.
+		// the pool vectors, no raw access at all. Predicates are absorbed
+		// into the morsel scans (vectorized, selection-vector output) and
+		// zone maps exclude whole morsels before dispatch.
 		if pc.useCache {
 			cached := make([]*shred.Shred, 0, len(cols))
 			for _, c := range cols {
@@ -330,95 +383,170 @@ func (pc *planCtx) morselScans(r *resolvedQuery, cols []int) (parts []exec.Opera
 				for i, s := range cached {
 					vecs[i] = s.Vector()
 				}
-				parts, err := memVectorMorsels(tab, vecs, cols, nm, bs)
+				pushable, rest := pc.shredPush(candidates)
+				var skip func(start, end int64) bool
+				if pc.zonemaps {
+					skip = synSkip(st.synopsis(), candidates)
+				}
+				parts, err := pc.memVectorMorselsPush(tab, vecs, cols, nm, bs, pushable, skip)
 				if err != nil || parts == nil {
-					return nil, nil, false, err
+					return nil, nil, nil, false, err
 				}
 				pc.stats.ShredHits += len(cols)
 				pc.pathf("par[%d]:shred:scan(%s)", len(parts), tab.Name)
-				return parts, nil, true, nil
+				pc.notePush(tab.Name, len(pushable), skip != nil)
+				return parts, nil, rest, true, nil
 			}
 			if len(cached) > 0 {
 				// Partially cached column set: the serial late-materialization
 				// cascade handles the mix.
-				return nil, nil, false, nil
+				return nil, nil, nil, false, nil
 			}
 		}
 		switch tab.Format {
 		case catalog.CSV:
-			return pc.csvMorsels(r, cols, true)
+			return pc.csvMorsels(r, cols, candidates, true)
 		case catalog.JSON:
-			return pc.jsonMorsels(r, cols, true)
+			return pc.jsonMorsels(r, cols, candidates, true)
 		case catalog.Binary:
 			ranges := splitRows(st.bin.NRows(), nm)
 			if len(ranges) < 2 {
-				return nil, nil, false, nil
+				return nil, nil, nil, false, nil
 			}
+			pushable, rest := pc.parallelPush(candidates)
+			var skip func(start, end int64) bool
+			if pc.zonemaps && !pc.captureActive() {
+				skip = synSkip(st.synopsis(), candidates)
+			}
+			nranges := len(ranges)
+			ranges = pc.skipMorsels(ranges, skip)
+			// A scan that eliminates rows cannot publish full columns:
+			// capture only when no pruning of any kind is active.
+			capture := len(pushable) == 0 && skip == nil
+			// Zone maps for the binary file are built by the first full
+			// parallel pass itself: per-morsel fragment builders concatenate
+			// in morsel order on completion. A fuller pass replaces a synopsis
+			// an earlier selective query narrowed (see newSynBuilder).
+			synObs := observableCols(tab, cols, execPreds(pushable), true)
+			buildSyn := pc.zonemaps && skip == nil && len(ranges) == nranges &&
+				len(synObs) > 0 && !pc.synCovered(st, synObs)
+			var synFrags []*synopsis.Builder
 			var caps []*morselCapture
 			for _, rr := range ranges {
-				sc, err := jit.NewBinScan(st.bin, tab, cols, false, bs)
+				opts := jit.Pushdown{Preds: execPreds(pushable), Skip: skip}
+				if buildSyn {
+					fb := synopsis.NewBuilder(pc.blockRows(), synObs)
+					synFrags = append(synFrags, fb)
+					opts.Syn = fb
+				}
+				sc, err := jit.NewBinScanPush(st.bin, tab, cols, false, bs, opts)
 				if err != nil {
-					return nil, nil, false, err
+					return nil, nil, nil, false, err
 				}
 				if err := sc.SetRowRange(rr[0], rr[1]); err != nil {
-					return nil, nil, false, err
+					return nil, nil, nil, false, err
 				}
-				op, cap := pc.wrapCapture(tab, sc, cols)
-				if cap != nil {
-					caps = append(caps, cap)
+				pc.pushStats(sc.PushStats)
+				var op exec.Operator = sc
+				if capture {
+					wrapped, cap := pc.wrapCapture(tab, sc, cols)
+					if cap != nil {
+						caps = append(caps, cap)
+					}
+					op = wrapped
 				}
 				parts = append(parts, op)
 			}
 			pc.ensureTemplate(jit.Spec{
 				Format: tab.Format, Table: tab.Name, Mode: jit.Direct,
-				Types: tab.Types(), Need: cols,
+				Types: tab.Types(), Need: cols, Preds: execPreds(pushable),
 			})
 			pc.pathf("par[%d]:jit:bin(%s)", len(parts), tab.Name)
-			return parts, pc.captureDone(tab, cols, caps, nil), true, nil
+			pc.notePush(tab.Name, len(pushable), skip != nil)
+			mergeSyn := pc.mergeSynopsis(st, synFrags)
+			return parts, pc.captureDone(tab, cols, caps, mergeSyn), rest, true, nil
 		}
-		return nil, nil, false, nil
+		return nil, nil, nil, false, nil
 	}
-	return nil, nil, false, nil
+	return nil, nil, nil, false, nil
+}
+
+// mergeSynopsis returns the merge-on-completion hook concatenating per-
+// morsel zone-map fragments in morsel order (nil when nothing was built).
+func (pc *planCtx) mergeSynopsis(st *tableState, frags []*synopsis.Builder) func() error {
+	if len(frags) == 0 {
+		return nil
+	}
+	return func() error {
+		fins := make([]*synopsis.Synopsis, len(frags))
+		for i, fb := range frags {
+			fins[i] = fb.Finish()
+		}
+		if syn := synopsis.Concat(fins); syn != nil && (st.nrows < 0 || syn.NRows() == st.nrows) {
+			st.setSynopsis(syn)
+		}
+		return nil
+	}
 }
 
 // csvMorsels builds the CSV morsel scans: row ranges through the positional
 // map when it covers every needed column, byte-range morsels with private
 // fragment maps (merged on completion) otherwise. jitMode selects the
-// generated access paths (and shred capture) over the generic in-situ ones.
-func (pc *planCtx) csvMorsels(r *resolvedQuery, cols []int, jitMode bool) (parts []exec.Operator, done func() error, ok bool, err error) {
+// generated access paths (and shred capture) over the generic in-situ ones;
+// under jitMode the candidates are pushed into every morsel scan, zone maps
+// exclude morsels/ranges on the warm path, and the cold pass builds
+// per-morsel zone-map fragments alongside the positional-map fragments.
+func (pc *planCtx) csvMorsels(r *resolvedQuery, cols []int, candidates []boundPred, jitMode bool) (parts []exec.Operator, done func() error, residual []boundPred, ok bool, err error) {
 	st := r.tables[0].st
 	tab := st.tab
 	bs := pc.e.cfg.BatchSize
 	nm := pc.workers * morselsPerWorker
 	var caps []*morselCapture
 
+	pushable := []boundPred(nil)
+	residual = candidates
+	if jitMode {
+		pushable, residual = pc.parallelPush(candidates)
+	}
+
 	if pm := st.posMap(); pm != nil && pm.NRows() > 0 && pmCovers(pm, cols) {
 		ranges := splitRows(pm.NRows(), nm)
 		if len(ranges) < 2 {
-			return nil, nil, false, nil
+			return nil, nil, nil, false, nil
 		}
+		var skip func(start, end int64) bool
+		if jitMode && pc.zonemaps && !pc.captureActive() {
+			skip = synSkip(st.synopsis(), candidates)
+		}
+		ranges = pc.skipMorsels(ranges, skip)
+		capture := jitMode && len(pushable) == 0 && skip == nil
 		for _, rr := range ranges {
 			var sc exec.Operator
 			if jitMode {
-				js, err := jit.NewCSVMapScan(st.csvData, tab, cols, pm, false, bs)
+				opts := jit.Pushdown{Preds: execPreds(pushable), Skip: skip}
+				js, err := jit.NewCSVMapScanPush(st.csvData, tab, cols, pm, false, bs, opts)
 				if err != nil {
-					return nil, nil, false, err
+					return nil, nil, nil, false, err
 				}
 				if err := js.SetRowRange(rr[0], rr[1]); err != nil {
-					return nil, nil, false, err
+					return nil, nil, nil, false, err
 				}
-				op, cap := pc.wrapCapture(tab, js, cols)
-				if cap != nil {
-					caps = append(caps, cap)
+				pc.pushStats(js.PushStats)
+				sc = js
+				if capture {
+					op, cap := pc.wrapCapture(tab, js, cols)
+					if cap != nil {
+						caps = append(caps, cap)
+					}
+					sc = op
 				}
-				sc = op
 			} else {
 				is, err := insitu.NewCSVScan(st.csvData, tab, cols, pm, nil, false, bs)
 				if err != nil {
-					return nil, nil, false, err
+					return nil, nil, nil, false, err
 				}
 				if err := is.SetRowRange(rr[0], rr[1]); err != nil {
-					return nil, nil, false, err
+					return nil, nil, nil, false, err
 				}
 				sc = is
 			}
@@ -429,40 +557,58 @@ func (pc *planCtx) csvMorsels(r *resolvedQuery, cols []int, jitMode bool) (parts
 				Format: tab.Format, Table: tab.Name, Mode: jit.ViaMap,
 				Types: tab.Types(), Need: cols,
 				PMRead: pmTracked(pm, true),
+				Preds:  execPreds(pushable),
 			})
 			pc.pathf("par[%d]:jit:viamap(%s)", len(parts), tab.Name)
+			pc.notePush(tab.Name, len(pushable), skip != nil)
 		} else {
 			pc.pathf("par[%d]:insitu:viamap(%s)", len(parts), tab.Name)
 		}
-		return parts, pc.captureDone(tab, cols, caps, nil), true, nil
+		return parts, pc.captureDone(tab, cols, caps, nil), residual, true, nil
 	}
 
 	// Cold file: byte-range morsels, each building a private positional-map
 	// fragment over its subslice; fragments merge in morsel order on
-	// completion, so the installed map is identical to a serial scan's.
+	// completion, so the installed map is identical to a serial scan's. Under
+	// jitMode each morsel also builds a private zone-map fragment, merged the
+	// same way.
 	spans := csvfile.Split(st.csvData, nm)
 	if len(spans) < 2 {
-		return nil, nil, false, nil
+		return nil, nil, nil, false, nil
 	}
+	capture := !jitMode || len(pushable) == 0
 	frags := make([]*posmap.Map, len(spans))
+	var synFrags []*synopsis.Builder
+	synObs := observableCols(tab, cols, execPreds(pushable), false)
+	buildSyn := jitMode && pc.zonemaps && len(synObs) > 0 && !pc.synCovered(st, synObs)
 	for i, sp := range spans {
 		frag := posmap.New(pc.e.cfg.PosMapPolicy, len(tab.Schema))
 		frags[i] = frag
 		var sc exec.Operator
 		if jitMode {
-			js, err := jit.NewCSVSequentialScan(st.csvData[sp.Start:sp.End], tab, cols, frag, false, bs)
+			opts := jit.Pushdown{Preds: execPreds(pushable)}
+			if buildSyn {
+				fb := synopsis.NewBuilder(pc.blockRows(), synObs)
+				synFrags = append(synFrags, fb)
+				opts.Syn = fb
+			}
+			js, err := jit.NewCSVSequentialScanPush(st.csvData[sp.Start:sp.End], tab, cols, frag, false, bs, opts)
 			if err != nil {
-				return nil, nil, false, err
+				return nil, nil, nil, false, err
 			}
-			op, cap := pc.wrapCapture(tab, js, cols)
-			if cap != nil {
-				caps = append(caps, cap)
+			pc.pushStats(js.PushStats)
+			sc = js
+			if capture {
+				op, cap := pc.wrapCapture(tab, js, cols)
+				if cap != nil {
+					caps = append(caps, cap)
+				}
+				sc = op
 			}
-			sc = op
 		} else {
 			is, err := insitu.NewCSVScan(st.csvData[sp.Start:sp.End], tab, cols, nil, frag, false, bs)
 			if err != nil {
-				return nil, nil, false, err
+				return nil, nil, nil, false, err
 			}
 			sc = is
 		}
@@ -479,6 +625,9 @@ func (pc *planCtx) csvMorsels(r *resolvedQuery, cols []int, jitMode bool) (parts
 		if st.nrows < 0 {
 			st.nrows = merged.NRows()
 		}
+		if mergeSyn := pc.mergeSynopsis(st, synFrags); mergeSyn != nil {
+			return mergeSyn()
+		}
 		return nil
 	}
 	if jitMode {
@@ -486,40 +635,70 @@ func (pc *planCtx) csvMorsels(r *resolvedQuery, cols []int, jitMode bool) (parts
 			Format: tab.Format, Table: tab.Name, Mode: jit.Sequential,
 			Types: tab.Types(), Need: cols,
 			PMBuild: pmTracked(frags[0], true),
+			Preds:   execPreds(pushable),
 		})
 		pc.pathf("par[%d]:jit:seq(%s)", len(parts), tab.Name)
+		pc.notePush(tab.Name, len(pushable), false)
 	} else {
 		pc.pathf("par[%d]:insitu:seq(%s)", len(parts), tab.Name)
 	}
-	return parts, pc.captureDone(tab, cols, caps, mergePM), true, nil
+	return parts, pc.captureDone(tab, cols, caps, mergePM), residual, true, nil
 }
 
 // jsonMorsels builds the JSONL morsel scans: row ranges through the
 // structural index when populated (the index is internally locked for the
 // concurrent readers), byte-range morsels with private fragment indexes
-// (merged on completion) otherwise.
-func (pc *planCtx) jsonMorsels(r *resolvedQuery, cols []int, jitMode bool) (parts []exec.Operator, done func() error, ok bool, err error) {
+// (merged on completion) otherwise. Pushdown and zone maps apply as in
+// csvMorsels; ranged scans that would need adaptive recording keep their
+// dense walks (the scan constructor guarantees index completeness).
+func (pc *planCtx) jsonMorsels(r *resolvedQuery, cols []int, candidates []boundPred, jitMode bool) (parts []exec.Operator, done func() error, residual []boundPred, ok bool, err error) {
 	st := r.tables[0].st
 	tab := st.tab
 	bs := pc.e.cfg.BatchSize
 	nm := pc.workers * morselsPerWorker
 	var caps []*morselCapture
 
+	pushable := []boundPred(nil)
+	residual = candidates
+	if jitMode {
+		pushable, residual = pc.parallelPush(candidates)
+	}
+
 	if idx := st.jsonIdx(); idx != nil && idx.NRows() > 0 {
 		ranges := splitRows(idx.NRows(), nm)
 		if len(ranges) < 2 {
-			return nil, nil, false, nil
+			return nil, nil, nil, false, nil
 		}
+		// Morsel-level zone skipping requires every needed path tracked:
+		// dropping a morsel would otherwise leave adaptive-recording holes.
+		allTracked := true
+		for _, c := range cols {
+			if !idx.Tracked(tab.Schema[c].Name) {
+				allTracked = false
+				break
+			}
+		}
+		var skip func(start, end int64) bool
+		if jitMode && pc.zonemaps && allTracked && !pc.captureActive() {
+			skip = synSkip(st.synopsis(), candidates)
+		}
+		ranges = pc.skipMorsels(ranges, skip)
+		capture := jitMode && len(pushable) == 0 && skip == nil
 		for _, rr := range ranges {
-			js, err := jit.NewJSONMapScan(st.jsonData, tab, cols, idx, false, bs)
+			opts := jit.Pushdown{Skip: skip}
+			if jitMode {
+				opts.Preds = execPreds(pushable)
+			}
+			js, err := jit.NewJSONMapScanPush(st.jsonData, tab, cols, idx, false, bs, opts)
 			if err != nil {
-				return nil, nil, false, err
+				return nil, nil, nil, false, err
 			}
 			if err := js.SetRowRange(rr[0], rr[1]); err != nil {
-				return nil, nil, false, err
+				return nil, nil, nil, false, err
 			}
+			pc.pushStats(js.PushStats)
 			op := exec.Operator(js)
-			if jitMode {
+			if capture {
 				wrapped, cap := pc.wrapCapture(tab, js, cols)
 				if cap != nil {
 					caps = append(caps, cap)
@@ -534,33 +713,50 @@ func (pc *planCtx) jsonMorsels(r *resolvedQuery, cols []int, jitMode bool) (part
 				Types: tab.Types(), Need: cols,
 				Paths:  jsonPaths(tab, cols),
 				PMRead: jidxTracked(idx, tab),
+				Preds:  execPreds(pushable),
 			})
 			pc.pathf("par[%d]:jit:jsonidx(%s)", len(parts), tab.Name)
+			pc.notePush(tab.Name, len(pushable), skip != nil)
 		} else {
 			pc.pathf("par[%d]:insitu:json(%s)", len(parts), tab.Name)
 		}
-		return parts, pc.captureDone(tab, cols, caps, nil), true, nil
+		return parts, pc.captureDone(tab, cols, caps, nil), residual, true, nil
 	}
 
 	// Cold file: byte-range morsels with private fragment indexes; each
 	// sequential scan commits its recordings into its own fragment at end of
-	// morsel, and the fragments merge in morsel order on completion.
+	// morsel, and the fragments (plus zone-map fragments under jitMode) merge
+	// in morsel order on completion.
 	spans := jsonfile.Split(st.jsonData, nm)
 	if len(spans) < 2 {
-		return nil, nil, false, nil
+		return nil, nil, nil, false, nil
 	}
+	capture := !jitMode || len(pushable) == 0
 	frags := make([]*jsonidx.Index, len(spans))
 	offs := make([]int64, len(spans))
+	var synFrags []*synopsis.Builder
+	synObs := observableCols(tab, cols, execPreds(pushable), false)
+	buildSyn := jitMode && pc.zonemaps && len(synObs) > 0 && !pc.synCovered(st, synObs)
 	for i, sp := range spans {
 		frag := jsonidx.New(0)
 		frags[i] = frag
 		offs[i] = int64(sp.Start)
-		js, err := jit.NewJSONSequentialScan(st.jsonData[sp.Start:sp.End], tab, cols, frag, false, bs)
-		if err != nil {
-			return nil, nil, false, err
-		}
-		op := exec.Operator(js)
+		opts := jit.Pushdown{}
 		if jitMode {
+			opts.Preds = execPreds(pushable)
+			if buildSyn {
+				fb := synopsis.NewBuilder(pc.blockRows(), synObs)
+				synFrags = append(synFrags, fb)
+				opts.Syn = fb
+			}
+		}
+		js, err := jit.NewJSONSequentialScanPush(st.jsonData[sp.Start:sp.End], tab, cols, frag, false, bs, opts)
+		if err != nil {
+			return nil, nil, nil, false, err
+		}
+		pc.pushStats(js.PushStats)
+		op := exec.Operator(js)
+		if jitMode && capture {
 			wrapped, cap := pc.wrapCapture(tab, js, cols)
 			if cap != nil {
 				caps = append(caps, cap)
@@ -575,6 +771,9 @@ func (pc *planCtx) jsonMorsels(r *resolvedQuery, cols []int, jitMode bool) (part
 		if st.nrows < 0 {
 			st.nrows = merged.NRows()
 		}
+		if mergeSyn := pc.mergeSynopsis(st, synFrags); mergeSyn != nil {
+			return mergeSyn()
+		}
 		return nil
 	}
 	if jitMode {
@@ -583,12 +782,14 @@ func (pc *planCtx) jsonMorsels(r *resolvedQuery, cols []int, jitMode bool) (part
 			Types: tab.Types(), Need: cols,
 			Paths:   jsonPaths(tab, cols),
 			PMBuild: cols,
+			Preds:   execPreds(pushable),
 		})
 		pc.pathf("par[%d]:jit:jsonseq(%s)", len(parts), tab.Name)
+		pc.notePush(tab.Name, len(pushable), false)
 	} else {
 		pc.pathf("par[%d]:insitu:jsonseq(%s)", len(parts), tab.Name)
 	}
-	return parts, pc.captureDone(tab, cols, caps, mergeIdx), true, nil
+	return parts, pc.captureDone(tab, cols, caps, mergeIdx), residual, true, nil
 }
 
 // memMorsels builds row-range MemScans over resident column vectors.
@@ -608,6 +809,63 @@ func (pc *planCtx) memMorsels(tab *catalog.Table, loaded []*vector.Vector, cols 
 // with cols (loaded DBMS columns, memory tables, or full column shreds).
 func memVectorMorsels(tab *catalog.Table, vecs []*vector.Vector, cols []int,
 	nm, bs int) ([]exec.Operator, error) {
+	return buildMemMorsels(tab, vecs, cols, nm, bs, nil, nil)
+}
+
+// memVectorMorselsPush builds row-range morsels over full column shreds with
+// pushdown: zone maps exclude whole morsels before dispatch and the morsel
+// scans absorb the predicates vectorized (Col rebound to the output slot).
+func (pc *planCtx) memVectorMorselsPush(tab *catalog.Table, vecs []*vector.Vector, cols []int,
+	nm, bs int, pushable []boundPred, skip func(start, end int64) bool) ([]exec.Operator, error) {
+	slotOf := make(map[int]int, len(cols))
+	for i, c := range cols {
+		slotOf[c] = i
+	}
+	preds := make([]exec.Pred, len(pushable))
+	for i, bp := range pushable {
+		preds[i] = exec.Pred{Col: slotOf[bp.col], Op: bp.op, I64: bp.i64, F64: bp.f64}
+	}
+	parts, err := buildMemMorsels(tab, vecs, cols, nm, bs, preds, pc.memSkip(skip))
+	if err == nil && len(preds) > 0 {
+		for _, part := range parts {
+			ms := part.(*exec.MemScan)
+			pc.pushStats(func() (int64, int64) { return ms.RowsPruned(), 0 })
+		}
+	}
+	return parts, err
+}
+
+// memSkip adapts a zone-map exclusion test into the range filter
+// buildMemMorsels applies, counting skipped morsels. Mem scans have no
+// scan-level skip hook, so unlike skipMorsels the all-excluded fallback is an
+// explicitly empty range rather than a kept morsel.
+func (pc *planCtx) memSkip(skip func(start, end int64) bool) func([][2]int64) [][2]int64 {
+	if skip == nil {
+		return nil
+	}
+	return func(ranges [][2]int64) [][2]int64 {
+		kept := make([][2]int64, 0, len(ranges))
+		for _, rr := range ranges {
+			if skip(rr[0], rr[1]) {
+				pc.stats.MorselsSkipped++
+				continue
+			}
+			kept = append(kept, rr)
+		}
+		if len(kept) == 0 {
+			// Every morsel excluded: one empty range keeps the operator
+			// shape (a MemScan over zero-row slices yields nothing).
+			kept = append(kept, [2]int64{ranges[0][0], ranges[0][0]})
+		}
+		return kept
+	}
+}
+
+// buildMemMorsels is the shared core of the resident-vector morsel builders:
+// split into row ranges, optionally drop zone-map-excluded ranges, and build
+// one (predicate-absorbing) MemScan per surviving range.
+func buildMemMorsels(tab *catalog.Table, vecs []*vector.Vector, cols []int,
+	nm, bs int, preds []exec.Pred, rangeFilter func([][2]int64) [][2]int64) ([]exec.Operator, error) {
 	if len(vecs) == 0 {
 		return nil, nil
 	}
@@ -615,6 +873,9 @@ func memVectorMorsels(tab *catalog.Table, vecs []*vector.Vector, cols []int,
 	ranges := splitRows(nrows, nm)
 	if len(ranges) < 2 {
 		return nil, nil
+	}
+	if rangeFilter != nil {
+		ranges = rangeFilter(ranges)
 	}
 	schema := make(vector.Schema, len(cols))
 	for i, c := range cols {
@@ -626,7 +887,7 @@ func memVectorMorsels(tab *catalog.Table, vecs []*vector.Vector, cols []int,
 		for i, v := range vecs {
 			sliced[i] = v.Slice(int(rr[0]), int(rr[1]))
 		}
-		ms, err := exec.NewMemScan(schema, sliced, bs)
+		ms, err := exec.NewMemScanPred(schema, sliced, bs, preds)
 		if err != nil {
 			return nil, err
 		}

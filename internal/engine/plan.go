@@ -12,6 +12,7 @@ import (
 	"rawdb/internal/shred"
 	"rawdb/internal/storage/csvfile"
 	"rawdb/internal/storage/jsonfile"
+	"rawdb/internal/synopsis"
 	"rawdb/internal/vector"
 )
 
@@ -25,7 +26,183 @@ type planCtx struct {
 	multi    bool
 	workers  int // morsel-parallel worker count; <= 1 plans serially
 	useCache bool
+	pushdown bool // absorb eligible predicates into generated access paths
+	zonemaps bool // build and consult per-block min/max synopses
 	stats    *Stats
+
+	// onComplete runs after a successful execution (table locks still held):
+	// publishing freshly built synopses and folding scan-side pushdown
+	// counters into stats.
+	onComplete []func()
+}
+
+// jitCapable reports whether the strategy generates access paths predicates
+// can be pushed into; the baselines (in-situ, external, DBMS) keep the
+// paper's interpretation overhead by design.
+func (pc *planCtx) jitCapable() bool {
+	return pc.strategy == StrategyJIT || pc.strategy == StrategyShreds
+}
+
+// captureActive reports whether raw-file scans of this query capture column
+// shreds. Capture and row pruning are mutually exclusive on one scan — a
+// scan that eliminates rows cannot publish full columns — and the engine
+// resolves the conflict in favour of the cache: the adaptation arc (cold
+// scan pays full parse once, later queries hit shreds) is the paper's core
+// warm-up behaviour and must not silently degrade. Pushdown and zone-map
+// skipping therefore apply to raw-file scans only when capture is off
+// (DisableShredCache, or the no-cache replan); scans over already-cached
+// shreds absorb predicates unconditionally, since no capture is involved.
+func (pc *planCtx) captureActive() bool {
+	return pc.useCache && !pc.e.cfg.DisableShredCache
+}
+
+// execPred converts a bound predicate to its exec form keyed by the table
+// column index (the form pushed-down scans and zone maps consume).
+func execPred(bp boundPred) exec.Pred {
+	return exec.Pred{Col: bp.col, Op: bp.op, I64: bp.i64, F64: bp.f64}
+}
+
+// execPreds converts a slice of bound predicates.
+func execPreds(bps []boundPred) []exec.Pred {
+	out := make([]exec.Pred, len(bps))
+	for i, bp := range bps {
+		out[i] = execPred(bp)
+	}
+	return out
+}
+
+// synSkip compiles the zone-map exclusion closure for a scan over rows of a
+// table: any conjunct excluding a row range (tracked columns only) lets the
+// whole range be skipped. nil when the synopsis covers no predicate column.
+func synSkip(syn *synopsis.Synopsis, preds []boundPred) func(start, end int64) bool {
+	if syn == nil {
+		return nil
+	}
+	var sps []exec.Pred
+	for _, bp := range preds {
+		if syn.Tracked(bp.col) {
+			sps = append(sps, execPred(bp))
+		}
+	}
+	if len(sps) == 0 {
+		return nil
+	}
+	return func(start, end int64) bool {
+		for _, p := range sps {
+			if syn.Excludes(p, start, end) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// observableCols selects which scanned columns a synopsis builder may
+// observe: only columns the generated code is guaranteed to parse for every
+// row. Without pushed predicates that is every scanned column; vectorized
+// paths (binary) parse all predicate columns dense; sequential paths with
+// short-circuiting only guarantee full observation of a single predicate
+// column (a later predicate column is skipped once an earlier one fails).
+func observableCols(tab *catalog.Table, cols []int, absorbed []exec.Pred,
+	vectorized bool) map[int]vector.Type {
+	obs := make(map[int]vector.Type)
+	add := func(c int) {
+		t := tab.Schema[c].Type
+		if t == vector.Int64 || t == vector.Float64 {
+			obs[c] = t
+		}
+	}
+	if len(absorbed) == 0 {
+		for _, c := range cols {
+			add(c)
+		}
+		return obs
+	}
+	predCols := make(map[int]bool)
+	for _, p := range absorbed {
+		predCols[p.Col] = true
+	}
+	if !vectorized && len(predCols) > 1 {
+		return nil
+	}
+	for c := range predCols {
+		add(c)
+	}
+	return obs
+}
+
+// blockRows returns the configured zone-map block granularity.
+func (pc *planCtx) blockRows() int64 {
+	if pc.e.cfg.SynopsisBlockRows > 0 {
+		return int64(pc.e.cfg.SynopsisBlockRows)
+	}
+	return synopsis.DefaultBlockRows
+}
+
+// newSynBuilder creates a builder for a full sequential scan of the table,
+// or nil when zone maps are off or nothing is observable. An existing
+// synopsis is kept while it already tracks every observable column; when a
+// scan can observe a column the current synopsis lacks (e.g. the first query
+// was selective and observed only its predicate column, and a later scan
+// parses more), a fresh synopsis is built and replaces the old one — the
+// columns of the latest build are the ones current queries filter on. The
+// finalizer installs the synopsis once the query completed.
+func (pc *planCtx) newSynBuilder(st *tableState, cols []int, absorbed []exec.Pred,
+	vectorized bool) *synopsis.Builder {
+	if !pc.zonemaps {
+		return nil
+	}
+	obs := observableCols(st.tab, cols, absorbed, vectorized)
+	if len(obs) == 0 {
+		return nil
+	}
+	if pc.synCovered(st, obs) {
+		return nil
+	}
+	b := synopsis.NewBuilder(pc.blockRows(), obs)
+	pc.onComplete = append(pc.onComplete, func() {
+		if syn := b.Finish(); syn != nil && (st.nrows < 0 || syn.NRows() == st.nrows) {
+			st.setSynopsis(syn)
+		}
+	})
+	return b
+}
+
+// synCovered reports whether the table's current synopsis already tracks
+// every column of obs (an empty obs counts as covered).
+func (pc *planCtx) synCovered(st *tableState, obs map[int]vector.Type) bool {
+	cur := st.synopsis()
+	if cur == nil {
+		return len(obs) == 0
+	}
+	for c := range obs {
+		if !cur.Tracked(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// notePush records absorbed predicates and zone-skip activity in the stats
+// and the access-path list (shared by every scan-building site).
+func (pc *planCtx) notePush(table string, npush int, zmap bool) {
+	if npush > 0 {
+		pc.stats.PredsPushed += npush
+		pc.pathf("push[%d](%s)", npush, table)
+	}
+	if zmap {
+		pc.pathf("zmap(%s)", table)
+	}
+}
+
+// pushStats folds a scan's runtime pushdown counters into the query stats
+// once execution finished.
+func (pc *planCtx) pushStats(f func() (int64, int64)) {
+	pc.onComplete = append(pc.onComplete, func() {
+		rows, blocks := f()
+		pc.stats.RowsPruned += rows
+		pc.stats.BlocksSkipped += blocks
+	})
 }
 
 // pipe is a partially built pipeline over one or two tables, tracking where
@@ -99,13 +276,15 @@ func (pc *planCtx) planSingle(r *resolvedQuery) (*pipe, error) {
 		baseCols = []int{0}
 	}
 
-	p, err := pc.baseScan(r, t, baseCols, needRID)
+	// Predicates over base columns are candidates for pushdown into the
+	// generated scan; whatever the access path cannot absorb comes back as
+	// the residual and runs in a Filter above, exactly as before.
+	basePreds, latePreds := splitPreds(r.filters[t], baseCols)
+	p, residual, err := pc.baseScan(r, t, baseCols, needRID, basePreds)
 	if err != nil {
 		return nil, err
 	}
-	// Apply predicates over base columns.
-	basePreds, latePreds := splitPreds(r.filters[t], baseCols)
-	if err := pc.applyFilter(p, t, basePreds); err != nil {
+	if err := pc.applyFilter(p, t, residual); err != nil {
 		return nil, err
 	}
 	if !late {
@@ -179,11 +358,11 @@ func (pc *planCtx) planJoin(r *resolvedQuery) (*pipe, error) {
 		}
 		sortInts(baseCols)
 		needRID := canLate && (len(intermediate) > 0 || len(lateAfterJoin[t]) > 0)
-		p, err := pc.baseScan(r, t, baseCols, needRID)
+		p, residual, err := pc.baseScan(r, t, baseCols, needRID, r.filters[t])
 		if err != nil {
 			return nil, err
 		}
-		if err := pc.applyFilter(p, t, r.filters[t]); err != nil {
+		if err := pc.applyFilter(p, t, residual); err != nil {
 			return nil, err
 		}
 		if len(intermediate) > 0 {
@@ -290,8 +469,11 @@ func (pc *planCtx) applyFilter(p *pipe, t int, preds []boundPred) error {
 
 // baseScan builds the bottom access path for table t materialising cols
 // (sorted), optionally emitting the hidden row-id column, and registers the
-// resulting layout.
-func (pc *planCtx) baseScan(r *resolvedQuery, t int, cols []int, needRID bool) (*pipe, error) {
+// resulting layout. candidates are the predicates on cols; the access path
+// absorbs what it can (JIT strategies) and returns the rest as the residual
+// the caller must still filter.
+func (pc *planCtx) baseScan(r *resolvedQuery, t int, cols []int, needRID bool,
+	candidates []boundPred) (*pipe, []boundPred, error) {
 	bt := r.tables[t]
 	st := bt.st
 	tab := st.tab
@@ -315,18 +497,18 @@ func (pc *planCtx) baseScan(r *resolvedQuery, t int, cols []int, needRID bool) (
 		}
 		ms, err := exec.NewMemScan(schema, vecs, bs)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		p.op = ms
 		layout(cols, -1)
 		pc.pathf("memory:scan(%s)", tab.Name)
-		return p, nil
+		return p, candidates, nil
 	}
 
 	switch pc.strategy {
 	case StrategyDBMS:
 		if err := pc.e.ensureLoaded(st, pc.stats); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		schema := make(vector.Schema, len(cols))
 		vecs := make([]*vector.Vector, len(cols))
@@ -336,21 +518,21 @@ func (pc *planCtx) baseScan(r *resolvedQuery, t int, cols []int, needRID bool) (
 		}
 		ms, err := exec.NewMemScan(schema, vecs, bs)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		p.op = ms
 		layout(cols, -1)
 		pc.pathf("dbms:memscan(%s)", tab.Name)
-		return p, nil
+		return p, candidates, nil
 
 	case StrategyExternal:
 		if tab.Format != catalog.CSV {
-			return nil, fmt.Errorf("engine: external tables support CSV only (table %q is %s)",
+			return nil, nil, fmt.Errorf("engine: external tables support CSV only (table %q is %s)",
 				tab.Name, tab.Format)
 		}
 		sc, err := insitu.NewExternalScan(st.csvData, tab, cols, bs)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		p.op = sc
 		layout(cols, -1)
@@ -358,15 +540,16 @@ func (pc *planCtx) baseScan(r *resolvedQuery, t int, cols []int, needRID bool) (
 		if st.nrows < 0 {
 			st.nrows = csvfile.CountRows(st.csvData)
 		}
-		return p, nil
+		return p, candidates, nil
 
 	case StrategyInSitu:
-		return pc.baseScanInSitu(p, r, t, cols, layout)
+		pp, err := pc.baseScanInSitu(p, r, t, cols, layout)
+		return pp, candidates, err
 
 	case StrategyJIT, StrategyShreds:
-		return pc.baseScanJIT(p, r, t, cols, needRID, layout)
+		return pc.baseScanJIT(p, r, t, cols, needRID, candidates, layout)
 	}
-	return nil, fmt.Errorf("engine: unknown strategy %d", pc.strategy)
+	return nil, nil, fmt.Errorf("engine: unknown strategy %d", pc.strategy)
 }
 
 // baseScanInSitu builds the NoDB-style generic scan.
@@ -450,9 +633,12 @@ func (pc *planCtx) baseScanInSitu(p *pipe, r *resolvedQuery, t int, cols []int,
 }
 
 // baseScanJIT builds the JIT access path, serving columns from the shred
-// pool where possible and capturing file-read columns into it.
+// pool where possible and capturing file-read columns into it. Candidate
+// predicates on uncached columns are pushed into the generated scan
+// (conversion-time checks, vectorized selection, zone-map skipping); the
+// returned residual holds whatever must still run in a Filter above.
 func (pc *planCtx) baseScanJIT(p *pipe, r *resolvedQuery, t int, cols []int, needRID bool,
-	layout func([]int, int)) (*pipe, error) {
+	candidates []boundPred, layout func([]int, int)) (*pipe, []boundPred, error) {
 	st := r.tables[t].st
 	tab := st.tab
 	bs := pc.e.cfg.BatchSize
@@ -474,14 +660,26 @@ func (pc *planCtx) baseScanJIT(p *pipe, r *resolvedQuery, t int, cols []int, nee
 	pc.stats.ShredHits += len(cached)
 
 	// Everything cached: stream from the pool, no raw access at all.
+	// Predicates on the cached columns are still absorbed — the shred scan
+	// evaluates them vectorized and emits selection-vector batches.
 	if len(uncached) == 0 && len(cached) > 0 {
 		names := make([]string, len(cached))
+		slotOf := make(map[int]int, len(cached))
 		for i, c := range cached {
 			names[i] = tab.Schema[c].Name
+			slotOf[c] = i
 		}
-		sc, err := shred.NewScan(cachedShreds, names, needRID, bs)
+		var preds []exec.Pred
+		residual := candidates
+		if pc.pushdown {
+			residual = nil
+			for _, bp := range candidates {
+				preds = append(preds, exec.Pred{Col: slotOf[bp.col], Op: bp.op, I64: bp.i64, F64: bp.f64})
+			}
+		}
+		sc, err := shred.NewScanPred(cachedShreds, names, needRID, bs, preds)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		p.op = sc
 		order := append([]int{}, cached...)
@@ -491,7 +689,28 @@ func (pc *planCtx) baseScanJIT(p *pipe, r *resolvedQuery, t int, cols []int, nee
 		}
 		layout(order, ridIdx)
 		pc.pathf("shred:scan(%s)", tab.Name)
-		return p, nil
+		if len(preds) > 0 {
+			pc.notePush(tab.Name, len(preds), false)
+			pc.pushStats(func() (int64, int64) { return sc.RowsPruned(), 0 })
+		}
+		return p, residual, nil
+	}
+
+	// Split the candidates: predicates on uncached columns can be absorbed
+	// by the generated scan (unless shred capture needs the full column
+	// stream — see captureActive); predicates on cached (late-appended)
+	// columns always stay in the Filter above.
+	var pushable, residual []boundPred
+	uncachedSet := make(map[int]bool, len(uncached))
+	for _, c := range uncached {
+		uncachedSet[c] = true
+	}
+	for _, bp := range candidates {
+		if pc.pushdown && !pc.captureActive() && uncachedSet[bp.col] {
+			pushable = append(pushable, bp)
+		} else {
+			residual = append(residual, bp)
+		}
 	}
 
 	// Read uncached columns from the raw file with a generated access path.
@@ -501,27 +720,40 @@ func (pc *planCtx) baseScanJIT(p *pipe, r *resolvedQuery, t int, cols []int, nee
 	var op exec.Operator
 	var mode jit.Mode
 	pruned := false
-	pm := st.posMap()   // snapshot: eviction may clear the shared pointer
-	idx := st.jsonIdx() // likewise
+	var absorbed []exec.Pred
+	var skipped bool
+	pm := st.posMap()    // snapshot: eviction may clear the shared pointer
+	idx := st.jsonIdx()  // likewise
+	syn := st.synopsis() // likewise
+	if !pc.zonemaps || pc.captureActive() {
+		syn = nil // zone skipping would leave capture holes; see captureActive
+	}
 	switch tab.Format {
 	case catalog.CSV:
 		if pm != nil && pm.NRows() > 0 && pmCovers(pm, uncached) {
 			mode = jit.ViaMap
-			sc, err := jit.NewCSVMapScan(st.csvData, tab, uncached, pm, emitRID, bs)
+			opts := jit.Pushdown{Preds: execPreds(pushable), Skip: synSkip(syn, candidates)}
+			sc, err := jit.NewCSVMapScanPush(st.csvData, tab, uncached, pm, emitRID, bs, opts)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			op = sc
+			absorbed, skipped = opts.Preds, opts.Skip != nil
+			pc.pushStats(sc.PushStats)
 			pc.pathf("jit:viamap(%s)", tab.Name)
 		} else {
 			mode = jit.Sequential
 			pm = posmap.New(pc.e.cfg.PosMapPolicy, len(tab.Schema))
-			sc, err := jit.NewCSVSequentialScan(st.csvData, tab, uncached, pm, emitRID, bs)
+			opts := jit.Pushdown{Preds: execPreds(pushable)}
+			opts.Syn = pc.newSynBuilder(st, uncached, opts.Preds, false)
+			sc, err := jit.NewCSVSequentialScanPush(st.csvData, tab, uncached, pm, emitRID, bs, opts)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			st.setPosMap(pm)
 			op = sc
+			absorbed = opts.Preds
+			pc.pushStats(sc.PushStats)
 			pc.pathf("jit:seq(%s)", tab.Name)
 			if st.nrows < 0 {
 				st.nrows = csvfile.CountRows(st.csvData)
@@ -530,21 +762,28 @@ func (pc *planCtx) baseScanJIT(p *pipe, r *resolvedQuery, t int, cols []int, nee
 	case catalog.JSON:
 		if idx != nil && idx.NRows() > 0 {
 			mode = jit.ViaMap
-			sc, err := jit.NewJSONMapScan(st.jsonData, tab, uncached, idx, emitRID, bs)
+			opts := jit.Pushdown{Preds: execPreds(pushable), Skip: synSkip(syn, candidates)}
+			sc, err := jit.NewJSONMapScanPush(st.jsonData, tab, uncached, idx, emitRID, bs, opts)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			op = sc
+			absorbed, skipped = opts.Preds, opts.Skip != nil
+			pc.pushStats(sc.PushStats)
 			pc.pathf("jit:jsonidx(%s)", tab.Name)
 		} else {
 			mode = jit.Sequential
 			idx = jsonidx.New(0)
-			sc, err := jit.NewJSONSequentialScan(st.jsonData, tab, uncached, idx, emitRID, bs)
+			opts := jit.Pushdown{Preds: execPreds(pushable)}
+			opts.Syn = pc.newSynBuilder(st, uncached, opts.Preds, false)
+			sc, err := jit.NewJSONSequentialScanPush(st.jsonData, tab, uncached, idx, emitRID, bs, opts)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			st.setJSONIdx(idx)
 			op = sc
+			absorbed = opts.Preds
+			pc.pushStats(sc.PushStats)
 			pc.pathf("jit:jsonseq(%s)", tab.Name)
 			if st.nrows < 0 {
 				st.nrows = jsonfile.CountRows(st.jsonData)
@@ -552,16 +791,27 @@ func (pc *planCtx) baseScanJIT(p *pipe, r *resolvedQuery, t int, cols []int, nee
 		}
 	case catalog.Binary:
 		mode = jit.Direct
-		sc, err := jit.NewBinScan(st.bin, tab, uncached, emitRID, bs)
+		opts := jit.Pushdown{Preds: execPreds(pushable), Skip: synSkip(syn, candidates)}
+		if opts.Skip == nil {
+			// A skipped range never advances the builder, so a build under an
+			// active Skip could only ever be discarded at install time.
+			opts.Syn = pc.newSynBuilder(st, uncached, opts.Preds, true)
+		}
+		sc, err := jit.NewBinScanPush(st.bin, tab, uncached, emitRID, bs, opts)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		op = sc
+		absorbed, skipped = opts.Preds, opts.Skip != nil
+		pc.pushStats(sc.PushStats)
 		pc.pathf("jit:bin(%s)", tab.Name)
 	case catalog.Root:
 		mode = jit.Direct
-		// Push the first applicable predicate into the generated scan so it
-		// can skip baskets via the file's zone maps.
+		// ROOT keeps its original advisory pruning: the file format carries
+		// its own per-basket zone maps, so the generated scan consults those
+		// and the Filter above re-checks survivors.
+		residual = candidates
+		pushable = nil
 		var prune *jit.Prune
 		for _, bp := range r.filters[t] {
 			applies := false
@@ -578,7 +828,7 @@ func (pc *planCtx) baseScanJIT(p *pipe, r *resolvedQuery, t int, cols []int, nee
 		}
 		sc, err := jit.NewRootScanPruned(st.rootTree, tab, uncached, emitRID, bs, prune)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		op = sc
 		if prune != nil {
@@ -588,14 +838,25 @@ func (pc *planCtx) baseScanJIT(p *pipe, r *resolvedQuery, t int, cols []int, nee
 			pc.pathf("jit:root(%s)", tab.Name)
 		}
 	default:
-		return nil, fmt.Errorf("engine: JIT scan unsupported for format %s", tab.Format)
+		return nil, nil, fmt.Errorf("engine: JIT scan unsupported for format %s", tab.Format)
 	}
+	if len(absorbed) > 0 {
+		pruned = true
+	} else {
+		// Nothing absorbed: every candidate stays in the Filter.
+		residual = candidates
+	}
+	if skipped {
+		pruned = true
+	}
+	pc.notePush(tab.Name, len(absorbed), skipped)
 	spec := jit.Spec{
 		Format:  tab.Format,
 		Table:   tab.Name,
 		Mode:    mode,
 		Types:   tab.Types(),
 		Need:    uncached,
+		Preds:   absorbed,
 		EmitRID: emitRID,
 	}
 	switch tab.Format {
@@ -633,7 +894,7 @@ func (pc *planCtx) baseScanJIT(p *pipe, r *resolvedQuery, t int, cols []int, nee
 		}
 		cap, err := shred.NewCapture(op, pc.e.shreds, specs)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		op = cap
 	}
@@ -646,7 +907,7 @@ func (pc *planCtx) baseScanJIT(p *pipe, r *resolvedQuery, t int, cols []int, nee
 		}
 		ls, err := shred.NewLateScan(op, ridIdx, cachedShreds, names)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		op = ls
 		order = append(order, cached...)
@@ -664,12 +925,12 @@ func (pc *planCtx) baseScanJIT(p *pipe, r *resolvedQuery, t int, cols []int, nee
 		}
 		p.rid[t] = ridIdx
 		pc.pathf("shred:append(%s)", tab.Name)
-		return p, nil
+		return p, residual, nil
 	}
 
 	p.op = op
 	layout(order, ridIdx)
-	return p, nil
+	return p, residual, nil
 }
 
 // lateScan appends the given columns of table t to the pipeline via a

@@ -45,19 +45,27 @@ func (e *Engine) QueryOpt(src string, opts Options) (*Result, error) {
 	if opts.Parallelism != nil {
 		workers = *opts.Parallelism
 	}
+	pushdown := !e.cfg.DisablePushdown
+	if opts.Pushdown != nil {
+		pushdown = *opts.Pushdown
+	}
+	zonemaps := !e.cfg.DisableZoneMaps
+	if opts.ZoneMaps != nil {
+		zonemaps = *opts.ZoneMaps
+	}
 
-	res, err := e.run(r, strategy, place, multi, workers, true)
+	res, err := e.run(r, strategy, place, multi, workers, pushdown, zonemaps, true)
 	if err != nil && errors.Is(err, shred.ErrNotCached) {
 		// An optimistically chosen partial shred did not subsume this
 		// query's rows; replan without cache reuse (the raw file remains the
 		// source of truth).
-		res, err = e.run(r, strategy, place, multi, workers, false)
+		res, err = e.run(r, strategy, place, multi, workers, pushdown, zonemaps, false)
 	}
 	return res, err
 }
 
 func (e *Engine) run(r *resolvedQuery, strategy Strategy, place JoinPlacement,
-	multi bool, workers int, useCache bool) (*Result, error) {
+	multi bool, workers int, pushdown, zonemaps, useCache bool) (*Result, error) {
 	unlock := lockTables(r)
 	defer unlock()
 	stats := &Stats{Strategy: strategy}
@@ -68,6 +76,8 @@ func (e *Engine) run(r *resolvedQuery, strategy Strategy, place JoinPlacement,
 		multi:    multi,
 		workers:  workers,
 		useCache: useCache && !e.cfg.DisableShredCache,
+		pushdown: pushdown,
+		zonemaps: zonemaps,
 		stats:    stats,
 	}
 	start := time.Now()
@@ -80,6 +90,11 @@ func (e *Engine) run(r *resolvedQuery, strategy Strategy, place JoinPlacement,
 		return nil, err
 	}
 	stats.Elapsed = time.Since(start)
+	// Post-execution hooks: publish freshly built synopses and fold
+	// scan-side pushdown counters into the stats (locks still held).
+	for _, f := range pc.onComplete {
+		f()
+	}
 	// Refresh unified-budget accounting and schedule vault write-backs for
 	// structures this query built or grew (locks still held: the encodes
 	// snapshot consistent state; only disk I/O happens asynchronously).
@@ -152,9 +167,18 @@ func (e *Engine) Explain(src string, opts Options) (string, error) {
 	if opts.Parallelism != nil {
 		workers = *opts.Parallelism
 	}
+	pushdown := !e.cfg.DisablePushdown
+	if opts.Pushdown != nil {
+		pushdown = *opts.Pushdown
+	}
+	zonemaps := !e.cfg.DisableZoneMaps
+	if opts.ZoneMaps != nil {
+		zonemaps = *opts.ZoneMaps
+	}
 	stats := &Stats{Strategy: strategy}
 	pc := &planCtx{e: e, strategy: strategy, place: place, multi: multi,
-		workers: workers, useCache: !e.cfg.DisableShredCache, stats: stats}
+		workers: workers, useCache: !e.cfg.DisableShredCache,
+		pushdown: pushdown, zonemaps: zonemaps, stats: stats}
 	op, err := pc.plan(r)
 	if err != nil {
 		return "", err
@@ -171,6 +195,12 @@ func (e *Engine) Explain(src string, opts Options) (string, error) {
 	b.WriteString("\naccess paths:\n")
 	for _, ap := range stats.AccessPaths {
 		fmt.Fprintf(&b, "  - %s\n", ap)
+	}
+	if stats.PredsPushed > 0 {
+		fmt.Fprintf(&b, "pushdown: %d predicate(s) absorbed by generated scans\n", stats.PredsPushed)
+	}
+	if stats.MorselsSkipped > 0 {
+		fmt.Fprintf(&b, "zone maps: %d morsel(s) excluded before dispatch\n", stats.MorselsSkipped)
 	}
 	if stats.TemplateMisses > 0 || stats.TemplateHits > 0 {
 		fmt.Fprintf(&b, "templates: %d generated, %d reused\n",

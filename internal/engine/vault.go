@@ -7,6 +7,7 @@ import (
 	"rawdb/internal/jsonidx"
 	"rawdb/internal/posmap"
 	"rawdb/internal/shred"
+	"rawdb/internal/synopsis"
 	"rawdb/internal/vault"
 )
 
@@ -81,6 +82,13 @@ func (e *Engine) vaultLoad(st *tableState) {
 			}
 		}
 	}
+	if !e.cfg.DisableZoneMaps {
+		if syn := e.vault.LoadSynopsis(name, fp); syn != nil && syn.NRows() > 0 &&
+			(st.nrows < 0 || syn.NRows() == st.nrows) {
+			st.setSynopsis(syn)
+			st.savedSyn = syn
+		}
+	}
 	if !e.cfg.DisableShredCache {
 		for _, ts := range e.vault.LoadShreds(name, fp) {
 			if ts.Col >= len(st.tab.Schema) || ts.Vec.Type != st.tab.Schema[ts.Col].Type {
@@ -105,6 +113,9 @@ func (e *Engine) accountState(st *tableState) {
 	}
 	if x := st.jsonIdx(); x != nil {
 		e.budget.Set("jsonidx:"+name, x.MemoryFootprint(), func() { st.dropJSONIdx(x) })
+	}
+	if syn := st.synopsis(); syn != nil {
+		e.budget.Set("synopsis:"+name, syn.MemoryFootprint(), func() { st.dropSynopsis(syn) })
 	}
 }
 
@@ -144,6 +155,7 @@ type vaultMarkers struct {
 	jidx     *jsonidx.Index
 	jidxVer  uint64
 	shredVer int64
+	syn      *synopsis.Synopsis
 }
 
 // collectVaultWrites encodes every structure of st that changed since the
@@ -153,13 +165,19 @@ type vaultMarkers struct {
 func (e *Engine) collectVaultWrites(st *tableState) ([]vaultWrite, vaultMarkers) {
 	var writes []vaultWrite
 	m := vaultMarkers{pm: st.savedPM, jidx: st.savedJIdx,
-		jidxVer: st.savedJIdxVer, shredVer: st.savedShredVer}
+		jidxVer: st.savedJIdxVer, shredVer: st.savedShredVer, syn: st.savedSyn}
 	name := st.tab.Name
 	if st.tab.Format == catalog.CSV {
 		if cur := st.posMap(); cur != nil && cur.NRows() > 0 && cur != st.savedPM {
 			writes = append(writes, vaultWrite{vault.KindPosMap, vault.EncodePosMap(st.fp, cur)})
 			m.pm = cur
 		}
+	}
+	// Synopses are immutable once installed, so pointer identity is the
+	// dirtiness test (like positional maps).
+	if cur := st.synopsis(); cur != nil && cur.NRows() > 0 && cur != st.savedSyn {
+		writes = append(writes, vaultWrite{vault.KindSynopsis, vault.EncodeSynopsis(st.fp, cur)})
+		m.syn = cur
 	}
 	if st.tab.Format == catalog.JSON {
 		if cur := st.jsonIdx(); cur != nil && cur.NRows() > 0 &&
@@ -184,7 +202,7 @@ func (e *Engine) collectVaultWrites(st *tableState) ([]vaultWrite, vaultMarkers)
 }
 
 func (st *tableState) installMarkers(m vaultMarkers) {
-	st.savedPM, st.savedJIdx = m.pm, m.jidx
+	st.savedPM, st.savedJIdx, st.savedSyn = m.pm, m.jidx, m.syn
 	st.savedJIdxVer, st.savedShredVer = m.jidxVer, m.shredVer
 }
 

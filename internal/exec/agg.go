@@ -236,9 +236,19 @@ func (a *Aggregate) Next() (*vector.Batch, error) {
 			break
 		}
 		n := b.Len()
+		// Batches may carry a selection vector (scans with pushed-down
+		// predicates, Filter output): iterate the selected rows directly
+		// instead of requiring a compacted copy.
+		sel := b.Sel
 		if !grouped {
-			for r := 0; r < n; r++ {
-				a.update(a.states, b, r)
+			if sel != nil {
+				for _, r := range sel {
+					a.update(a.states, b, int(r))
+				}
+			} else {
+				for r := 0; r < n; r++ {
+					a.update(a.states, b, r)
+				}
 			}
 			continue
 		}
@@ -250,7 +260,7 @@ func (a *Aggregate) Next() (*vector.Batch, error) {
 		// Specialised grouped COUNT: the per-row body is two slice indexes
 		// and an increment — no aggregate-state dispatch. Applied per batch
 		// when every key is in the dense range.
-		if a.countOnly && k1 == nil && denseEligible(k0[:n]) {
+		if a.countOnly && k1 == nil && sel == nil && denseEligible(k0[:n]) {
 			for _, key0 := range k0[:n] {
 				if int64(len(a.dense)) <= key0 {
 					grown := make([]int32, key0+1024)
@@ -268,7 +278,15 @@ func (a *Aggregate) Next() (*vector.Batch, error) {
 			}
 			continue
 		}
-		for r := 0; r < n; r++ {
+		nr := n
+		if sel != nil {
+			nr = len(sel)
+		}
+		for ri := 0; ri < nr; ri++ {
+			r := ri
+			if sel != nil {
+				r = int(sel[ri])
+			}
 			key0 := k0[r]
 			// Dense fast path: single small non-negative key.
 			if k1 == nil && key0 >= 0 && key0 < denseLimit {

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"math"
 
 	"rawdb/internal/vector"
 )
@@ -40,7 +41,10 @@ func (o CmpOp) String() string {
 }
 
 // Pred is a comparison of one column against a constant. Predicates on a
-// Filter are conjunctive.
+// Filter are conjunctive. Col names a column of whatever the predicate is
+// evaluated against: a batch slot inside Filter, a table column index when a
+// predicate is pushed down into a generated scan (jit.Spec.Preds) or tested
+// against a zone map (synopsis).
 type Pred struct {
 	Col int
 	Op  CmpOp
@@ -49,15 +53,42 @@ type Pred struct {
 	F64 float64
 }
 
-// Filter passes through the rows of its child that satisfy every predicate,
-// compacting batches (the output contains only qualifying rows).
+// MatchInt64 reports whether "x op I64" holds.
+func (p Pred) MatchInt64(x int64) bool { return cmpInt64(x, p.I64, p.Op) }
+
+// MatchFloat64 reports whether "x op F64" holds.
+func (p Pred) MatchFloat64(x float64) bool { return cmpFloat64(x, p.F64, p.Op) }
+
+// String renders the predicate for logs and template-cache keys.
+func (p Pred) String() string {
+	return fmt.Sprintf("c%d%s%d/%x", p.Col, p.Op, p.I64, math.Float64bits(p.F64))
+}
+
+// SelectPred appends to sel the indexes in [0, n) of v satisfying p — the
+// vectorized first-predicate pass, exported for scans that evaluate pushed-
+// down predicates themselves.
+func SelectPred(sel []int32, v *vector.Vector, p Pred, n int) []int32 {
+	return evalPredAll(sel, v, p, n)
+}
+
+// RefinePred filters sel in place, keeping the indexes satisfying p over v —
+// the vectorized follow-up passes of a conjunction.
+func RefinePred(sel []int32, v *vector.Vector, p Pred) []int32 {
+	return evalPredSel(sel, v, p)
+}
+
+// Filter passes through the rows of its child that satisfy every predicate.
+// Output batches share the child's column vectors and carry a selection
+// vector marking the qualifying rows — no compact-copying on the hot path;
+// consumers that need dense rows compact at their own boundary (see
+// vector.Batch.Sel).
 type Filter struct {
 	child  Operator
 	preds  []Pred
 	schema vector.Schema
 
 	sel []int32
-	out *vector.Batch
+	out vector.Batch
 }
 
 // NewFilter validates the predicates against the child schema.
@@ -90,31 +121,41 @@ func (f *Filter) Next() (*vector.Batch, error) {
 		if err != nil || b == nil {
 			return nil, err
 		}
-		f.sel = f.sel[:0]
-		n := b.Len()
 		if len(f.preds) == 0 {
 			return b, nil
 		}
-		// First predicate scans all rows; the rest refine the selection.
-		f.sel = evalPredAll(f.sel, b.Cols[f.preds[0].Col], f.preds[0], n)
-		for _, p := range f.preds[1:] {
-			if len(f.sel) == 0 {
-				break
+		n := b.Len()
+		if b.Sel != nil {
+			// The child already selected rows (a scan with pushed-down
+			// predicates, or another Filter): refine its selection in place
+			// on a private copy.
+			f.sel = append(f.sel[:0], b.Sel...)
+			for _, p := range f.preds {
+				if len(f.sel) == 0 {
+					break
+				}
+				f.sel = evalPredSel(f.sel, b.Cols[p.Col], p)
 			}
-			f.sel = evalPredSel(f.sel, b.Cols[p.Col], p)
+		} else {
+			// First predicate scans all rows; the rest refine the selection.
+			f.sel = evalPredAll(f.sel[:0], b.Cols[f.preds[0].Col], f.preds[0], n)
+			for _, p := range f.preds[1:] {
+				if len(f.sel) == 0 {
+					break
+				}
+				f.sel = evalPredSel(f.sel, b.Cols[p.Col], p)
+			}
 		}
 		if len(f.sel) == 0 {
 			continue // fully filtered batch; pull the next one
 		}
-		if len(f.sel) == n {
-			return b, nil // nothing filtered; pass through without copying
+		if b.Sel == nil && len(f.sel) == n {
+			return b, nil // nothing filtered; pass through untouched
 		}
-		if f.out == nil {
-			f.out = vector.NewBatch(f.schema.Types(), len(f.sel))
-		}
-		f.out.Reset()
-		f.out.Gather(b, f.sel)
-		return f.out, nil
+		// Zero-copy selection: share the child's vectors, mark survivors.
+		f.out.Cols = append(f.out.Cols[:0], b.Cols...)
+		f.out.Sel = f.sel
+		return &f.out, nil
 	}
 }
 

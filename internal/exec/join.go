@@ -27,6 +27,12 @@ type HashJoin struct {
 	pending *vector.Batch // current probe batch
 	ppos    int           // next probe row to resume from
 	pmatch  []int32       // unconsumed matches for probe row ppos-1
+
+	// Scratch batches for compacting selection-vector inputs: the join walks
+	// rows positionally, so it densifies Sel-carrying batches at its boundary
+	// (see vector.Batch.Sel).
+	buildScratch *vector.Batch
+	probeScratch *vector.Batch
 }
 
 // NewHashJoin joins left ⋈ right on left.Schema()[leftKey] = right.Schema()[rightKey].
@@ -86,10 +92,11 @@ func (j *HashJoin) build() error {
 		if b == nil {
 			break
 		}
-		base := int32(j.buildCols[0].Len())
 		if len(j.buildCols) == 0 {
 			return fmt.Errorf("exec: hashjoin: build side has no columns")
 		}
+		b = b.Compact(&j.buildScratch)
+		base := int32(j.buildCols[0].Len())
 		keys := b.Cols[j.rightKey].Int64s
 		for i, k := range keys {
 			j.ht[k] = append(j.ht[k], base+int32(i))
@@ -142,7 +149,7 @@ func (j *HashJoin) Next() (*vector.Batch, error) {
 				}
 				return nil, nil
 			}
-			j.pending = b
+			j.pending = b.Compact(&j.probeScratch)
 			j.ppos = 0
 		}
 		keys := j.pending.Cols[j.leftKey].Int64s

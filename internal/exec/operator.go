@@ -31,13 +31,44 @@ type Operator interface {
 
 // MemScan streams a fully materialised table (a set of equal-length column
 // vectors) in batches. The DBMS baseline queries loaded tables through it,
-// and tests use it as a deterministic source.
+// and tests use it as a deterministic source. With predicates bound
+// (NewMemScanPred) the scan evaluates them vectorized per batch and emits a
+// selection vector instead of feeding a separate Filter.
 type MemScan struct {
-	schema    vector.Schema
-	cols      []*vector.Vector
-	batchSize int
-	pos       int
-	out       *vector.Batch
+	schema     vector.Schema
+	cols       []*vector.Vector
+	batchSize  int
+	preds      []Pred
+	sel        []int32
+	rowsPruned int64
+	pos        int
+	out        *vector.Batch
+}
+
+// RowsPruned reports how many rows the bound predicates eliminated inside
+// the scan so far.
+func (s *MemScan) RowsPruned() int64 { return s.rowsPruned }
+
+// NewMemScanPred returns a scan over cols that absorbs the given conjunctive
+// predicates (Col = output slot). Batches with a partial match carry a
+// selection vector; fully filtered batch ranges are skipped.
+func NewMemScanPred(schema vector.Schema, cols []*vector.Vector, batchSize int, preds []Pred) (*MemScan, error) {
+	s, err := NewMemScan(schema, cols, batchSize)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range preds {
+		if p.Col < 0 || p.Col >= len(schema) {
+			return nil, fmt.Errorf("exec: memscan: predicate column %d out of range", p.Col)
+		}
+		switch schema[p.Col].Type {
+		case vector.Int64, vector.Float64:
+		default:
+			return nil, fmt.Errorf("exec: memscan: unsupported predicate column type %s", schema[p.Col].Type)
+		}
+	}
+	s.preds = preds
+	return s, nil
 }
 
 // NewMemScan returns a scan over cols with the given schema. batchSize <= 0
@@ -78,21 +109,41 @@ func (s *MemScan) Next() (*vector.Batch, error) {
 	if len(s.cols) > 0 {
 		n = s.cols[0].Len()
 	}
-	if s.pos >= n {
-		return nil, nil
+	for {
+		if s.pos >= n {
+			return nil, nil
+		}
+		end := s.pos + s.batchSize
+		if end > n {
+			end = n
+		}
+		if s.out == nil {
+			s.out = &vector.Batch{Cols: make([]*vector.Vector, len(s.cols))}
+		}
+		for i, c := range s.cols {
+			s.out.Cols[i] = c.Slice(s.pos, end)
+		}
+		s.out.Sel = nil
+		m := end - s.pos
+		s.pos = end
+		if len(s.preds) > 0 {
+			s.sel = evalPredAll(s.sel[:0], s.out.Cols[s.preds[0].Col], s.preds[0], m)
+			for _, p := range s.preds[1:] {
+				if len(s.sel) == 0 {
+					break
+				}
+				s.sel = evalPredSel(s.sel, s.out.Cols[p.Col], p)
+			}
+			s.rowsPruned += int64(m - len(s.sel))
+			if len(s.sel) == 0 {
+				continue // fully filtered range: advance to the next one
+			}
+			if len(s.sel) < m {
+				s.out.Sel = s.sel
+			}
+		}
+		return s.out, nil
 	}
-	end := s.pos + s.batchSize
-	if end > n {
-		end = n
-	}
-	if s.out == nil {
-		s.out = &vector.Batch{Cols: make([]*vector.Vector, len(s.cols))}
-	}
-	for i, c := range s.cols {
-		s.out.Cols[i] = c.Slice(s.pos, end)
-	}
-	s.pos = end
-	return s.out, nil
 }
 
 // Close implements Operator.
@@ -129,7 +180,8 @@ func (p *Project) Schema() vector.Schema { return p.schema }
 // Open implements Operator.
 func (p *Project) Open() error { return p.child.Open() }
 
-// Next implements Operator.
+// Next implements Operator. Selection vectors pass through untouched (the
+// projected vectors keep their physical row alignment).
 func (p *Project) Next() (*vector.Batch, error) {
 	b, err := p.child.Next()
 	if err != nil || b == nil {
@@ -141,6 +193,7 @@ func (p *Project) Next() (*vector.Batch, error) {
 	for i, ix := range p.idxs {
 		p.out.Cols[i] = b.Cols[ix]
 	}
+	p.out.Sel = b.Sel
 	return &p.out, nil
 }
 
@@ -166,6 +219,12 @@ func Collect(op Operator) ([]*vector.Vector, error) {
 		}
 		if b == nil {
 			return out, nil
+		}
+		if b.Sel != nil {
+			for i, c := range b.Cols {
+				out[i].Gather(c, b.Sel)
+			}
+			continue
 		}
 		for i, c := range b.Cols {
 			out[i].AppendVector(c)

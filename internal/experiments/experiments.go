@@ -109,6 +109,7 @@ func All() []Runner {
 		{"json", "JSON adapter: cold vs structural-index-warm vs shred-hot, against CSV", RunJSON},
 		{"parallel", "Morsel-parallel cold aggregate scans: workers sweep over CSV and JSONL", RunParallel},
 		{"vault", "Persistent vault: cold vs restart-warm vs in-memory-warm first queries", RunVault},
+		{"pushdown", "Predicate pushdown and zone-map pruning: selectivity sweeps, on vs off", RunPushdown},
 	}
 }
 
@@ -364,6 +365,152 @@ func RunVault(cfg Config) (*Table, error) {
 		}
 		e2.Close()
 		t.Rows = append(t.Rows, []string{format, secs(cold), secs(restart), secs(memWarm)})
+	}
+	return t, nil
+}
+
+// RunPushdown measures what pushing predicates into the generated access
+// paths buys, in two phases:
+//
+//   - "cold": the first query over a fresh engine per point (sequential
+//     scan), SELECT MAX(col11) WHERE col1 < X swept across selectivities
+//     0.001→1.0 for CSV, JSONL and binary, with pushdown+zone maps off vs
+//     on. At low selectivity the inlined check short-circuits the rest of
+//     the row for ~every row, so col11 is never parsed; the gap narrows to
+//     ~zero at selectivity 1.0 (the check always passes).
+//   - "zonemap": a sorted-col1 dataset, warmed so the positional map /
+//     structural index and the per-block synopsis exist, then a selective
+//     COUNT probed with morsel-parallel workers. With pruning on the planner
+//     skips nearly every morsel of the sweep before dispatch; the "pruned"
+//     column reports how many.
+//
+// Both phases disable the shred cache: capture and in-scan pruning are
+// mutually exclusive on one scan (the engine prefers capture when both are
+// possible), and this experiment measures the pruning side.
+func RunPushdown(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	ds, err := workload.Narrow(cfg.NarrowRows, 1)
+	if err != nil {
+		return nil, err
+	}
+	sorted, err := workload.NarrowSorted(cfg.NarrowRows, 5)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "pushdown", Title: "Predicate pushdown and zone-map pruning: off vs on",
+		Header: []string{"phase", "format", "selectivity", "off_s", "on_s", "speedup", "pruned"}}
+
+	register := func(e *engine.Engine, d *workload.Dataset, format string) error {
+		switch format {
+		case "csv":
+			return e.RegisterCSVData("t", d.CSV, d.Schema)
+		case "json":
+			return e.RegisterJSONData("t", d.JSONL, d.Schema)
+		default:
+			return e.RegisterBinaryData("t", d.Bin, d.Schema)
+		}
+	}
+
+	// Phase 1: cold first-query pushdown (serial sequential scans). The
+	// probe reads eight output columns so a failing predicate has real work
+	// to short-circuit: at 0.1% selectivity ~every row skips eight
+	// conversions plus the downstream batch traffic.
+	const coldQ = "SELECT MAX(col11), MAX(col12), MAX(col13), MAX(col14), " +
+		"MAX(col15), MAX(col16), MAX(col17), MAX(col18) FROM t WHERE col1 < %d"
+	coldSels := []float64{0.001, 0.01, 0.1, 0.5, 1.0}
+	for _, format := range []string{"csv", "json", "bin"} {
+		for _, sel := range coldSels {
+			q := fmt.Sprintf(coldQ, workload.Threshold(sel))
+			var pruned int64
+			run := func(disable bool) (time.Duration, error) {
+				return timeQuery(cfg.Repeats, func() error {
+					e := engine.New(engine.Config{
+						Strategy:          engine.StrategyJIT,
+						PosMapPolicy:      posmap.Policy{EveryK: 10},
+						DisableShredCache: true,
+						DisablePushdown:   disable,
+						DisableZoneMaps:   disable,
+					})
+					if err := register(e, ds, format); err != nil {
+						return err
+					}
+					res, err := e.Query(q)
+					if err != nil {
+						return err
+					}
+					if !disable {
+						pruned = res.Stats.RowsPruned
+					}
+					return nil
+				})
+			}
+			off, err := run(true)
+			if err != nil {
+				return nil, err
+			}
+			on, err := run(false)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{"cold", format, fmt.Sprintf("%.3f", sel),
+				secs(off), secs(on), fmt.Sprintf("%.2fx", float64(off)/float64(on)),
+				fmt.Sprintf("%d rows", pruned)})
+		}
+	}
+
+	// Phase 2: warm zone-map pruning over the sorted key, morsel-parallel.
+	zoneSels := []float64{0.001, 0.01, 0.1}
+	for _, format := range []string{"csv", "json", "bin"} {
+		mk := func(noZones bool) (*engine.Engine, error) {
+			e := engine.New(engine.Config{
+				Strategy:          engine.StrategyJIT,
+				PosMapPolicy:      posmap.Policy{EveryK: 10},
+				Parallelism:       cfg.Workers,
+				DisableShredCache: true,
+				DisableZoneMaps:   noZones,
+			})
+			if err := register(e, sorted, format); err != nil {
+				return nil, err
+			}
+			// Warm-up: builds the positional map / structural index and
+			// (with zone maps on) the per-block synopsis.
+			if _, err := e.Query("SELECT COUNT(*) FROM t WHERE col1 >= 0"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		eOff, err := mk(true)
+		if err != nil {
+			return nil, err
+		}
+		eOn, err := mk(false)
+		if err != nil {
+			return nil, err
+		}
+		for _, sel := range zoneSels {
+			q := fmt.Sprintf("SELECT COUNT(*) FROM t WHERE col1 < %d", workload.Threshold(sel))
+			off, err := timeQuery(cfg.Repeats, func() error { _, err := eOff.Query(q); return err })
+			if err != nil {
+				return nil, err
+			}
+			var skipped int
+			var blocks int64
+			on, err := timeQuery(cfg.Repeats, func() error {
+				res, err := eOn.Query(q)
+				if err != nil {
+					return err
+				}
+				skipped = res.Stats.MorselsSkipped
+				blocks = res.Stats.BlocksSkipped
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{"zonemap", format, fmt.Sprintf("%.3f", sel),
+				secs(off), secs(on), fmt.Sprintf("%.2fx", float64(off)/float64(on)),
+				fmt.Sprintf("%d morsels, %d blocks", skipped, blocks)})
+		}
 	}
 	return t, nil
 }

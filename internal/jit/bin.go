@@ -8,6 +8,7 @@ import (
 	"rawdb/internal/catalog"
 	"rawdb/internal/exec"
 	"rawdb/internal/storage/binfile"
+	"rawdb/internal/synopsis"
 	"rawdb/internal/vector"
 )
 
@@ -17,14 +18,31 @@ import (
 // strided decoding with no per-field position arithmetic beyond one addition
 // and no type dispatch. This is the paper's "the location of the 3rd column
 // of row 15 can be computed as 15*tupleSize + 2*dataSize ... directly
-// included in the generated code".
+// included in the generated code". With pushdown (NewBinScanPush) predicate
+// columns decode first, the conjunction is evaluated vectorized, remaining
+// columns decode only qualifying rows, and zone maps exclude whole batch
+// ranges before any decoding.
 type BinScan struct {
 	schema    vector.Schema
 	batchSize int
 	nrows     int64
-	readers   []func(rowStart, rowEnd int64, out *vector.Vector)
+	readers   []func(rowStart, rowEnd int64, sel []int32, out *vector.Vector)
 	emitRID   bool
 	ridSlot   int
+
+	predReaders []int
+	restReaders []int
+	predEval    []slotPred
+	selBuf      []int32
+	skip        func(start, end int64) bool
+	// syn, when set, advances by each batch's row count after all observed
+	// columns decoded: zone boundaries then align to batches, which the
+	// synopsis representation permits (blocks are variable row ranges). With
+	// predicates pushed, only predicate columns (decoded dense) observe.
+	syn *synopsis.Builder
+
+	rowsPruned    int64
+	blocksSkipped int64
 
 	// Row range [rngStart, rngEnd) restricts the scan to a morsel of the
 	// file; the zero rngEnd means "to the last row".
@@ -45,10 +63,25 @@ func (s *BinScan) SetRowRange(start, end int64) error {
 	return nil
 }
 
+// PushStats reports how many rows pushed-down predicates eliminated and how
+// many batch ranges zone-map skip tests excluded inside this scan.
+func (s *BinScan) PushStats() (rowsPruned, blocksSkipped int64) {
+	return s.rowsPruned, s.blocksSkipped
+}
+
 // NewBinScan generates a binary access path materialising columns need.
 func NewBinScan(r *binfile.Reader, t *catalog.Table, need []int, emitRID bool, batchSize int) (*BinScan, error) {
+	return NewBinScanPush(r, t, need, emitRID, batchSize, Pushdown{})
+}
+
+// NewBinScanPush generates a binary access path with pushdown (see BinScan).
+func NewBinScanPush(r *binfile.Reader, t *catalog.Table, need []int, emitRID bool,
+	batchSize int, opts Pushdown) (*BinScan, error) {
 	if t.Format != catalog.Binary {
 		return nil, fmt.Errorf("jit: bin scan got format %s", t.Format)
+	}
+	if err := validatePreds(t, need, opts.Preds); err != nil {
+		return nil, err
 	}
 	if batchSize <= 0 {
 		batchSize = vector.DefaultBatchSize
@@ -63,36 +96,74 @@ func NewBinScan(r *binfile.Reader, t *catalog.Table, need []int, emitRID bool, b
 		nrows:     r.NRows(),
 		emitRID:   emitRID,
 		ridSlot:   len(need),
+		skip:      opts.Skip,
+		syn:       opts.Syn,
 	}
 	s.out = vector.NewBatch(schema.Types(), batchSize)
 	payload := r.Payload()
 	rowSize := r.RowSize()
 	types := r.Types()
-	for _, c := range need {
+	for i, c := range need {
 		if c < 0 || c >= len(types) {
 			return nil, fmt.Errorf("jit: column index %d out of range", c)
 		}
-		// Offset resolved at generation time: a constant in the closure.
+		// Offset and synopsis accumulator resolved at generation time:
+		// constants in the closure.
 		off := r.FieldOffset(c)
+		acc := opts.Syn.Acc(c)
 		switch types[c] {
 		case vector.Int64:
-			s.readers = append(s.readers, func(rowStart, rowEnd int64, out *vector.Vector) {
+			s.readers = append(s.readers, func(rowStart, rowEnd int64, sel []int32, out *vector.Vector) {
+				if sel != nil {
+					base := out.Extend(int(rowEnd - rowStart))
+					start := int(rowStart) * rowSize
+					for _, si := range sel {
+						p := start + int(si)*rowSize + off
+						out.Int64s[base+int(si)] = int64(binary.LittleEndian.Uint64(payload[p : p+8]))
+					}
+					return
+				}
 				p := int(rowStart)*rowSize + off
 				for i := rowStart; i < rowEnd; i++ {
-					out.Int64s = append(out.Int64s, int64(binary.LittleEndian.Uint64(payload[p:p+8])))
+					v := int64(binary.LittleEndian.Uint64(payload[p : p+8]))
+					if acc != nil {
+						acc.ObserveInt64(v)
+					}
+					out.Int64s = append(out.Int64s, v)
 					p += rowSize
 				}
 			})
 		case vector.Float64:
-			s.readers = append(s.readers, func(rowStart, rowEnd int64, out *vector.Vector) {
+			s.readers = append(s.readers, func(rowStart, rowEnd int64, sel []int32, out *vector.Vector) {
+				if sel != nil {
+					base := out.Extend(int(rowEnd - rowStart))
+					start := int(rowStart) * rowSize
+					for _, si := range sel {
+						p := start + int(si)*rowSize + off
+						out.Float64s[base+int(si)] = math.Float64frombits(binary.LittleEndian.Uint64(payload[p : p+8]))
+					}
+					return
+				}
 				p := int(rowStart)*rowSize + off
 				for i := rowStart; i < rowEnd; i++ {
-					out.Float64s = append(out.Float64s, math.Float64frombits(binary.LittleEndian.Uint64(payload[p:p+8])))
+					v := math.Float64frombits(binary.LittleEndian.Uint64(payload[p : p+8]))
+					if acc != nil {
+						acc.ObserveFloat64(v)
+					}
+					out.Float64s = append(out.Float64s, v)
 					p += rowSize
 				}
 			})
 		default:
 			return nil, fmt.Errorf("jit: unsupported binary column type %s", types[c])
+		}
+		if ps := predsFor(opts.Preds, c); len(ps) > 0 {
+			s.predReaders = append(s.predReaders, i)
+			for _, p := range ps {
+				s.predEval = append(s.predEval, slotPred{slot: i, p: p})
+			}
+		} else {
+			s.restReaders = append(s.restReaders, i)
 		}
 	}
 	return s, nil
@@ -113,25 +184,63 @@ func (s *BinScan) Next() (*vector.Batch, error) {
 	if s.rngEnd > 0 {
 		limit = s.rngEnd
 	}
-	if s.row >= limit {
-		return nil, nil
-	}
-	s.out.Reset()
-	end := s.row + int64(s.batchSize)
-	if end > limit {
-		end = limit
-	}
-	for i, r := range s.readers {
-		r(s.row, end, s.out.Cols[i])
-	}
-	if s.emitRID {
-		rid := s.out.Cols[s.ridSlot]
-		for i := s.row; i < end; i++ {
-			rid.AppendInt64(i)
+	for {
+		if s.row >= limit {
+			return nil, nil
 		}
+		end := s.row + int64(s.batchSize)
+		if end > limit {
+			end = limit
+		}
+		if s.skip != nil && s.skip(s.row, end) {
+			s.blocksSkipped++
+			s.rowsPruned += end - s.row
+			s.row = end
+			continue
+		}
+		s.out.Reset()
+		m := int(end - s.row)
+		var sel []int32
+		if len(s.predEval) > 0 {
+			for _, ri := range s.predReaders {
+				s.readers[ri](s.row, end, nil, s.out.Cols[ri])
+			}
+			var all bool
+			sel, all = evalSlotPreds(s.predEval, s.out, m, s.selBuf)
+			s.selBuf = sel[:0]
+			if all {
+				sel = nil
+			} else if len(sel) == 0 {
+				s.rowsPruned += int64(m)
+				if s.syn != nil {
+					s.syn.Advance(end - s.row)
+				}
+				s.row = end
+				continue
+			} else {
+				s.rowsPruned += int64(m - len(sel))
+			}
+			for _, ri := range s.restReaders {
+				s.readers[ri](s.row, end, sel, s.out.Cols[ri])
+			}
+		} else {
+			for i, r := range s.readers {
+				r(s.row, end, nil, s.out.Cols[i])
+			}
+		}
+		if s.syn != nil {
+			s.syn.Advance(end - s.row)
+		}
+		if s.emitRID {
+			rid := s.out.Cols[s.ridSlot]
+			for i := s.row; i < end; i++ {
+				rid.AppendInt64(i)
+			}
+		}
+		s.out.Sel = sel
+		s.row = end
+		return s.out, nil
 	}
-	s.row = end
-	return s.out, nil
 }
 
 // Close implements exec.Operator.

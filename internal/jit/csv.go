@@ -9,6 +9,7 @@ import (
 	"rawdb/internal/insitu"
 	"rawdb/internal/posmap"
 	"rawdb/internal/storage/csvfile"
+	"rawdb/internal/synopsis"
 	"rawdb/internal/vector"
 )
 
@@ -21,13 +22,18 @@ type rowStep func(pos int) int
 
 // colReader reads the values of one column for rows [rowStart, rowEnd) into
 // out, using a positional map column captured at construction. It is the
-// vectorized, column-at-a-time body of a ViaMap JIT scan.
-type colReader func(rowStart, rowEnd int64, out *vector.Vector) error
+// vectorized, column-at-a-time body of a ViaMap JIT scan. A non-nil sel
+// restricts the read to the selected batch rows: the vector is extended to
+// the full physical range and only the selected positions are written (the
+// selection-vector contract of vector.Batch).
+type colReader func(rowStart, rowEnd int64, sel []int32, out *vector.Vector) error
 
 // CSVScan is a JIT access path over a CSV file. Construct it with
 // NewCSVSequentialScan (first query: parse front-to-back, optionally
 // building a positional map) or NewCSVMapScan (later queries: jump via the
-// positional map, column at a time).
+// positional map, column at a time). The *Push constructors additionally
+// inline pushed-down predicates, zone-map skip tests and synopsis building
+// into the generated code.
 type CSVScan struct {
 	schema    vector.Schema
 	batchSize int
@@ -38,10 +44,30 @@ type CSVScan struct {
 	buildPM *posmap.Map
 	scratch []int64
 	err     error
+	// failSteps mirrors steps with structural-only actions (delimiter skips
+	// and positional-map recordings, no conversions): when a pushed-down
+	// predicate fails mid-row, the remainder of the row is completed through
+	// this chain — the "short-circuit the rest of the row" path.
+	failSteps []rowStep
+	failed    bool
+	hasPreds  bool
+	nneed     int
+	syn       *synopsis.Builder
 
 	// ViaMap mode.
 	readers []colReader
-	nrows   int64
+	// predReaders run first (dense) and feed the vectorized conjunction;
+	// the remaining readers honour the resulting selection.
+	predReaders []int // indexes into readers, in evaluation order
+	restReaders []int
+	predEval    []slotPred
+	selBuf      []int32
+	skip        func(start, end int64) bool
+	nrows       int64
+
+	// Pushdown statistics.
+	rowsPruned    int64
+	blocksSkipped int64
 
 	// Row range [rngStart, rngEnd) restricts a ViaMap scan to a morsel of
 	// the file; the zero rngEnd means "to the last row".
@@ -68,13 +94,34 @@ func (s *CSVScan) SetRowRange(start, end int64) error {
 	return nil
 }
 
+// PushStats reports how many rows pushed-down predicates short-circuited and
+// how many batch ranges zone-map skip tests excluded inside this scan.
+func (s *CSVScan) PushStats() (rowsPruned, blocksSkipped int64) {
+	return s.rowsPruned, s.blocksSkipped
+}
+
 // NewCSVSequentialScan generates a sequential access path: one specialised
 // step chain per row covering exactly the requested columns, positional-map
 // recordings and skips, with conversion functions resolved per column.
 func NewCSVSequentialScan(data []byte, t *catalog.Table, need []int,
 	buildPM *posmap.Map, emitRID bool, batchSize int) (*CSVScan, error) {
+	return NewCSVSequentialScanPush(data, t, need, buildPM, emitRID, batchSize, Pushdown{})
+}
+
+// NewCSVSequentialScanPush generates a sequential access path with pushed-
+// down predicates inlined into the step chain: predicate columns are tested
+// as soon as their field is parsed, and a failing row short-circuits into a
+// structural-only chain that completes positional-map recordings via
+// delimiter scans without converting another value. Synopsis accumulators
+// (opts.Syn) observe parsed values inline. opts.Skip is ignored (a
+// sequential scan must visit every row to build its side-effect structures).
+func NewCSVSequentialScanPush(data []byte, t *catalog.Table, need []int,
+	buildPM *posmap.Map, emitRID bool, batchSize int, opts Pushdown) (*CSVScan, error) {
 	if t.Format != catalog.CSV {
 		return nil, fmt.Errorf("jit: csv scan got format %s", t.Format)
+	}
+	if err := validatePreds(t, need, opts.Preds); err != nil {
+		return nil, err
 	}
 	if batchSize <= 0 {
 		batchSize = vector.DefaultBatchSize
@@ -90,6 +137,9 @@ func NewCSVSequentialScan(data []byte, t *catalog.Table, need []int,
 		buildPM:   buildPM,
 		emitRID:   emitRID,
 		ridSlot:   len(need),
+		nneed:     len(need),
+		hasPreds:  len(opts.Preds) > 0,
+		syn:       opts.Syn,
 	}
 	s.out = vector.NewBatch(schema.Types(), batchSize)
 
@@ -117,9 +167,14 @@ func NewCSVSequentialScan(data []byte, t *catalog.Table, need []int,
 		n := pending
 		pending = 0
 		data := s.data
-		s.steps = append(s.steps, func(pos int) int {
+		st := func(pos int) int {
 			return csvfile.SkipFields(data, pos, n)
-		})
+		}
+		s.steps = append(s.steps, st)
+		s.failSteps = append(s.failSteps, st)
+	}
+	skipOne := func(pos int) int {
+		return csvfile.SkipFields(data, pos, 1)
 	}
 	for c := 0; c < ncols; c++ {
 		record := trackSet[c]
@@ -132,20 +187,25 @@ func NewCSVSequentialScan(data []byte, t *catalog.Table, need []int,
 		if record {
 			ti := trackIdx
 			trackIdx++
-			s.steps = append(s.steps, func(pos int) int {
+			st := func(pos int) int {
 				s.scratch[ti] = int64(pos)
 				return pos
-			})
+			}
+			s.steps = append(s.steps, st)
+			s.failSteps = append(s.failSteps, st)
 		}
 		if !read {
 			pending++
 			continue
 		}
-		// Conversion function resolved now, not per field.
+		// Conversion function, synopsis accumulator and inlined predicate
+		// check all resolved now, not per field.
+		acc := opts.Syn.Acc(c)
 		switch t.Schema[c].Type {
 		case vector.Int64:
 			out := s.out.Cols[slot]
 			data := s.data
+			test := intPredTest(predsFor(opts.Preds, c))
 			s.steps = append(s.steps, func(pos int) int {
 				start, end, next := csvfile.FieldBounds(data, pos)
 				v, err := bytesconv.ParseInt64(data[start:end])
@@ -153,12 +213,19 @@ func NewCSVSequentialScan(data []byte, t *catalog.Table, need []int,
 					s.err = fmt.Errorf("jit csv scan: row %d: %w", s.row, err)
 					return len(data)
 				}
+				if acc != nil {
+					acc.ObserveInt64(v)
+				}
 				out.Int64s = append(out.Int64s, v)
+				if test != nil && !test(v) {
+					s.failed = true
+				}
 				return next
 			})
 		case vector.Float64:
 			out := s.out.Cols[slot]
 			data := s.data
+			test := floatPredTest(predsFor(opts.Preds, c))
 			s.steps = append(s.steps, func(pos int) int {
 				start, end, next := csvfile.FieldBounds(data, pos)
 				v, err := bytesconv.ParseFloat64(data[start:end])
@@ -166,12 +233,19 @@ func NewCSVSequentialScan(data []byte, t *catalog.Table, need []int,
 					s.err = fmt.Errorf("jit csv scan: row %d: %w", s.row, err)
 					return len(data)
 				}
+				if acc != nil {
+					acc.ObserveFloat64(v)
+				}
 				out.Float64s = append(out.Float64s, v)
+				if test != nil && !test(v) {
+					s.failed = true
+				}
 				return next
 			})
 		default:
 			return nil, fmt.Errorf("jit: unsupported CSV column type %s", t.Schema[c].Type)
 		}
+		s.failSteps = append(s.failSteps, skipOne)
 	}
 	// Flush any trailing uninteresting columns as one exact skip; the last
 	// field's skip or parse consumes the row's newline, landing the cursor
@@ -186,11 +260,24 @@ func NewCSVSequentialScan(data []byte, t *catalog.Table, need []int,
 // column-at-a-time over each batch's row range.
 func NewCSVMapScan(data []byte, t *catalog.Table, need []int, pm *posmap.Map,
 	emitRID bool, batchSize int) (*CSVScan, error) {
+	return NewCSVMapScanPush(data, t, need, pm, emitRID, batchSize, Pushdown{})
+}
+
+// NewCSVMapScanPush generates a ViaMap access path with pushdown: predicate
+// columns are read first (dense), the conjunction is evaluated vectorized,
+// and the remaining columns are parsed only for qualifying rows; emitted
+// batches carry a selection vector. opts.Skip excludes whole batch ranges
+// via zone maps before any field is touched.
+func NewCSVMapScanPush(data []byte, t *catalog.Table, need []int, pm *posmap.Map,
+	emitRID bool, batchSize int, opts Pushdown) (*CSVScan, error) {
 	if t.Format != catalog.CSV {
 		return nil, fmt.Errorf("jit: csv scan got format %s", t.Format)
 	}
 	if pm == nil || pm.NRows() == 0 {
 		return nil, fmt.Errorf("jit: map scan requires a populated positional map")
+	}
+	if err := validatePreds(t, need, opts.Preds); err != nil {
+		return nil, err
 	}
 	if batchSize <= 0 {
 		batchSize = vector.DefaultBatchSize
@@ -206,14 +293,24 @@ func NewCSVMapScan(data []byte, t *catalog.Table, need []int, pm *posmap.Map,
 		nrows:     pm.NRows(),
 		emitRID:   emitRID,
 		ridSlot:   len(need),
+		nneed:     len(need),
+		skip:      opts.Skip,
 	}
 	s.out = vector.NewBatch(schema.Types(), batchSize)
-	for _, c := range need {
+	for i, c := range need {
 		r, err := newCSVColReader(data, t, c, pm)
 		if err != nil {
 			return nil, err
 		}
 		s.readers = append(s.readers, r)
+		if ps := predsFor(opts.Preds, c); len(ps) > 0 {
+			s.predReaders = append(s.predReaders, i)
+			for _, p := range ps {
+				s.predEval = append(s.predEval, slotPred{slot: i, p: p})
+			}
+		} else {
+			s.restReaders = append(s.restReaders, i)
+		}
 	}
 	return s, nil
 }
@@ -231,7 +328,15 @@ func newCSVColReader(data []byte, t *catalog.Table, c int, pm *posmap.Map) (colR
 	switch typ {
 	case vector.Int64:
 		if skip == 0 {
-			return func(rowStart, rowEnd int64, out *vector.Vector) error {
+			return func(rowStart, rowEnd int64, sel []int32, out *vector.Vector) error {
+				if sel != nil {
+					base := out.Extend(int(rowEnd - rowStart))
+					for _, si := range sel {
+						start, end, _ := csvfile.FieldBounds(data, int(positions[rowStart+int64(si)]))
+						out.Int64s[base+int(si)] = bytesconv.ParseInt64Fast(data[start:end])
+					}
+					return nil
+				}
 				for _, p := range positions[rowStart:rowEnd] {
 					start, end, _ := csvfile.FieldBounds(data, int(p))
 					out.Int64s = append(out.Int64s, bytesconv.ParseInt64Fast(data[start:end]))
@@ -239,7 +344,16 @@ func newCSVColReader(data []byte, t *catalog.Table, c int, pm *posmap.Map) (colR
 				return nil
 			}, nil
 		}
-		return func(rowStart, rowEnd int64, out *vector.Vector) error {
+		return func(rowStart, rowEnd int64, sel []int32, out *vector.Vector) error {
+			if sel != nil {
+				base := out.Extend(int(rowEnd - rowStart))
+				for _, si := range sel {
+					pos := csvfile.SkipFields(data, int(positions[rowStart+int64(si)]), skip)
+					start, end, _ := csvfile.FieldBounds(data, pos)
+					out.Int64s[base+int(si)] = bytesconv.ParseInt64Fast(data[start:end])
+				}
+				return nil
+			}
 			for _, p := range positions[rowStart:rowEnd] {
 				pos := csvfile.SkipFields(data, int(p), skip)
 				start, end, _ := csvfile.FieldBounds(data, pos)
@@ -248,7 +362,23 @@ func newCSVColReader(data []byte, t *catalog.Table, c int, pm *posmap.Map) (colR
 			return nil
 		}, nil
 	case vector.Float64:
-		return func(rowStart, rowEnd int64, out *vector.Vector) error {
+		return func(rowStart, rowEnd int64, sel []int32, out *vector.Vector) error {
+			if sel != nil {
+				base := out.Extend(int(rowEnd - rowStart))
+				for _, si := range sel {
+					pos := int(positions[rowStart+int64(si)])
+					if skip > 0 {
+						pos = csvfile.SkipFields(data, pos, skip)
+					}
+					start, end, _ := csvfile.FieldBounds(data, pos)
+					v, err := bytesconv.ParseFloat64(data[start:end])
+					if err != nil {
+						return fmt.Errorf("jit csv map scan: %w", err)
+					}
+					out.Float64s[base+int(si)] = v
+				}
+				return nil
+			}
 			for _, p := range positions[rowStart:rowEnd] {
 				pos := int(p)
 				if skip > 0 {
@@ -290,6 +420,7 @@ func (s *CSVScan) Open() error {
 	s.pos = 0
 	s.row = s.rngStart
 	s.err = nil
+	s.failed = false
 	return nil
 }
 
@@ -308,6 +439,48 @@ func (s *CSVScan) nextSequential() (*vector.Batch, error) {
 	n := 0
 	for n < s.batchSize && s.pos < len(data) {
 		pos := s.pos
+		if s.hasPreds {
+			// The generated row body with inlined predicate checks: a failing
+			// check diverts the remainder of the row onto the structural-only
+			// chain, so no further value is converted.
+			failed := false
+			for si, st := range steps {
+				pos = st(pos)
+				if s.failed {
+					s.failed = false
+					for _, fs := range s.failSteps[si+1:] {
+						pos = fs(pos)
+					}
+					failed = true
+					break
+				}
+			}
+			if s.err != nil {
+				return nil, s.err
+			}
+			s.pos = pos
+			if s.syn != nil {
+				s.syn.Advance(1)
+			}
+			if s.buildPM != nil {
+				s.buildPM.AppendRow(s.scratch)
+			}
+			if failed {
+				// Roll back the values the row appended before it failed.
+				for i := 0; i < s.nneed; i++ {
+					s.out.Cols[i].Truncate(n)
+				}
+				s.rowsPruned++
+				s.row++
+				continue
+			}
+			if s.emitRID {
+				s.out.Cols[s.ridSlot].AppendInt64(s.row)
+			}
+			s.row++
+			n++
+			continue
+		}
 		// The generated straight-line row body.
 		for _, st := range steps {
 			pos = st(pos)
@@ -316,6 +489,9 @@ func (s *CSVScan) nextSequential() (*vector.Batch, error) {
 			return nil, s.err
 		}
 		s.pos = pos
+		if s.syn != nil {
+			s.syn.Advance(1)
+		}
 		if s.buildPM != nil {
 			s.buildPM.AppendRow(s.scratch)
 		}
@@ -336,26 +512,67 @@ func (s *CSVScan) nextViaMap() (*vector.Batch, error) {
 	if s.rngEnd > 0 {
 		limit = s.rngEnd
 	}
-	if s.row >= limit {
-		return nil, nil
-	}
-	end := s.row + int64(s.batchSize)
-	if end > limit {
-		end = limit
-	}
-	for i, r := range s.readers {
-		if err := r(s.row, end, s.out.Cols[i]); err != nil {
-			return nil, err
+	for {
+		if s.row >= limit {
+			return nil, nil
 		}
-	}
-	if s.emitRID {
-		rid := s.out.Cols[s.ridSlot]
-		for i := s.row; i < end; i++ {
-			rid.AppendInt64(i)
+		end := s.row + int64(s.batchSize)
+		if end > limit {
+			end = limit
 		}
+		// Zone-map exclusion: skip the whole range without touching a byte.
+		if s.skip != nil && s.skip(s.row, end) {
+			s.blocksSkipped++
+			s.rowsPruned += end - s.row
+			s.row = end
+			continue
+		}
+		s.out.Reset()
+		m := int(end - s.row)
+		var sel []int32
+		if len(s.predEval) > 0 {
+			// Predicate columns first, dense; then the vectorized conjunction.
+			for _, ri := range s.predReaders {
+				if err := s.readers[ri](s.row, end, nil, s.out.Cols[ri]); err != nil {
+					return nil, err
+				}
+			}
+			var all bool
+			sel, all = evalSlotPreds(s.predEval, s.out, m, s.selBuf)
+			s.selBuf = sel[:0]
+			if all {
+				sel = nil
+			} else if len(sel) == 0 {
+				s.rowsPruned += int64(m)
+				s.row = end
+				continue
+			} else {
+				s.rowsPruned += int64(m - len(sel))
+			}
+			// Remaining columns honour the selection: non-qualifying rows
+			// never pay their parse cost.
+			for _, ri := range s.restReaders {
+				if err := s.readers[ri](s.row, end, sel, s.out.Cols[ri]); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			for i, r := range s.readers {
+				if err := r(s.row, end, nil, s.out.Cols[i]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if s.emitRID {
+			rid := s.out.Cols[s.ridSlot]
+			for i := s.row; i < end; i++ {
+				rid.AppendInt64(i)
+			}
+		}
+		s.out.Sel = sel
+		s.row = end
+		return s.out, nil
 	}
-	s.row = end
-	return s.out, nil
 }
 
 // Close implements exec.Operator.

@@ -9,6 +9,7 @@ import (
 	"rawdb/internal/exec"
 	"rawdb/internal/jsonidx"
 	"rawdb/internal/storage/jsonfile"
+	"rawdb/internal/synopsis"
 	"rawdb/internal/vector"
 )
 
@@ -26,6 +27,11 @@ type jsonTarget struct {
 	rec  int // structural-index recording slot, -1 when not recorded
 	typ  vector.Type
 	sub  *jsonMatcher // non-nil: descend into a nested object
+	// Pushed-down predicate checks and synopsis accumulator, resolved at
+	// generation time like the conversion functions (nil when absent).
+	testI func(int64) bool
+	testF func(float64) bool
+	acc   *synopsis.Acc
 }
 
 // jsonMatcher matches the members of one (possibly nested) object level.
@@ -93,8 +99,11 @@ func compileJSONMatcher(entries []jsonEntry) (*jsonMatcher, int, error) {
 }
 
 // jsonColReader reads one column's values for rows [rowStart, rowEnd), the
-// column-at-a-time body of a structural-index (ViaMap) JSON scan.
-type jsonColReader func(rowStart, rowEnd int64, out *vector.Vector) error
+// column-at-a-time body of a structural-index (ViaMap) JSON scan. A non-nil
+// sel restricts recorded-offset readers to the selected batch rows; readers
+// that record adaptively ignore sel (the structural index must cover every
+// row) and always run dense.
+type jsonColReader func(rowStart, rowEnd int64, sel []int32, out *vector.Vector) error
 
 // JSONScan is a JIT access path over a JSONL file. Construct it with
 // NewJSONSequentialScan (first query: walk every object front to back,
@@ -116,6 +125,24 @@ type JSONScan struct {
 	readers  []jsonColReader
 	nrows    int64
 	adaptive *jsonidx.Recorder
+	// predReaders run first (dense) and feed the vectorized conjunction; the
+	// remaining readers honour the selection when they can (recorded-offset
+	// navigation) and run dense when they must (adaptive recording).
+	predReaders []int
+	restReaders []int
+	predEval    []slotPred
+	selBuf      []int32
+	skip        func(start, end int64) bool
+
+	// Sequential pushdown state.
+	hasPreds bool
+	failed   bool
+	nneed    int
+	syn      *synopsis.Builder
+
+	// Pushdown statistics.
+	rowsPruned    int64
+	blocksSkipped int64
 
 	// Row range [rngStart, rngEnd) restricts a ViaMap scan to a morsel of
 	// the file; the zero rngEnd means "to the last row".
@@ -127,6 +154,12 @@ type JSONScan struct {
 	row       int64
 	committed bool
 	out       *vector.Batch
+}
+
+// PushStats reports how many rows pushed-down predicates short-circuited and
+// how many batch ranges zone-map skip tests excluded inside this scan.
+func (s *JSONScan) PushStats() (rowsPruned, blocksSkipped int64) {
+	return s.rowsPruned, s.blocksSkipped
 }
 
 // SetRowRange restricts a ViaMap scan to rows [start, end), the row-morsel
@@ -151,8 +184,22 @@ func (s *JSONScan) SetRowRange(start, end int64) error {
 // committing them to the index at end of file.
 func NewJSONSequentialScan(data []byte, t *catalog.Table, need []int,
 	idx *jsonidx.Index, emitRID bool, batchSize int) (*JSONScan, error) {
+	return NewJSONSequentialScanPush(data, t, need, idx, emitRID, batchSize, Pushdown{})
+}
+
+// NewJSONSequentialScanPush generates a sequential access path with pushed-
+// down predicates inlined into the matcher's leaf actions: a failing check
+// marks the row, and every later matched member is then only skipped over
+// (offset recording still happens, so the structural index stays complete)
+// without converting its value. opts.Skip is ignored (a sequential scan must
+// visit every row).
+func NewJSONSequentialScanPush(data []byte, t *catalog.Table, need []int,
+	idx *jsonidx.Index, emitRID bool, batchSize int, opts Pushdown) (*JSONScan, error) {
 	if t.Format != catalog.JSON {
 		return nil, fmt.Errorf("jit: json scan got format %s", t.Format)
+	}
+	if err := validatePreds(t, need, opts.Preds); err != nil {
+		return nil, err
 	}
 	if batchSize <= 0 {
 		batchSize = vector.DefaultBatchSize
@@ -167,6 +214,9 @@ func NewJSONSequentialScan(data []byte, t *catalog.Table, need []int,
 		batchSize: batchSize,
 		emitRID:   emitRID,
 		ridSlot:   len(need),
+		nneed:     len(need),
+		hasPreds:  len(opts.Preds) > 0,
+		syn:       opts.Syn,
 	}
 	s.out = vector.NewBatch(schema.Types(), batchSize)
 
@@ -201,6 +251,19 @@ func NewJSONSequentialScan(data []byte, t *catalog.Table, need []int,
 	if err != nil {
 		return nil, err
 	}
+	// Attach the inlined predicate checks and synopsis accumulators to the
+	// compiled leaf targets.
+	for _, c := range need {
+		tgt := m.target(jsonfile.SplitPath(t.Schema[c].Name))
+		tgt.acc = opts.Syn.Acc(c)
+		if ps := predsFor(opts.Preds, c); len(ps) > 0 {
+			if t.Schema[c].Type == vector.Int64 {
+				tgt.testI = intPredTest(ps)
+			} else {
+				tgt.testF = floatPredTest(ps)
+			}
+		}
+	}
 	s.matcher, s.nexpect = m, nleaves
 	return s, nil
 }
@@ -213,11 +276,26 @@ func NewJSONSequentialScan(data []byte, t *catalog.Table, need []int,
 // Execution is column-at-a-time over each batch's row range.
 func NewJSONMapScan(data []byte, t *catalog.Table, need []int, idx *jsonidx.Index,
 	emitRID bool, batchSize int) (*JSONScan, error) {
+	return NewJSONMapScanPush(data, t, need, idx, emitRID, batchSize, Pushdown{})
+}
+
+// NewJSONMapScanPush generates a structural-index access path with pushdown:
+// predicate columns are read first (dense), the conjunction is evaluated
+// vectorized, and recorded-offset columns are then parsed only for
+// qualifying rows; emitted batches carry a selection vector. Columns needing
+// adaptive recording always read dense (the index must cover every row).
+// opts.Skip applies only when no adaptive recording is staged — skipped rows
+// could never be recorded — and the constructor drops it otherwise.
+func NewJSONMapScanPush(data []byte, t *catalog.Table, need []int, idx *jsonidx.Index,
+	emitRID bool, batchSize int, opts Pushdown) (*JSONScan, error) {
 	if t.Format != catalog.JSON {
 		return nil, fmt.Errorf("jit: json scan got format %s", t.Format)
 	}
 	if idx == nil || idx.NRows() == 0 {
 		return nil, fmt.Errorf("jit: json map scan requires a populated structural index")
+	}
+	if err := validatePreds(t, need, opts.Preds); err != nil {
+		return nil, err
 	}
 	if batchSize <= 0 {
 		batchSize = vector.DefaultBatchSize
@@ -233,6 +311,7 @@ func NewJSONMapScan(data []byte, t *catalog.Table, need []int, idx *jsonidx.Inde
 		nrows:     idx.NRows(),
 		emitRID:   emitRID,
 		ridSlot:   len(need),
+		nneed:     len(need),
 	}
 	s.out = vector.NewBatch(schema.Types(), batchSize)
 
@@ -246,18 +325,29 @@ func NewJSONMapScan(data []byte, t *catalog.Table, need []int, idx *jsonidx.Inde
 	if len(newPaths) > 0 {
 		s.adaptive = idx.Record(newPaths)
 	}
+	if s.adaptive == nil {
+		s.skip = opts.Skip
+	}
 	adaptSlot := make(map[string]int)
 	if s.adaptive != nil {
 		for i, p := range s.adaptive.Paths() {
 			adaptSlot[p] = i
 		}
 	}
-	for _, c := range need {
+	for i, c := range need {
 		r, err := newJSONColReader(data, t, c, idx, s.adaptive, adaptSlot)
 		if err != nil {
 			return nil, err
 		}
 		s.readers = append(s.readers, r)
+		if ps := predsFor(opts.Preds, c); len(ps) > 0 {
+			s.predReaders = append(s.predReaders, i)
+			for _, p := range ps {
+				s.predEval = append(s.predEval, slotPred{slot: i, p: p})
+			}
+		} else {
+			s.restReaders = append(s.restReaders, i)
+		}
 	}
 	return s, nil
 }
@@ -272,7 +362,16 @@ func newJSONColReader(data []byte, t *catalog.Table, c int, idx *jsonidx.Index,
 	if positions := idx.Positions(path); positions != nil {
 		switch typ {
 		case vector.Int64:
-			return func(rowStart, rowEnd int64, out *vector.Vector) error {
+			return func(rowStart, rowEnd int64, sel []int32, out *vector.Vector) error {
+				if sel != nil {
+					base := out.Extend(int(rowEnd - rowStart))
+					for _, si := range sel {
+						p := positions[rowStart+int64(si)]
+						end := jsonfile.NumberEnd(data, int(p))
+						out.Int64s[base+int(si)] = bytesconv.ParseInt64Fast(data[p:end])
+					}
+					return nil
+				}
 				for _, p := range positions[rowStart:rowEnd] {
 					end := jsonfile.NumberEnd(data, int(p))
 					out.Int64s = append(out.Int64s, bytesconv.ParseInt64Fast(data[p:end]))
@@ -280,7 +379,20 @@ func newJSONColReader(data []byte, t *catalog.Table, c int, idx *jsonidx.Index,
 				return nil
 			}, nil
 		case vector.Float64:
-			return func(rowStart, rowEnd int64, out *vector.Vector) error {
+			return func(rowStart, rowEnd int64, sel []int32, out *vector.Vector) error {
+				if sel != nil {
+					base := out.Extend(int(rowEnd - rowStart))
+					for _, si := range sel {
+						p := positions[rowStart+int64(si)]
+						end := jsonfile.NumberEnd(data, int(p))
+						v, err := bytesconv.ParseFloat64(data[p:end])
+						if err != nil {
+							return fmt.Errorf("jit json map scan: %w", err)
+						}
+						out.Float64s[base+int(si)] = v
+					}
+					return nil
+				}
 				for _, p := range positions[rowStart:rowEnd] {
 					end := jsonfile.NumberEnd(data, int(p))
 					v, err := bytesconv.ParseFloat64(data[p:end])
@@ -296,6 +408,8 @@ func newJSONColReader(data []byte, t *catalog.Table, c int, idx *jsonidx.Index,
 		}
 	}
 	// Untracked path: walk from the recorded row starts, recording offsets.
+	// The walk runs dense regardless of any selection — the adaptive
+	// recording must cover every row for the index to stay sound.
 	segs := jsonfile.SplitPath(path)
 	ai := adaptSlot[path]
 	switch typ {
@@ -304,7 +418,7 @@ func newJSONColReader(data []byte, t *catalog.Table, c int, idx *jsonidx.Index,
 		return nil, fmt.Errorf("jit: unsupported JSON column type %s", typ)
 	}
 	isInt := typ == vector.Int64
-	return func(rowStart, rowEnd int64, out *vector.Vector) error {
+	return func(rowStart, rowEnd int64, sel []int32, out *vector.Vector) error {
 		for r := rowStart; r < rowEnd; r++ {
 			pos := jsonfile.FindPath(data, int(idx.RowStart(r)), segs)
 			if pos < 0 {
@@ -375,7 +489,11 @@ func (s *JSONScan) walkObject(m *jsonMatcher, pos int) (int, int, error) {
 			found += sub
 			continue
 		}
-		if tgt.slot < 0 {
+		if tgt.slot < 0 || s.failed {
+			// Unmaterialised leaf, or a pushed-down predicate already failed
+			// this row: the offset is recorded above, the value is skipped
+			// without conversion — the JSON form of "short-circuit the rest
+			// of the row".
 			found++
 			pos = jsonfile.SkipValue(data, next)
 			continue
@@ -387,13 +505,25 @@ func (s *JSONScan) walkObject(m *jsonMatcher, pos int) (int, int, error) {
 			if err != nil {
 				return pos, found, fmt.Errorf("jit json scan: row %d key %q: %w", s.row, key, err)
 			}
+			if tgt.acc != nil {
+				tgt.acc.ObserveInt64(v)
+			}
 			s.out.Cols[tgt.slot].Int64s = append(s.out.Cols[tgt.slot].Int64s, v)
+			if tgt.testI != nil && !tgt.testI(v) {
+				s.failed = true
+			}
 		case vector.Float64:
 			v, err := bytesconv.ParseFloat64(data[vpos:end])
 			if err != nil {
 				return pos, found, fmt.Errorf("jit json scan: row %d key %q: %w", s.row, key, err)
 			}
+			if tgt.acc != nil {
+				tgt.acc.ObserveFloat64(v)
+			}
 			s.out.Cols[tgt.slot].Float64s = append(s.out.Cols[tgt.slot].Float64s, v)
+			if tgt.testF != nil && !tgt.testF(v) {
+				s.failed = true
+			}
 		}
 		found++
 		pos = end
@@ -407,6 +537,7 @@ func (s *JSONScan) Schema() vector.Schema { return s.schema }
 func (s *JSONScan) Open() error {
 	s.pos = 0
 	s.row = s.rngStart
+	s.failed = false
 	return nil
 }
 
@@ -436,13 +567,28 @@ func (s *JSONScan) nextSequential() (*vector.Batch, error) {
 			return nil, fmt.Errorf("jit json scan: row %d: %d of %d required paths present",
 				s.row, found, s.nexpect)
 		}
+		if s.syn != nil {
+			s.syn.Advance(1)
+		}
 		if s.rec != nil {
 			s.rec.AppendRow(int64(rowStart), s.recOffs)
+		}
+		s.pos = jsonfile.NextRow(data, pos)
+		if s.failed {
+			// A pushed-down predicate rejected the row: roll back whatever
+			// the walk appended before the check failed. The structural
+			// index recording above is complete regardless.
+			s.failed = false
+			for i := 0; i < s.nneed; i++ {
+				s.out.Cols[i].Truncate(n)
+			}
+			s.rowsPruned++
+			s.row++
+			continue
 		}
 		if s.emitRID {
 			s.out.Cols[s.ridSlot].AppendInt64(s.row)
 		}
-		s.pos = jsonfile.NextRow(data, pos)
 		s.row++
 		n++
 	}
@@ -461,30 +607,83 @@ func (s *JSONScan) nextViaMap() (*vector.Batch, error) {
 	if s.rngEnd > 0 {
 		limit = s.rngEnd
 	}
-	if s.row >= limit {
-		return nil, nil
-	}
-	end := s.row + int64(s.batchSize)
-	if end > limit {
-		end = limit
-	}
-	for i, r := range s.readers {
-		if err := r(s.row, end, s.out.Cols[i]); err != nil {
-			return nil, err
+	for {
+		if s.row >= limit {
+			return nil, nil
 		}
-	}
-	if s.emitRID {
-		rid := s.out.Cols[s.ridSlot]
-		for i := s.row; i < end; i++ {
-			rid.AppendInt64(i)
+		end := s.row + int64(s.batchSize)
+		if end > limit {
+			end = limit
 		}
+		// Zone-map exclusion: only set when no adaptive recording is staged,
+		// so skipping rows cannot leave recording holes.
+		if s.skip != nil && s.skip(s.row, end) {
+			s.blocksSkipped++
+			s.rowsPruned += end - s.row
+			s.row = end
+			continue
+		}
+		s.out.Reset()
+		m := int(end - s.row)
+		var sel []int32
+		if len(s.predEval) > 0 {
+			for _, ri := range s.predReaders {
+				if err := s.readers[ri](s.row, end, nil, s.out.Cols[ri]); err != nil {
+					return nil, err
+				}
+			}
+			var all bool
+			sel, all = evalSlotPreds(s.predEval, s.out, m, s.selBuf)
+			s.selBuf = sel[:0]
+			switch {
+			case all:
+				sel = nil
+			case len(sel) == 0 && s.adaptive == nil:
+				s.rowsPruned += int64(m)
+				s.row = end
+				continue
+			default:
+				s.rowsPruned += int64(m - len(sel))
+				if sel == nil {
+					sel = emptySel // empty but non-nil: readers must not run dense
+				}
+			}
+			for _, ri := range s.restReaders {
+				if err := s.readers[ri](s.row, end, sel, s.out.Cols[ri]); err != nil {
+					return nil, err
+				}
+			}
+			if sel != nil && len(sel) == 0 {
+				// Adaptive recording forced the dense walks to run; emit
+				// nothing for this range but keep pulling.
+				s.row = end
+				if s.row >= s.nrows && s.adaptive != nil && !s.committed {
+					s.adaptive.Commit()
+					s.committed = true
+				}
+				continue
+			}
+		} else {
+			for i, r := range s.readers {
+				if err := r(s.row, end, nil, s.out.Cols[i]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if s.emitRID {
+			rid := s.out.Cols[s.ridSlot]
+			for i := s.row; i < end; i++ {
+				rid.AppendInt64(i)
+			}
+		}
+		s.out.Sel = sel
+		s.row = end
+		if s.row >= s.nrows && s.adaptive != nil && !s.committed {
+			s.adaptive.Commit()
+			s.committed = true
+		}
+		return s.out, nil
 	}
-	s.row = end
-	if s.row >= s.nrows && s.adaptive != nil && !s.committed {
-		s.adaptive.Commit()
-		s.committed = true
-	}
-	return s.out, nil
 }
 
 // Close implements exec.Operator.

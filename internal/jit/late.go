@@ -31,6 +31,7 @@ type LateScan struct {
 	schema  vector.Schema
 	fetch   func(rids []int64, outs []*vector.Vector) error
 	newCols []*vector.Vector
+	scratch *vector.Batch
 	out     vector.Batch
 }
 
@@ -46,6 +47,9 @@ func (s *LateScan) Next() (*vector.Batch, error) {
 	if err != nil || b == nil {
 		return nil, err
 	}
+	// Fetched columns align physically with the child's rows; densify
+	// selection-vector batches so only surviving rows pay raw access.
+	b = b.Compact(&s.scratch)
 	for _, c := range s.newCols {
 		c.Reset()
 	}

@@ -1,0 +1,170 @@
+package jit
+
+import (
+	"fmt"
+
+	"rawdb/internal/catalog"
+	"rawdb/internal/exec"
+	"rawdb/internal/synopsis"
+	"rawdb/internal/vector"
+)
+
+// Pushdown carries the per-query extras a generated access path can absorb
+// beyond plain column materialisation. All fields are optional; the zero
+// value generates exactly the access path the plain constructors do.
+type Pushdown struct {
+	// Preds are conjunctive predicates on columns of the scan's Need set
+	// (Col = schema column index). Sequential scans inline the checks into
+	// the per-row step chain and short-circuit the rest of the row when one
+	// fails; vectorized (via-map/direct) scans read predicate columns first,
+	// evaluate the conjunction over the batch, and either read the remaining
+	// columns selectively under a selection vector or skip the batch range
+	// entirely.
+	Preds []exec.Pred
+	// Syn observes parsed values into a zone-map builder as a free side
+	// effect of scanning. The planner attaches accumulators only for columns
+	// the generated code parses unconditionally (see DESIGN.md).
+	Syn *synopsis.Builder
+	// Skip reports whether rows [start, end) can produce no qualifying row
+	// (a zone-map exclusion test). Consulted by via-map and direct scans
+	// before decoding a batch range; advisory — surviving rows are still
+	// checked by Preds or the Filter above.
+	Skip func(start, end int64) bool
+}
+
+// predsFor returns the conjuncts bound to column c.
+func predsFor(preds []exec.Pred, c int) []exec.Pred {
+	var out []exec.Pred
+	for _, p := range preds {
+		if p.Col == c {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// validatePreds checks every predicate column is part of need and numeric.
+func validatePreds(t *catalog.Table, need []int, preds []exec.Pred) error {
+	for _, p := range preds {
+		if p.Col < 0 || p.Col >= len(t.Schema) {
+			return fmt.Errorf("jit: predicate column %d out of range", p.Col)
+		}
+		switch t.Schema[p.Col].Type {
+		case vector.Int64, vector.Float64:
+		default:
+			return fmt.Errorf("jit: cannot push predicate on %s column", t.Schema[p.Col].Type)
+		}
+		found := false
+		for _, c := range need {
+			if c == p.Col {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("jit: pushed predicate on unread column %d", p.Col)
+		}
+	}
+	return nil
+}
+
+// intPredTest compiles the conjuncts into one monomorphic test closure
+// (resolved at generation time, like conversion functions), or nil when ps is
+// empty. The single-conjunct case folds the operator and literal into the
+// closure directly.
+func intPredTest(ps []exec.Pred) func(int64) bool {
+	switch len(ps) {
+	case 0:
+		return nil
+	case 1:
+		p := ps[0]
+		lit := p.I64
+		switch p.Op {
+		case exec.Lt:
+			return func(v int64) bool { return v < lit }
+		case exec.Le:
+			return func(v int64) bool { return v <= lit }
+		case exec.Gt:
+			return func(v int64) bool { return v > lit }
+		case exec.Ge:
+			return func(v int64) bool { return v >= lit }
+		case exec.Eq:
+			return func(v int64) bool { return v == lit }
+		default:
+			return func(v int64) bool { return v != lit }
+		}
+	default:
+		return func(v int64) bool {
+			for _, p := range ps {
+				if !p.MatchInt64(v) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+}
+
+// floatPredTest is the float twin of intPredTest.
+func floatPredTest(ps []exec.Pred) func(float64) bool {
+	switch len(ps) {
+	case 0:
+		return nil
+	case 1:
+		p := ps[0]
+		lit := p.F64
+		switch p.Op {
+		case exec.Lt:
+			return func(v float64) bool { return v < lit }
+		case exec.Le:
+			return func(v float64) bool { return v <= lit }
+		case exec.Gt:
+			return func(v float64) bool { return v > lit }
+		case exec.Ge:
+			return func(v float64) bool { return v >= lit }
+		case exec.Eq:
+			return func(v float64) bool { return v == lit }
+		default:
+			return func(v float64) bool { return v != lit }
+		}
+	default:
+		return func(v float64) bool {
+			for _, p := range ps {
+				if !p.MatchFloat64(v) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+}
+
+// slotPred rebinds a predicate's column to an output slot for vectorized
+// evaluation over a scan's own batch.
+type slotPred struct {
+	slot int
+	p    exec.Pred
+}
+
+// evalSlotPreds evaluates the conjunction over the first m physical rows of
+// out, reusing buf. all reports that every row passed (sel is then invalid).
+func evalSlotPreds(preds []slotPred, out *vector.Batch, m int, buf []int32) (sel []int32, all bool) {
+	sel = exec.SelectPred(buf[:0], out.Cols[preds[0].slot], rebind(preds[0]), m)
+	for _, sp := range preds[1:] {
+		if len(sel) == 0 {
+			break
+		}
+		sel = exec.RefinePred(sel, out.Cols[sp.slot], rebind(sp))
+	}
+	return sel, len(sel) == m
+}
+
+func rebind(sp slotPred) exec.Pred {
+	p := sp.p
+	p.Col = sp.slot
+	return p
+}
+
+// emptySel is a non-nil empty selection: "no rows pass", as opposed to the
+// nil selection meaning "all rows pass".
+var emptySel = []int32{}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"rawdb/internal/catalog"
+	"rawdb/internal/exec"
 	"rawdb/internal/vector"
 )
 
@@ -74,8 +75,15 @@ func (sp Spec) emitCSVSequential(b *strings.Builder) {
 		}
 		flush()
 		fmt.Fprintf(b, "\t\traw = readNextField(data, &pos)\n")
-		fmt.Fprintf(b, "\t\tcol%d.append(%s(raw)) // conversion resolved at codegen time\n",
-			c, convFn(sp.Types[c]))
+		fmt.Fprintf(b, "\t\tv := %s(raw) // conversion resolved at codegen time\n", convFn(sp.Types[c]))
+		fmt.Fprintf(b, "\t\tcol%d.append(v)\n", c)
+		for _, p := range sp.Preds {
+			if p.Col != c {
+				continue
+			}
+			fmt.Fprintf(b, "\t\tif !(v %s %s) { pos = skipRestOfRow(data, pos); col.truncateRow(); continue } // inlined predicate\n",
+				p.Op, litSrc(sp.Types[c], p))
+		}
 	}
 	if rest := len(sp.Types) - 1 - last; rest > 0 {
 		fmt.Fprintf(b, "\t\tpos = skipFields(data, pos, %d) // remaining columns\n", rest)
@@ -86,8 +94,24 @@ func (sp Spec) emitCSVSequential(b *strings.Builder) {
 	b.WriteString("\t}\n}\n")
 }
 
+// emitSelection renders the vectorized pushdown preamble shared by the
+// column-at-a-time paths: predicate columns read dense, the conjunction
+// evaluated into a selection vector, remaining columns read selectively.
+func (sp Spec) emitSelection(b *strings.Builder) {
+	if len(sp.Preds) == 0 {
+		return
+	}
+	b.WriteString("\t// pushed-down predicates: predicate columns read dense first,\n")
+	b.WriteString("\t// the conjunction selects rows, later columns read sel only\n")
+	for _, p := range sp.Preds {
+		fmt.Fprintf(b, "\tsel = refine(sel, col%d, x %s %s)\n",
+			p.Col, p.Op, litSrc(sp.Types[p.Col], p))
+	}
+}
+
 func (sp Spec) emitCSVViaMap(b *strings.Builder) {
 	b.WriteString("func scan(data []byte) {\n")
+	sp.emitSelection(b)
 	for _, c := range sp.Need {
 		anchor, skip := nearestAnchor(sp.PMRead, c)
 		fmt.Fprintf(b, "\t// column %d via positional map column %d (skip %d)\n", c, anchor, skip)
@@ -109,6 +133,7 @@ func (sp Spec) emitBinary(b *strings.Builder) {
 		rowSize += t.Width()
 	}
 	b.WriteString("func scan(payload []byte, nrows int64) {\n")
+	sp.emitSelection(b)
 	for _, c := range sp.Need {
 		fmt.Fprintf(b, "\t// column %d at constant offset %d, stride %d\n", c, offs[c], rowSize)
 		fmt.Fprintf(b, "\tfor p := %d; p < int(nrows)*%d; p += %d {\n", offs[c], rowSize, rowSize)
@@ -196,6 +221,14 @@ func (sp Spec) emitJSONViaMap(b *strings.Builder) {
 		}
 	}
 	b.WriteString("}\n")
+}
+
+// litSrc renders a predicate literal with the field matching the column type.
+func litSrc(t vector.Type, p exec.Pred) string {
+	if t == vector.Float64 {
+		return fmt.Sprintf("%v", p.F64)
+	}
+	return fmt.Sprintf("%d", p.I64)
 }
 
 func convFn(t vector.Type) string {

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"rawdb/internal/catalog"
+	"rawdb/internal/exec"
 	"rawdb/internal/vector"
 )
 
@@ -77,6 +78,11 @@ type Spec struct {
 	// PMBuild lists the tracked columns recorded while scanning
 	// (Sequential over CSV and JSON).
 	PMBuild []int
+	// Preds lists the conjunctive predicates pushed down into the generated
+	// access path (Col = schema column index). Inlined predicate checks are
+	// part of the generated code's identity, exactly like conversion
+	// functions, so they participate in the template-cache key.
+	Preds []exec.Pred
 	// EmitRID indicates the hidden row-id column is appended.
 	EmitRID bool
 }
@@ -92,6 +98,9 @@ func (sp Spec) Key() string {
 	fmt.Fprintf(&b, "|n=%v|pr=%v|pb=%v|rid=%v", sp.Need, sp.PMRead, sp.PMBuild, sp.EmitRID)
 	if len(sp.Paths) > 0 {
 		fmt.Fprintf(&b, "|paths=%v", sp.Paths)
+	}
+	if len(sp.Preds) > 0 {
+		fmt.Fprintf(&b, "|w=%v", sp.Preds)
 	}
 	return b.String()
 }

@@ -20,9 +20,42 @@ type Scan struct {
 	batchSize int
 	emitRID   bool
 
+	// Pushed-down conjuncts (Col = output slot) evaluated vectorized per
+	// batch; qualifying rows are marked with a selection vector rather than
+	// compact-copied.
+	preds      []exec.Pred
+	sel        []int32
+	rowsPruned int64
+
 	row int64
 	out *vector.Batch
 }
+
+// NewScanPred builds a scan over full-column shreds with bound predicates
+// (Col names the output slot, which follows the shreds order).
+func NewScanPred(shreds []*Shred, names []string, emitRID bool, batchSize int,
+	preds []exec.Pred) (*Scan, error) {
+	s, err := NewScan(shreds, names, emitRID, batchSize)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range preds {
+		if p.Col < 0 || p.Col >= len(shreds) {
+			return nil, fmt.Errorf("shred: scan predicate column %d out of range", p.Col)
+		}
+		switch shreds[p.Col].Vector().Type {
+		case vector.Int64, vector.Float64:
+		default:
+			return nil, fmt.Errorf("shred: scan predicate on %s column", shreds[p.Col].Vector().Type)
+		}
+	}
+	s.preds = preds
+	return s, nil
+}
+
+// RowsPruned reports how many rows the pushed-down predicates eliminated
+// inside the scan so far.
+func (s *Scan) RowsPruned() int64 { return s.rowsPruned }
 
 // NewScan builds a scan over full-column shreds. names provides the output
 // column names aligned with shreds.
@@ -66,35 +99,55 @@ func (s *Scan) Open() error {
 
 // Next implements exec.Operator.
 func (s *Scan) Next() (*vector.Batch, error) {
-	if s.row >= s.nrows {
-		return nil, nil
-	}
-	end := s.row + int64(s.batchSize)
-	if end > s.nrows {
-		end = s.nrows
-	}
-	if s.out == nil {
-		ncols := len(s.shreds)
+	for {
+		if s.row >= s.nrows {
+			return nil, nil
+		}
+		end := s.row + int64(s.batchSize)
+		if end > s.nrows {
+			end = s.nrows
+		}
+		if s.out == nil {
+			ncols := len(s.shreds)
+			if s.emitRID {
+				ncols++
+			}
+			s.out = &vector.Batch{Cols: make([]*vector.Vector, ncols)}
+			if s.emitRID {
+				s.out.Cols[ncols-1] = vector.New(vector.Int64, s.batchSize)
+			}
+		}
+		for i, sh := range s.shreds {
+			s.out.Cols[i] = sh.Vector().Slice(int(s.row), int(end))
+		}
 		if s.emitRID {
-			ncols++
+			rid := s.out.Cols[len(s.shreds)]
+			rid.Reset()
+			for i := s.row; i < end; i++ {
+				rid.AppendInt64(i)
+			}
 		}
-		s.out = &vector.Batch{Cols: make([]*vector.Vector, ncols)}
-		if s.emitRID {
-			s.out.Cols[ncols-1] = vector.New(vector.Int64, s.batchSize)
+		s.out.Sel = nil
+		m := int(end - s.row)
+		s.row = end
+		if len(s.preds) > 0 {
+			s.sel = exec.SelectPred(s.sel[:0], s.out.Cols[s.preds[0].Col], s.preds[0], m)
+			for _, p := range s.preds[1:] {
+				if len(s.sel) == 0 {
+					break
+				}
+				s.sel = exec.RefinePred(s.sel, s.out.Cols[p.Col], p)
+			}
+			s.rowsPruned += int64(m - len(s.sel))
+			if len(s.sel) == 0 {
+				continue // fully filtered range: advance to the next one
+			}
+			if len(s.sel) < m {
+				s.out.Sel = s.sel
+			}
 		}
+		return s.out, nil
 	}
-	for i, sh := range s.shreds {
-		s.out.Cols[i] = sh.Vector().Slice(int(s.row), int(end))
-	}
-	if s.emitRID {
-		rid := s.out.Cols[len(s.shreds)]
-		rid.Reset()
-		for i := s.row; i < end; i++ {
-			rid.AppendInt64(i)
-		}
-	}
-	s.row = end
-	return s.out, nil
 }
 
 // Close implements exec.Operator.
@@ -109,6 +162,7 @@ type LateScan struct {
 	shreds  []*Shred
 	newCols []*vector.Vector
 	cursors []int // per-shred merge cursor carried across batches
+	scratch *vector.Batch
 	out     vector.Batch
 }
 
@@ -146,6 +200,10 @@ func (s *LateScan) Next() (*vector.Batch, error) {
 	if err != nil || b == nil {
 		return nil, err
 	}
+	// Appended columns align physically with the child's rows, so a
+	// selection-vector batch is densified here: only surviving row ids reach
+	// the shreds (partial shreds hold exactly those rows).
+	b = b.Compact(&s.scratch)
 	rids := b.Cols[s.ridIdx].Int64s
 	for i, sh := range s.shreds {
 		s.newCols[i].Reset()
@@ -231,6 +289,19 @@ func (c *Capture) Next() (*vector.Batch, error) {
 		return nil, nil
 	}
 	for i, sp := range c.specs {
+		if b.Sel != nil {
+			// Selection-vector batch (a scan with pushed-down predicates):
+			// capture only the surviving rows — the shred is then keyed by
+			// exactly the row ids that flowed through the query.
+			c.bufs[i].Gather(b.Cols[sp.ColIdx], b.Sel)
+			if sp.RIDIdx >= 0 {
+				rids := b.Cols[sp.RIDIdx].Int64s
+				for _, si := range b.Sel {
+					c.rids[i] = append(c.rids[i], rids[si])
+				}
+			}
+			continue
+		}
 		c.bufs[i].AppendVector(b.Cols[sp.ColIdx])
 		if sp.RIDIdx >= 0 {
 			c.rids[i] = append(c.rids[i], b.Cols[sp.RIDIdx].Int64s...)

@@ -1,0 +1,188 @@
+package synopsis
+
+import (
+	"math"
+
+	"rawdb/internal/vector"
+)
+
+// Builder accumulates per-block min/max bounds while a scan runs. The scan
+// observes each parsed value through the accumulator of its column (a direct
+// pointer captured at access-path generation time — two comparisons per
+// value, no map lookups in the inner loop) and advances the row cursor once
+// per row (Advance(1)) or once per decoded batch (Advance(n)); a block closes
+// at the first Advance at or past the block-row threshold, so every observed
+// column always shares the same boundaries.
+//
+// A builder only yields a sound synopsis when the scan observes every column
+// for every row it advances past; the planner therefore restricts the
+// observed set to columns the access path is guaranteed to parse uncondition-
+// ally (see the pushdown notes in DESIGN.md).
+type Builder struct {
+	blockRows int64
+	cols      []*Acc
+	byCol     map[int]*Acc
+
+	inBlock int64
+	nrows   int64
+	bounds  []int64
+}
+
+// Acc is one column's accumulator. Observe* must be called for every row the
+// builder advances past.
+type Acc struct {
+	typ  vector.Type
+	col  int
+	seen bool
+	imin int64
+	imax int64
+	fmin float64
+	fmax float64
+
+	iMins []int64
+	iMaxs []int64
+	fMins []float64
+	fMaxs []float64
+}
+
+// ObserveInt64 folds v into the current block's bounds.
+func (a *Acc) ObserveInt64(v int64) {
+	if !a.seen {
+		a.imin, a.imax = v, v
+		a.seen = true
+		return
+	}
+	if v < a.imin {
+		a.imin = v
+	}
+	if v > a.imax {
+		a.imax = v
+	}
+}
+
+// ObserveFloat64 folds v into the current block's bounds. NaN values do not
+// order, so a block containing one gets unbounded min/max: NaN satisfies
+// every "<>" predicate (Go's NaN != x is true), and bounds that silently
+// dropped it would let Ne exclusion prune a live row. Infinite bounds can
+// never exclude anything, which is the sound reading.
+func (a *Acc) ObserveFloat64(v float64) {
+	if v != v { // NaN
+		a.fmin, a.fmax = negInf, posInf
+		a.seen = true
+		return
+	}
+	if !a.seen {
+		a.fmin, a.fmax = v, v
+		a.seen = true
+		return
+	}
+	if v < a.fmin {
+		a.fmin = v
+	}
+	if v > a.fmax {
+		a.fmax = v
+	}
+}
+
+// NewBuilder returns a builder over the given schema columns (index -> type);
+// only Int64 and Float64 columns are accepted. blockRows <= 0 selects
+// DefaultBlockRows.
+func NewBuilder(blockRows int64, cols map[int]vector.Type) *Builder {
+	if blockRows <= 0 {
+		blockRows = DefaultBlockRows
+	}
+	b := &Builder{blockRows: blockRows, byCol: make(map[int]*Acc, len(cols)), bounds: []int64{0}}
+	for col, t := range cols {
+		if t != vector.Int64 && t != vector.Float64 {
+			continue
+		}
+		a := &Acc{typ: t, col: col}
+		b.cols = append(b.cols, a)
+		b.byCol[col] = a
+	}
+	return b
+}
+
+// Acc returns the accumulator for column col, or nil when unobserved.
+func (b *Builder) Acc(col int) *Acc {
+	if b == nil {
+		return nil
+	}
+	return b.byCol[col]
+}
+
+// NRows returns the rows advanced past so far.
+func (b *Builder) NRows() int64 { return b.nrows }
+
+// Advance moves the row cursor forward by n rows (all of which must have been
+// observed on every accumulator) and closes the current block when it reached
+// the block-row threshold.
+func (b *Builder) Advance(n int64) {
+	if n <= 0 {
+		return
+	}
+	b.nrows += n
+	b.inBlock += n
+	if b.inBlock >= b.blockRows {
+		b.closeBlock()
+	}
+}
+
+func (b *Builder) closeBlock() {
+	if b.inBlock == 0 {
+		return
+	}
+	b.bounds = append(b.bounds, b.nrows)
+	b.inBlock = 0
+	for _, a := range b.cols {
+		// A block with no observations (possible only through misuse) records
+		// unbounded-looking equal bounds from the zero accumulator; guard by
+		// recording the widest possible range instead so pruning stays sound.
+		if !a.seen {
+			if a.typ == vector.Int64 {
+				a.iMins = append(a.iMins, minInt64)
+				a.iMaxs = append(a.iMaxs, maxInt64)
+			} else {
+				a.fMins = append(a.fMins, negInf)
+				a.fMaxs = append(a.fMaxs, posInf)
+			}
+			continue
+		}
+		if a.typ == vector.Int64 {
+			a.iMins = append(a.iMins, a.imin)
+			a.iMaxs = append(a.iMaxs, a.imax)
+		} else {
+			a.fMins = append(a.fMins, a.fmin)
+			a.fMaxs = append(a.fMaxs, a.fmax)
+		}
+		a.seen = false
+	}
+}
+
+const (
+	minInt64 = -1 << 63
+	maxInt64 = 1<<63 - 1
+)
+
+var (
+	posInf = math.Inf(1)
+	negInf = math.Inf(-1)
+)
+
+// Finish closes the trailing partial block and returns the synopsis, or nil
+// when nothing was observed. The builder must not be used afterwards.
+func (b *Builder) Finish() *Synopsis {
+	if b == nil || b.nrows == 0 || len(b.cols) == 0 {
+		return nil
+	}
+	b.closeBlock()
+	s := &Synopsis{nrows: b.nrows, bounds: b.bounds, cols: make(map[int]*Column, len(b.cols))}
+	for _, a := range b.cols {
+		s.cols[a.col] = &Column{
+			Col: a.col, Type: a.typ,
+			IMin: a.iMins, IMax: a.iMaxs,
+			FMin: a.fMins, FMax: a.fMaxs,
+		}
+	}
+	return s
+}

@@ -9,6 +9,7 @@ import (
 
 	"rawdb/internal/jsonidx"
 	"rawdb/internal/posmap"
+	"rawdb/internal/synopsis"
 	"rawdb/internal/vector"
 )
 
@@ -31,6 +32,10 @@ import (
 //	         (if partial) nrows int64 + rowids [nrows]int64,
 //	         vtype uint8, nvals int64, values (fixed 8/1 bytes, or
 //	         len-prefixed for VARCHAR)
+//	synopsis nrows int64, nbounds int64, bounds [nbounds]int64
+//	         (ascending, bounds[0] = 0, bounds[nbounds-1] = nrows),
+//	         ncols uint32, then per column: col uint32, vtype uint8,
+//	         mins [nbounds-1] + maxs [nbounds-1] (int64, or float64 bits)
 //
 // Decoding is defensive end to end: every length is bounds-checked against
 // the remaining bytes before allocation, and any violation returns an error
@@ -49,9 +54,10 @@ type Kind uint8
 
 // Entry kinds.
 const (
-	KindPosMap  Kind = 1
-	KindJSONIdx Kind = 2
-	KindShreds  Kind = 3
+	KindPosMap   Kind = 1
+	KindJSONIdx  Kind = 2
+	KindShreds   Kind = 3
+	KindSynopsis Kind = 4
 )
 
 // ErrCodec reports an undecodable (truncated, corrupted, or
@@ -167,6 +173,33 @@ func EncodeShreds(fp Fingerprint, shreds []TableShred) []byte {
 			for _, v := range s.Vec.Bytess {
 				b = binary.LittleEndian.AppendUint32(b, uint32(len(v)))
 				b = append(b, v...)
+			}
+		}
+	}
+	return appendCheck(b)
+}
+
+// EncodeSynopsis serialises a zone-map synopsis.
+func EncodeSynopsis(fp Fingerprint, s *synopsis.Synopsis) []byte {
+	b := appendHeader(nil, KindSynopsis, fp)
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.NRows()))
+	bounds := s.Bounds()
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(bounds)))
+	b = appendI64s(b, bounds)
+	cols := s.Columns()
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(cols)))
+	for _, c := range cols {
+		b = binary.LittleEndian.AppendUint32(b, uint32(c.Col))
+		b = append(b, byte(c.Type))
+		if c.Type == vector.Int64 {
+			b = appendI64s(b, c.IMin)
+			b = appendI64s(b, c.IMax)
+		} else {
+			for _, v := range c.FMin {
+				b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+			}
+			for _, v := range c.FMax {
+				b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
 			}
 		}
 	}
@@ -388,6 +421,71 @@ func DecodeJSONIdx(b []byte) (Fingerprint, *jsonidx.Index, error) {
 		return fp, nil, fmt.Errorf("%w: %d trailing bytes", ErrCodec, r.remaining())
 	}
 	return fp, jsonidx.Restore(rows, paths, 0), nil
+}
+
+// DecodeSynopsis decodes a synopsis entry. Shape validation is shared with
+// synopsis.Restore, so a checksum-valid but inconsistent entry (hand-edited,
+// bit-rotted) still fails cleanly into a cold rebuild instead of letting an
+// unsound zone map prune live rows.
+func DecodeSynopsis(b []byte) (Fingerprint, *synopsis.Synopsis, error) {
+	fp, r, err := decodeHeader(b, KindSynopsis)
+	if err != nil {
+		return fp, nil, err
+	}
+	nrows := r.i64()
+	nb := r.count(8)
+	bounds := r.i64s(nb)
+	if r.err != nil {
+		return fp, nil, r.err
+	}
+	if nb < 2 {
+		return fp, nil, fmt.Errorf("%w: synopsis with %d bounds", ErrCodec, nb)
+	}
+	nz := nb - 1
+	nc := int(r.u32())
+	// Each column needs at least 5 + 2*nz*8 bytes; cap the count prefix.
+	if nc < 0 || nc > r.remaining()/5 {
+		return fp, nil, fmt.Errorf("%w: implausible synopsis column count %d", ErrCodec, nc)
+	}
+	cols := make([]*synopsis.Column, 0, nc)
+	for i := 0; i < nc && r.err == nil; i++ {
+		c := &synopsis.Column{Col: int(r.u32()), Type: vector.Type(r.u8())}
+		if r.err != nil {
+			break
+		}
+		if r.remaining() < nz*16 {
+			r.fail("synopsis column %d bounds exceed remaining bytes", c.Col)
+			break
+		}
+		switch c.Type {
+		case vector.Int64:
+			c.IMin = r.i64s(nz)
+			c.IMax = r.i64s(nz)
+		case vector.Float64:
+			c.FMin = make([]float64, nz)
+			for j := range c.FMin {
+				c.FMin[j] = math.Float64frombits(r.u64())
+			}
+			c.FMax = make([]float64, nz)
+			for j := range c.FMax {
+				c.FMax[j] = math.Float64frombits(r.u64())
+			}
+		default:
+			r.fail("unknown synopsis column type %d", uint8(c.Type))
+		}
+		cols = append(cols, c)
+	}
+	if r.err != nil {
+		return fp, nil, r.err
+	}
+	if r.remaining() != 0 {
+		return fp, nil, fmt.Errorf("%w: %d trailing bytes", ErrCodec, r.remaining())
+	}
+	s, err := synopsis.Restore(nrows, bounds, cols)
+	if err != nil {
+		return fp, nil, fmt.Errorf("%w: %v", ErrCodec, err)
+	}
+	return fp, s, nil
 }
 
 // DecodeShreds decodes a shreds entry.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"rawdb/internal/posmap"
+	"rawdb/internal/synopsis"
 	"rawdb/internal/vector"
 )
 
@@ -78,6 +79,44 @@ func FuzzVaultDecode(f *testing.F) {
 		// Fingerprints of arbitrary data are deterministic.
 		if DataFingerprint(data) != DataFingerprint(bytes.Clone(data)) {
 			t.Fatal("DataFingerprint not deterministic")
+		}
+	})
+}
+
+// FuzzSynopsisDecode mirrors FuzzVaultDecode for the zone-map entry kind: a
+// corrupt synopsis.rawv must never panic a restart, and anything that decodes
+// must round-trip (the soundness of a decoded synopsis — ordered bounds,
+// min <= max, full coverage — is enforced by synopsis.Restore inside the
+// decoder, so a successful decode is safe to prune with).
+func FuzzSynopsisDecode(f *testing.F) {
+	b := synopsis.NewBuilder(4, map[int]vector.Type{0: vector.Int64, 2: vector.Float64})
+	for r := int64(0); r < 10; r++ {
+		b.Acc(0).ObserveInt64(r * 3)
+		b.Acc(2).ObserveFloat64(float64(r) / 2)
+		b.Advance(1)
+	}
+	fp := Fingerprint{Size: 80, MTime: 123, Sum: 7, Schema: 9}
+	enc := EncodeSynopsis(fp, b.Finish())
+	f.Add(enc)
+	f.Add(enc[:len(enc)/2])
+	flipped := append([]byte{}, enc...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte("RAWV"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		gotFP, got, err := DecodeSynopsis(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeSynopsis(gotFP, got)
+		_, again, err2 := DecodeSynopsis(enc)
+		if err2 != nil {
+			t.Fatalf("synopsis re-encode does not decode: %v", err2)
+		}
+		if again.NRows() != got.NRows() || again.NBlocks() != got.NBlocks() {
+			t.Fatal("synopsis round trip changed shape")
 		}
 	})
 }

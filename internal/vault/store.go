@@ -7,6 +7,7 @@ import (
 
 	"rawdb/internal/jsonidx"
 	"rawdb/internal/posmap"
+	"rawdb/internal/synopsis"
 )
 
 // Store is one on-disk vault: a directory holding, per table, up to one
@@ -59,6 +60,8 @@ func kindFile(kind Kind) string {
 		return "jsonidx.rawv"
 	case KindShreds:
 		return "shreds.rawv"
+	case KindSynopsis:
+		return "synopsis.rawv"
 	}
 	return fmt.Sprintf("kind%d.rawv", kind)
 }
@@ -156,6 +159,26 @@ func (s *Store) LoadJSONIdx(table string, fp Fingerprint) *jsonidx.Index {
 		return nil
 	}
 	return x
+}
+
+// SaveSynopsis publishes a zone-map synopsis under the fingerprint.
+func (s *Store) SaveSynopsis(table string, fp Fingerprint, syn *synopsis.Synopsis) error {
+	return s.WriteEntry(table, KindSynopsis, EncodeSynopsis(fp, syn))
+}
+
+// LoadSynopsis returns the stored synopsis if present and still valid for
+// fp; stale or corrupt entries are removed and nil is returned.
+func (s *Store) LoadSynopsis(table string, fp Fingerprint) *synopsis.Synopsis {
+	b := s.ReadEntry(table, KindSynopsis)
+	if b == nil {
+		return nil
+	}
+	got, syn, err := DecodeSynopsis(b)
+	if err != nil || got != fp {
+		s.Invalidate(table, KindSynopsis)
+		return nil
+	}
+	return syn
 }
 
 // SaveShreds publishes a table's column shreds under the fingerprint.

@@ -109,6 +109,71 @@ func (v *Vector) Reset() {
 	v.Bytess = v.Bytess[:0]
 }
 
+// Truncate shortens the vector to n values (a no-op when it is already at or
+// below n). Scans with pushed-down predicates use it to roll back the partial
+// row appended before a predicate failed.
+func (v *Vector) Truncate(n int) {
+	switch v.Type {
+	case Int64:
+		if len(v.Int64s) > n {
+			v.Int64s = v.Int64s[:n]
+		}
+	case Float64:
+		if len(v.Float64s) > n {
+			v.Float64s = v.Float64s[:n]
+		}
+	case Bool:
+		if len(v.Bools) > n {
+			v.Bools = v.Bools[:n]
+		}
+	case Bytes:
+		if len(v.Bytess) > n {
+			v.Bytess = v.Bytess[:n]
+		}
+	}
+}
+
+// Extend grows the vector by n rows of unspecified value and returns the
+// index of the first new row. Selective scans extend a column to a batch's
+// full physical length and then write only the selected positions; rows
+// outside the selection are never read (the Batch.Sel contract).
+func (v *Vector) Extend(n int) int {
+	switch v.Type {
+	case Int64:
+		base := len(v.Int64s)
+		if cap(v.Int64s)-base >= n {
+			v.Int64s = v.Int64s[:base+n]
+		} else {
+			v.Int64s = append(v.Int64s, make([]int64, n)...)
+		}
+		return base
+	case Float64:
+		base := len(v.Float64s)
+		if cap(v.Float64s)-base >= n {
+			v.Float64s = v.Float64s[:base+n]
+		} else {
+			v.Float64s = append(v.Float64s, make([]float64, n)...)
+		}
+		return base
+	case Bool:
+		base := len(v.Bools)
+		if cap(v.Bools)-base >= n {
+			v.Bools = v.Bools[:base+n]
+		} else {
+			v.Bools = append(v.Bools, make([]bool, n)...)
+		}
+		return base
+	default:
+		base := len(v.Bytess)
+		if cap(v.Bytess)-base >= n {
+			v.Bytess = v.Bytess[:base+n]
+		} else {
+			v.Bytess = append(v.Bytess, make([][]byte, n)...)
+		}
+		return base
+	}
+}
+
 // AppendInt64 appends x. The vector must have type Int64.
 func (v *Vector) AppendInt64(x int64) { v.Int64s = append(v.Int64s, x) }
 
@@ -234,8 +299,19 @@ func (v *Vector) Slice(from, to int) *Vector {
 // Batch is a horizontal slice of a table: one vector per column, all of equal
 // length. Hidden bookkeeping columns (row ids used by late scans) travel as
 // ordinary Int64 vectors; the schema names distinguish them.
+//
+// Sel, when non-nil, is a selection vector in the MonetDB/X100 style: the
+// ascending physical row indexes (into the column vectors) that are logically
+// present. Columns keep their full physical length; rows outside Sel hold
+// unspecified values and must not be read. A nil Sel means every physical row
+// is live. Scans with pushed-down predicates and Filter emit Sel-carrying
+// batches so qualifying rows never need to be compact-copied; operators that
+// require dense row alignment (joins, late scans, captures) call Compact
+// first, and Collect gathers through Sel when materialising results. Like the
+// batch itself, Sel remains valid only until the producer's next Next call.
 type Batch struct {
 	Cols []*Vector
+	Sel  []int32
 }
 
 // NewBatch returns a batch with one empty vector per type in types, each with
@@ -257,11 +333,12 @@ func (b *Batch) Len() int {
 	return b.Cols[0].Len()
 }
 
-// Reset truncates every column, retaining capacity.
+// Reset truncates every column and clears the selection, retaining capacity.
 func (b *Batch) Reset() {
 	for _, c := range b.Cols {
 		c.Reset()
 	}
+	b.Sel = nil
 }
 
 // Gather appends the rows of src at positions idx to b. Schemas must match.
@@ -269,6 +346,33 @@ func (b *Batch) Gather(src *Batch, idx []int32) {
 	for i, c := range b.Cols {
 		c.Gather(src.Cols[i], idx)
 	}
+}
+
+// NewBatchLike returns an empty batch with one vector per column of b,
+// matching types, each with capacity capRows.
+func NewBatchLike(b *Batch, capRows int) *Batch {
+	out := &Batch{Cols: make([]*Vector, len(b.Cols))}
+	for i, c := range b.Cols {
+		out.Cols[i] = New(c.Type, capRows)
+	}
+	return out
+}
+
+// Compact applies b's selection vector: it returns b unchanged when the batch
+// is dense, and otherwise gathers the selected rows into dst (reset first)
+// and returns dst. dst must have b's column types; pass the address of a nil
+// batch pointer owned by the caller to have it allocated on first use.
+func (b *Batch) Compact(dst **Batch) *Batch {
+	if b.Sel == nil {
+		return b
+	}
+	if *dst == nil {
+		*dst = NewBatchLike(b, len(b.Sel))
+	}
+	d := *dst
+	d.Reset()
+	d.Gather(b, b.Sel)
+	return d
 }
 
 // Col is one column of an operator's output schema.

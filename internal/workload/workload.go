@@ -107,6 +107,63 @@ func Narrow(rows int, seed int64) (*Dataset, error) {
 		JSONL: jbuf.Bytes(), Rows: rows}, nil
 }
 
+// NarrowSorted generates the narrow table with col1 strictly ascending
+// (evenly spread over the value range) and every other column random — the
+// clustered-key shape where zone maps exclude almost every block of a
+// selective sweep.
+func NarrowSorted(rows int, seed int64) (*Dataset, error) {
+	types := make([]vector.Type, NarrowCols)
+	schema := make([]catalog.Column, NarrowCols)
+	fields := make([]jsonfile.Field, NarrowCols)
+	for c := 0; c < NarrowCols; c++ {
+		types[c] = vector.Int64
+		schema[c] = catalog.Column{Name: ColumnName(c), Type: vector.Int64}
+		fields[c] = jsonfile.Field{Path: ColumnName(c), Type: vector.Int64}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var cbuf, bbuf, jbuf bytes.Buffer
+	cw := csvfile.NewWriter(&cbuf, types)
+	bw, err := binfile.NewWriter(&bbuf, types, int64(rows))
+	if err != nil {
+		return nil, err
+	}
+	jw, err := jsonfile.NewWriter(&jbuf, fields)
+	if err != nil {
+		return nil, err
+	}
+	scale := ValueRange / int64(rows)
+	if scale == 0 {
+		scale = 1
+	}
+	row := make([]int64, NarrowCols)
+	for r := 0; r < rows; r++ {
+		row[0] = int64(r) * scale
+		for c := 1; c < NarrowCols; c++ {
+			row[c] = rng.Int63n(ValueRange)
+		}
+		if err := cw.WriteRow(row, nil); err != nil {
+			return nil, err
+		}
+		if err := bw.WriteRow(row, nil); err != nil {
+			return nil, err
+		}
+		if err := jw.WriteRow(row, nil); err != nil {
+			return nil, err
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		return nil, err
+	}
+	if err := bw.Close(); err != nil {
+		return nil, err
+	}
+	if err := jw.Flush(); err != nil {
+		return nil, err
+	}
+	return &Dataset{Schema: schema, CSV: cbuf.Bytes(), Bin: bbuf.Bytes(),
+		JSONL: jbuf.Bytes(), Rows: rows}, nil
+}
+
 // EventCols is the schema of the Events dataset: flat ids plus leaves nested
 // under "payload". CSV columns carry the same dotted names, so the two
 // representations hold identical rows under identical schemas.

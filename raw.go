@@ -132,6 +132,18 @@ type Config struct {
 	// maps, structural indexes and column shreds under one unified LRU
 	// budget (ShredCapacityBytes is ignored then).
 	CacheBudget int64
+	// DisablePushdown keeps every WHERE conjunct in a separate Filter
+	// operator instead of absorbing eligible ones into the generated access
+	// paths. Pushdown is on by default: predicate checks are inlined into
+	// the per-row step chains of sequential scans (failing rows short-
+	// circuit the rest of the row) and evaluated vectorized in via-map,
+	// binary and shred scans (batches then carry a selection vector).
+	DisablePushdown bool
+	// DisableZoneMaps turns off the per-block min/max synopses built as a
+	// free side effect of sequential scans and used to skip blocks and whole
+	// morsels that a predicate excludes. Zone maps persist in the vault
+	// (CacheDir) alongside positional maps and structural indexes.
+	DisableZoneMaps bool
 }
 
 // Options overrides engine defaults for a single query.
@@ -165,6 +177,8 @@ func NewEngine(cfg Config) *Engine {
 		MultiColumnShreds:  cfg.MultiColumnShreds,
 		CacheDir:           cfg.CacheDir,
 		CacheBudget:        cfg.CacheBudget,
+		DisablePushdown:    cfg.DisablePushdown,
+		DisableZoneMaps:    cfg.DisableZoneMaps,
 	})}
 }
 
