@@ -557,6 +557,63 @@ func BenchmarkParallelScanJSON(b *testing.B) {
 	}
 }
 
+// --- Partitioned datasets: one logical table over N raw files -------------
+//
+// Cold aggregate scans over the same rows split across 1/4/16 partitions
+// (fresh engine per iteration), serial and at 4 workers — the worker case
+// exercises the cross-partition morsel interleave, and any per-partition
+// planning overhead shows up as the gap against parts=1.
+
+func benchPartitionedScan(b *testing.B, format string, parts, workers int) {
+	ds := narrow(b)
+	rawBytes := ds.CSV
+	if format == "json" {
+		rawBytes = ds.JSONL
+	}
+	pf := catalog.CSV
+	if format == "json" {
+		pf = catalog.JSON
+	}
+	chunks := workload.SplitRows(rawBytes, parts)
+	dparts := make([]engine.DataPart, len(chunks))
+	for i, c := range chunks {
+		dparts[i] = engine.DataPart{Format: pf, Data: c}
+	}
+	q := "SELECT MIN(col1), MAX(col1), COUNT(*) FROM t WHERE col1 >= 0"
+	b.SetBytes(int64(len(rawBytes)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := engine.New(engine.Config{
+			Strategy:          engine.StrategyJIT,
+			PosMapPolicy:      posmap.Policy{EveryK: 10},
+			Parallelism:       workers,
+			DisableShredCache: true,
+		})
+		if err := e.RegisterDatasetParts("t", dparts, ds.Schema); err != nil {
+			b.Fatal(err)
+		}
+		mustQuery(b, e, q)
+	}
+}
+
+func BenchmarkPartitionedScanCSV(b *testing.B) {
+	for _, parts := range []int{1, 4, 16} {
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("parts=%d/workers=%d", parts, w),
+				func(b *testing.B) { benchPartitionedScan(b, "csv", parts, w) })
+		}
+	}
+}
+
+func BenchmarkPartitionedScanJSON(b *testing.B) {
+	for _, parts := range []int{1, 4, 16} {
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("parts=%d/workers=%d", parts, w),
+				func(b *testing.B) { benchPartitionedScan(b, "json", parts, w) })
+		}
+	}
+}
+
 // --- Predicate pushdown: selective cold scans, absorbed vs Filter-above ----
 //
 // Each iteration builds a fresh engine (shred cache off: capture and in-scan

@@ -4,6 +4,14 @@
 // the shuffled join pair, the nested-JSON events table, and the ATLAS-like
 // Higgs dataset (ROOT-like file plus good-runs CSV).
 //
+// With -parts N the narrow, sorted and events kinds additionally write a
+// partitioned copy of the same rows — N files under <out>/<kind>-parts/,
+// ready for raw.RegisterDataset (or rawql -dataset) — and -mixed alternates
+// CSV and JSONL partitions within that directory. The sorted kind has col1
+// ascending across the whole dataset, so each partition covers a disjoint
+// key range: the shape where partition pruning skips almost every file of a
+// selective query.
+//
 // Usage:
 //
 //	rawgen -kind narrow -rows 100000 -out data/
@@ -11,6 +19,8 @@
 //	rawgen -kind join   -rows 50000  -out data/
 //	rawgen -kind events -rows 100000 -out data/
 //	rawgen -kind higgs  -rows 30000  -out data/
+//	rawgen -kind sorted -rows 100000 -parts 16 -out data/
+//	rawgen -kind narrow -rows 100000 -parts 8 -mixed -out data/
 package main
 
 import (
@@ -24,19 +34,50 @@ import (
 )
 
 func main() {
-	kind := flag.String("kind", "narrow", "dataset kind: narrow, wide, join, events, higgs")
+	kind := flag.String("kind", "narrow", "dataset kind: narrow, sorted, wide, join, events, higgs")
 	rows := flag.Int("rows", 100_000, "row count (events for -kind higgs)")
 	out := flag.String("out", ".", "output directory")
 	seed := flag.Int64("seed", 1, "random seed")
+	parts := flag.Int("parts", 1, "also write the rows split across N partition files under <out>/<kind>-parts/ (narrow, sorted and events kinds)")
+	mixed := flag.Bool("mixed", false, "alternate CSV and JSONL partition files (with -parts)")
 	flag.Parse()
 
-	if err := run(*kind, *rows, *out, *seed); err != nil {
+	if err := run(*kind, *rows, *out, *seed, *parts, *mixed); err != nil {
 		fmt.Fprintln(os.Stderr, "rawgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind string, rows int, out string, seed int64) error {
+// writeParts writes the row-aligned partition files of one dataset: the CSV
+// and JSONL renderings split at identical row boundaries, each partition
+// taking the CSV chunk or (with mixed) alternating CSV/JSONL.
+func writeParts(out, kind string, csv, jsonl []byte, parts int, mixed bool) error {
+	dir := filepath.Join(out, kind+"-parts")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	cchunks := workload.SplitRows(csv, parts)
+	jchunks := workload.SplitRows(jsonl, parts)
+	if mixed && len(jchunks) != len(cchunks) {
+		return fmt.Errorf("internal: %d CSV chunks vs %d JSONL chunks", len(cchunks), len(jchunks))
+	}
+	for i := range cchunks {
+		name := fmt.Sprintf("part-%04d.csv", i+1)
+		data := cchunks[i]
+		if mixed && i%2 == 1 {
+			name = fmt.Sprintf("part-%04d.jsonl", i+1)
+			data = jchunks[i]
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d partition files under %s (register the directory with raw.RegisterDataset or rawql -dataset)\n",
+		len(cchunks), dir)
+	return nil
+}
+
+func run(kind string, rows int, out string, seed int64, parts int, mixed bool) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
@@ -49,18 +90,28 @@ func run(kind string, rows int, out string, seed int64) error {
 		return nil
 	}
 	switch kind {
-	case "narrow":
-		ds, err := workload.Narrow(rows, seed)
+	case "narrow", "sorted":
+		gen := workload.Narrow
+		if kind == "sorted" {
+			gen = workload.NarrowSorted
+		}
+		ds, err := gen(rows, seed)
 		if err != nil {
 			return err
 		}
-		if err := write("narrow.csv", ds.CSV); err != nil {
+		if err := write(kind+".csv", ds.CSV); err != nil {
 			return err
 		}
-		if err := write("narrow.bin", ds.Bin); err != nil {
+		if err := write(kind+".bin", ds.Bin); err != nil {
 			return err
 		}
-		return write("narrow.jsonl", ds.JSONL)
+		if err := write(kind+".jsonl", ds.JSONL); err != nil {
+			return err
+		}
+		if parts > 1 {
+			return writeParts(out, kind, ds.CSV, ds.JSONL, parts, mixed)
+		}
+		return nil
 	case "events":
 		ds, err := workload.Events(rows, seed)
 		if err != nil {
@@ -69,7 +120,13 @@ func run(kind string, rows int, out string, seed int64) error {
 		if err := write("events.jsonl", ds.JSONL); err != nil {
 			return err
 		}
-		return write("events.csv", ds.CSV)
+		if err := write("events.csv", ds.CSV); err != nil {
+			return err
+		}
+		if parts > 1 {
+			return writeParts(out, kind, ds.CSV, ds.JSONL, parts, mixed)
+		}
+		return nil
 	case "wide":
 		ds, err := workload.Wide(rows, seed)
 		if err != nil {
@@ -107,6 +164,6 @@ func run(kind string, rows int, out string, seed int64) error {
 		fmt.Printf("ground truth: %d Higgs candidates\n", d.Candidates)
 		return nil
 	default:
-		return fmt.Errorf("unknown kind %q (want narrow, wide, join, events or higgs)", kind)
+		return fmt.Errorf("unknown kind %q (want narrow, sorted, wide, join, events or higgs)", kind)
 	}
 }

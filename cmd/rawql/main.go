@@ -15,6 +15,7 @@
 //	rawql -csv t=data.csv -strategy insitu -explain -q "..."
 //	rawql -csv t=data.csv -workers 8 -q "SELECT COUNT(*) FROM t WHERE col1 < 500000000"
 //	rawql -csv t=data.csv -cachedir .rawvault -q "..."   # second run starts warm
+//	rawql -dataset logs=data/logs -q "SELECT COUNT(*) FROM logs WHERE col1 < 1000"   # a directory as one table
 
 package main
 
@@ -26,6 +27,7 @@ import (
 
 	"rawdb"
 	"rawdb/internal/bytesconv"
+	"rawdb/internal/dataset"
 	"rawdb/internal/storage/binfile"
 	"rawdb/internal/storage/csvfile"
 	"rawdb/internal/storage/jsonfile"
@@ -39,11 +41,12 @@ func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
-	var csvs, bins, jsons, roots multiFlag
+	var csvs, bins, jsons, roots, datasets multiFlag
 	flag.Var(&csvs, "csv", "register a CSV file as name=path (repeatable)")
 	flag.Var(&bins, "bin", "register a binary file as name=path (repeatable)")
 	flag.Var(&jsons, "json", "register a JSONL file as name=path (repeatable)")
 	flag.Var(&roots, "root", "register every tree of a root-like file (path; tree names become table names; repeatable)")
+	flag.Var(&datasets, "dataset", "register a directory or glob of raw files as one table, name=pattern (formats inferred per file by extension; schema inferred from the first file; repeatable)")
 	query := flag.String("q", "", "SQL query to run")
 	strategy := flag.String("strategy", "shreds", "access strategy: shreds, jit, insitu, external, dbms")
 	workers := flag.Int("workers", 1, "morsel-parallel scan workers (<=1 serial; joins and other ineligible plans fall back to serial automatically)")
@@ -55,14 +58,14 @@ func main() {
 	explain := flag.Bool("explain", false, "print the physical plan (access paths, pushdown, zone-map decisions) instead of executing")
 	flag.Parse()
 
-	if err := run(csvs, bins, jsons, roots, *query, *strategy, *workers, *cacheDir, *cacheBudget,
+	if err := run(csvs, bins, jsons, roots, datasets, *query, *strategy, *workers, *cacheDir, *cacheBudget,
 		*noPushdown, *noZoneMaps, *noShredCache, *explain); err != nil {
 		fmt.Fprintln(os.Stderr, "rawql:", err)
 		os.Exit(1)
 	}
 }
 
-func run(csvs, bins, jsons, roots []string, query, strategy string, workers int,
+func run(csvs, bins, jsons, roots, datasets []string, query, strategy string, workers int,
 	cacheDir string, cacheBudget int64, noPushdown, noZoneMaps, noShredCache, explain bool) error {
 	if query == "" {
 		return fmt.Errorf("no query; pass -q \"SELECT ...\"")
@@ -132,6 +135,19 @@ func run(csvs, bins, jsons, roots []string, query, strategy string, workers int,
 			return err
 		}
 	}
+	for _, spec := range datasets {
+		name, pattern, err := splitSpec(spec)
+		if err != nil {
+			return err
+		}
+		schema, err := inferDatasetSchema(pattern)
+		if err != nil {
+			return fmt.Errorf("%s: %w", pattern, err)
+		}
+		if err := eng.RegisterDataset(name, pattern, schema); err != nil {
+			return err
+		}
+	}
 	for _, path := range roots {
 		f, err := rootfile.Open(path)
 		if err != nil {
@@ -183,6 +199,10 @@ func run(csvs, bins, jsons, roots []string, query, strategy string, workers int,
 		fmt.Fprintf(os.Stderr, "(pushdown: %d predicate(s) absorbed, %d row(s) pruned in-scan, %d block(s) and %d morsel(s) zone-map skipped)\n",
 			s.PredsPushed, s.RowsPruned, s.BlocksSkipped, s.MorselsSkipped)
 	}
+	if s := res.Stats; s.PartitionsScanned > 0 || s.PartitionsSkipped > 0 {
+		fmt.Fprintf(os.Stderr, "(partitions: %d scanned, %d pruned without opening their files)\n",
+			s.PartitionsScanned, s.PartitionsSkipped)
+	}
 	return nil
 }
 
@@ -208,6 +228,42 @@ func parseStrategy(s string) (raw.Strategy, error) {
 		return raw.StrategyDBMS, nil
 	default:
 		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}
+
+// inferDatasetSchema infers a dataset's schema from its first partition
+// (partitions share one schema; CSV and binary columns are positional, so a
+// CSV-first mixed dataset gets col1..colN names that JSONL partitions will
+// not resolve — declare the schema in code via raw.RegisterDataset for
+// those).
+func inferDatasetSchema(pattern string) ([]raw.Column, error) {
+	m, err := dataset.Discover(pattern, dataset.AutoFormat)
+	if err != nil {
+		return nil, err
+	}
+	if len(m.Parts) == 0 {
+		return nil, fmt.Errorf("no files match (schema inference needs at least one)")
+	}
+	p := m.Parts[0]
+	data, err := os.ReadFile(p.Path)
+	if err != nil {
+		return nil, err
+	}
+	switch p.Format {
+	case raw.FormatCSV:
+		return inferCSVSchema(data)
+	case raw.FormatJSON:
+		return inferJSONSchema(data)
+	default: // binary
+		r, err := binfile.NewReader(data)
+		if err != nil {
+			return nil, err
+		}
+		schema := make([]raw.Column, len(r.Types()))
+		for i, t := range r.Types() {
+			schema[i] = raw.Column{Name: fmt.Sprintf("col%d", i+1), Type: t}
+		}
+		return schema, nil
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"rawdb"
 	"rawdb/internal/storage/binfile"
 	"rawdb/internal/vector"
+	"rawdb/internal/workload"
 )
 
 // difftestQueries is the per-strategy×format query budget. Every query runs
@@ -529,6 +530,84 @@ func registerDT(t *testing.T, e *raw.Engine, tab *dtTable, format string,
 	}
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDifferentialDataset is the "dataset" harness mode: the same rows
+// registered as one file and as 1/4/16-partition datasets (including a
+// mixed CSV/JSONL split) must answer every random query bit-exactly like the
+// oracle, at workers 1/2/8, with a vault enabled from cold and again after a
+// process "restart" served from manifest.rawv and the per-partition vault
+// namespaces.
+func TestDifferentialDataset(t *testing.T) {
+	splits := []struct {
+		name  string
+		parts int
+		mixed bool
+	}{
+		{"single", 1, false},
+		{"parts4", 4, false},
+		{"parts16", 16, false},
+		{"mixed4", 4, true},
+	}
+	for si, s := range splits {
+		t.Run(s.name, func(t *testing.T) {
+			seed := int64(7000 + si)
+			rng := rand.New(rand.NewSource(seed))
+			tab := genTable(rng, 160)
+			csv, jsonl := tab.renderCSV(), tab.renderJSONL()
+			cchunks := workload.SplitRows(csv, s.parts)
+			jchunks := workload.SplitRows(jsonl, s.parts)
+			var parts []raw.DatasetPart
+			for i := range cchunks {
+				p := raw.DatasetPart{Format: raw.FormatCSV, Data: cchunks[i]}
+				if s.mixed && i%2 == 1 {
+					p = raw.DatasetPart{Format: raw.FormatJSON, Data: jchunks[i]}
+				}
+				parts = append(parts, p)
+			}
+
+			queries := make([]dtQuery, difftestQueries/2)
+			for i := range queries {
+				queries[i] = genQuery(rng, tab)
+			}
+			workerCycle := []int{1, 2, 8}
+			run := func(name string, eng *raw.Engine) {
+				t.Helper()
+				for qi, q := range queries {
+					sql := q.SQL(tab)
+					w := workerCycle[qi%len(workerCycle)]
+					res, err := eng.QueryOpt(sql, raw.Options{Parallelism: &w})
+					if err != nil {
+						t.Fatalf("%s (seed %d) query %d %q: %v", name, seed, qi, sql, err)
+					}
+					want, types := oracle(tab, q)
+					checkOracle(t, fmt.Sprintf("%s (seed %d) query %d workers %d", name, seed, qi, w),
+						sql, res, want, types)
+				}
+			}
+
+			plain := raw.NewEngine(raw.Config{})
+			if err := plain.RegisterDatasetParts("t", parts, tab.cols); err != nil {
+				t.Fatal(err)
+			}
+			run("vault-off", plain)
+
+			dir := t.TempDir()
+			cold := raw.NewEngine(raw.Config{CacheDir: dir})
+			if err := cold.RegisterDatasetParts("t", parts, tab.cols); err != nil {
+				t.Fatal(err)
+			}
+			run("vault-cold", cold)
+			cold.Close()
+
+			restarted := raw.NewEngine(raw.Config{CacheDir: dir})
+			if err := restarted.RegisterDatasetParts("t", parts, tab.cols); err != nil {
+				t.Fatal(err)
+			}
+			run("vault-restart", restarted)
+			restarted.Close()
+		})
 	}
 }
 

@@ -31,6 +31,11 @@ const (
 	// JSON is newline-delimited JSON (one object per line); schemas declare
 	// the dotted paths a query touches, like partial Root schemas.
 	JSON
+	// Dataset is a logical table over a directory (or glob) of raw files:
+	// every partition carries its own concrete format (CSV, JSON or Binary —
+	// mixed within one table is fine), and the engine plans each partition as
+	// an independent scan unit concatenated in manifest order.
+	Dataset
 )
 
 // AccessPath enumerates the generic access abstractions the executor
@@ -63,6 +68,9 @@ var formats = [...]formatInfo{
 	Root:   {"root", []AccessPath{SequentialScan, IndexScan}},
 	Memory: {"memory", []AccessPath{SequentialScan, IndexScan}},
 	JSON:   {"json", []AccessPath{SequentialScan}},
+	// Dataset capabilities are the union of its partitions' runtime
+	// capabilities; statically only the sequential concatenation is promised.
+	Dataset: {"dataset", []AccessPath{SequentialScan}},
 }
 
 // Formats returns every registered format, in declaration order.

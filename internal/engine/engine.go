@@ -224,6 +224,12 @@ type tableState struct {
 	// completing query (preserving save order) and unlocked by the
 	// asynchronous writer goroutine.
 	wmu sync.Mutex
+
+	// ds is non-nil for dataset parents: one logical table over a directory
+	// of raw files. Partition states (one tableState each, never registered
+	// in the catalog) hang off it and are guarded by the parent's qmu; see
+	// dataset.go.
+	ds *datasetState
 }
 
 // posMap returns the current positional map (nil when absent or evicted).
@@ -430,20 +436,41 @@ func (e *Engine) RegisterResult(name string, res *Result, names []string) error 
 	return e.RegisterMemory(name, schema, res.cols)
 }
 
-// DropTable removes a table (commonly a staged memory table) from the engine.
+// DropTable removes a table (commonly a staged memory table) from the
+// engine, releasing every cache structure accounted to it — positional map,
+// structural index, synopsis and column shreds, and for dataset parents the
+// same per partition — so the unified budget retains no bytes for a dropped
+// table. The persistent vault is left alone: it is a fingerprint-validated
+// cache, and a re-registration of the same file may reuse it.
 func (e *Engine) DropTable(name string) error {
 	if err := e.cat.Drop(name); err != nil {
 		return err
 	}
 	e.mu.Lock()
+	st := e.tables[name]
 	delete(e.tables, name)
 	e.mu.Unlock()
+	if st != nil {
+		e.dropStateCaches(st)
+		if st.ds != nil {
+			for _, ps := range st.ds.parts {
+				e.dropStateCaches(ps)
+			}
+		}
+	}
+	return nil
+}
+
+// dropStateCaches releases a table state's budget accounting and pooled
+// shreds (the owner is dropping the structures; no eviction callbacks run).
+func (e *Engine) dropStateCaches(st *tableState) {
+	name := st.tab.Name
+	e.shreds.DropTable(name)
 	if e.budget != nil {
 		e.budget.Remove("posmap:" + name)
 		e.budget.Remove("jsonidx:" + name)
 		e.budget.Remove("synopsis:" + name)
 	}
-	return nil
 }
 
 // RegisterRootFile registers a tree of an already-open ROOT-like file,
@@ -488,12 +515,27 @@ func (e *Engine) state(name string) (*tableState, error) {
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown table %q", name)
 	}
+	// Dataset parents hold no raw bytes themselves: their partitions load
+	// lazily during planning, after partition pruning decided which files the
+	// query actually needs (see dataset.go).
+	if st.tab.Format == catalog.Dataset {
+		return st, nil
+	}
+	if err := loadTableData(st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// loadTableData reads a table's raw backing into memory if it is not present
+// yet (in-situ semantics: registration recorded metadata only).
+func loadTableData(st *tableState) error {
 	switch st.tab.Format {
 	case catalog.CSV:
 		if st.csvData == nil {
 			data, err := csvfile.Load(st.tab.Path)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			st.csvData = data
 		}
@@ -501,7 +543,7 @@ func (e *Engine) state(name string) (*tableState, error) {
 		if st.jsonData == nil {
 			data, err := jsonfile.Load(st.tab.Path)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			st.jsonData = data
 		}
@@ -509,7 +551,7 @@ func (e *Engine) state(name string) (*tableState, error) {
 		if st.bin == nil {
 			r, err := binfile.Open(st.tab.Path)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			st.bin = r
 			st.nrows = r.NRows()
@@ -518,18 +560,18 @@ func (e *Engine) state(name string) (*tableState, error) {
 		if st.rootTree == nil {
 			f, err := rootfile.Open(st.tab.Path)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			tr, err := f.Tree(st.tab.Tree)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			st.rootFile = f
 			st.rootTree = tr
 			st.nrows = tr.NEntries()
 		}
 	}
-	return st, nil
+	return nil
 }
 
 // DropCaches clears all query-derived state — positional maps, column
@@ -546,23 +588,34 @@ func (e *Engine) DropCaches() {
 		e.budget.Reset()
 	}
 	for _, st := range e.tables {
-		if st.tab.Format == catalog.Memory {
-			continue // memory tables have no raw backing to re-read
+		resetStateCaches(st)
+		if st.ds != nil {
+			for _, ps := range st.ds.parts {
+				resetStateCaches(ps)
+			}
 		}
-		st.cmu.Lock()
-		st.pm = nil
-		st.jidx = nil
-		st.syn = nil
-		st.cmu.Unlock()
-		st.savedPM, st.savedJIdx, st.savedSyn = nil, nil, nil
-		st.savedJIdxVer, st.savedShredVer = 0, 0
-		st.loaded = nil
-		if st.tab.Format != catalog.Binary && st.tab.Format != catalog.Root {
-			st.nrows = -1
-		}
-		if st.rootFile != nil {
-			st.rootFile.DropCaches()
-		}
+	}
+}
+
+// resetStateCaches clears one table state's query-derived structures (the
+// DropCaches per-table body; registered raw images stay resident).
+func resetStateCaches(st *tableState) {
+	if st.tab.Format == catalog.Memory {
+		return // memory tables have no raw backing to re-read
+	}
+	st.cmu.Lock()
+	st.pm = nil
+	st.jidx = nil
+	st.syn = nil
+	st.cmu.Unlock()
+	st.savedPM, st.savedJIdx, st.savedSyn = nil, nil, nil
+	st.savedJIdxVer, st.savedShredVer = 0, 0
+	st.loaded = nil
+	if st.tab.Format != catalog.Binary && st.tab.Format != catalog.Root {
+		st.nrows = -1
+	}
+	if st.rootFile != nil {
+		st.rootFile.DropCaches()
 	}
 }
 
@@ -595,6 +648,12 @@ type Stats struct {
 	// MorselsSkipped counts whole morsels the parallel planner excluded via
 	// zone maps before dispatching them to workers.
 	MorselsSkipped int
+	// PartitionsScanned counts dataset partitions the planner opened.
+	PartitionsScanned int
+	// PartitionsSkipped counts dataset partitions the planner excluded
+	// wholesale — a partition's zone-map synopsis proved no row can match a
+	// predicate, so its file was never opened.
+	PartitionsSkipped int
 }
 
 // Result is a fully materialised query result.

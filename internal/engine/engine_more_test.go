@@ -292,6 +292,40 @@ func TestRetryOnStalePartialShred(t *testing.T) {
 	}
 }
 
+// TestZeroRowCaptureStaysPartial is the regression test for a capture bug
+// the dataset differential harness surfaced: a late scan under a filter that
+// matched NO rows used to publish its (empty) capture with nil row ids —
+// the pool's encoding for a full column — so the next query of that column
+// was served an empty "full" shred and silently lost every row.
+func TestZeroRowCaptureStaysPartial(t *testing.T) {
+	csvData, _, schema, vals := testData(t, 300, 6, 208)
+	e := newTestEngine(t, Config{Strategy: StrategyShreds})
+	if err := e.RegisterCSVData("t", csvData, schema); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the positional map and col1's shred so the next query late-scans.
+	if _, err := e.Query("SELECT MAX(col2) FROM t WHERE col1 < 500000000"); err != nil {
+		t.Fatal(err)
+	}
+	// No row has col1 = -1: the late scan of col5 captures zero rows.
+	if res, err := e.Query("SELECT MAX(col5) FROM t WHERE col1 = -1"); err != nil {
+		t.Fatal(err)
+	} else if res.Stats.RowsOut != 1 {
+		t.Fatalf("unexpected shape %d", res.Stats.RowsOut)
+	}
+	// col5 must still read in full — an unfiltered aggregate serves the
+	// column from the pool whenever a "full" shred exists, with no runtime
+	// subsumption check to catch an impostor.
+	want, _ := refMaxWhere(vals, 4, 0, 1_000_000_000)
+	res, err := e.Query("SELECT MAX(col5) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Int64(0, 0); got != want {
+		t.Fatalf("MAX(col5) after zero-row capture = %d, want %d", got, want)
+	}
+}
+
 // TestPosMapPolicyAffectsAccessPaths pins the paper's direct vs nearby
 // distinction: with EveryK=10 column 11 (index 10) is tracked and read
 // directly; with EveryK=7 it needs incremental parsing from column 8.

@@ -20,6 +20,25 @@ import (
 // rows, colder cache lines) do not leave workers idle at the tail.
 const morselsPerWorker = 2
 
+// morselCount returns the morsel target of the current morsel-scan build
+// (the dataset planner overrides the default per partition).
+func (pc *planCtx) morselCount() int {
+	if pc.morselTarget > 0 {
+		return pc.morselTarget
+	}
+	return pc.workers * morselsPerWorker
+}
+
+// minMorsels is the smallest morsel count worth a parallel plan: 2 for a
+// standalone file (1 morsel = the serial plan with exchange overhead), 1 for
+// a dataset partition (it interleaves with its siblings).
+func (pc *planCtx) minMorsels() int {
+	if pc.allowSingleMorsel {
+		return 1
+	}
+	return 2
+}
+
 // planParallel attempts the morsel-driven parallel plan: the raw file is cut
 // into record-aligned morsels, a cloned scan → filter (→ partial aggregate)
 // pipeline runs per morsel on a worker pool (exec.Parallel), and merge
@@ -69,34 +88,35 @@ func (pc *planCtx) planParallel(r *resolvedQuery) (exec.Operator, bool, error) {
 		cols = []int{0}
 	}
 
-	parts, done, residual, ok, err := pc.morselScans(r, cols, r.filters[0])
-	if err != nil || !ok {
-		return nil, false, err
-	}
-
 	// Shared column layout of every morsel pipeline: cols in sorted order.
 	needSlot := make(map[int]int, len(cols))
 	for i, c := range cols {
 		needSlot[c] = i
 	}
 
-	// Clone the residual filter (predicates the morsel scans did not absorb)
-	// onto each morsel pipeline.
-	var eps []exec.Pred
-	for _, bp := range residual {
-		slot, ok := needSlot[bp.col]
-		if !ok {
-			return nil, false, fmt.Errorf("engine: internal: parallel filter column %d not materialised", bp.col)
+	var parts []exec.Operator
+	var done func() error
+	var err error
+	if st.ds != nil {
+		// Datasets interleave morsels across partitions (residual filters
+		// applied per partition inside, since cache states differ).
+		var ok bool
+		parts, done, ok, err = pc.datasetMorsels(r, cols, needSlot)
+		if err != nil || !ok {
+			return nil, false, err
 		}
-		eps = append(eps, exec.Pred{Col: slot, Op: bp.op, I64: bp.i64, F64: bp.f64})
-	}
-	for i, part := range parts {
-		if len(eps) > 0 {
-			f, err := exec.NewFilter(part, eps)
-			if err != nil {
-				return nil, false, err
-			}
-			parts[i] = f
+	} else {
+		var residual []boundPred
+		var ok bool
+		parts, done, residual, ok, err = pc.morselScans(r, cols, r.filters[0])
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		// Clone the residual filter (predicates the morsel scans did not
+		// absorb) onto each morsel pipeline.
+		parts, err = filterParts(parts, residual, needSlot)
+		if err != nil {
+			return nil, false, err
 		}
 	}
 
@@ -122,6 +142,31 @@ func (pc *planCtx) planParallel(r *resolvedQuery) (exec.Operator, bool, error) {
 		return nil, false, err
 	}
 	return op, true, nil
+}
+
+// filterParts clones a Filter for the residual predicates onto each morsel
+// pipeline (no-op when the residual is empty). needSlot maps table column
+// indexes onto the shared morsel layout.
+func filterParts(parts []exec.Operator, residual []boundPred, needSlot map[int]int) ([]exec.Operator, error) {
+	if len(residual) == 0 {
+		return parts, nil
+	}
+	eps := make([]exec.Pred, len(residual))
+	for i, bp := range residual {
+		slot, ok := needSlot[bp.col]
+		if !ok {
+			return nil, fmt.Errorf("engine: internal: parallel filter column %d not materialised", bp.col)
+		}
+		eps[i] = exec.Pred{Col: slot, Op: bp.op, I64: bp.i64, F64: bp.f64}
+	}
+	for i, part := range parts {
+		f, err := exec.NewFilter(part, eps)
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = f
+	}
+	return parts, nil
 }
 
 // finishParallelAgg splits aggregation into a per-morsel partial aggregate
@@ -292,7 +337,7 @@ func (pc *planCtx) morselScans(r *resolvedQuery, cols []int, candidates []boundP
 	st := r.tables[0].st
 	tab := st.tab
 	bs := pc.e.cfg.BatchSize
-	nm := pc.workers * morselsPerWorker
+	nm := pc.morselCount()
 
 	// Memory tables and the loaded-DBMS baseline scan row ranges of resident
 	// vectors.
@@ -322,7 +367,7 @@ func (pc *planCtx) morselScans(r *resolvedQuery, cols []int, candidates []boundP
 			return nil, nil, nil, false, nil
 		}
 		spans := csvfile.Split(st.csvData, nm)
-		if len(spans) < 2 {
+		if len(spans) < pc.minMorsels() {
 			return nil, nil, nil, false, nil
 		}
 		for _, sp := range spans {
@@ -346,7 +391,7 @@ func (pc *planCtx) morselScans(r *resolvedQuery, cols []int, candidates []boundP
 			return pc.jsonMorsels(r, cols, candidates, false)
 		case catalog.Binary:
 			ranges := splitRows(st.bin.NRows(), nm)
-			if len(ranges) < 2 {
+			if len(ranges) < pc.minMorsels() {
 				return nil, nil, nil, false, nil
 			}
 			for _, rr := range ranges {
@@ -410,7 +455,7 @@ func (pc *planCtx) morselScans(r *resolvedQuery, cols []int, candidates []boundP
 			return pc.jsonMorsels(r, cols, candidates, true)
 		case catalog.Binary:
 			ranges := splitRows(st.bin.NRows(), nm)
-			if len(ranges) < 2 {
+			if len(ranges) < pc.minMorsels() {
 				return nil, nil, nil, false, nil
 			}
 			pushable, rest := pc.parallelPush(candidates)
@@ -500,7 +545,7 @@ func (pc *planCtx) csvMorsels(r *resolvedQuery, cols []int, candidates []boundPr
 	st := r.tables[0].st
 	tab := st.tab
 	bs := pc.e.cfg.BatchSize
-	nm := pc.workers * morselsPerWorker
+	nm := pc.morselCount()
 	var caps []*morselCapture
 
 	pushable := []boundPred(nil)
@@ -511,7 +556,7 @@ func (pc *planCtx) csvMorsels(r *resolvedQuery, cols []int, candidates []boundPr
 
 	if pm := st.posMap(); pm != nil && pm.NRows() > 0 && pmCovers(pm, cols) {
 		ranges := splitRows(pm.NRows(), nm)
-		if len(ranges) < 2 {
+		if len(ranges) < pc.minMorsels() {
 			return nil, nil, nil, false, nil
 		}
 		var skip func(start, end int64) bool
@@ -573,7 +618,7 @@ func (pc *planCtx) csvMorsels(r *resolvedQuery, cols []int, candidates []boundPr
 	// jitMode each morsel also builds a private zone-map fragment, merged the
 	// same way.
 	spans := csvfile.Split(st.csvData, nm)
-	if len(spans) < 2 {
+	if len(spans) < pc.minMorsels() {
 		return nil, nil, nil, false, nil
 	}
 	capture := !jitMode || len(pushable) == 0
@@ -655,7 +700,7 @@ func (pc *planCtx) jsonMorsels(r *resolvedQuery, cols []int, candidates []boundP
 	st := r.tables[0].st
 	tab := st.tab
 	bs := pc.e.cfg.BatchSize
-	nm := pc.workers * morselsPerWorker
+	nm := pc.morselCount()
 	var caps []*morselCapture
 
 	pushable := []boundPred(nil)
@@ -666,7 +711,7 @@ func (pc *planCtx) jsonMorsels(r *resolvedQuery, cols []int, candidates []boundP
 
 	if idx := st.jsonIdx(); idx != nil && idx.NRows() > 0 {
 		ranges := splitRows(idx.NRows(), nm)
-		if len(ranges) < 2 {
+		if len(ranges) < pc.minMorsels() {
 			return nil, nil, nil, false, nil
 		}
 		// Morsel-level zone skipping requires every needed path tracked:
@@ -728,7 +773,7 @@ func (pc *planCtx) jsonMorsels(r *resolvedQuery, cols []int, candidates []boundP
 	// morsel, and the fragments (plus zone-map fragments under jitMode) merge
 	// in morsel order on completion.
 	spans := jsonfile.Split(st.jsonData, nm)
-	if len(spans) < 2 {
+	if len(spans) < pc.minMorsels() {
 		return nil, nil, nil, false, nil
 	}
 	capture := !jitMode || len(pushable) == 0
@@ -802,14 +847,14 @@ func (pc *planCtx) memMorsels(tab *catalog.Table, loaded []*vector.Vector, cols 
 	for i, c := range cols {
 		vecs[i] = loaded[c]
 	}
-	return memVectorMorsels(tab, vecs, cols, nm, bs)
+	return memVectorMorsels(tab, vecs, cols, nm, bs, pc.minMorsels())
 }
 
 // memVectorMorsels builds row-range MemScans over arbitrary vectors aligned
 // with cols (loaded DBMS columns, memory tables, or full column shreds).
 func memVectorMorsels(tab *catalog.Table, vecs []*vector.Vector, cols []int,
-	nm, bs int) ([]exec.Operator, error) {
-	return buildMemMorsels(tab, vecs, cols, nm, bs, nil, nil)
+	nm, bs, minParts int) ([]exec.Operator, error) {
+	return buildMemMorsels(tab, vecs, cols, nm, bs, nil, nil, minParts)
 }
 
 // memVectorMorselsPush builds row-range morsels over full column shreds with
@@ -825,7 +870,7 @@ func (pc *planCtx) memVectorMorselsPush(tab *catalog.Table, vecs []*vector.Vecto
 	for i, bp := range pushable {
 		preds[i] = exec.Pred{Col: slotOf[bp.col], Op: bp.op, I64: bp.i64, F64: bp.f64}
 	}
-	parts, err := buildMemMorsels(tab, vecs, cols, nm, bs, preds, pc.memSkip(skip))
+	parts, err := buildMemMorsels(tab, vecs, cols, nm, bs, preds, pc.memSkip(skip), pc.minMorsels())
 	if err == nil && len(preds) > 0 {
 		for _, part := range parts {
 			ms := part.(*exec.MemScan)
@@ -865,13 +910,13 @@ func (pc *planCtx) memSkip(skip func(start, end int64) bool) func([][2]int64) []
 // split into row ranges, optionally drop zone-map-excluded ranges, and build
 // one (predicate-absorbing) MemScan per surviving range.
 func buildMemMorsels(tab *catalog.Table, vecs []*vector.Vector, cols []int,
-	nm, bs int, preds []exec.Pred, rangeFilter func([][2]int64) [][2]int64) ([]exec.Operator, error) {
+	nm, bs int, preds []exec.Pred, rangeFilter func([][2]int64) [][2]int64, minParts int) ([]exec.Operator, error) {
 	if len(vecs) == 0 {
 		return nil, nil
 	}
 	nrows := int64(vecs[0].Len())
 	ranges := splitRows(nrows, nm)
-	if len(ranges) < 2 {
+	if len(ranges) < minParts {
 		return nil, nil
 	}
 	if rangeFilter != nil {

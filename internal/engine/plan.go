@@ -30,6 +30,15 @@ type planCtx struct {
 	zonemaps bool // build and consult per-block min/max synopses
 	stats    *Stats
 
+	// morselTarget overrides the morsel count of the next morselScans call
+	// (0 keeps workers * morselsPerWorker); the dataset planner sets it per
+	// partition to spread the query's morsel budget by partition size.
+	morselTarget int
+	// allowSingleMorsel accepts a single morsel as a valid parallel unit:
+	// a dataset partition too small to split still interleaves with its
+	// siblings on the worker pool.
+	allowSingleMorsel bool
+
 	// onComplete runs after a successful execution (table locks still held):
 	// publishing freshly built synopses and folding scan-side pushdown
 	// counters into stats.
@@ -230,9 +239,12 @@ func (pc *planCtx) plan(r *resolvedQuery) (exec.Operator, error) {
 	}
 	var p *pipe
 	var err error
-	if r.join == nil {
+	switch {
+	case r.join == nil && r.tables[0].st.ds != nil:
+		p, err = pc.datasetPipe(r, 0)
+	case r.join == nil:
 		p, err = pc.planSingle(r)
-	} else {
+	default:
 		p, err = pc.planJoin(r)
 	}
 	if err != nil {
@@ -341,6 +353,18 @@ func (pc *planCtx) planJoin(r *resolvedQuery) (*pipe, error) {
 	lateAfterJoin := make([][]int, 2)
 	for t := 0; t < 2; t++ {
 		bt := r.tables[t]
+		if bt.st.ds != nil {
+			// Dataset join sides materialise every needed column early and
+			// filter inside the per-partition pipelines (row ids are
+			// partition-local, so post-join late scans cannot span the
+			// concat).
+			p, err := pc.datasetPipe(r, t)
+			if err != nil {
+				return nil, err
+			}
+			sides[t] = p
+			continue
+		}
 		canLate := pc.lateCapable(bt)
 		place := pc.place
 		if pc.strategy != StrategyShreds || !canLate {
@@ -423,7 +447,7 @@ func (pc *planCtx) lateCapable(bt *boundTable) bool {
 		return x != nil && x.NRows() > 0
 	case catalog.Binary, catalog.Root:
 		return true
-	case catalog.Memory:
+	case catalog.Memory, catalog.Dataset:
 		return false
 	}
 	return false

@@ -68,6 +68,13 @@ func (e *Engine) run(r *resolvedQuery, strategy Strategy, place JoinPlacement,
 	multi bool, workers int, pushdown, zonemaps, useCache bool) (*Result, error) {
 	unlock := lockTables(r)
 	defer unlock()
+	// Incremental discovery: datasets re-stat their directories under the
+	// query locks, so newly-arrived files join this query and rewritten or
+	// truncated ones are invalidated per partition before planning reads any
+	// cached structure.
+	if err := e.refreshDatasets(r); err != nil {
+		return nil, err
+	}
 	stats := &Stats{Strategy: strategy}
 	pc := &planCtx{
 		e:        e,
@@ -151,6 +158,13 @@ func (e *Engine) Explain(src string, opts Options) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	// Planning reads and installs per-table state (positional maps built at
+	// plan time, dataset partition lists swapped by refresh), so Explain
+	// serialises with queries over the same tables exactly like execution
+	// does. It does not refresh datasets: the plan describes the manifest as
+	// currently known.
+	unlock := lockTables(r)
+	defer unlock()
 	strategy := e.cfg.Strategy
 	if opts.Strategy != nil {
 		strategy = *opts.Strategy
@@ -201,6 +215,10 @@ func (e *Engine) Explain(src string, opts Options) (string, error) {
 	}
 	if stats.MorselsSkipped > 0 {
 		fmt.Fprintf(&b, "zone maps: %d morsel(s) excluded before dispatch\n", stats.MorselsSkipped)
+	}
+	if stats.PartitionsScanned > 0 || stats.PartitionsSkipped > 0 {
+		fmt.Fprintf(&b, "partitions: %d scanned, %d pruned without opening their files\n",
+			stats.PartitionsScanned, stats.PartitionsSkipped)
 	}
 	if stats.TemplateMisses > 0 || stats.TemplateHits > 0 {
 		fmt.Fprintf(&b, "templates: %d generated, %d reused\n",

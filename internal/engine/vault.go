@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"hash/fnv"
 	"sort"
 
 	"rawdb/internal/catalog"
@@ -32,6 +33,14 @@ func (e *Engine) vaultFingerprint(st *tableState) (vault.Fingerprint, bool) {
 	tab := st.tab
 	if tab.Format == catalog.Memory {
 		return vault.Fingerprint{}, false
+	}
+	if st.ds != nil {
+		// Dataset parents persist only their manifest; the fingerprint binds
+		// it to the registration pattern and schema (the partitions' own
+		// entries carry per-file fingerprints).
+		h := fnv.New64a()
+		h.Write([]byte(st.ds.pattern))
+		return vault.Fingerprint{Sum: h.Sum64(), Schema: vault.SchemaHash(tab.Schema)}, true
 	}
 	var fp vault.Fingerprint
 	switch {
@@ -138,6 +147,14 @@ func (e *Engine) vaultUpdate(r *resolvedQuery) {
 		// pointer), and a structure must reach the encoder before it can be
 		// dropped from memory — disk persistence is independent of the
 		// in-memory budget.
+		if st.ds != nil {
+			// Datasets: each partition writes back and accounts under its own
+			// namespace; the parent contributes only the manifest.
+			for _, ps := range st.ds.parts {
+				e.vaultSaveAsync(ps)
+				e.accountState(ps)
+			}
+		}
 		e.vaultSaveAsync(st)
 		e.accountState(st)
 	}
@@ -156,6 +173,9 @@ type vaultMarkers struct {
 	jidxVer  uint64
 	shredVer int64
 	syn      *synopsis.Synopsis
+	// manifestClean marks that a dataset manifest reached the writer (the
+	// parent's dirty flag clears on install).
+	manifestClean bool
 }
 
 // collectVaultWrites encodes every structure of st that changed since the
@@ -198,12 +218,30 @@ func (e *Engine) collectVaultWrites(st *tableState) ([]vaultWrite, vaultMarkers)
 			}
 		}
 	}
+	if ds := st.ds; ds != nil {
+		// Sync partition row counts into the manifest; newly known counts (or
+		// a refresh-reshaped partition list) dirty it.
+		rowsChanged := false
+		for i, ps := range ds.parts {
+			if ps.nrows >= 0 && ds.manifest.Parts[i].Rows != ps.nrows {
+				ds.manifest.Parts[i].Rows = ps.nrows
+				rowsChanged = true
+			}
+		}
+		if ds.dirty || rowsChanged {
+			writes = append(writes, vaultWrite{vault.KindManifest, vault.EncodeManifest(st.fp, ds.manifest)})
+			m.manifestClean = true
+		}
+	}
 	return writes, m
 }
 
 func (st *tableState) installMarkers(m vaultMarkers) {
 	st.savedPM, st.savedJIdx, st.savedSyn = m.pm, m.jidx, m.syn
 	st.savedJIdxVer, st.savedShredVer = m.jidxVer, m.shredVer
+	if m.manifestClean && st.ds != nil {
+		st.ds.dirty = false
+	}
 }
 
 // vaultSaveAsync schedules the write-back of st's dirty structures. The
@@ -256,18 +294,26 @@ func (e *Engine) FlushVault() {
 	e.mu.Unlock()
 	sort.Slice(sts, func(i, j int) bool { return sts[i].tab.Name < sts[j].tab.Name })
 	for _, st := range sts {
-		if !st.hasFP {
-			continue
+		group := []*tableState{st}
+		if st.ds != nil {
+			// Partitions share the parent's query lock; flush them under it.
+			group = append(group, st.ds.parts...)
 		}
 		st.qmu.Lock()
-		writes, m := e.collectVaultWrites(st)
-		if len(writes) > 0 {
-			st.wmu.Lock() // waits for any in-flight async write of this table
-			st.installMarkers(m)
-			for _, w := range writes {
-				_ = e.vault.WriteEntry(st.tab.Name, w.kind, w.data)
+		for _, s := range group {
+			if !s.hasFP {
+				continue
 			}
-			st.wmu.Unlock()
+			writes, m := e.collectVaultWrites(s)
+			if len(writes) == 0 {
+				continue
+			}
+			s.wmu.Lock() // waits for any in-flight async write of this table
+			s.installMarkers(m)
+			for _, w := range writes {
+				_ = e.vault.WriteEntry(s.tab.Name, w.kind, w.data)
+			}
+			s.wmu.Unlock()
 		}
 		st.qmu.Unlock()
 	}

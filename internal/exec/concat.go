@@ -1,0 +1,96 @@
+package exec
+
+import (
+	"fmt"
+
+	"rawdb/internal/vector"
+)
+
+// Concat streams a sequence of identically-shaped pipelines one after
+// another: part 0 is drained to end of stream, then part 1, and so on. The
+// dataset planner uses it as the serial ordered-concatenation point above
+// per-partition pipelines — partitions sort in manifest order, so the
+// concatenated stream is exactly what one scan over the partitions' bytes
+// laid end to end would produce. Unlike Parallel it buffers nothing: each
+// part is opened lazily when its turn comes and closed as soon as it drains,
+// so only one partition's pipeline holds resources at a time.
+type Concat struct {
+	schema vector.Schema
+	parts  []Operator
+	cur    int // index of the currently open part; len(parts) when drained
+	opened bool
+}
+
+// NewConcat validates that every part produces the same schema.
+func NewConcat(parts []Operator) (*Concat, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("exec: concat needs at least one pipeline")
+	}
+	schema := parts[0].Schema()
+	for i, p := range parts[1:] {
+		ps := p.Schema()
+		if len(ps) != len(schema) {
+			return nil, fmt.Errorf("exec: concat part %d has %d columns, part 0 has %d",
+				i+1, len(ps), len(schema))
+		}
+		for c := range ps {
+			if ps[c].Type != schema[c].Type || ps[c].Name != schema[c].Name {
+				return nil, fmt.Errorf("exec: concat part %d column %d (%s %s) differs from part 0 (%s %s)",
+					i+1, c, ps[c].Name, ps[c].Type, schema[c].Name, schema[c].Type)
+			}
+		}
+	}
+	return &Concat{schema: schema, parts: parts, cur: 0}, nil
+}
+
+// Schema implements Operator.
+func (c *Concat) Schema() vector.Schema { return c.schema }
+
+// Open implements Operator. Only the first part opens here; later parts open
+// lazily as their predecessors drain.
+func (c *Concat) Open() error {
+	c.cur, c.opened = 0, false
+	if err := c.parts[0].Open(); err != nil {
+		return err
+	}
+	c.opened = true
+	return nil
+}
+
+// Next implements Operator. Batches pass through untouched (including any
+// selection vector); part boundaries are invisible to the consumer.
+func (c *Concat) Next() (*vector.Batch, error) {
+	for c.cur < len(c.parts) {
+		b, err := c.parts[c.cur].Next()
+		if err != nil {
+			return nil, err
+		}
+		if b != nil {
+			return b, nil
+		}
+		if err := c.parts[c.cur].Close(); err != nil {
+			c.opened = false
+			return nil, err
+		}
+		c.opened = false
+		c.cur++
+		if c.cur < len(c.parts) {
+			if err := c.parts[c.cur].Open(); err != nil {
+				return nil, err
+			}
+			c.opened = true
+		}
+	}
+	return nil, nil
+}
+
+// Close implements Operator: it closes the currently open part, if any.
+func (c *Concat) Close() error {
+	if c.opened && c.cur < len(c.parts) {
+		c.opened = false
+		return c.parts[c.cur].Close()
+	}
+	return nil
+}
+
+var _ Operator = (*Concat)(nil)

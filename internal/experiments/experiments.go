@@ -110,6 +110,7 @@ func All() []Runner {
 		{"parallel", "Morsel-parallel cold aggregate scans: workers sweep over CSV and JSONL", RunParallel},
 		{"vault", "Persistent vault: cold vs restart-warm vs in-memory-warm first queries", RunVault},
 		{"pushdown", "Predicate pushdown and zone-map pruning: selectivity sweeps, on vs off", RunPushdown},
+		{"partition", "Partitioned datasets: file-count sweep 1→64 with pruning on/off on a sorted-key split", RunPartition},
 	}
 }
 

@@ -315,6 +315,14 @@ func (c *Capture) publish() {
 		var rids []int64
 		if sp.RIDIdx >= 0 {
 			rids = c.rids[i]
+			if rids == nil {
+				// Zero rows flowed through (the filter below matched
+				// nothing): publish an EMPTY PARTIAL shred, never a nil-rid
+				// one — nil means "full column", and an empty vector cached
+				// as the full column would erase the column for every later
+				// query.
+				rids = []int64{}
+			}
 		}
 		c.pool.Put(sp.Key, rids, c.bufs[i])
 	}

@@ -400,6 +400,32 @@ func (p *Pool) SizeBytes() int64 {
 	return p.size
 }
 
+// DropTable removes every shred of one table, releasing its accountant
+// entries (the owner is dropping the table, so eviction callbacks are not
+// invoked). Dropping a table that has no shreds is a no-op.
+func (p *Pool) DropTable(table string) {
+	p.mu.Lock()
+	var victims []*Shred
+	for k, list := range p.byKey {
+		if k.Table == table {
+			victims = append(victims, list...)
+		}
+	}
+	var removed []string
+	for _, s := range victims {
+		if ak := p.keyOf[s]; ak != "" {
+			removed = append(removed, ak)
+		}
+		p.remove(s)
+	}
+	p.mu.Unlock()
+	if p.acct != nil {
+		for _, ak := range removed {
+			p.acct.Remove(ak)
+		}
+	}
+}
+
 // Reset drops all shreds and statistics (cold-start simulation).
 func (p *Pool) Reset() {
 	p.mu.Lock()

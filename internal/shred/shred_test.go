@@ -287,3 +287,58 @@ func TestKeyString(t *testing.T) {
 		t.Fatal("Key.String wrong")
 	}
 }
+
+// fakeAcct records accountant traffic so tests can audit byte accounting.
+type fakeAcct struct {
+	sizes map[string]int64
+}
+
+func (a *fakeAcct) Set(key string, size int64, evict func()) {
+	if a.sizes == nil {
+		a.sizes = map[string]int64{}
+	}
+	a.sizes[key] = size
+}
+func (a *fakeAcct) Touch(string)      {}
+func (a *fakeAcct) Remove(key string) { delete(a.sizes, key) }
+func (a *fakeAcct) total() (sum int64) {
+	for _, s := range a.sizes {
+		sum += s
+	}
+	return sum
+}
+
+// TestPoolDropTable: dropping a table removes exactly its shreds and
+// releases every accountant byte they held (the leak the vault-budget audit
+// guards against).
+func TestPoolDropTable(t *testing.T) {
+	acct := &fakeAcct{}
+	p := NewPool(1 << 20)
+	p.SetAccountant(acct)
+	p.Put(Key{"a", 0}, nil, intVec(1, 2, 3))
+	p.Put(Key{"a", 1}, []int64{0, 2}, intVec(4, 5))
+	p.Put(Key{"b", 0}, nil, intVec(6))
+	before := acct.total()
+	if before == 0 {
+		t.Fatal("accountant recorded nothing")
+	}
+
+	p.DropTable("a")
+	if p.Lookup(Key{"a", 0}, nil) != nil || p.LookupAny(Key{"a", 1}) != nil {
+		t.Fatal("table a shreds survive DropTable")
+	}
+	if p.Lookup(Key{"b", 0}, nil) == nil {
+		t.Fatal("table b shred lost by a's drop")
+	}
+	if got := acct.total(); got >= before || got == 0 {
+		t.Fatalf("accountant holds %d bytes after drop (before %d)", got, before)
+	}
+	p.DropTable("b")
+	if got := acct.total(); got != 0 {
+		t.Fatalf("accountant holds %d bytes after dropping every table", got)
+	}
+	if p.SizeBytes() != 0 || p.Len() != 0 {
+		t.Fatalf("pool retains %d bytes / %d shreds", p.SizeBytes(), p.Len())
+	}
+	p.DropTable("a") // idempotent no-op
+}

@@ -58,6 +58,8 @@ const (
 	KindJSONIdx  Kind = 2
 	KindShreds   Kind = 3
 	KindSynopsis Kind = 4
+	// KindManifest is a dataset's partition manifest (see manifest.go).
+	KindManifest Kind = 5
 )
 
 // ErrCodec reports an undecodable (truncated, corrupted, or

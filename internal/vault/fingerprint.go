@@ -110,7 +110,13 @@ func FileFingerprint(path string) (Fingerprint, error) {
 		return Fingerprint{}, err
 	}
 	size := st.Size()
-	buf := make([]byte, sampleChunk)
+	// Files at most 4 windows long hash completely in one range, so the
+	// buffer must cover min(size, 4*sampleChunk), not one window.
+	bufLen := size
+	if bufLen > 4*sampleChunk {
+		bufLen = sampleChunk
+	}
+	buf := make([]byte, bufLen)
 	sum, err := sampledSum(size, func(off, n int64) ([]byte, error) {
 		b := buf[:n]
 		if _, err := f.ReadAt(b, off); err != nil {

@@ -4,10 +4,51 @@ import (
 	"bytes"
 	"testing"
 
+	"rawdb/internal/catalog"
+	"rawdb/internal/dataset"
 	"rawdb/internal/posmap"
 	"rawdb/internal/synopsis"
 	"rawdb/internal/vector"
 )
+
+// FuzzManifestDecode is the same never-panic/round-trip contract for the
+// fifth record type: a corrupt manifest.rawv must cold-rebuild the dataset's
+// partition list (re-discovery), never crash a restart.
+func FuzzManifestDecode(f *testing.F) {
+	fp := Fingerprint{Sum: 42, Schema: 9}
+	m := &dataset.Manifest{Pattern: "logs/*.csv", Parts: []dataset.Partition{
+		{Path: "logs/a.csv", ID: "a.csv", Format: catalog.CSV, Size: 100, MTime: 1111, Rows: 10},
+		{Path: "logs/b.jsonl", ID: "b.jsonl", Format: catalog.JSON, Size: 2000, MTime: 2222, Rows: -1},
+	}}
+	enc := EncodeManifest(fp, m)
+	f.Add(enc)
+	f.Add(enc[:len(enc)/2])
+	flipped := append([]byte{}, enc...)
+	flipped[11] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte("RAWV"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		gotFP, got, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeManifest(gotFP, got)
+		_, again, err2 := DecodeManifest(enc)
+		if err2 != nil {
+			t.Fatalf("manifest re-encode does not decode: %v", err2)
+		}
+		if again.Pattern != got.Pattern || len(again.Parts) != len(got.Parts) {
+			t.Fatal("manifest round trip changed shape")
+		}
+		for i := range got.Parts {
+			if again.Parts[i] != got.Parts[i] {
+				t.Fatalf("partition %d round trip mismatch", i)
+			}
+		}
+	})
+}
 
 // FuzzVaultDecode feeds arbitrary bytes to every entry decoder. The
 // contract under test is the vault's safety property: decoding untrusted

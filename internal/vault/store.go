@@ -62,6 +62,8 @@ func kindFile(kind Kind) string {
 		return "shreds.rawv"
 	case KindSynopsis:
 		return "synopsis.rawv"
+	case KindManifest:
+		return "manifest.rawv"
 	}
 	return fmt.Sprintf("kind%d.rawv", kind)
 }

@@ -321,6 +321,46 @@ func NarrowShuffledPair(rows int, seed int64) (file1, file2 *Dataset, err error)
 	return file1, file2, nil
 }
 
+// SplitRows cuts a newline-terminated text image (CSV or JSONL) into at
+// most n chunks of near-equal row counts, on record boundaries. Splitting
+// the CSV and JSONL renderings of the same dataset with the same n yields
+// row-aligned partitions, which is how the partitioned-dataset tests and
+// generators build mixed-format splits holding identical rows.
+func SplitRows(data []byte, n int) [][]byte {
+	total := int(csvfile.CountRows(data))
+	if n < 1 {
+		n = 1
+	}
+	if n > total {
+		n = total
+	}
+	if n <= 1 {
+		if len(data) == 0 {
+			return nil
+		}
+		return [][]byte{data}
+	}
+	chunks := make([][]byte, 0, n)
+	start, row := 0, 0
+	next := total / n // rows before the next cut (redistributed per chunk)
+	for i := 0; i < len(data); i++ {
+		if data[i] != '\n' {
+			continue
+		}
+		row++
+		if len(chunks) < n-1 && row >= next {
+			chunks = append(chunks, data[start:i+1])
+			start = i + 1
+			remainingChunks := n - len(chunks)
+			next = row + (total-row)/remainingChunks
+		}
+	}
+	if start < len(data) {
+		chunks = append(chunks, data[start:])
+	}
+	return chunks
+}
+
 // Threshold maps a selectivity in [0, 1] onto the query constant X for
 // predicates of the form "col < X" over uniform values in [0, ValueRange).
 func Threshold(selectivity float64) int64 {

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"bytes"
 	"testing"
 
 	"rawdb/internal/bytesconv"
@@ -130,5 +131,53 @@ func TestDatasetTable(t *testing.T) {
 	tab := ds.Table("x", catalog.Binary)
 	if tab.Name != "x" || tab.Format != catalog.Binary || len(tab.Schema) != NarrowCols {
 		t.Fatalf("table = %+v", tab)
+	}
+}
+
+func TestSplitRows(t *testing.T) {
+	ds, err := Narrow(103, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4, 16, 64, 200} {
+		cchunks := SplitRows(ds.CSV, n)
+		jchunks := SplitRows(ds.JSONL, n)
+		wantChunks := n
+		if wantChunks > 103 {
+			wantChunks = 103
+		}
+		if len(cchunks) != wantChunks || len(jchunks) != wantChunks {
+			t.Fatalf("n=%d: %d CSV chunks, %d JSONL chunks, want %d",
+				n, len(cchunks), len(jchunks), wantChunks)
+		}
+		// Chunks reassemble the original bytes exactly...
+		var totalC, totalJ []byte
+		for i := range cchunks {
+			totalC = append(totalC, cchunks[i]...)
+			totalJ = append(totalJ, jchunks[i]...)
+		}
+		if !bytes.Equal(totalC, ds.CSV) || !bytes.Equal(totalJ, ds.JSONL) {
+			t.Fatalf("n=%d: chunks do not reassemble the input", n)
+		}
+		// ...and the CSV/JSONL splits are row-aligned (same rows per chunk),
+		// with near-even row counts.
+		total := 0
+		for i := range cchunks {
+			cr := int(csvfile.CountRows(cchunks[i]))
+			jr := int(csvfile.CountRows(jchunks[i]))
+			if cr != jr {
+				t.Fatalf("n=%d chunk %d: %d CSV rows vs %d JSONL rows", n, i, cr, jr)
+			}
+			if cr < 103/wantChunks || cr > 103/wantChunks+1 {
+				t.Fatalf("n=%d chunk %d: %d rows is uneven", n, i, cr)
+			}
+			total += cr
+		}
+		if total != 103 {
+			t.Fatalf("n=%d: %d rows total", n, total)
+		}
+	}
+	if got := SplitRows(nil, 4); got != nil {
+		t.Fatalf("SplitRows(nil) = %v", got)
 	}
 }

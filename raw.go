@@ -217,6 +217,52 @@ func (e *Engine) RegisterJSONData(name string, data []byte, schema []Column) err
 	return e.e.RegisterJSONData(name, data, cols(schema))
 }
 
+// FileFormat identifies the concrete format of a dataset partition.
+type FileFormat = catalog.Format
+
+// Partition formats for RegisterDatasetFormat / RegisterDatasetParts.
+const (
+	FormatCSV    = catalog.CSV
+	FormatJSON   = catalog.JSON
+	FormatBinary = catalog.Binary
+)
+
+// RegisterDataset registers a directory or glob of raw files as one logical
+// table: each matching file becomes a partition whose format is inferred
+// from its extension (.csv, .json/.jsonl/.ndjson, .bin — mixed formats in
+// one dataset are fine), and the partition list is refreshed at every query
+// start, so files arriving in the directory are picked up and rewritten or
+// truncated files are re-read without re-registration. Queries plan each
+// partition independently — per-partition positional maps, structural
+// indexes, column shreds and zone maps, with partitions a zone-map synopsis
+// excludes pruned before their file is even opened (Stats.PartitionsSkipped)
+// — and concatenate results in path order.
+func (e *Engine) RegisterDataset(name, pattern string, schema []Column) error {
+	return e.e.RegisterDataset(name, pattern, cols(schema))
+}
+
+// RegisterDatasetFormat is RegisterDataset with every partition forced to
+// one format regardless of file extension.
+func (e *Engine) RegisterDatasetFormat(name, pattern string, format FileFormat, schema []Column) error {
+	return e.e.RegisterDatasetFormat(name, pattern, format, cols(schema))
+}
+
+// DatasetPart is one in-memory partition for RegisterDatasetParts.
+type DatasetPart struct {
+	Format FileFormat
+	Data   []byte
+}
+
+// RegisterDatasetParts registers a dataset whose partitions are in-memory
+// raw images, in slice order (tests, benchmarks, harnesses).
+func (e *Engine) RegisterDatasetParts(name string, parts []DatasetPart, schema []Column) error {
+	eps := make([]engine.DataPart, len(parts))
+	for i, p := range parts {
+		eps[i] = engine.DataPart{Format: p.Format, Data: p.Data}
+	}
+	return e.e.RegisterDatasetParts(name, eps, cols(schema))
+}
+
 // RegisterBinary registers a fixed-width binary file (see package
 // internal/storage/binfile for the format).
 func (e *Engine) RegisterBinary(name, path string, schema []Column) error {
