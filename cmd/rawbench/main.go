@@ -7,12 +7,15 @@
 //	rawbench                      # run every experiment at default scale
 //	rawbench -exp fig5            # one experiment
 //	rawbench -rows 200000 -md     # bigger dataset, markdown output
+//	rawbench -exp pushdown -json out/   # also write machine-readable out/BENCH_pushdown.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -20,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig1a, fig1b, fig2, fig3, fig5, fig6, table2, fig7, fig8, fig9, fig11, fig12, table3, json, parallel, vault, pushdown) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (fig1a, fig1b, fig2, fig3, profile, fig5, fig6, table2, fig7, fig8, fig9, fig11, fig12, table3, json, parallel, vault, pushdown, partition) or 'all'")
 	rows := flag.Int("rows", 0, "narrow-table rows (default 100000)")
 	wideRows := flag.Int("wide-rows", 0, "wide-table rows (default 20000)")
 	joinRows := flag.Int("join-rows", 0, "join-table rows (default 50000)")
@@ -31,6 +34,7 @@ func main() {
 	cacheDir := flag.String("cachedir", "", "persistent vault directory for the vault experiment (default: fresh temp dir)")
 	cacheBudget := flag.Int64("cachebudget", 0, "unified cache budget in bytes for the vault experiment's engines (0 = per-structure defaults)")
 	md := flag.Bool("md", false, "emit markdown tables")
+	jsonDir := flag.String("json", "", "directory to additionally write one machine-readable BENCH_<exp>.json per experiment (effective parameters, measured rows, engine metrics snapshot)")
 	flag.Parse()
 
 	cfg := experiments.Config{
@@ -57,6 +61,13 @@ func main() {
 		runners = []experiments.Runner{r}
 	}
 
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "rawbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	for _, r := range runners {
 		start := time.Now()
 		tbl, err := r.Run(cfg)
@@ -64,14 +75,63 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rawbench: %s: %v\n", r.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("== %s: %s  (measured in %v)\n", tbl.ID, tbl.Title, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		fmt.Printf("== %s: %s  (measured in %v)\n", tbl.ID, tbl.Title, elapsed.Round(time.Millisecond))
 		if *md {
 			printMarkdown(tbl)
 		} else {
 			printAligned(tbl)
 		}
 		fmt.Println()
+		if *jsonDir != "" {
+			path := filepath.Join(*jsonDir, "BENCH_"+tbl.ID+".json")
+			if err := writeJSON(path, cfg, tbl, elapsed); err != nil {
+				fmt.Fprintf(os.Stderr, "rawbench: %s: %v\n", tbl.ID, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "(wrote %s)\n", path)
+		}
 	}
+}
+
+// benchJSON is the machine-readable experiment record written by -json: the
+// effective (default-resolved) parameters, the measured table verbatim, and
+// the engine metrics-registry snapshot when the experiment captured one.
+type benchJSON struct {
+	Experiment string           `json:"experiment"`
+	Title      string           `json:"title"`
+	Params     map[string]int64 `json:"params"`
+	Header     []string         `json:"header"`
+	Rows       [][]string       `json:"rows"`
+	ElapsedNS  int64            `json:"elapsed_ns"`
+	Metrics    map[string]int64 `json:"metrics,omitempty"`
+}
+
+func writeJSON(path string, cfg experiments.Config, tbl *experiments.Table, elapsed time.Duration) error {
+	eff := cfg.WithDefaults()
+	rec := benchJSON{
+		Experiment: tbl.ID,
+		Title:      tbl.Title,
+		Params: map[string]int64{
+			"narrow_rows":      int64(eff.NarrowRows),
+			"wide_rows":        int64(eff.WideRows),
+			"join_rows":        int64(eff.JoinRows),
+			"higgs_events":     int64(eff.HiggsEvents),
+			"repeats":          int64(eff.Repeats),
+			"workers":          int64(eff.Workers),
+			"compile_delay_ns": eff.CompileDelay.Nanoseconds(),
+			"cache_budget":     eff.CacheBudget,
+		},
+		Header:    tbl.Header,
+		Rows:      tbl.Rows,
+		ElapsedNS: elapsed.Nanoseconds(),
+		Metrics:   tbl.Metrics,
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func printAligned(t *experiments.Table) {

@@ -16,10 +16,14 @@
 //	rawql -csv t=data.csv -workers 8 -q "SELECT COUNT(*) FROM t WHERE col1 < 500000000"
 //	rawql -csv t=data.csv -cachedir .rawvault -q "..."   # second run starts warm
 //	rawql -dataset logs=data/logs -q "SELECT COUNT(*) FROM logs WHERE col1 < 1000"   # a directory as one table
+//	rawql -dataset logs=data/logs -analyze -q "..."      # EXPLAIN ANALYZE-style span tree on stderr
+//	rawql -csv t=data.csv -trace out.json -q "..."       # chrome://tracing timeline
+//	rawql -csv t=data.csv -events -stats json -q "..."   # lifecycle events + machine-readable stats
 
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -56,17 +60,22 @@ func main() {
 	noShredCache := flag.Bool("noshredcache", false, "disable column-shred capture and reuse (raw-file scans then absorb predicates and skip zone-map-excluded blocks; capture otherwise wins that conflict)")
 	noZoneMaps := flag.Bool("nozonemaps", false, "disable per-block min/max zone maps (no block or morsel skipping)")
 	explain := flag.Bool("explain", false, "print the physical plan (access paths, pushdown, zone-map decisions) instead of executing")
+	analyze := flag.Bool("analyze", false, "execute the query with tracing on and print an EXPLAIN ANALYZE-style span tree (per-operator wall/busy time, rows, prune counts) to stderr")
+	traceOut := flag.String("trace", "", "execute the query with tracing on and write a chrome://tracing JSON timeline to this file")
+	events := flag.Bool("events", false, "print adaptive-structure lifecycle events (captured/restored/evicted/invalidated) to stderr after the query")
+	statsMode := flag.String("stats", "text", "stats output: text (human-readable stderr lines) or json (one machine-readable line with query stats and an engine metrics snapshot)")
 	flag.Parse()
 
 	if err := run(csvs, bins, jsons, roots, datasets, *query, *strategy, *workers, *cacheDir, *cacheBudget,
-		*noPushdown, *noZoneMaps, *noShredCache, *explain); err != nil {
+		*noPushdown, *noZoneMaps, *noShredCache, *explain, *analyze, *traceOut, *events, *statsMode); err != nil {
 		fmt.Fprintln(os.Stderr, "rawql:", err)
 		os.Exit(1)
 	}
 }
 
 func run(csvs, bins, jsons, roots, datasets []string, query, strategy string, workers int,
-	cacheDir string, cacheBudget int64, noPushdown, noZoneMaps, noShredCache, explain bool) error {
+	cacheDir string, cacheBudget int64, noPushdown, noZoneMaps, noShredCache, explain bool,
+	analyze bool, traceOut string, events bool, statsMode string) error {
 	if query == "" {
 		return fmt.Errorf("no query; pass -q \"SELECT ...\"")
 	}
@@ -181,7 +190,11 @@ func run(csvs, bins, jsons, roots, datasets []string, query, strategy string, wo
 		return nil
 	}
 
-	res, err := eng.Query(query)
+	var tr *raw.Trace
+	if analyze || traceOut != "" {
+		tr = raw.NewTrace()
+	}
+	res, err := eng.QueryOpt(query, raw.Options{Trace: tr})
 	if err != nil {
 		return err
 	}
@@ -193,15 +206,62 @@ func run(csvs, bins, jsons, roots, datasets []string, query, strategy string, wo
 		}
 		fmt.Println(strings.Join(cells, "\t"))
 	}
-	fmt.Fprintf(os.Stderr, "(%d rows, %v, strategy=%s, paths=%v)\n",
-		res.NumRows(), res.Stats.Elapsed.Round(1000), res.Stats.Strategy, res.Stats.AccessPaths)
-	if s := res.Stats; s.PredsPushed > 0 || s.RowsPruned > 0 || s.BlocksSkipped > 0 || s.MorselsSkipped > 0 {
-		fmt.Fprintf(os.Stderr, "(pushdown: %d predicate(s) absorbed, %d row(s) pruned in-scan, %d block(s) and %d morsel(s) zone-map skipped)\n",
-			s.PredsPushed, s.RowsPruned, s.BlocksSkipped, s.MorselsSkipped)
+	switch statsMode {
+	case "json":
+		line, err := json.Marshal(struct {
+			Rows    int              `json:"rows"`
+			Stats   raw.Stats        `json:"stats"`
+			Metrics map[string]int64 `json:"metrics"`
+		}{res.NumRows(), res.Stats, eng.Metrics().Snapshot()})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, string(line))
+	case "text":
+		fmt.Fprintf(os.Stderr, "(%d rows, %v, strategy=%s, paths=%v)\n",
+			res.NumRows(), res.Stats.Elapsed.Round(1000), res.Stats.Strategy, res.Stats.AccessPaths)
+		if s := res.Stats; s.PredsPushed > 0 || s.RowsPruned > 0 || s.BlocksSkipped > 0 || s.MorselsSkipped > 0 {
+			fmt.Fprintf(os.Stderr, "(pushdown: %d predicate(s) absorbed, %d row(s) pruned in-scan, %d block(s) and %d morsel(s) zone-map skipped)\n",
+				s.PredsPushed, s.RowsPruned, s.BlocksSkipped, s.MorselsSkipped)
+		}
+		if s := res.Stats; s.PartitionsScanned > 0 || s.PartitionsSkipped > 0 {
+			fmt.Fprintf(os.Stderr, "(partitions: %d scanned, %d pruned without opening their files)\n",
+				s.PartitionsScanned, s.PartitionsSkipped)
+		}
+	default:
+		return fmt.Errorf("unknown -stats mode %q (want text or json)", statsMode)
 	}
-	if s := res.Stats; s.PartitionsScanned > 0 || s.PartitionsSkipped > 0 {
-		fmt.Fprintf(os.Stderr, "(partitions: %d scanned, %d pruned without opening their files)\n",
-			s.PartitionsScanned, s.PartitionsSkipped)
+	if analyze {
+		fmt.Fprint(os.Stderr, tr.Render())
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "(trace written to %s; load it in chrome://tracing or Perfetto)\n", traceOut)
+	}
+	if events {
+		for _, ev := range eng.RecentEvents() {
+			fmt.Fprintf(os.Stderr, "[event] %s %s table=%s", ev.Kind, ev.Structure, ev.Table)
+			if ev.Partition != "" {
+				fmt.Fprintf(os.Stderr, " partition=%s", ev.Partition)
+			}
+			if ev.Bytes > 0 {
+				fmt.Fprintf(os.Stderr, " bytes=%d", ev.Bytes)
+			}
+			if ev.Reason != "" {
+				fmt.Fprintf(os.Stderr, " reason=%s", ev.Reason)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
 	}
 	return nil
 }

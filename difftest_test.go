@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
 	"strconv"
 	"strings"
 	"testing"
@@ -31,6 +32,12 @@ import (
 // difftestQueries is the per-strategy×format query budget. Every query runs
 // against the oracle in every vault mode of the combination.
 const difftestQueries = 200
+
+// difftestTrace attaches a fresh Trace to every dataset-mode query when
+// RAWDB_DIFF_TRACE=1 (the CI traced pass): results must stay bit-exact
+// against the oracle with span instrumentation threaded through every
+// operator, proving tracing never perturbs execution.
+var difftestTrace = os.Getenv("RAWDB_DIFF_TRACE") == "1"
 
 // dtTable is a randomly generated table: schema plus column-major data.
 type dtTable struct {
@@ -577,7 +584,11 @@ func TestDifferentialDataset(t *testing.T) {
 				for qi, q := range queries {
 					sql := q.SQL(tab)
 					w := workerCycle[qi%len(workerCycle)]
-					res, err := eng.QueryOpt(sql, raw.Options{Parallelism: &w})
+					var tr *raw.Trace
+					if difftestTrace {
+						tr = raw.NewTrace()
+					}
+					res, err := eng.QueryOpt(sql, raw.Options{Parallelism: &w, Trace: tr})
 					if err != nil {
 						t.Fatalf("%s (seed %d) query %d %q: %v", name, seed, qi, sql, err)
 					}

@@ -6,6 +6,7 @@ import (
 	"rawdb/internal/catalog"
 	"rawdb/internal/dataset"
 	"rawdb/internal/exec"
+	"rawdb/internal/obs"
 	"rawdb/internal/storage/binfile"
 	"rawdb/internal/vector"
 )
@@ -231,6 +232,7 @@ func (e *Engine) refreshDataset(st *tableState) error {
 		newParts[ki[1]] = ds.parts[ki[0]]
 	}
 	for _, ci := range d.Changed {
+		e.emitInvalidated(ds.parts[ci[0]], "file-changed")
 		e.dropStateCaches(ds.parts[ci[0]])
 		if e.vault != nil && ds.manifest.Parts[ci[0]].ID != m.Parts[ci[1]].ID {
 			// The partition's ID (and with it the vault namespace) changed:
@@ -244,6 +246,7 @@ func (e *Engine) refreshDataset(st *tableState) error {
 		newParts[ni] = e.newPartState(st, &m.Parts[ni])
 	}
 	for _, oi := range d.Removed {
+		e.emitInvalidated(ds.parts[oi], "file-removed")
 		e.dropStateCaches(ds.parts[oi])
 		if e.vault != nil {
 			_ = e.vault.RemoveTable(ds.parts[oi].tab.Name)
@@ -328,6 +331,7 @@ func (pc *planCtx) datasetPipe(r *resolvedQuery, t int) (*pipe, error) {
 	}
 
 	var parts []exec.Operator
+	var pspans []*obs.Span
 	for _, ps := range st.ds.parts {
 		if pc.prunePartition(ps, preds) {
 			pc.stats.PartitionsSkipped++
@@ -354,7 +358,9 @@ func (pc *planCtx) datasetPipe(r *resolvedQuery, t int) (*pipe, error) {
 		if err != nil {
 			return nil, err
 		}
-		parts = append(parts, proj)
+		pop, pspan := pc.opSpan(proj, "partition("+ps.tab.Name+")", pp.span)
+		parts = append(parts, pop)
+		pspans = append(pspans, pspan)
 	}
 
 	var op exec.Operator
@@ -384,6 +390,20 @@ func (pc *planCtx) datasetPipe(r *resolvedQuery, t int) (*pipe, error) {
 	for i, c := range cols {
 		p.pos[boundRef{t, c}] = i
 	}
+	if pc.trace != nil {
+		switch len(parts) {
+		case 0:
+		case 1:
+			p.span = pspans[0]
+		default:
+			s := pc.trace.NewSpan(fmt.Sprintf("concat[parts=%d]", len(parts)))
+			for _, cs := range pspans {
+				cs.SetParent(s)
+			}
+			p.op = exec.WithSpan(p.op, s)
+			p.span = s
+		}
+	}
 	return p, nil
 }
 
@@ -405,9 +425,11 @@ func (pc *planCtx) datasetMorsels(r *resolvedQuery, cols []int, needSlot map[int
 
 	savedStats := *pc.stats // slice headers snapshot current lengths
 	savedHooks := len(pc.onComplete)
+	savedProbes := len(pc.probes)
 	restore := func() {
 		*pc.stats = savedStats
 		pc.onComplete = pc.onComplete[:savedHooks]
+		pc.probes = pc.probes[:savedProbes]
 	}
 
 	type cand struct {

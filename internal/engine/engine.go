@@ -18,6 +18,7 @@ import (
 	"rawdb/internal/catalog"
 	"rawdb/internal/jit"
 	"rawdb/internal/jsonidx"
+	"rawdb/internal/obs"
 	"rawdb/internal/posmap"
 	"rawdb/internal/shred"
 	"rawdb/internal/storage/binfile"
@@ -152,6 +153,13 @@ type Config struct {
 	// synopsis.DefaultBlockRows); tests use small blocks to exercise
 	// skipping on small files.
 	SynopsisBlockRows int
+	// OnEvent, when non-nil, receives every adaptive-structure lifecycle
+	// event (captured / restored / evicted / invalidated) as it happens, in
+	// addition to the engine's bounded in-memory event log.
+	OnEvent func(obs.Event)
+	// EventLogSize bounds the in-memory lifecycle event ring (<= 0 selects
+	// 512, the obs package default).
+	EventLogSize int
 }
 
 // Options overrides Config for a single query. Nil pointers inherit.
@@ -167,6 +175,11 @@ type Options struct {
 	Pushdown *bool
 	// ZoneMaps overrides zone-map pruning for this query.
 	ZoneMaps *bool
+	// Trace, when non-nil, collects operator- and phase-level spans for this
+	// query (obs.NewTrace()). A nil Trace plans the exact untraced operator
+	// tree: span wrapping happens at plan time only when a trace is present,
+	// so disabled tracing costs nothing on the scan hot paths.
+	Trace *obs.Trace
 }
 
 // Engine is a RAW query engine instance.
@@ -177,6 +190,8 @@ type Engine struct {
 	shreds    *shred.Pool
 	vault     *vault.Store  // nil unless Config.CacheDir is set (and usable)
 	budget    *vault.Budget // nil unless Config.CacheBudget > 0
+	metrics   *obs.Registry
+	events    *obs.EventLog
 	vaultWG   sync.WaitGroup
 
 	mu     sync.Mutex
@@ -324,6 +339,7 @@ func New(cfg Config) *Engine {
 			e.vault = s
 		}
 	}
+	e.initObs()
 	return e
 }
 
@@ -451,9 +467,11 @@ func (e *Engine) DropTable(name string) error {
 	delete(e.tables, name)
 	e.mu.Unlock()
 	if st != nil {
+		e.emitInvalidated(st, "dropped")
 		e.dropStateCaches(st)
 		if st.ds != nil {
 			for _, ps := range st.ds.parts {
+				e.emitInvalidated(ps, "dropped")
 				e.dropStateCaches(ps)
 			}
 		}
@@ -623,6 +641,11 @@ func resetStateCaches(st *tableState) {
 type Stats struct {
 	Strategy Strategy
 	Elapsed  time.Duration
+	// ManifestRefresh is the time spent re-discovering dataset directories
+	// before planning (zero for queries touching no path-backed dataset).
+	// It is reported separately from Elapsed, which covers planning and
+	// execution only.
+	ManifestRefresh time.Duration
 	// AccessPaths lists one label per scan operator, e.g. "jit:seq(t)",
 	// "shred:late(t.col11)".
 	AccessPaths []string

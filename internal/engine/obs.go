@@ -1,0 +1,206 @@
+package engine
+
+import (
+	"strings"
+
+	"rawdb/internal/catalog"
+	"rawdb/internal/obs"
+	"rawdb/internal/shred"
+)
+
+// This file wires the engine into the observability layer (package obs):
+// the engine-wide metrics registry (counters folded per query, pull-mode
+// gauges over the caches) and the adaptive-structure lifecycle event log.
+// Per-query tracing lives with the planner (plan.go, query.go).
+
+// Metrics exposes the engine's metrics registry. Counters are cumulative
+// over the engine's lifetime; gauges reflect cache state at snapshot time.
+func (e *Engine) Metrics() *obs.Registry { return e.metrics }
+
+// EventLog exposes the lifecycle event log (a bounded ring of the most
+// recent adaptive-structure transitions).
+func (e *Engine) EventLog() *obs.EventLog { return e.events }
+
+// RecentEvents returns the buffered lifecycle events, oldest first.
+func (e *Engine) RecentEvents() []obs.Event { return e.events.Recent() }
+
+// initObs builds the registry and event log and registers the engine-level
+// gauges. Called once from New, before the engine is shared.
+func (e *Engine) initObs() {
+	e.metrics = obs.NewRegistry()
+	e.events = obs.NewEventLog(e.cfg.EventLogSize, e.cfg.OnEvent)
+
+	m := e.metrics
+	m.Gauge("jit.cache.entries", func() int64 { return int64(e.templates.Len()) })
+	m.Gauge("jit.cache.bytes", func() int64 { return e.templates.SizeBytes() })
+	m.Gauge("shred.pool.count", func() int64 { return int64(e.shreds.Len()) })
+	m.Gauge("shred.pool.bytes", func() int64 { return e.shreds.SizeBytes() })
+	m.Gauge("shred.lookup.hits", func() int64 { h, _ := e.shreds.Stats(); return h })
+	m.Gauge("shred.lookup.misses", func() int64 { _, mi := e.shreds.Stats(); return mi })
+	if e.budget != nil {
+		m.Gauge("budget.bytes", func() int64 { return e.budget.SizeBytes() })
+		m.Gauge("budget.capacity", func() int64 { return e.budget.CapacityBytes() })
+		m.Gauge("budget.entries", func() int64 { return int64(e.budget.Len()) })
+		e.budget.SetObserver(e.observeBudgetEviction)
+	}
+	e.shreds.SetEvictObserver(func(k shred.Key, bytes int64) {
+		e.metrics.Counter("shred.pool.evictions").Inc()
+		e.emitEvent(obs.EventEvicted, "shred", k.String(), bytes, "lru")
+	})
+
+	// Per-structure footprint and effectiveness gauges, summed over every
+	// table (and dataset partition) at snapshot time. The sum takes each
+	// table's query lock in turn — never while holding e.mu, which would
+	// invert the qmu -> e.mu lock order the planner uses.
+	m.Gauge("posmap.bytes", func() int64 {
+		return e.sumStates(func(st *tableState) int64 {
+			if pm := st.posMap(); pm != nil {
+				return pm.MemoryFootprint()
+			}
+			return 0
+		})
+	})
+	m.Gauge("jsonidx.bytes", func() int64 {
+		return e.sumStates(func(st *tableState) int64 {
+			if x := st.jsonIdx(); x != nil {
+				return x.MemoryFootprint()
+			}
+			return 0
+		})
+	})
+	m.Gauge("jsonidx.seeks", func() int64 {
+		return e.sumStates(func(st *tableState) int64 {
+			if x := st.jsonIdx(); x != nil {
+				return x.Seeks()
+			}
+			return 0
+		})
+	})
+	m.Gauge("synopsis.bytes", func() int64 {
+		return e.sumStates(func(st *tableState) int64 {
+			if s := st.synopsis(); s != nil {
+				return s.MemoryFootprint()
+			}
+			return 0
+		})
+	})
+	m.Gauge("synopsis.checks", func() int64 {
+		return e.sumStates(func(st *tableState) int64 {
+			c, _ := st.synopsis().PruneStats()
+			return c
+		})
+	})
+	m.Gauge("synopsis.exclusions", func() int64 {
+		return e.sumStates(func(st *tableState) int64 {
+			_, h := st.synopsis().PruneStats()
+			return h
+		})
+	})
+}
+
+// sumStates folds f over every table state, dataset partitions included.
+// Parent states are snapshotted under e.mu; each parent's partition list is
+// read under its own query lock (the lock that guards refresh swaps).
+func (e *Engine) sumStates(f func(*tableState) int64) int64 {
+	e.mu.Lock()
+	parents := make([]*tableState, 0, len(e.tables))
+	for _, st := range e.tables {
+		parents = append(parents, st)
+	}
+	e.mu.Unlock()
+	var total int64
+	for _, st := range parents {
+		if st.ds != nil {
+			st.qmu.Lock()
+			parts := append([]*tableState(nil), st.ds.parts...)
+			st.qmu.Unlock()
+			for _, ps := range parts {
+				total += f(ps)
+			}
+			continue
+		}
+		total += f(st)
+	}
+	return total
+}
+
+// emitEvent records one lifecycle event, splitting a partition-namespaced
+// table name ("parent#partID") into its parent and partition, and bumps the
+// per-kind counter.
+func (e *Engine) emitEvent(kind obs.EventKind, structure, table string, bytes int64, reason string) {
+	parent, part := table, ""
+	if i := strings.IndexByte(table, '#'); i >= 0 {
+		parent, part = table[:i], table[i+1:]
+	}
+	e.events.Emit(obs.Event{
+		Kind: kind, Structure: structure,
+		Table: parent, Partition: part,
+		Bytes: bytes, Reason: reason,
+	})
+	e.metrics.Counter("lifecycle." + kind.String()).Inc()
+}
+
+// observeBudgetEviction turns a unified-budget eviction into a lifecycle
+// event. Budget keys are "<structure>:<table>" (shreds append "#<seq>").
+func (e *Engine) observeBudgetEviction(key string, size int64) {
+	structure, rest := key, ""
+	if i := strings.IndexByte(key, ':'); i >= 0 {
+		structure, rest = key[:i], key[i+1:]
+	}
+	if structure == "shred" {
+		if i := strings.LastIndexByte(rest, '#'); i >= 0 {
+			rest = rest[:i]
+		}
+	}
+	e.metrics.Counter("budget.evictions").Inc()
+	e.metrics.Counter("budget.evicted_bytes").Add(size)
+	e.emitEvent(obs.EventEvicted, structure, rest, size, "budget")
+}
+
+// emitInvalidated reports every structure a table state currently holds as
+// invalidated (the raw file changed, the partition vanished, or the table
+// was dropped). Called right before the caches are released.
+func (e *Engine) emitInvalidated(st *tableState, reason string) {
+	name := st.tab.Name
+	if pm := st.posMap(); pm != nil {
+		e.emitEvent(obs.EventInvalidated, "posmap", name, pm.MemoryFootprint(), reason)
+	}
+	if x := st.jsonIdx(); x != nil {
+		e.emitEvent(obs.EventInvalidated, "jsonidx", name, x.MemoryFootprint(), reason)
+	}
+	if s := st.synopsis(); s != nil {
+		e.emitEvent(obs.EventInvalidated, "synopsis", name, s.MemoryFootprint(), reason)
+	}
+	if n := len(e.shreds.ShredsOf(name)); n > 0 {
+		e.emitEvent(obs.EventInvalidated, "shred", name, 0, reason)
+	}
+}
+
+// foldStats folds one query's Stats into the cumulative registry. Called at
+// the end of run, so hot scan loops never touch a counter.
+func (e *Engine) foldStats(stats *Stats) {
+	m := e.metrics
+	m.Counter("query.count").Inc()
+	m.Histogram("query.ns").Observe(stats.Elapsed.Nanoseconds())
+	m.Counter("query.rows_out").Add(int64(stats.RowsOut))
+	m.Counter("jit.template.hits").Add(int64(stats.TemplateHits))
+	m.Counter("jit.template.misses").Add(int64(stats.TemplateMisses))
+	m.Counter("shred.serves").Add(int64(stats.ShredHits))
+	m.Counter("push.preds").Add(int64(stats.PredsPushed))
+	m.Counter("prune.rows").Add(stats.RowsPruned)
+	m.Counter("prune.blocks").Add(stats.BlocksSkipped)
+	m.Counter("prune.morsels").Add(int64(stats.MorselsSkipped))
+	m.Counter("prune.partitions").Add(int64(stats.PartitionsSkipped))
+	m.Counter("scan.partitions").Add(int64(stats.PartitionsScanned))
+	if stats.ManifestRefresh > 0 {
+		m.Counter("manifest.refresh.count").Inc()
+		m.Histogram("manifest.refresh.ns").Observe(stats.ManifestRefresh.Nanoseconds())
+	}
+}
+
+// emitCaptured reports a structure freshly built by a query. The engine
+// calls it from the onComplete hooks that install structures, so only
+// builds that actually published are reported.
+func (pc *planCtx) emitCaptured(structure string, tab *catalog.Table, bytes int64) {
+	pc.e.emitEvent(obs.EventCaptured, structure, tab.Name, bytes, "scan")
+}

@@ -8,6 +8,7 @@ import (
 	"rawdb/internal/insitu"
 	"rawdb/internal/jit"
 	"rawdb/internal/jsonidx"
+	"rawdb/internal/obs"
 	"rawdb/internal/posmap"
 	"rawdb/internal/shred"
 	"rawdb/internal/storage/csvfile"
@@ -122,11 +123,13 @@ func (pc *planCtx) planParallel(r *resolvedQuery) (exec.Operator, bool, error) {
 
 	bs := pc.e.cfg.BatchSize
 	if !hasAgg {
+		mspans := pc.wrapMorsels(parts)
 		par, err := exec.NewParallel(parts, pc.workers, bs, done)
 		if err != nil {
 			return nil, false, err
 		}
-		p := &pipe{op: par, pos: make(map[boundRef]int), rid: map[int]int{0: -1}}
+		xop, xspan := pc.wrapExchange(par, len(parts), mspans)
+		p := &pipe{op: xop, pos: make(map[boundRef]int), rid: map[int]int{0: -1}, span: xspan}
 		for i, c := range cols {
 			p.pos[boundRef{0, c}] = i
 		}
@@ -142,6 +145,30 @@ func (pc *planCtx) planParallel(r *resolvedQuery) (exec.Operator, bool, error) {
 		return nil, false, err
 	}
 	return op, true, nil
+}
+
+// wrapMorsels wraps each morsel pipeline in its own span, one
+// chrome://tracing lane per morsel so concurrent workers render side by
+// side. Returns the spans for re-parenting under the exchange span (nil when
+// tracing is off).
+func (pc *planCtx) wrapMorsels(parts []exec.Operator) []*obs.Span {
+	if pc.trace == nil {
+		return nil
+	}
+	spans := make([]*obs.Span, len(parts))
+	for i := range parts {
+		s := pc.trace.NewSpan(fmt.Sprintf("morsel[%d]", i))
+		s.SetLane(i + 1)
+		parts[i] = exec.WithSpan(parts[i], s)
+		spans[i] = s
+	}
+	return spans
+}
+
+// wrapExchange wraps the parallel exchange operator in its span, re-parenting
+// the morsel spans beneath it.
+func (pc *planCtx) wrapExchange(op exec.Operator, nmorsels int, children []*obs.Span) (exec.Operator, *obs.Span) {
+	return pc.opSpan(op, fmt.Sprintf("exchange[workers=%d morsels=%d]", pc.workers, nmorsels), children...)
 }
 
 // filterParts clones a Filter for the residual predicates onto each morsel
@@ -243,11 +270,12 @@ func (pc *planCtx) finishParallelAgg(r *resolvedQuery, parts []exec.Operator,
 		}
 		parts[i] = agg
 	}
+	mspans := pc.wrapMorsels(parts)
 	par, err := exec.NewParallel(parts, pc.workers, pc.e.cfg.BatchSize, done)
 	if err != nil {
 		return nil, err
 	}
-	var child exec.Operator = par
+	child, top := pc.wrapExchange(par, len(parts), mspans)
 	if guardIdx >= 0 {
 		f, err := exec.NewFilter(child, []exec.Pred{{Col: guardIdx, Op: exec.Gt, I64: 0}})
 		if err != nil {
@@ -272,11 +300,18 @@ func (pc *planCtx) finishParallelAgg(r *resolvedQuery, parts []exec.Operator,
 	if err != nil {
 		return nil, err
 	}
+	out, top := pc.opSpan(fagg,
+		fmt.Sprintf("final-aggregate[groups=%d aggs=%d]", len(finalGroup), len(finalSpecs)), top)
 	names := make([]string, len(r.items))
 	for i, it := range r.items {
 		names[i] = it.name
 	}
-	return exec.NewProject(fagg, aggOut, names)
+	pr, err := exec.NewProject(out, aggOut, names)
+	if err != nil {
+		return nil, err
+	}
+	fin, _ := pc.opSpan(pr, "project", top)
+	return fin, nil
 }
 
 // skipMorsels drops row ranges a zone map excludes before they are ever
@@ -509,11 +544,29 @@ func (pc *planCtx) morselScans(r *resolvedQuery, cols []int, candidates []boundP
 			pc.pathf("par[%d]:jit:bin(%s)", len(parts), tab.Name)
 			pc.notePush(tab.Name, len(pushable), skip != nil)
 			mergeSyn := pc.mergeSynopsis(st, synFrags)
+			if buildSyn {
+				pc.noteSynCapture(st)
+			}
+			if len(caps) > 0 {
+				pc.noteShredCapture(tab, cols)
+			}
 			return parts, pc.captureDone(tab, cols, caps, mergeSyn), rest, true, nil
 		}
 		return nil, nil, nil, false, nil
 	}
 	return nil, nil, nil, false, nil
+}
+
+// noteSynCapture emits a captured lifecycle event iff the completion hooks
+// installed a new synopsis (mergeSynopsis declines on a row-count mismatch,
+// so the event is gated on the pointer actually changing).
+func (pc *planCtx) noteSynCapture(st *tableState) {
+	old := st.synopsis()
+	pc.onComplete = append(pc.onComplete, func() {
+		if s := st.synopsis(); s != nil && s != old {
+			pc.emitCaptured("synopsis", st.tab, s.MemoryFootprint())
+		}
+	})
 }
 
 // mergeSynopsis returns the merge-on-completion hook concatenating per-
@@ -609,6 +662,9 @@ func (pc *planCtx) csvMorsels(r *resolvedQuery, cols []int, candidates []boundPr
 		} else {
 			pc.pathf("par[%d]:insitu:viamap(%s)", len(parts), tab.Name)
 		}
+		if len(caps) > 0 {
+			pc.noteShredCapture(tab, cols)
+		}
 		return parts, pc.captureDone(tab, cols, caps, nil), residual, true, nil
 	}
 
@@ -686,6 +742,19 @@ func (pc *planCtx) csvMorsels(r *resolvedQuery, cols []int, candidates []boundPr
 		pc.notePush(tab.Name, len(pushable), false)
 	} else {
 		pc.pathf("par[%d]:insitu:seq(%s)", len(parts), tab.Name)
+	}
+	oldPM := st.posMap()
+	pc.noteBuilt("posmap", tab, func() int64 {
+		if pm := st.posMap(); pm != nil && pm != oldPM {
+			return pm.MemoryFootprint()
+		}
+		return 0
+	})
+	if buildSyn {
+		pc.noteSynCapture(st)
+	}
+	if len(caps) > 0 {
+		pc.noteShredCapture(tab, cols)
 	}
 	return parts, pc.captureDone(tab, cols, caps, mergePM), residual, true, nil
 }
@@ -765,6 +834,9 @@ func (pc *planCtx) jsonMorsels(r *resolvedQuery, cols []int, candidates []boundP
 		} else {
 			pc.pathf("par[%d]:insitu:json(%s)", len(parts), tab.Name)
 		}
+		if len(caps) > 0 {
+			pc.noteShredCapture(tab, cols)
+		}
 		return parts, pc.captureDone(tab, cols, caps, nil), residual, true, nil
 	}
 
@@ -833,6 +905,19 @@ func (pc *planCtx) jsonMorsels(r *resolvedQuery, cols []int, candidates []boundP
 		pc.notePush(tab.Name, len(pushable), false)
 	} else {
 		pc.pathf("par[%d]:insitu:jsonseq(%s)", len(parts), tab.Name)
+	}
+	oldIdx := st.jsonIdx()
+	pc.noteBuilt("jsonidx", tab, func() int64 {
+		if idx := st.jsonIdx(); idx != nil && idx != oldIdx {
+			return idx.MemoryFootprint()
+		}
+		return 0
+	})
+	if buildSyn {
+		pc.noteSynCapture(st)
+	}
+	if len(caps) > 0 {
+		pc.noteShredCapture(tab, cols)
 	}
 	return parts, pc.captureDone(tab, cols, caps, mergeIdx), residual, true, nil
 }

@@ -2,12 +2,14 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"rawdb/internal/catalog"
 	"rawdb/internal/exec"
 	"rawdb/internal/insitu"
 	"rawdb/internal/jit"
 	"rawdb/internal/jsonidx"
+	"rawdb/internal/obs"
 	"rawdb/internal/posmap"
 	"rawdb/internal/shred"
 	"rawdb/internal/storage/csvfile"
@@ -43,6 +45,22 @@ type planCtx struct {
 	// publishing freshly built synopses and folding scan-side pushdown
 	// counters into stats.
 	onComplete []func()
+
+	// trace, when non-nil, collects operator spans: plan sites wrap the
+	// operators they build (exec.WithSpan) and phase work is timed. A nil
+	// trace leaves the plan untouched — the zero-cost disabled path.
+	trace *obs.Trace
+	// probes pairs each registered pushdown-counter closure with the scan
+	// span it belongs to (assigned when the enclosing scan site finishes
+	// building), so per-operator prune counts land on the right span.
+	probes []*pruneProbe
+}
+
+// pruneProbe defers a scan's runtime prune counters to onComplete time and
+// remembers which span should be annotated with them.
+type pruneProbe struct {
+	f    func() (rows, blocks int64)
+	span *obs.Span
 }
 
 // jitCapable reports whether the strategy generates access paths predicates
@@ -172,6 +190,7 @@ func (pc *planCtx) newSynBuilder(st *tableState, cols []int, absorbed []exec.Pre
 	pc.onComplete = append(pc.onComplete, func() {
 		if syn := b.Finish(); syn != nil && (st.nrows < 0 || syn.NRows() == st.nrows) {
 			st.setSynopsis(syn)
+			pc.emitCaptured("synopsis", st.tab, syn.MemoryFootprint())
 		}
 	})
 	return b
@@ -204,13 +223,50 @@ func (pc *planCtx) notePush(table string, npush int, zmap bool) {
 	}
 }
 
-// pushStats folds a scan's runtime pushdown counters into the query stats
-// once execution finished.
-func (pc *planCtx) pushStats(f func() (int64, int64)) {
+// noteBuilt emits a captured lifecycle event for a navigation structure
+// installed at plan time and populated during the scan; the footprint is read
+// after execution, when the structure actually holds data.
+func (pc *planCtx) noteBuilt(structure string, tab *catalog.Table, footprint func() int64) {
 	pc.onComplete = append(pc.onComplete, func() {
-		rows, blocks := f()
+		if n := footprint(); n > 0 {
+			pc.emitCaptured(structure, tab, n)
+		}
+	})
+}
+
+// noteShredCapture emits captured lifecycle events for the columns a raw-file
+// scan published into the shred pool, once the query completed. ShredsOf is
+// used instead of a lookup so the event probe does not perturb the pool's
+// hit/miss statistics or its LRU order.
+func (pc *planCtx) noteShredCapture(tab *catalog.Table, cols []int) {
+	want := append([]int(nil), cols...)
+	pc.onComplete = append(pc.onComplete, func() {
+		shs := pc.e.shreds.ShredsOf(tab.Name)
+		for _, c := range want {
+			for _, s := range shs {
+				if s.Key().Col == c {
+					pc.emitCaptured("shred", tab, s.SizeBytes())
+					break
+				}
+			}
+		}
+	})
+}
+
+// pushStats folds a scan's runtime pushdown counters into the query stats
+// once execution finished, and annotates the scan's span (assigned later by
+// the wrapping site) with the same counts.
+func (pc *planCtx) pushStats(f func() (int64, int64)) {
+	probe := &pruneProbe{f: f}
+	pc.probes = append(pc.probes, probe)
+	pc.onComplete = append(pc.onComplete, func() {
+		rows, blocks := probe.f()
 		pc.stats.RowsPruned += rows
 		pc.stats.BlocksSkipped += blocks
+		if probe.span != nil && (rows > 0 || blocks > 0) {
+			probe.span.AddAttrInt("rows_pruned", rows)
+			probe.span.AddAttrInt("blocks_skipped", blocks)
+		}
 	})
 }
 
@@ -221,14 +277,77 @@ type pipe struct {
 	op  exec.Operator
 	pos map[boundRef]int
 	rid map[int]int
+	// span is the trace span of the pipeline's topmost wrapped operator
+	// (nil when tracing is off). Wrapping sites re-parent it under each new
+	// span so the rendered trace recovers the plan tree.
+	span *obs.Span
 }
 
 func (p *pipe) width() int { return len(p.op.Schema()) }
+
+// traceWrap wraps the pipe's current operator in a named span and makes it
+// the pipe's top span. No-op (returns nil) when tracing is off.
+func (pc *planCtx) traceWrap(p *pipe, name string) *obs.Span {
+	if pc.trace == nil {
+		return nil
+	}
+	s := pc.trace.NewSpan(name)
+	p.span.SetParent(s)
+	p.span = s
+	p.op = exec.WithSpan(p.op, s)
+	return s
+}
+
+// opSpan wraps a free-standing operator in a named span, re-parenting the
+// given child spans beneath it. Returns the operator unchanged (and a nil
+// span) when tracing is off.
+func (pc *planCtx) opSpan(op exec.Operator, name string, children ...*obs.Span) (exec.Operator, *obs.Span) {
+	if pc.trace == nil {
+		return op, nil
+	}
+	s := pc.trace.NewSpan(name)
+	for _, c := range children {
+		c.SetParent(s)
+	}
+	return exec.WithSpan(op, s), s
+}
+
+// scanMark snapshots the access-path and probe lists before a scan-building
+// call so the wrapping site can name the scan's span after the labels the
+// call appended and attach its prune probes.
+type scanMark struct{ paths, probes int }
+
+func (pc *planCtx) markScan() scanMark {
+	return scanMark{paths: len(pc.stats.AccessPaths), probes: len(pc.probes)}
+}
+
+// scanSpan wraps the pipe in a span named after the access-path labels
+// recorded since mark, attaching the prune probes registered since mark.
+func (pc *planCtx) scanSpan(p *pipe, mark scanMark) {
+	if pc.trace == nil {
+		return
+	}
+	labels := pc.stats.AccessPaths[mark.paths:]
+	name := "scan"
+	if len(labels) > 0 {
+		name = labels[0]
+	}
+	s := pc.traceWrap(p, name)
+	for _, l := range labels[1:] {
+		s.AddAttr("path", l)
+	}
+	for _, probe := range pc.probes[mark.probes:] {
+		if probe.span == nil {
+			probe.span = s
+		}
+	}
+}
 
 // plan builds the physical operator tree for a resolved query, preferring
 // the morsel-parallel plan when the query and cache state are eligible.
 func (pc *planCtx) plan(r *resolvedQuery) (exec.Operator, error) {
 	if pc.workers > 1 {
+		mark := pc.trace.Mark()
 		op, ok, err := pc.planParallel(r)
 		if err != nil {
 			return nil, err
@@ -236,6 +355,9 @@ func (pc *planCtx) plan(r *resolvedQuery) (exec.Operator, error) {
 		if ok {
 			return op, nil
 		}
+		// The attempt fell back to serial: its spans describe a plan that
+		// never runs, so drop them from the trace.
+		pc.trace.Rewind(mark)
 	}
 	var p *pipe
 	var err error
@@ -409,8 +531,9 @@ func (pc *planCtx) planJoin(r *resolvedQuery) (*pipe, error) {
 	if err != nil {
 		return nil, err
 	}
+	jop, jspan := pc.opSpan(join, "hashjoin", left.span, right.span)
 	// Merge layouts: right positions shift by the left width.
-	merged := &pipe{op: join, pos: make(map[boundRef]int), rid: map[int]int{0: -1, 1: -1}}
+	merged := &pipe{op: jop, pos: make(map[boundRef]int), rid: map[int]int{0: -1, 1: -1}, span: jspan}
 	off := left.width()
 	for ref, i := range left.pos {
 		merged.pos[ref] = i
@@ -488,15 +611,30 @@ func (pc *planCtx) applyFilter(p *pipe, t int, preds []boundPred) error {
 		return err
 	}
 	p.op = f
+	pc.traceWrap(p, fmt.Sprintf("filter[%d]", len(preds)))
 	return nil
 }
 
-// baseScan builds the bottom access path for table t materialising cols
+// baseScan builds the bottom access path for table t and, when tracing,
+// wraps it in a span named after the access path the strategy chose, with
+// the scan's prune probes attached so runtime counters land on the span.
+func (pc *planCtx) baseScan(r *resolvedQuery, t int, cols []int, needRID bool,
+	candidates []boundPred) (*pipe, []boundPred, error) {
+	mark := pc.markScan()
+	p, residual, err := pc.baseScanInner(r, t, cols, needRID, candidates)
+	if err != nil {
+		return nil, nil, err
+	}
+	pc.scanSpan(p, mark)
+	return p, residual, nil
+}
+
+// baseScanInner builds the bottom access path for table t materialising cols
 // (sorted), optionally emitting the hidden row-id column, and registers the
 // resulting layout. candidates are the predicates on cols; the access path
 // absorbs what it can (JIT strategies) and returns the rest as the residual
 // the caller must still filter.
-func (pc *planCtx) baseScan(r *resolvedQuery, t int, cols []int, needRID bool,
+func (pc *planCtx) baseScanInner(r *resolvedQuery, t int, cols []int, needRID bool,
 	candidates []boundPred) (*pipe, []boundPred, error) {
 	bt := r.tables[t]
 	st := bt.st
@@ -600,6 +738,7 @@ func (pc *planCtx) baseScanInSitu(p *pipe, r *resolvedQuery, t int, cols []int,
 			return nil, err
 		}
 		st.setPosMap(pm)
+		pc.noteBuilt("posmap", tab, pm.MemoryFootprint)
 		p.op = sc
 		layout(cols, -1)
 		pc.pathf("insitu:seq(%s)", tab.Name)
@@ -640,6 +779,7 @@ func (pc *planCtx) baseScanInSitu(p *pipe, r *resolvedQuery, t int, cols []int,
 			sc, err = jit.NewJSONSequentialScan(st.jsonData, tab, cols, idx, false, bs)
 			if err == nil {
 				st.setJSONIdx(idx)
+				pc.noteBuilt("jsonidx", tab, idx.MemoryFootprint)
 				if st.nrows < 0 {
 					st.nrows = jsonfile.CountRows(st.jsonData)
 				}
@@ -775,6 +915,7 @@ func (pc *planCtx) baseScanJIT(p *pipe, r *resolvedQuery, t int, cols []int, nee
 				return nil, nil, err
 			}
 			st.setPosMap(pm)
+			pc.noteBuilt("posmap", tab, pm.MemoryFootprint)
 			op = sc
 			absorbed = opts.Preds
 			pc.pushStats(sc.PushStats)
@@ -805,6 +946,7 @@ func (pc *planCtx) baseScanJIT(p *pipe, r *resolvedQuery, t int, cols []int, nee
 				return nil, nil, err
 			}
 			st.setJSONIdx(idx)
+			pc.noteBuilt("jsonidx", tab, idx.MemoryFootprint)
 			op = sc
 			absorbed = opts.Preds
 			pc.pushStats(sc.PushStats)
@@ -921,6 +1063,7 @@ func (pc *planCtx) baseScanJIT(p *pipe, r *resolvedQuery, t int, cols []int, nee
 			return nil, nil, err
 		}
 		op = cap
+		pc.noteShredCapture(tab, uncached)
 	}
 
 	// Append cached columns via their row ids.
@@ -957,10 +1100,21 @@ func (pc *planCtx) baseScanJIT(p *pipe, r *resolvedQuery, t int, cols []int, nee
 	return p, residual, nil
 }
 
-// lateScan appends the given columns of table t to the pipeline via a
+// lateScan appends the given columns of table t via a column-shred access
+// path, wrapping the result in a span named after the chosen path.
+func (pc *planCtx) lateScan(p *pipe, r *resolvedQuery, t int, cols []int) error {
+	mark := pc.markScan()
+	if err := pc.lateScanInner(p, r, t, cols); err != nil {
+		return err
+	}
+	pc.scanSpan(p, mark)
+	return nil
+}
+
+// lateScanInner appends the given columns of table t to the pipeline via a
 // column-shred access path, preferring cached shreds over raw access, and
 // captures newly read shreds into the pool.
-func (pc *planCtx) lateScan(p *pipe, r *resolvedQuery, t int, cols []int) error {
+func (pc *planCtx) lateScanInner(p *pipe, r *resolvedQuery, t int, cols []int) error {
 	st := r.tables[t].st
 	tab := st.tab
 	ridIdx := p.rid[t]
@@ -1063,6 +1217,7 @@ func (pc *planCtx) lateScan(p *pipe, r *resolvedQuery, t int, cols []int) error 
 			return err
 		}
 		p.op = cap
+		pc.noteShredCapture(tab, sorted)
 	}
 	return nil
 }
@@ -1088,7 +1243,12 @@ func (pc *planCtx) finish(r *resolvedQuery, p *pipe) (exec.Operator, error) {
 			idxs[i] = pos
 			names[i] = it.name
 		}
-		return exec.NewProject(p.op, idxs, names)
+		pr, err := exec.NewProject(p.op, idxs, names)
+		if err != nil {
+			return nil, err
+		}
+		op, _ := pc.opSpan(pr, "project", p.span)
+		return op, nil
 	}
 
 	groupIdx := make([]int, len(r.groupBy))
@@ -1151,7 +1311,8 @@ func (pc *planCtx) finish(r *resolvedQuery, p *pipe) (exec.Operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out exec.Operator = agg
+	out, top := pc.opSpan(agg,
+		fmt.Sprintf("aggregate[groups=%d aggs=%d]", len(groupIdx), len(specs)), p.span)
 	if len(r.having) > 0 {
 		preds := make([]exec.Pred, len(r.having))
 		for i, h := range r.having {
@@ -1161,24 +1322,35 @@ func (pc *planCtx) finish(r *resolvedQuery, p *pipe) (exec.Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		out = f
+		out, top = pc.opSpan(f, fmt.Sprintf("having[%d]", len(preds)), top)
 	}
 	// Re-order to the SELECT list.
 	names := make([]string, len(r.items))
 	for i, it := range r.items {
 		names[i] = it.name
 	}
-	return exec.NewProject(out, aggOut, names)
+	pr, err := exec.NewProject(out, aggOut, names)
+	if err != nil {
+		return nil, err
+	}
+	fin, _ := pc.opSpan(pr, "project", top)
+	return fin, nil
 }
 
 // ensureTemplate consults the JIT template cache, charging simulated compile
-// latency on a miss.
+// latency on a miss (which, when tracing, shows up as a jit-compile span).
 func (pc *planCtx) ensureTemplate(sp jit.Spec) {
+	start := time.Now()
 	_, hit := pc.e.templates.Ensure(sp)
 	if hit {
 		pc.stats.TemplateHits++
-	} else {
-		pc.stats.TemplateMisses++
+		return
+	}
+	pc.stats.TemplateMisses++
+	if pc.trace != nil {
+		s := pc.trace.NewSpan("jit-compile")
+		s.AddAttr("table", sp.Table)
+		s.Window(start, time.Now())
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rawdb/internal/exec"
+	"rawdb/internal/obs"
 	"rawdb/internal/shred"
 	"rawdb/internal/sql"
 )
@@ -20,11 +21,16 @@ func (e *Engine) Query(src string) (*Result, error) {
 
 // QueryOpt executes one SQL statement with per-query option overrides.
 func (e *Engine) QueryOpt(src string, opts Options) (*Result, error) {
+	tr := opts.Trace
+	sp := tr.Phase("parse")
 	q, err := sql.Parse(src)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = tr.Phase("analyze")
 	r, err := e.analyze(q)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -54,28 +60,34 @@ func (e *Engine) QueryOpt(src string, opts Options) (*Result, error) {
 		zonemaps = *opts.ZoneMaps
 	}
 
-	res, err := e.run(r, strategy, place, multi, workers, pushdown, zonemaps, true)
+	res, err := e.run(r, strategy, place, multi, workers, pushdown, zonemaps, true, tr)
 	if err != nil && errors.Is(err, shred.ErrNotCached) {
 		// An optimistically chosen partial shred did not subsume this
 		// query's rows; replan without cache reuse (the raw file remains the
 		// source of truth).
-		res, err = e.run(r, strategy, place, multi, workers, pushdown, zonemaps, false)
+		tr.Phase("replan: shred miss").End()
+		res, err = e.run(r, strategy, place, multi, workers, pushdown, zonemaps, false, tr)
 	}
 	return res, err
 }
 
 func (e *Engine) run(r *resolvedQuery, strategy Strategy, place JoinPlacement,
-	multi bool, workers int, pushdown, zonemaps, useCache bool) (*Result, error) {
+	multi bool, workers int, pushdown, zonemaps, useCache bool, tr *obs.Trace) (*Result, error) {
 	unlock := lockTables(r)
 	defer unlock()
 	// Incremental discovery: datasets re-stat their directories under the
 	// query locks, so newly-arrived files join this query and rewritten or
 	// truncated ones are invalidated per partition before planning reads any
 	// cached structure.
-	if err := e.refreshDatasets(r); err != nil {
+	sp := tr.Phase("manifest-refresh")
+	refreshStart := time.Now()
+	err := e.refreshDatasets(r)
+	refresh := time.Since(refreshStart)
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
-	stats := &Stats{Strategy: strategy}
+	stats := &Stats{Strategy: strategy, ManifestRefresh: refresh}
 	pc := &planCtx{
 		e:        e,
 		strategy: strategy,
@@ -86,13 +98,18 @@ func (e *Engine) run(r *resolvedQuery, strategy Strategy, place JoinPlacement,
 		pushdown: pushdown,
 		zonemaps: zonemaps,
 		stats:    stats,
+		trace:    tr,
 	}
 	start := time.Now()
+	sp = tr.Phase("plan")
 	op, err := pc.plan(r)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("engine: planning %s: %w", r.describe(), err)
 	}
+	sp = tr.Phase("execute")
 	cols, err := exec.Collect(op)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +122,9 @@ func (e *Engine) run(r *resolvedQuery, strategy Strategy, place JoinPlacement,
 	// Refresh unified-budget accounting and schedule vault write-backs for
 	// structures this query built or grew (locks still held: the encodes
 	// snapshot consistent state; only disk I/O happens asynchronously).
+	sp = tr.Phase("vault-publish")
 	e.vaultUpdate(r)
+	sp.End()
 	schema := op.Schema()
 	res := &Result{Stats: *stats, cols: cols}
 	for _, c := range schema {
@@ -113,6 +132,7 @@ func (e *Engine) run(r *resolvedQuery, strategy Strategy, place JoinPlacement,
 		res.Types = append(res.Types, c.Type)
 	}
 	res.Stats.RowsOut = res.NumRows()
+	e.foldStats(&res.Stats)
 	return res, nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"rawdb/internal/catalog"
 	"rawdb/internal/jsonidx"
+	"rawdb/internal/obs"
 	"rawdb/internal/posmap"
 	"rawdb/internal/shred"
 	"rawdb/internal/synopsis"
@@ -73,6 +74,11 @@ func (e *Engine) vaultLoad(st *tableState) {
 	}
 	st.fp, st.hasFP = fp, true
 	name := st.tab.Name
+	restored := func(structure string, bytes int64) {
+		e.metrics.Counter("vault.restored").Inc()
+		e.metrics.Counter("vault.restored_bytes").Add(bytes)
+		e.emitEvent(obs.EventRestored, structure, name, bytes, "vault")
+	}
 	switch st.tab.Format {
 	case catalog.CSV:
 		if pm := e.vault.LoadPosMap(name, fp); pm != nil && pm.NRows() > 0 {
@@ -81,6 +87,7 @@ func (e *Engine) vaultLoad(st *tableState) {
 			if st.nrows < 0 {
 				st.nrows = pm.NRows()
 			}
+			restored("posmap", pm.MemoryFootprint())
 		}
 	case catalog.JSON:
 		if x := e.vault.LoadJSONIdx(name, fp); x != nil && x.NRows() > 0 {
@@ -89,6 +96,7 @@ func (e *Engine) vaultLoad(st *tableState) {
 			if st.nrows < 0 {
 				st.nrows = x.NRows()
 			}
+			restored("jsonidx", x.MemoryFootprint())
 		}
 	}
 	if !e.cfg.DisableZoneMaps {
@@ -96,16 +104,23 @@ func (e *Engine) vaultLoad(st *tableState) {
 			(st.nrows < 0 || syn.NRows() == st.nrows) {
 			st.setSynopsis(syn)
 			st.savedSyn = syn
+			restored("synopsis", syn.MemoryFootprint())
 		}
 	}
 	if !e.cfg.DisableShredCache {
+		before := e.shreds.SizeBytes()
+		n := 0
 		for _, ts := range e.vault.LoadShreds(name, fp) {
 			if ts.Col >= len(st.tab.Schema) || ts.Vec.Type != st.tab.Schema[ts.Col].Type {
 				continue // defense in depth; the schema hash should prevent this
 			}
 			e.shreds.Put(shred.Key{Table: name, Col: ts.Col}, ts.RowIDs, ts.Vec)
+			n++
 		}
 		st.savedShredVer = e.shreds.TableVersion(name)
+		if n > 0 {
+			restored("shred", e.shreds.SizeBytes()-before)
+		}
 	}
 	e.accountState(st)
 }
@@ -267,6 +282,7 @@ func (e *Engine) vaultSaveAsync(st *tableState) {
 		return
 	}
 	st.installMarkers(m)
+	e.notePublish(writes)
 	name := st.tab.Name
 	e.vaultWG.Add(1)
 	go func() {
@@ -277,6 +293,17 @@ func (e *Engine) vaultSaveAsync(st *tableState) {
 			_ = e.vault.WriteEntry(name, w.kind, w.data)
 		}
 	}()
+}
+
+// notePublish accounts a committed batch of vault write-backs in the
+// registry (entry count and encoded bytes).
+func (e *Engine) notePublish(writes []vaultWrite) {
+	var bytes int64
+	for _, w := range writes {
+		bytes += int64(len(w.data))
+	}
+	e.metrics.Counter("vault.publish.entries").Add(int64(len(writes)))
+	e.metrics.Counter("vault.publish.bytes").Add(bytes)
 }
 
 // FlushVault writes back every dirty structure synchronously and waits for
@@ -310,6 +337,7 @@ func (e *Engine) FlushVault() {
 			}
 			s.wmu.Lock() // waits for any in-flight async write of this table
 			s.installMarkers(m)
+			e.notePublish(writes)
 			for _, w := range writes {
 				_ = e.vault.WriteEntry(s.tab.Name, w.kind, w.data)
 			}

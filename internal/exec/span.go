@@ -1,0 +1,64 @@
+package exec
+
+import (
+	"time"
+
+	"rawdb/internal/obs"
+	"rawdb/internal/vector"
+)
+
+// spanOp wraps an operator with a tracing span: it times Open/Next/Close
+// and counts emitted rows and batches, passing every batch through
+// untouched — the selection vector, column pointers and batch identity are
+// exactly what the child produced, so instrumentation can never perturb
+// results.
+type spanOp struct {
+	child Operator
+	span  *obs.Span
+}
+
+// WithSpan wraps child so that its lifetime and per-batch output are
+// recorded in span. A nil span returns child unchanged — tracing disabled
+// means the operator tree is bit-identical to the untraced plan and carries
+// zero per-batch overhead.
+func WithSpan(child Operator, span *obs.Span) Operator {
+	if span == nil {
+		return child
+	}
+	return &spanOp{child: child, span: span}
+}
+
+func (s *spanOp) Schema() vector.Schema { return s.child.Schema() }
+
+func (s *spanOp) Open() error {
+	s.span.Opened()
+	return s.child.Open()
+}
+
+func (s *spanOp) Next() (*vector.Batch, error) {
+	t0 := time.Now()
+	b, err := s.child.Next()
+	s.span.Observe(time.Since(t0), BatchRows(b))
+	return b, err
+}
+
+func (s *spanOp) Close() error {
+	err := s.child.Close()
+	s.span.Closed()
+	return err
+}
+
+// BatchRows returns the number of live rows in a batch: the selection
+// vector's length when one is present, the physical column length otherwise.
+func BatchRows(b *vector.Batch) int {
+	if b == nil {
+		return 0
+	}
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	if len(b.Cols) == 0 {
+		return 0
+	}
+	return b.Cols[0].Len()
+}

@@ -1,0 +1,90 @@
+package exec
+
+import (
+	"testing"
+
+	"rawdb/internal/obs"
+	"rawdb/internal/vector"
+)
+
+// TestWithSpanNilIdentity pins the zero-cost-when-off contract at its root:
+// wrapping with a nil span must return the child operator itself — same
+// interface value, no indirection — so an untraced plan is bit-identical to
+// the pre-instrumentation plan.
+func TestWithSpanNilIdentity(t *testing.T) {
+	vals := vector.New(vector.Int64, 4)
+	for i := int64(0); i < 4; i++ {
+		vals.AppendInt64(i)
+	}
+	sc, err := NewMemScan(vector.Schema{{Name: "c", Type: vector.Int64}}, []*vector.Vector{vals}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := WithSpan(sc, nil); got != Operator(sc) {
+		t.Fatalf("WithSpan(op, nil) = %T(%p), want the child unchanged", got, got)
+	}
+}
+
+// TestWithSpanCounts drives a wrapped operator and checks the span's
+// per-batch accounting, including selection-vector awareness of BatchRows.
+func TestWithSpanCounts(t *testing.T) {
+	vals := vector.New(vector.Int64, 6)
+	for i := int64(0); i < 6; i++ {
+		vals.AppendInt64(i)
+	}
+	sc, err := NewMemScan(vector.Schema{{Name: "c", Type: vector.Int64}}, []*vector.Vector{vals}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace()
+	span := tr.NewSpan("memscan")
+	op := WithSpan(sc, span)
+	if op == Operator(sc) {
+		t.Fatal("WithSpan with a live span did not wrap")
+	}
+	if err := op.Open(); err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	for {
+		b, err := op.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		rows += BatchRows(b)
+	}
+	if err := op.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 6 {
+		t.Fatalf("drained %d rows, want 6", rows)
+	}
+	if span.Rows() != 6 || span.Batches() != 2 {
+		t.Fatalf("span rows=%d batches=%d, want 6/2", span.Rows(), span.Batches())
+	}
+	if span.Busy() < 0 {
+		t.Fatalf("negative busy time %v", span.Busy())
+	}
+}
+
+// TestBatchRowsSelAware checks that BatchRows honours a selection vector.
+func TestBatchRowsSelAware(t *testing.T) {
+	vals := vector.New(vector.Int64, 4)
+	for i := int64(0); i < 4; i++ {
+		vals.AppendInt64(i)
+	}
+	b := &vector.Batch{Cols: []*vector.Vector{vals}}
+	if got := BatchRows(b); got != 4 {
+		t.Fatalf("dense batch rows=%d, want 4", got)
+	}
+	b.Sel = []int32{0, 2}
+	if got := BatchRows(b); got != 2 {
+		t.Fatalf("selected batch rows=%d, want 2", got)
+	}
+	if got := BatchRows(nil); got != 0 {
+		t.Fatalf("nil batch rows=%d, want 0", got)
+	}
+}

@@ -81,7 +81,17 @@ type Table struct {
 	Title  string
 	Header []string
 	Rows   [][]string
+	// Metrics, when non-nil, is an engine metrics-registry snapshot taken
+	// from a representative engine after the experiment's final query:
+	// cumulative prune/pushdown counters, cache gauges and query-latency
+	// histograms. rawbench -json folds it into BENCH_<id>.json.
+	Metrics map[string]int64
 }
+
+// WithDefaults resolves zero-valued Config fields to their laptop-scale
+// defaults (exported so cmd/rawbench can report the effective parameters in
+// its machine-readable output).
+func (c Config) WithDefaults() Config { return c.withDefaults() }
 
 // Runner executes one experiment.
 type Runner struct {
@@ -97,6 +107,7 @@ func All() []Runner {
 		{"fig1b", "CSV Q2 warm: access-path comparison (selectivity avg/min/max)", RunFig1b},
 		{"fig2", "Binary Q2 warm: in-situ vs JIT vs DBMS sweep", RunFig2},
 		{"fig3", "Scan cost breakdown: generic in-situ vs JIT", RunFig3},
+		{"profile", "Scan cost breakdown in absolute ns/row (fig3 companion)", RunProfile},
 		{"fig5", "CSV Q2: full vs shredded columns sweep", RunFig5},
 		{"fig6", "Binary Q2: full vs shredded columns sweep", RunFig6},
 		{"table2", "Wide table Q1: loading vs in-situ", RunTable2},
@@ -243,6 +254,7 @@ func RunParallel(cfg Config) (*Table, error) {
 	const q = "SELECT MIN(col1), MAX(col1), COUNT(*) FROM t WHERE col1 >= 0"
 	t := &Table{ID: "parallel", Title: "Cold aggregate scan: morsel-parallel worker sweep",
 		Header: []string{"format", "workers", "seconds", "speedup_vs_1"}}
+	var last *engine.Engine
 	for _, format := range []string{"csv", "json"} {
 		var base time.Duration
 		for _, w := range sweep {
@@ -253,6 +265,7 @@ func RunParallel(cfg Config) (*Table, error) {
 					Parallelism:       w,
 					DisableShredCache: true,
 				})
+				last = e
 				var rerr error
 				if format == "csv" {
 					rerr = e.RegisterCSVData("t", ds.CSV, ds.Schema)
@@ -275,6 +288,9 @@ func RunParallel(cfg Config) (*Table, error) {
 			t.Rows = append(t.Rows, []string{format, fmt.Sprintf("%d", w), secs(d),
 				fmt.Sprintf("%.2fx", speedup)})
 		}
+	}
+	if last != nil {
+		t.Metrics = last.Metrics().Snapshot()
 	}
 	return t, nil
 }
@@ -364,6 +380,7 @@ func RunVault(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		t.Metrics = e2.Metrics().Snapshot() // vault.restored* counters live here
 		e2.Close()
 		t.Rows = append(t.Rows, []string{format, secs(cold), secs(restart), secs(memWarm)})
 	}
@@ -461,6 +478,7 @@ func RunPushdown(cfg Config) (*Table, error) {
 
 	// Phase 2: warm zone-map pruning over the sorted key, morsel-parallel.
 	zoneSels := []float64{0.001, 0.01, 0.1}
+	var lastOn *engine.Engine
 	for _, format := range []string{"csv", "json", "bin"} {
 		mk := func(noZones bool) (*engine.Engine, error) {
 			e := engine.New(engine.Config{
@@ -488,6 +506,7 @@ func RunPushdown(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		lastOn = eOn
 		for _, sel := range zoneSels {
 			q := fmt.Sprintf("SELECT COUNT(*) FROM t WHERE col1 < %d", workload.Threshold(sel))
 			off, err := timeQuery(cfg.Repeats, func() error { _, err := eOff.Query(q); return err })
@@ -512,6 +531,9 @@ func RunPushdown(cfg Config) (*Table, error) {
 				secs(off), secs(on), fmt.Sprintf("%.2fx", float64(off)/float64(on)),
 				fmt.Sprintf("%d morsels, %d blocks", skipped, blocks)})
 		}
+	}
+	if lastOn != nil {
+		t.Metrics = lastOn.Metrics().Snapshot() // prune.* and push.* counters
 	}
 	return t, nil
 }
@@ -713,6 +735,45 @@ func RunFig3(cfg Config) (*Table, error) {
 		t.Rows = append(t.Rows, []string{r.name,
 			secs(r.b.MainLoop), secs(r.b.Parsing), secs(r.b.Convert), secs(r.b.Build),
 			secs(r.b.Total())})
+	}
+	return t, nil
+}
+
+// RunProfile surfaces the Figure-3 subtractive breakdown with absolute
+// per-phase nanosecond costs plus a per-row rate — the machine-readable
+// companion to fig3's seconds table, meant for rawbench -json consumers that
+// track regressions in the scan inner loop.
+func RunProfile(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	ds, err := workload.Narrow(cfg.NarrowRows, 1)
+	if err != nil {
+		return nil, err
+	}
+	tab := ds.Table("t", catalog.CSV)
+	need := []int{0}
+	t := &Table{ID: "profile", Title: "Scan cost breakdown, absolute (SELECT MAX(col1), CSV)",
+		Header: []string{"variant", "main_loop_ns", "parsing_ns", "convert_ns", "build_ns", "total_ns", "ns_per_row"}}
+	for _, v := range []struct {
+		name string
+		run  func([]byte, *catalog.Table, []int) (profile.Breakdown, error)
+	}{{"In Situ", profile.GenericCSV}, {"JIT", profile.JITCSV}} {
+		var best profile.Breakdown
+		for rep := 0; rep < cfg.Repeats; rep++ {
+			b, err := v.run(ds.CSV, tab, need)
+			if err != nil {
+				return nil, err
+			}
+			if rep == 0 || b.Total() < best.Total() {
+				best = b
+			}
+		}
+		t.Rows = append(t.Rows, []string{v.name,
+			fmt.Sprintf("%d", best.MainLoop.Nanoseconds()),
+			fmt.Sprintf("%d", best.Parsing.Nanoseconds()),
+			fmt.Sprintf("%d", best.Convert.Nanoseconds()),
+			fmt.Sprintf("%d", best.Build.Nanoseconds()),
+			fmt.Sprintf("%d", best.Total().Nanoseconds()),
+			fmt.Sprintf("%.1f", float64(best.Total().Nanoseconds())/float64(cfg.NarrowRows))})
 	}
 	return t, nil
 }

@@ -103,6 +103,7 @@ func RunPartition(cfg Config) (*Table, error) {
 
 		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", parts), secs(cold),
 			secs(warm), secs(noprune), fmt.Sprintf("%d", skipped)})
+		t.Metrics = e.Metrics().Snapshot() // last sweep point's pruning engine
 	}
 	return t, nil
 }

@@ -44,6 +44,24 @@ type Index struct {
 	bytes int64 // accounted bytes of tracked paths (names + offsets)
 	max   int64 // byte budget for tracked paths
 	ver   uint64
+
+	// seeks counts Positions lookups that were served (observability: how
+	// often queries navigated via the structural index instead of reparsing).
+	seeks int64
+}
+
+// Seeks returns how many tracked-path lookups this index has served.
+func (x *Index) Seeks() int64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.seeks
+}
+
+// NPaths returns the number of tracked paths.
+func (x *Index) NPaths() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return len(x.paths)
 }
 
 // New returns an empty index; maxBytes <= 0 selects DefaultMaxBytes.
@@ -140,6 +158,7 @@ func (x *Index) Positions(path string) []int64 {
 	}
 	x.clock++
 	x.use[path] = x.clock
+	x.seeks++
 	return offs
 }
 

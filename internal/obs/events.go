@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// EventKind classifies an adaptive-structure lifecycle transition.
+type EventKind uint8
+
+// Lifecycle transitions. A structure is captured by a query (built as a
+// side effect of scanning raw data), restored from the persistent vault,
+// evicted by a memory budget, or invalidated because its raw file changed
+// or its table was dropped.
+const (
+	EventCaptured EventKind = iota
+	EventRestored
+	EventEvicted
+	EventInvalidated
+)
+
+// String returns the lifecycle label.
+func (k EventKind) String() string {
+	switch k {
+	case EventCaptured:
+		return "captured"
+	case EventRestored:
+		return "restored"
+	case EventEvicted:
+		return "evicted"
+	case EventInvalidated:
+		return "invalidated"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one adaptive-structure lifecycle transition.
+type Event struct {
+	Seq       int64 // monotonically increasing per EventLog
+	Time      time.Time
+	Kind      EventKind
+	Structure string // "posmap", "jsonidx", "synopsis", "shred", "manifest"
+	Table     string // logical (parent) table name
+	Partition string // dataset partition id, "" for plain tables
+	Bytes     int64  // structure size where known, 0 otherwise
+	Reason    string // e.g. "scan", "vault", "budget", "file-changed", "dropped"
+}
+
+// String renders the event as one human-readable line.
+func (ev Event) String() string {
+	name := ev.Table
+	if ev.Partition != "" {
+		name += "#" + ev.Partition
+	}
+	s := fmt.Sprintf("%-11s %-8s %s", ev.Kind, ev.Structure, name)
+	if ev.Bytes > 0 {
+		s += fmt.Sprintf(" %dB", ev.Bytes)
+	}
+	if ev.Reason != "" {
+		s += " (" + ev.Reason + ")"
+	}
+	return s
+}
+
+// EventLog buffers lifecycle events in a bounded ring and optionally relays
+// each one to a callback. Emission is cheap (a mutexed ring store) and
+// happens at per-structure granularity — never per row or per batch.
+type EventLog struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int // ring write position
+	full bool
+	seq  int64
+	cb   func(Event) // optional, invoked outside the lock
+}
+
+// NewEventLog returns a log retaining the last capacity events (values <= 0
+// select 512). cb, when non-nil, is invoked for every event.
+func NewEventLog(capacity int, cb func(Event)) *EventLog {
+	if capacity <= 0 {
+		capacity = 512
+	}
+	return &EventLog{buf: make([]Event, capacity), cb: cb}
+}
+
+// Emit stamps and records one event.
+func (l *EventLog) Emit(ev Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.seq++
+	ev.Seq = l.seq
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	l.buf[l.next] = ev
+	l.next++
+	if l.next == len(l.buf) {
+		l.next = 0
+		l.full = true
+	}
+	cb := l.cb
+	l.mu.Unlock()
+	if cb != nil {
+		cb(ev)
+	}
+}
+
+// Recent returns the buffered events, oldest first.
+func (l *EventLog) Recent() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Event
+	if l.full {
+		out = append(out, l.buf[l.next:]...)
+	}
+	out = append(out, l.buf[:l.next]...)
+	return out
+}
+
+// Total returns the number of events ever emitted (including ones the ring
+// has since overwritten).
+func (l *EventLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.count") != c {
+		t.Fatal("Counter not idempotent")
+	}
+	v := int64(7)
+	r.Gauge("b.gauge", func() int64 { return v })
+	snap := r.Snapshot()
+	if snap["a.count"] != 5 || snap["b.gauge"] != 7 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	v = 9
+	if r.Snapshot()["b.gauge"] != 9 {
+		t.Fatal("gauge not pull-mode")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 1106 || h.Max() != 1000 {
+		t.Fatalf("count=%d sum=%d max=%d", h.Count(), h.Sum(), h.Max())
+	}
+	if q := h.Quantile(0.5); q < 3 || q > 8 {
+		t.Fatalf("p50 = %d, want in [3,8]", q)
+	}
+	if q := h.Quantile(0.99); q != 1000 {
+		t.Fatalf("p99 = %d, want 1000 (clamped to max)", q)
+	}
+	h.Observe(-5) // clamps to zero
+	if h.Count() != 6 {
+		t.Fatal("negative observation dropped")
+	}
+	snap := NewRegistry().Snapshot()
+	if len(snap) != 0 {
+		t.Fatalf("empty registry snapshot = %v", snap)
+	}
+}
+
+func TestTraceTreeAndNilSafety(t *testing.T) {
+	// Everything must be safe on the nil trace / nil span.
+	var nilTr *Trace
+	s := nilTr.NewSpan("x")
+	if s != nil {
+		t.Fatal("nil trace must return nil span")
+	}
+	s.Opened()
+	s.Observe(time.Millisecond, 10)
+	s.AddAttr("k", "v")
+	s.Closed()
+	if nilTr.Render() != "" {
+		t.Fatal("nil trace render")
+	}
+
+	tr := NewTrace()
+	exec := tr.Phase("execute")
+	scan := tr.NewSpan("scan(t)")
+	scan.SetParent(exec)
+	scan.Opened()
+	scan.Observe(2*time.Millisecond, 100)
+	scan.AddAttrInt("rows_pruned", 40)
+	scan.Closed()
+	filter := tr.NewSpan("filter")
+	scan.SetParent(filter) // planner re-parents bottom-up
+	filter.SetParent(exec)
+	filter.Opened()
+	filter.Observe(time.Millisecond, 60)
+	filter.Closed()
+	exec.End()
+
+	out := tr.Render()
+	if !strings.Contains(out, "execute") || !strings.Contains(out, "scan(t)") {
+		t.Fatalf("render missing spans:\n%s", out)
+	}
+	// scan is nested two deep (execute > filter > scan).
+	if !strings.Contains(out, "    scan(t)") {
+		t.Fatalf("scan not re-parented under filter:\n%s", out)
+	}
+	if !strings.Contains(out, "rows_pruned=40") {
+		t.Fatalf("attr missing:\n%s", out)
+	}
+	if got := tr.Find("filter"); got != filter {
+		t.Fatal("Find")
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	tr := NewTrace()
+	s := tr.Phase("scan")
+	s.Observe(time.Millisecond, 5)
+	s.End()
+	tr.NewSpan("never-opened") // must be skipped
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(evs) != 1 {
+		t.Fatalf("events = %d, want 1", len(evs))
+	}
+	if evs[0]["ph"] != "X" || evs[0]["name"] != "scan" {
+		t.Fatalf("event = %v", evs[0])
+	}
+	var empty bytes.Buffer
+	if err := (*Trace)(nil).WriteChrome(&empty); err != nil || empty.String() != "[]" {
+		t.Fatalf("nil trace chrome = %q, %v", empty.String(), err)
+	}
+}
+
+func TestEventLogRing(t *testing.T) {
+	var seen []Event
+	l := NewEventLog(4, func(ev Event) { seen = append(seen, ev) })
+	for i := 0; i < 6; i++ {
+		l.Emit(Event{Kind: EventCaptured, Structure: "posmap", Table: "t", Bytes: int64(i)})
+	}
+	if l.Total() != 6 || len(seen) != 6 {
+		t.Fatalf("total=%d callbacks=%d", l.Total(), len(seen))
+	}
+	rec := l.Recent()
+	if len(rec) != 4 {
+		t.Fatalf("recent = %d, want 4 (ring)", len(rec))
+	}
+	if rec[0].Bytes != 2 || rec[3].Bytes != 5 {
+		t.Fatalf("ring order wrong: %v", rec)
+	}
+	for i := 1; i < len(rec); i++ {
+		if rec[i].Seq != rec[i-1].Seq+1 {
+			t.Fatal("seq not monotonic")
+		}
+	}
+	ev := Event{Kind: EventEvicted, Structure: "shred", Table: "t", Partition: "p1", Bytes: 128, Reason: "budget"}
+	if got := ev.String(); !strings.Contains(got, "evicted") || !strings.Contains(got, "t#p1") ||
+		!strings.Contains(got, "128B") || !strings.Contains(got, "budget") {
+		t.Fatalf("event string = %q", got)
+	}
+	// Nil log is a no-op sink.
+	var nl *EventLog
+	nl.Emit(ev)
+	if nl.Recent() != nil || nl.Total() != 0 {
+		t.Fatal("nil log")
+	}
+}

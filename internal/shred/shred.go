@@ -60,6 +60,9 @@ func (s *Shred) Vector() *vector.Vector { return s.vec }
 // RowIDs returns the sorted row ids, or nil for a full column.
 func (s *Shred) RowIDs() []int64 { return s.rowIDs }
 
+// SizeBytes returns the shred's accounted memory footprint.
+func (s *Shred) SizeBytes() int64 { return s.bytes() }
+
 // bytes estimates memory footprint for the pool budget.
 func (s *Shred) bytes() int64 {
 	var b int64
@@ -185,6 +188,11 @@ type Pool struct {
 	// re-enter the pool without deadlocking.
 	acct Accountant
 
+	// onEvict, when set, observes evictions under the pool's OWN capacity
+	// (the accountant path reports through the budget's observer instead).
+	// Invoked outside mu.
+	onEvict func(key Key, bytes int64)
+
 	hits, misses int64
 }
 
@@ -208,6 +216,11 @@ func NewPool(capacityBytes int64) *Pool {
 // called before the pool is shared across goroutines (the engine sets it at
 // construction).
 func (p *Pool) SetAccountant(a Accountant) { p.acct = a }
+
+// SetEvictObserver registers an observer for evictions under the pool's own
+// capacity (lifecycle events; no-op while an accountant owns budgeting).
+// Must be set before the pool is shared.
+func (p *Pool) SetEvictObserver(fn func(key Key, bytes int64)) { p.onEvict = fn }
 
 // Put inserts a shred for key. rowIDs must be sorted ascending and aligned
 // with vec (nil for a full column). The pool takes ownership of both slices.
@@ -248,8 +261,14 @@ func (p *Pool) Put(key Key, rowIDs []int64, vec *vector.Vector) *Shred {
 	bytes := s.bytes()
 	p.size += bytes
 	if p.acct == nil {
-		p.evict()
+		victims := p.evict()
+		onEvict := p.onEvict
 		p.mu.Unlock()
+		if onEvict != nil {
+			for _, v := range victims {
+				onEvict(v.key, v.bytes())
+			}
+		}
 		return s
 	}
 	p.mu.Unlock()
@@ -372,11 +391,16 @@ func (p *Pool) remove(s *Shred) {
 	}
 }
 
-func (p *Pool) evict() {
+// evict enforces the pool's own capacity, returning the evicted shreds so
+// the caller can notify the observer outside mu.
+func (p *Pool) evict() []*Shred {
+	var victims []*Shred
 	for p.size > p.capacity && p.lru.Len() > 0 {
-		back := p.lru.Back()
-		p.remove(back.Value.(*Shred))
+		s := p.lru.Back().Value.(*Shred)
+		p.remove(s)
+		victims = append(victims, s)
 	}
+	return victims
 }
 
 // Stats returns cumulative lookup hits and misses.

@@ -21,6 +21,7 @@ package synopsis
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"rawdb/internal/exec"
 	"rawdb/internal/vector"
@@ -52,6 +53,23 @@ type Synopsis struct {
 	nrows  int64
 	bounds []int64 // len nblocks+1; bounds[0] = 0, bounds[last] = nrows
 	cols   map[int]*Column
+
+	// Pruning effectiveness counters (observability): how often this zone
+	// map was consulted and how often it excluded a range. Atomic because
+	// parallel morsel planning consults one synopsis from the planner while
+	// worker-side scans consult it concurrently.
+	checks atomic.Int64
+	hits   atomic.Int64
+}
+
+// PruneStats returns how many range checks this synopsis answered and how
+// many of them excluded the range (the engine's metrics registry sums these
+// across tables).
+func (s *Synopsis) PruneStats() (checks, hits int64) {
+	if s == nil {
+		return 0, 0
+	}
+	return s.checks.Load(), s.hits.Load()
 }
 
 // NRows returns the number of rows the synopsis covers.
@@ -102,6 +120,7 @@ func (s *Synopsis) Excludes(p exec.Pred, start, end int64) bool {
 	if !ok {
 		return false
 	}
+	s.checks.Add(1)
 	// First block whose end exceeds start.
 	bi := sort.Search(len(s.bounds)-1, func(i int) bool { return s.bounds[i+1] > start })
 	for ; bi < len(s.bounds)-1 && s.bounds[bi] < end; bi++ {
@@ -118,6 +137,7 @@ func (s *Synopsis) Excludes(p exec.Pred, start, end int64) bool {
 			return false
 		}
 	}
+	s.hits.Add(1)
 	return true
 }
 

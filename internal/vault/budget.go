@@ -23,6 +23,11 @@ type Budget struct {
 	size     int64
 	lru      *list.List // of *budgetEntry, front = most recent
 	entries  map[string]*list.Element
+
+	// observer, when set, is invoked once per evicted entry (outside the
+	// lock, before the entry's evict callback) — the engine's observability
+	// layer turns these into lifecycle events and eviction counters.
+	observer func(key string, size int64)
 }
 
 type budgetEntry struct {
@@ -61,12 +66,25 @@ func (b *Budget) Set(key string, size int64, evict func()) {
 		b.size += size
 	}
 	victims := b.evictLocked()
+	obs := b.observer
 	b.mu.Unlock()
 	for _, v := range victims {
+		if obs != nil {
+			obs(v.key, v.size)
+		}
 		if v.evict != nil {
 			v.evict()
 		}
 	}
+}
+
+// SetObserver registers an eviction observer, called once per evicted entry
+// with its key and byte size. Must be set before the budget is shared (the
+// engine sets it at construction).
+func (b *Budget) SetObserver(fn func(key string, size int64)) {
+	b.mu.Lock()
+	b.observer = fn
+	b.mu.Unlock()
 }
 
 // Touch marks an entry most recently used (no-op for unknown keys).

@@ -39,6 +39,7 @@ import (
 
 	"rawdb/internal/catalog"
 	"rawdb/internal/engine"
+	"rawdb/internal/obs"
 	"rawdb/internal/posmap"
 	"rawdb/internal/storage/rootfile"
 	"rawdb/internal/vector"
@@ -144,10 +145,49 @@ type Config struct {
 	// morsels that a predicate excludes. Zone maps persist in the vault
 	// (CacheDir) alongside positional maps and structural indexes.
 	DisableZoneMaps bool
+	// OnEvent, when non-nil, is called synchronously for every adaptive-
+	// structure lifecycle event (captured, restored, evicted, invalidated),
+	// in addition to the engine's bounded in-memory event log.
+	OnEvent func(Event)
+	// EventLogSize bounds the in-memory lifecycle event ring (default 512).
+	EventLogSize int
 }
 
 // Options overrides engine defaults for a single query.
 type Options = engine.Options
+
+// Trace collects the operator- and phase-level spans of one query. Create
+// one with NewTrace, attach it via Options.Trace, then render it
+// (EXPLAIN ANALYZE-style) or export it (chrome://tracing JSON) after the
+// query returns. Queries without a trace plan the exact same operator tree
+// they always did — tracing has zero cost when off.
+type Trace = obs.Trace
+
+// Span is one timed region of a traced query.
+type Span = obs.Span
+
+// NewTrace returns an empty trace to attach to a query via Options.Trace.
+func NewTrace() *Trace { return obs.NewTrace() }
+
+// Metrics is the engine-wide metrics registry: cumulative counters folded in
+// at query end, pull-mode gauges over the adaptive-structure caches, and
+// latency histograms.
+type Metrics = obs.Registry
+
+// Event is one adaptive-structure lifecycle event (captured, restored,
+// evicted, invalidated).
+type Event = obs.Event
+
+// Lifecycle event kinds.
+const (
+	EventCaptured    = obs.EventCaptured
+	EventRestored    = obs.EventRestored
+	EventEvicted     = obs.EventEvicted
+	EventInvalidated = obs.EventInvalidated
+)
+
+// FormatMetrics renders a metrics snapshot as sorted "name value" lines.
+func FormatMetrics(snap map[string]int64) string { return obs.Format(snap) }
 
 // Stats describes how a query executed: strategy, chosen access paths,
 // template-cache and shred-cache outcomes.
@@ -179,6 +219,8 @@ func NewEngine(cfg Config) *Engine {
 		CacheBudget:        cfg.CacheBudget,
 		DisablePushdown:    cfg.DisablePushdown,
 		DisableZoneMaps:    cfg.DisableZoneMaps,
+		OnEvent:            cfg.OnEvent,
+		EventLogSize:       cfg.EventLogSize,
 	})}
 }
 
@@ -297,6 +339,13 @@ func (e *Engine) RegisterResult(name string, res *Result, names []string) error 
 
 // DropTable removes a registered table.
 func (e *Engine) DropTable(name string) error { return e.e.DropTable(name) }
+
+// Metrics exposes the engine-wide metrics registry.
+func (e *Engine) Metrics() *Metrics { return e.e.Metrics() }
+
+// RecentEvents returns the buffered adaptive-structure lifecycle events,
+// oldest first.
+func (e *Engine) RecentEvents() []Event { return e.e.RecentEvents() }
 
 // Tables returns the registered table names, sorted.
 func (e *Engine) Tables() []string { return e.e.Catalog().Names() }
