@@ -53,7 +53,7 @@ func main() {
 	flag.Var(&datasets, "dataset", "register a directory or glob of raw files as one table, name=pattern (formats inferred per file by extension; schema inferred from the first file; repeatable)")
 	query := flag.String("q", "", "SQL query to run")
 	strategy := flag.String("strategy", "shreds", "access strategy: shreds, jit, insitu, external, dbms")
-	workers := flag.Int("workers", 1, "morsel-parallel scan workers (<=1 serial; joins and other ineligible plans fall back to serial automatically)")
+	workers := flag.Int("workers", 1, "morsel-parallel workers for scans, aggregation and joins (<=1 serial; ROOT tables and sub-morsel files fall back to serial with the reason reported in -stats)")
 	cacheDir := flag.String("cachedir", "", "persistent vault directory: positional maps, structural indexes and column shreds persist here across runs (safe to delete at any time)")
 	cacheBudget := flag.Int64("cachebudget", 0, "unified in-memory cache budget in bytes across positional maps, structural indexes and column shreds (0 keeps per-structure defaults)")
 	noPushdown := flag.Bool("nopushdown", false, "keep WHERE predicates in Filter operators instead of pushing them into the generated access paths")
@@ -227,6 +227,10 @@ func run(csvs, bins, jsons, roots, datasets []string, query, strategy string, wo
 		if s := res.Stats; s.PartitionsScanned > 0 || s.PartitionsSkipped > 0 {
 			fmt.Fprintf(os.Stderr, "(partitions: %d scanned, %d pruned without opening their files)\n",
 				s.PartitionsScanned, s.PartitionsSkipped)
+		}
+		if s := res.Stats; s.ParallelFallback != "" {
+			fmt.Fprintf(os.Stderr, "(parallel fallback: %s — %s)\n",
+				s.ParallelFallback, s.ParallelFallbackDetail)
 		}
 	default:
 		return fmt.Errorf("unknown -stats mode %q (want text or json)", statsMode)

@@ -4,14 +4,20 @@
 // over the same rows. Results must match the oracle byte for byte (floats by
 // bit pattern), which subsumes the hand-written parity cases as the coverage
 // backbone: any divergence between access paths — JIT vs generic scans,
-// positional-map navigation, shred reuse, morsel-parallel merges, vault
-// restore — surfaces as an oracle mismatch with a reproducible seed.
+// positional-map navigation, shred reuse, morsel-parallel merges, parallel
+// hash joins, vault restore — surfaces as an oracle mismatch with a
+// reproducible seed.
 //
 // The oracle mirrors the engine's documented semantics exactly: filters are
-// conjunctions evaluated per row in file order; ungrouped aggregates emit one
-// row (zeroes at COUNT = 0); grouped aggregates emit groups in
-// first-encounter file order; float SUM/AVG accumulate in file order (the
-// parallel planner falls back to serial for those, so order is total).
+// conjunctions evaluated per row in file order; joins emit each probe-side
+// match in probe file order with its build-side matches in build file order;
+// ungrouped aggregates emit one row (zeroes at COUNT = 0); grouped aggregates
+// emit groups in first-encounter order; HAVING filters aggregate rows after
+// grouping. Float SUM/AVG are exact at every worker count: generated values
+// are multiples of 1/64 with bounded magnitude, so the oracle's naive
+// file-order accumulation and the engine's compensated summation (serial
+// expansions, parallel hi/lo partial transport) land on the same correctly
+// rounded double.
 package raw_test
 
 import (
@@ -162,32 +168,103 @@ func (t *dtTable) renderBin(tb testing.TB) []byte {
 	return []byte(buf.String())
 }
 
+// dtTabs pairs the two generated tables: "t" is the larger probe side, "u"
+// the smaller build side of generated joins.
+type dtTabs struct {
+	t, u *dtTable
+}
+
+func (ts dtTabs) tab(i int) *dtTable {
+	if i == 0 {
+		return ts.t
+	}
+	return ts.u
+}
+
+// plainCols returns the column indexes whose names carry no nested JSON
+// path. Join queries qualify every reference with a table alias, and a
+// qualified nested path ("t.p.x") would be ambiguous between alias and
+// object navigation, so they stick to plain names.
+func plainCols(t *dtTable) []int {
+	var out []int
+	for c, col := range t.cols {
+		if !strings.ContainsRune(col.Name, '.') {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// intCols returns the BIGINT column indexes (join-key candidates).
+func intCols(t *dtTable) []int {
+	var out []int
+	for c, col := range t.cols {
+		if col.Type == raw.Int64 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
 // --- random queries ---
 
 type dtItem struct {
 	agg  string // "", COUNT, MIN, MAX, SUM, AVG
 	star bool
+	tbl  int // 0 = t, 1 = u (always 0 for single-table queries)
 	col  int
 }
 
 type dtPred struct {
+	tbl int
 	col int
 	op  string
 	i64 int64
 	f64 float64
 }
 
+// dtHaving is one HAVING condition: an aggregate compared against a literal.
+type dtHaving struct {
+	item dtItem
+	op   string
+	i64  int64
+	f64  float64
+}
+
 type dtQuery struct {
-	items   []dtItem
-	preds   []dtPred
-	groupBy int // -1 for none
+	items      []dtItem
+	preds      []dtPred
+	join       bool
+	tkey, ukey int // join key columns (t.tkey = u.ukey) when join is set
+	groupTbl   int
+	groupBy    int // -1 for none
+	having     []dtHaving
 }
 
 var dtOps = []string{"<", "<=", ">", ">=", "=", "<>"}
 
-func genPred(rng *rand.Rand, t *dtTable) dtPred {
-	c := rng.Intn(len(t.cols))
-	p := dtPred{col: c, op: dtOps[rng.Intn(len(dtOps))]}
+// itemType is the engine's output type for one select item.
+func (ts dtTabs) itemType(it dtItem) raw.Type {
+	switch {
+	case it.star, it.agg == "COUNT":
+		return raw.Int64
+	case it.agg == "AVG":
+		return raw.Float64
+	default:
+		return ts.tab(it.tbl).cols[it.col].Type
+	}
+}
+
+func genPred(rng *rand.Rand, ts dtTabs, tbl int, plainOnly bool) dtPred {
+	t := ts.tab(tbl)
+	var c int
+	if plainOnly {
+		cands := plainCols(t)
+		c = cands[rng.Intn(len(cands))]
+	} else {
+		c = rng.Intn(len(t.cols))
+	}
+	p := dtPred{tbl: tbl, col: c, op: dtOps[rng.Intn(len(dtOps))]}
 	r := rng.Intn(t.nrows)
 	if t.cols[c].Type == raw.Int64 {
 		p.i64 = t.ints[c][r] + rng.Int63n(3) - 1
@@ -197,84 +274,188 @@ func genPred(rng *rand.Rand, t *dtTable) dtPred {
 	return p
 }
 
-func genAggItem(rng *rand.Rand, t *dtTable) dtItem {
+func genAggItem(rng *rand.Rand, ts dtTabs, join bool) dtItem {
+	tbl := 0
+	if join && rng.Intn(2) == 1 {
+		tbl = 1
+	}
+	t := ts.tab(tbl)
+	pick := func() int {
+		if join {
+			cands := plainCols(t)
+			return cands[rng.Intn(len(cands))]
+		}
+		return rng.Intn(len(t.cols))
+	}
 	switch rng.Intn(6) {
 	case 0:
 		return dtItem{agg: "COUNT", star: true}
 	case 1:
-		return dtItem{agg: "MIN", col: rng.Intn(len(t.cols))}
+		return dtItem{agg: "MIN", tbl: tbl, col: pick()}
 	case 2:
-		return dtItem{agg: "MAX", col: rng.Intn(len(t.cols))}
+		return dtItem{agg: "MAX", tbl: tbl, col: pick()}
 	case 3:
-		return dtItem{agg: "SUM", col: rng.Intn(len(t.cols))}
+		return dtItem{agg: "SUM", tbl: tbl, col: pick()}
 	case 4:
-		return dtItem{agg: "AVG", col: rng.Intn(len(t.cols))}
+		return dtItem{agg: "AVG", tbl: tbl, col: pick()}
 	default:
-		return dtItem{agg: "COUNT", col: rng.Intn(len(t.cols))}
+		return dtItem{agg: "COUNT", tbl: tbl, col: pick()}
 	}
 }
 
-func genQuery(rng *rand.Rand, t *dtTable) dtQuery {
-	q := dtQuery{groupBy: -1}
-	for n := rng.Intn(3); n > 0; n-- {
-		q.preds = append(q.preds, genPred(rng, t))
+// genHaving builds one HAVING condition. The literal's spelling follows the
+// aggregate's OUTPUT type: integer-valued aggregates get integer literals
+// (the engine compares them on the BIGINT field, truncating a float literal,
+// which the oracle would then have to mimic), float-valued ones get exact
+// 1/64-multiple literals so '=' can genuinely hit.
+func genHaving(rng *rand.Rand, ts dtTabs, join bool) dtHaving {
+	it := genAggItem(rng, ts, join)
+	h := dtHaving{item: it, op: dtOps[rng.Intn(len(dtOps))]}
+	if ts.itemType(it) == raw.Int64 {
+		if it.agg == "COUNT" {
+			h.i64 = rng.Int63n(12)
+		} else {
+			h.i64 = rng.Int63n(2_000_001) - 1_000_000
+		}
+		h.f64 = float64(h.i64)
+	} else {
+		h.f64 = float64(rng.Int63n(1<<21)-(1<<20)) / 64
+		h.i64 = int64(h.f64)
 	}
-	switch kind := rng.Intn(4); {
-	case kind == 0: // plain projection
+	return h
+}
+
+func genQuery(rng *rand.Rand, ts dtTabs) dtQuery {
+	q := dtQuery{groupBy: -1}
+	q.join = rng.Intn(3) == 0
+	if q.join {
+		if rng.Intn(2) == 0 {
+			// Group column against group column: cardinality 7 on both
+			// sides guarantees fan-out through every hash partition.
+			q.tkey, q.ukey = ts.t.group, ts.u.group
+		} else {
+			tc, uc := intCols(ts.t), intCols(ts.u)
+			q.tkey = tc[rng.Intn(len(tc))]
+			q.ukey = uc[rng.Intn(len(uc))]
+		}
+	}
+	side := func() int {
+		if q.join {
+			return rng.Intn(2)
+		}
+		return 0
+	}
+	for n := rng.Intn(3); n > 0; n-- {
+		q.preds = append(q.preds, genPred(rng, ts, side(), q.join))
+	}
+	switch kind := rng.Intn(5); kind {
+	case 0: // plain projection
 		for n := 1 + rng.Intn(3); n > 0; n-- {
-			q.items = append(q.items, dtItem{col: rng.Intn(len(t.cols))})
+			tbl := side()
+			t := ts.tab(tbl)
+			var c int
+			if q.join {
+				cands := plainCols(t)
+				c = cands[rng.Intn(len(cands))]
+			} else {
+				c = rng.Intn(len(t.cols))
+			}
+			q.items = append(q.items, dtItem{tbl: tbl, col: c})
 		}
 		if len(q.preds) == 0 { // keep projected row counts modest
-			q.preds = append(q.preds, genPred(rng, t))
+			q.preds = append(q.preds, genPred(rng, ts, side(), q.join))
 		}
-	case kind == 1 && t.cols[t.group].Type == raw.Int64: // grouped aggregate
-		q.groupBy = t.group
+	case 1: // grouped aggregate, sometimes with HAVING
+		q.groupTbl = side()
+		q.groupBy = ts.tab(q.groupTbl).group
 		if rng.Intn(2) == 0 {
-			q.items = append(q.items, dtItem{col: t.group})
+			q.items = append(q.items, dtItem{tbl: q.groupTbl, col: q.groupBy})
 		}
 		for n := 1 + rng.Intn(2); n > 0; n-- {
-			q.items = append(q.items, genAggItem(rng, t))
+			q.items = append(q.items, genAggItem(rng, ts, q.join))
 		}
-	default: // ungrouped aggregate
+		if rng.Intn(2) == 0 {
+			q.having = append(q.having, genHaving(rng, ts, q.join))
+		}
+	case 2: // bare GROUP BY: distinct keys, no aggregate items
+		q.groupTbl = side()
+		q.groupBy = ts.tab(q.groupTbl).group
+		q.items = append(q.items, dtItem{tbl: q.groupTbl, col: q.groupBy})
+	default: // ungrouped aggregate, occasionally with HAVING
 		for n := 1 + rng.Intn(3); n > 0; n-- {
-			q.items = append(q.items, genAggItem(rng, t))
+			q.items = append(q.items, genAggItem(rng, ts, q.join))
+		}
+		if rng.Intn(4) == 0 {
+			q.having = append(q.having, genHaving(rng, ts, q.join))
 		}
 	}
 	return q
 }
 
-func (q dtQuery) SQL(t *dtTable) string {
+func (q dtQuery) SQL(ts dtTabs) string {
+	alias := [2]string{"t", "u"}
+	name := func(tbl, col int) string {
+		n := ts.tab(tbl).cols[col].Name
+		if q.join {
+			return alias[tbl] + "." + n
+		}
+		return n
+	}
+	item := func(b *strings.Builder, it dtItem) {
+		switch {
+		case it.star:
+			b.WriteString("COUNT(*)")
+		case it.agg != "":
+			fmt.Fprintf(b, "%s(%s)", it.agg, name(it.tbl, it.col))
+		default:
+			b.WriteString(name(it.tbl, it.col))
+		}
+	}
 	var b strings.Builder
 	b.WriteString("SELECT ")
 	for i, it := range q.items {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		switch {
-		case it.star:
-			b.WriteString("COUNT(*)")
-		case it.agg != "":
-			fmt.Fprintf(&b, "%s(%s)", it.agg, t.cols[it.col].Name)
-		default:
-			b.WriteString(t.cols[it.col].Name)
-		}
+		item(&b, it)
 	}
 	b.WriteString(" FROM t")
-	for i, p := range q.preds {
-		if i == 0 {
+	if q.join {
+		b.WriteString(", u")
+	}
+	first := true
+	cond := func() {
+		if first {
 			b.WriteString(" WHERE ")
+			first = false
 		} else {
 			b.WriteString(" AND ")
 		}
-		if t.cols[p.col].Type == raw.Int64 {
-			fmt.Fprintf(&b, "%s %s %d", t.cols[p.col].Name, p.op, p.i64)
+	}
+	if q.join {
+		cond()
+		fmt.Fprintf(&b, "t.%s = u.%s", ts.t.cols[q.tkey].Name, ts.u.cols[q.ukey].Name)
+	}
+	for _, p := range q.preds {
+		cond()
+		if ts.tab(p.tbl).cols[p.col].Type == raw.Int64 {
+			fmt.Fprintf(&b, "%s %s %d", name(p.tbl, p.col), p.op, p.i64)
 		} else {
-			fmt.Fprintf(&b, "%s %s %s", t.cols[p.col].Name, p.op,
+			fmt.Fprintf(&b, "%s %s %s", name(p.tbl, p.col), p.op,
 				strconv.FormatFloat(p.f64, 'f', -1, 64))
 		}
 	}
 	if q.groupBy >= 0 {
-		fmt.Fprintf(&b, " GROUP BY %s", t.cols[q.groupBy].Name)
+		fmt.Fprintf(&b, " GROUP BY %s", name(q.groupTbl, q.groupBy))
+	}
+	for _, h := range q.having {
+		b.WriteString(" HAVING ")
+		item(&b, h.item)
+		if ts.itemType(h.item) == raw.Int64 {
+			fmt.Fprintf(&b, " %s %d", h.op, h.i64)
+		} else {
+			fmt.Fprintf(&b, " %s %s", h.op, strconv.FormatFloat(h.f64, 'f', -1, 64))
+		}
 	}
 	return b.String()
 }
@@ -286,23 +467,46 @@ type oracleCell struct {
 	f float64
 }
 
-// oracle evaluates a query naively: filter in file order, aggregate in file
-// order, groups in first-encounter order. Returns row-major cells plus the
-// output type per item.
-func oracle(t *dtTable, q dtQuery) (rows [][]oracleCell, types []raw.Type) {
+// dtPair addresses one logical row: an index into t plus, for joins, an
+// index into u (-1 otherwise).
+type dtPair struct {
+	t, u int
+}
+
+func cmpOK(cmp int, op string) bool {
+	switch op {
+	case "<":
+		return cmp < 0
+	case "<=":
+		return cmp <= 0
+	case ">":
+		return cmp > 0
+	case ">=":
+		return cmp >= 0
+	case "=":
+		return cmp == 0
+	case "<>":
+		return cmp != 0
+	}
+	return false
+}
+
+// oracle evaluates a query naively: filter in file order, join as a
+// file-order nested loop (probe rows outer, build matches in build file
+// order — the hash join's emission order), aggregate in file order, groups
+// in first-encounter order, HAVING applied to the finished aggregate rows.
+// Returns row-major cells plus the output type per item.
+func oracle(ts dtTabs, q dtQuery) (rows [][]oracleCell, types []raw.Type) {
 	for _, it := range q.items {
-		switch {
-		case it.star, it.agg == "COUNT":
-			types = append(types, raw.Int64)
-		case it.agg == "AVG":
-			types = append(types, raw.Float64)
-		default:
-			types = append(types, t.cols[it.col].Type)
-		}
+		types = append(types, ts.itemType(it))
 	}
 
-	match := func(r int) bool {
+	match := func(tbl, r int) bool {
+		t := ts.tab(tbl)
 		for _, p := range q.preds {
+			if p.tbl != tbl {
+				continue
+			}
 			var cmp int
 			if t.cols[p.col].Type == raw.Int64 {
 				v := t.ints[p.col][r]
@@ -321,45 +525,58 @@ func oracle(t *dtTable, q dtQuery) (rows [][]oracleCell, types []raw.Type) {
 					cmp = 1
 				}
 			}
-			ok := false
-			switch p.op {
-			case "<":
-				ok = cmp < 0
-			case "<=":
-				ok = cmp <= 0
-			case ">":
-				ok = cmp > 0
-			case ">=":
-				ok = cmp >= 0
-			case "=":
-				ok = cmp == 0
-			case "<>":
-				ok = cmp != 0
-			}
-			if !ok {
+			if !cmpOK(cmp, p.op) {
 				return false
 			}
 		}
 		return true
 	}
 
-	var selected []int
-	for r := 0; r < t.nrows; r++ {
-		if match(r) {
-			selected = append(selected, r)
+	var selected []dtPair
+	if q.join {
+		var urows []int
+		for r := 0; r < ts.u.nrows; r++ {
+			if match(1, r) {
+				urows = append(urows, r)
+			}
+		}
+		for r := 0; r < ts.t.nrows; r++ {
+			if !match(0, r) {
+				continue
+			}
+			k := ts.t.ints[q.tkey][r]
+			for _, s := range urows {
+				if ts.u.ints[q.ukey][s] == k {
+					selected = append(selected, dtPair{t: r, u: s})
+				}
+			}
+		}
+	} else {
+		for r := 0; r < ts.t.nrows; r++ {
+			if match(0, r) {
+				selected = append(selected, dtPair{t: r, u: -1})
+			}
 		}
 	}
 
-	hasAgg := false
+	rowOf := func(tbl int, p dtPair) int {
+		if tbl == 0 {
+			return p.t
+		}
+		return p.u
+	}
+
+	hasAgg := len(q.having) > 0
 	for _, it := range q.items {
 		if it.agg != "" {
 			hasAgg = true
 		}
 	}
 	if !hasAgg && q.groupBy < 0 {
-		for _, r := range selected {
+		for _, p := range selected {
 			var row []oracleCell
 			for _, it := range q.items {
+				t, r := ts.tab(it.tbl), rowOf(it.tbl, p)
 				if t.cols[it.col].Type == raw.Int64 {
 					row = append(row, oracleCell{i: t.ints[it.col][r]})
 				} else {
@@ -371,18 +588,21 @@ func oracle(t *dtTable, q dtQuery) (rows [][]oracleCell, types []raw.Type) {
 		return rows, types
 	}
 
-	// aggState mirrors the engine's per-spec accumulator exactly (order of
-	// float accumulation = file order).
+	// aggState mirrors the engine's per-spec accumulator exactly. Naive
+	// float accumulation suffices: every value is a multiple of 1/64 with
+	// bounded magnitude, so each running sum is exactly representable and
+	// equals the engine's correctly rounded compensated total.
 	type aggState struct {
 		count int64
 		i     int64
 		f     float64
 	}
-	update := func(st *aggState, it dtItem, r int) {
+	update := func(st *aggState, it dtItem, p dtPair) {
 		if it.agg == "COUNT" { // counts rows regardless of column (no NULLs)
 			st.count++
 			return
 		}
+		t, r := ts.tab(it.tbl), rowOf(it.tbl, p)
 		if t.cols[it.col].Type == raw.Int64 {
 			v := t.ints[it.col][r]
 			switch it.agg {
@@ -426,7 +646,7 @@ func oracle(t *dtTable, q dtQuery) (rows [][]oracleCell, types []raw.Type) {
 			return oracleCell{i: st.count}
 		case it.agg == "AVG":
 			var sum float64
-			if t.cols[it.col].Type == raw.Int64 {
+			if ts.tab(it.tbl).cols[it.col].Type == raw.Int64 {
 				sum = float64(st.i)
 			} else {
 				sum = st.f
@@ -435,7 +655,7 @@ func oracle(t *dtTable, q dtQuery) (rows [][]oracleCell, types []raw.Type) {
 				return oracleCell{f: 0}
 			}
 			return oracleCell{f: sum / float64(st.count)}
-		case t.cols[it.col].Type == raw.Int64:
+		case ts.tab(it.tbl).cols[it.col].Type == raw.Int64:
 			if st.count == 0 {
 				return oracleCell{i: 0}
 			}
@@ -448,12 +668,50 @@ func oracle(t *dtTable, q dtQuery) (rows [][]oracleCell, types []raw.Type) {
 		}
 	}
 
-	if q.groupBy < 0 {
-		states := make([]aggState, len(q.items))
-		for _, r := range selected {
-			for i, it := range q.items {
-				update(&states[i], it, r)
+	// HAVING conditions accumulate as shadow items appended after the
+	// select list; the engine's aggregate does the same (the HAVING spec
+	// joins the spec list, deduplicated against identical select specs —
+	// either way the values coincide).
+	allItems := make([]dtItem, 0, len(q.items)+len(q.having))
+	allItems = append(allItems, q.items...)
+	for _, h := range q.having {
+		allItems = append(allItems, h.item)
+	}
+	passHaving := func(states []aggState) bool {
+		for hi, h := range q.having {
+			cell := emit(states[len(q.items)+hi], h.item)
+			var cmp int
+			if ts.itemType(h.item) == raw.Int64 {
+				switch {
+				case cell.i < h.i64:
+					cmp = -1
+				case cell.i > h.i64:
+					cmp = 1
+				}
+			} else {
+				switch {
+				case cell.f < h.f64:
+					cmp = -1
+				case cell.f > h.f64:
+					cmp = 1
+				}
 			}
+			if !cmpOK(cmp, h.op) {
+				return false
+			}
+		}
+		return true
+	}
+
+	if q.groupBy < 0 {
+		states := make([]aggState, len(allItems))
+		for _, p := range selected {
+			for i, it := range allItems {
+				update(&states[i], it, p)
+			}
+		}
+		if !passHaving(states) {
+			return nil, types
 		}
 		row := make([]oracleCell, len(q.items))
 		for i, it := range q.items {
@@ -462,26 +720,30 @@ func oracle(t *dtTable, q dtQuery) (rows [][]oracleCell, types []raw.Type) {
 		return [][]oracleCell{row}, types
 	}
 
-	// Grouped: first-encounter order over the filtered rows.
+	// Grouped: first-encounter order over the filtered (joined) rows.
 	slot := make(map[int64]int)
 	var keys []int64
 	var states [][]aggState
-	for _, r := range selected {
-		k := t.ints[q.groupBy][r]
+	gt := ts.tab(q.groupTbl)
+	for _, p := range selected {
+		k := gt.ints[q.groupBy][rowOf(q.groupTbl, p)]
 		s, ok := slot[k]
 		if !ok {
 			s = len(keys)
 			slot[k] = s
 			keys = append(keys, k)
-			states = append(states, make([]aggState, len(q.items)))
+			states = append(states, make([]aggState, len(allItems)))
 		}
-		for i, it := range q.items {
+		for i, it := range allItems {
 			if it.agg != "" {
-				update(&states[s][i], it, r)
+				update(&states[s][i], it, p)
 			}
 		}
 	}
 	for s, k := range keys {
+		if !passHaving(states[s]) {
+			continue
+		}
 		row := make([]oracleCell, len(q.items))
 		for i, it := range q.items {
 			if it.agg == "" {
@@ -522,18 +784,18 @@ func checkOracle(t *testing.T, label, sql string, res *raw.Result, want [][]orac
 	}
 }
 
-// registerDT registers the generated table under one format.
-func registerDT(t *testing.T, e *raw.Engine, tab *dtTable, format string,
+// registerDT registers one generated table under one format.
+func registerDT(t *testing.T, e *raw.Engine, name string, tab *dtTable, format string,
 	csv, jsonl, bin []byte) {
 	t.Helper()
 	var err error
 	switch format {
 	case "csv":
-		err = e.RegisterCSVData("t", csv, tab.cols)
+		err = e.RegisterCSVData(name, csv, tab.cols)
 	case "json":
-		err = e.RegisterJSONData("t", jsonl, tab.cols)
+		err = e.RegisterJSONData(name, jsonl, tab.cols)
 	case "bin":
-		err = e.RegisterBinaryData("t", bin, tab.cols)
+		err = e.RegisterBinaryData(name, bin, tab.cols)
 	}
 	if err != nil {
 		t.Fatal(err)
@@ -545,7 +807,8 @@ func registerDT(t *testing.T, e *raw.Engine, tab *dtTable, format string,
 // mixed CSV/JSONL split) must answer every random query bit-exactly like the
 // oracle, at workers 1/2/8, with a vault enabled from cold and again after a
 // process "restart" served from manifest.rawv and the per-partition vault
-// namespaces.
+// namespaces. A second two-partition dataset "u" joins the big one in the
+// generated join queries.
 func TestDifferentialDataset(t *testing.T) {
 	splits := []struct {
 		name  string
@@ -562,6 +825,8 @@ func TestDifferentialDataset(t *testing.T) {
 			seed := int64(7000 + si)
 			rng := rand.New(rand.NewSource(seed))
 			tab := genTable(rng, 160)
+			utab := genTable(rng, 40)
+			ts := dtTabs{t: tab, u: utab}
 			csv, jsonl := tab.renderCSV(), tab.renderJSONL()
 			cchunks := workload.SplitRows(csv, s.parts)
 			jchunks := workload.SplitRows(jsonl, s.parts)
@@ -573,16 +838,20 @@ func TestDifferentialDataset(t *testing.T) {
 				}
 				parts = append(parts, p)
 			}
+			var uparts []raw.DatasetPart
+			for _, chunk := range workload.SplitRows(utab.renderCSV(), 2) {
+				uparts = append(uparts, raw.DatasetPart{Format: raw.FormatCSV, Data: chunk})
+			}
 
 			queries := make([]dtQuery, difftestQueries/2)
 			for i := range queries {
-				queries[i] = genQuery(rng, tab)
+				queries[i] = genQuery(rng, ts)
 			}
 			workerCycle := []int{1, 2, 8}
 			run := func(name string, eng *raw.Engine) {
 				t.Helper()
 				for qi, q := range queries {
-					sql := q.SQL(tab)
+					sql := q.SQL(ts)
 					w := workerCycle[qi%len(workerCycle)]
 					var tr *raw.Trace
 					if difftestTrace {
@@ -592,30 +861,33 @@ func TestDifferentialDataset(t *testing.T) {
 					if err != nil {
 						t.Fatalf("%s (seed %d) query %d %q: %v", name, seed, qi, sql, err)
 					}
-					want, types := oracle(tab, q)
+					want, types := oracle(ts, q)
 					checkOracle(t, fmt.Sprintf("%s (seed %d) query %d workers %d", name, seed, qi, w),
 						sql, res, want, types)
 				}
 			}
+			register := func(eng *raw.Engine) {
+				t.Helper()
+				if err := eng.RegisterDatasetParts("t", parts, tab.cols); err != nil {
+					t.Fatal(err)
+				}
+				if err := eng.RegisterDatasetParts("u", uparts, utab.cols); err != nil {
+					t.Fatal(err)
+				}
+			}
 
 			plain := raw.NewEngine(raw.Config{})
-			if err := plain.RegisterDatasetParts("t", parts, tab.cols); err != nil {
-				t.Fatal(err)
-			}
+			register(plain)
 			run("vault-off", plain)
 
 			dir := t.TempDir()
 			cold := raw.NewEngine(raw.Config{CacheDir: dir})
-			if err := cold.RegisterDatasetParts("t", parts, tab.cols); err != nil {
-				t.Fatal(err)
-			}
+			register(cold)
 			run("vault-cold", cold)
 			cold.Close()
 
 			restarted := raw.NewEngine(raw.Config{CacheDir: dir})
-			if err := restarted.RegisterDatasetParts("t", parts, tab.cols); err != nil {
-				t.Fatal(err)
-			}
+			register(restarted)
 			run("vault-restart", restarted)
 			restarted.Close()
 		})
@@ -623,10 +895,11 @@ func TestDifferentialDataset(t *testing.T) {
 }
 
 // TestDifferentialOracle is the coverage backbone: difftestQueries random
-// queries per strategy × format, each executed at workers 1/2/8 (cycling)
-// and, for the cache-building strategies, in three vault modes — vault off,
-// vault enabled from a cold directory, and a restarted engine loading the
-// populated directory — all compared against the oracle.
+// queries per strategy × format — joins, GROUP BY, HAVING and float
+// SUM/AVG included — each executed at workers 1/2/8 (cycling) and, for the
+// cache-building strategies, in three vault modes: vault off, vault enabled
+// from a cold directory, and a restarted engine loading the populated
+// directory — all compared against the oracle.
 func TestDifferentialOracle(t *testing.T) {
 	strategies := []struct {
 		name  string
@@ -649,12 +922,16 @@ func TestDifferentialOracle(t *testing.T) {
 				seed := int64(1000 + 100*si + fi)
 				rng := rand.New(rand.NewSource(seed))
 				tab := genTable(rng, 150)
+				utab := genTable(rng, 40)
+				ts := dtTabs{t: tab, u: utab}
 				csv, jsonl := tab.renderCSV(), tab.renderJSONL()
 				bin := tab.renderBin(t)
+				ucsv, ujsonl := utab.renderCSV(), utab.renderJSONL()
+				ubin := utab.renderBin(t)
 
 				queries := make([]dtQuery, difftestQueries)
 				for i := range queries {
-					queries[i] = genQuery(rng, tab)
+					queries[i] = genQuery(rng, ts)
 				}
 
 				type mode struct {
@@ -681,17 +958,18 @@ func TestDifferentialOracle(t *testing.T) {
 					modes = append(modes, mode{"vault-cold", vaultEng})
 				}
 				for _, m := range modes {
-					registerDT(t, m.eng, tab, format, csv, jsonl, bin)
+					registerDT(t, m.eng, "t", tab, format, csv, jsonl, bin)
+					registerDT(t, m.eng, "u", utab, format, ucsv, ujsonl, ubin)
 				}
 				run := func(m mode) {
 					for qi, q := range queries {
-						sql := q.SQL(tab)
+						sql := q.SQL(ts)
 						w := workerCycle[qi%len(workerCycle)]
 						res, err := m.eng.QueryOpt(sql, raw.Options{Parallelism: &w})
 						if err != nil {
 							t.Fatalf("%s (seed %d) query %d %q: %v", m.name, seed, qi, sql, err)
 						}
-						want, types := oracle(tab, q)
+						want, types := oracle(ts, q)
 						checkOracle(t, fmt.Sprintf("%s (seed %d) query %d workers %d", m.name, seed, qi, w),
 							sql, res, want, types)
 					}
@@ -706,7 +984,8 @@ func TestDifferentialOracle(t *testing.T) {
 					vaultEng.Close()
 					restarted := mode{"vault-restart",
 						raw.NewEngine(raw.Config{Strategy: s.strat, CacheDir: dir})}
-					registerDT(t, restarted.eng, tab, format, csv, jsonl, bin)
+					registerDT(t, restarted.eng, "t", tab, format, csv, jsonl, bin)
+					registerDT(t, restarted.eng, "u", utab, format, ucsv, ujsonl, ubin)
 					run(restarted)
 					restarted.eng.Close()
 				}

@@ -273,7 +273,7 @@ func (e *Engine) analyze(q *sql.Query) (*resolvedQuery, error) {
 			hasAgg = true
 		}
 	}
-	if hasAgg || len(r.groupBy) > 0 {
+	if hasAgg || len(r.groupBy) > 0 || len(r.having) > 0 {
 		for _, it := range r.items {
 			if it.isAgg {
 				continue

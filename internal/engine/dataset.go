@@ -303,10 +303,13 @@ func datasetCols(r *resolvedQuery, t int) ([]int, vector.Schema) {
 	filterCols, outputCols := r.neededColumns()
 	cols := append(append([]int{}, filterCols[t]...), outputCols[t]...)
 	sortInts(cols)
-	if len(cols) == 0 {
-		cols = []int{0} // zero-column batches cannot carry a row count
-	}
+	cols = dedupInts(cols)
 	tab := r.tables[t].st.tab
+	if len(cols) == 0 {
+		// Zero-column batches cannot carry a row count; materialise the
+		// cheapest fixed-width column.
+		cols = []int{countColumn(tab)}
+	}
 	schema := make(vector.Schema, len(cols))
 	for i, c := range cols {
 		schema[i] = vector.Col{Name: tab.Schema[c].Name, Type: tab.Schema[c].Type}
@@ -452,7 +455,9 @@ func (pc *planCtx) datasetMorsels(r *resolvedQuery, cols []int, needSlot map[int
 	}
 	if len(cands) == 0 {
 		restore()
-		return nil, nil, false, nil // serial plan emits the empty scan
+		// The serial plan emits the empty scan.
+		return nil, nil, pc.declineParallel(fallbackSmallFile,
+			"every partition of %s pruned", st.tab.Name), nil
 	}
 
 	nmTotal := pc.workers * morselsPerWorker
@@ -491,7 +496,8 @@ func (pc *planCtx) datasetMorsels(r *resolvedQuery, cols []int, needSlot map[int
 	pc.stats.PartitionsScanned += len(cands)
 	if len(parts) < 2 {
 		restore()
-		return nil, nil, false, nil // one small partition: serial is fine
+		return nil, nil, pc.declineParallel(fallbackSmallFile,
+			"%s yields %d morsels across its partitions (need 2)", st.tab.Name, len(parts)), nil
 	}
 	done = func() error {
 		for _, d := range dones {

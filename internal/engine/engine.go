@@ -677,6 +677,11 @@ type Stats struct {
 	// wholesale — a partition's zone-map synopsis proved no row can match a
 	// predicate, so its file was never opened.
 	PartitionsSkipped int
+	// ParallelFallback names why a multi-worker query ran on the serial
+	// plan ("root-table", "small-file", ...); empty when the parallel plan
+	// ran (or was never requested). ParallelFallbackDetail elaborates.
+	ParallelFallback       string
+	ParallelFallbackDetail string
 }
 
 // Result is a fully materialised query result.

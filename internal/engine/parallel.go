@@ -44,49 +44,42 @@ func (pc *planCtx) minMorsels() int {
 // into record-aligned morsels, a cloned scan → filter (→ partial aggregate)
 // pipeline runs per morsel on a worker pool (exec.Parallel), and merge
 // operators above the exchange — ordered concatenation for plain queries, a
-// final combining aggregate for grouped/aggregate ones — reproduce the
-// serial plan's output byte for byte.
+// final combining aggregate (with exact float-SUM transport) plus HAVING for
+// grouped/aggregate ones, and a shared-build hash probe for joins —
+// reproduce the serial plan's output byte for byte.
 //
-// ok is false when the query must fall back to the serial plan: joins, HAVING
-// (its hidden aggregates complicate the partial/final split), AVG and SUM
-// over DOUBLE columns (merging partials would re-associate floating-point
-// addition and change result bits), ROOT tables (library-paced access), a
-// partially cached column set (late materialization), and queries whose file
-// yields fewer than two morsels.
+// ok is false when the query must fall back to the serial plan. Every
+// decline site records a structured reason (declineParallel) that surfaces
+// in Explain, Stats, the trace, and an obs event; the remaining fallbacks
+// are ROOT tables (library-paced access) and files too small to yield two
+// morsels.
 func (pc *planCtx) planParallel(r *resolvedQuery) (exec.Operator, bool, error) {
-	if r.join != nil || len(r.tables) != 1 || len(r.having) > 0 {
-		return nil, false, nil
+	if r.join != nil {
+		return pc.planParallelJoin(r)
 	}
 	st := r.tables[0].st
 	tab := st.tab
 
-	hasAgg := false
+	hasAgg := len(r.having) > 0
 	for _, it := range r.items {
-		if !it.isAgg {
-			continue
-		}
-		hasAgg = true
-		if it.agg == exec.Avg {
-			return nil, false, nil
-		}
-		if it.agg == exec.Sum && !it.star && tab.Schema[it.ref.col].Type == vector.Float64 {
-			return nil, false, nil
+		if it.isAgg {
+			hasAgg = true
 		}
 	}
-	if !hasAgg && len(r.groupBy) > 0 {
-		return nil, false, nil // bare GROUP BY projections stay serial
-	}
+	aggPath := hasAgg || len(r.groupBy) > 0
 
 	filterCols, outputCols := r.neededColumns()
 	cols := append(append([]int{}, filterCols[0]...), outputCols[0]...)
 	sortInts(cols)
+	cols = dedupInts(cols)
 	if len(cols) == 0 {
-		if !hasAgg {
-			return nil, false, nil
+		if !aggPath {
+			return nil, pc.declineParallel(fallbackInternal, "no columns to materialise"), nil
 		}
 		// Unfiltered COUNT(*): materialise one column so morsel batches
-		// carry a row count (zero-column scans cannot).
-		cols = []int{0}
+		// carry a row count (zero-column scans cannot). Pick the cheapest
+		// fixed-width column — never a wide string just because it is first.
+		cols = []int{countColumn(tab)}
 	}
 
 	// Shared column layout of every morsel pipeline: cols in sorted order.
@@ -122,7 +115,7 @@ func (pc *planCtx) planParallel(r *resolvedQuery) (exec.Operator, bool, error) {
 	}
 
 	bs := pc.e.cfg.BatchSize
-	if !hasAgg {
+	if !aggPath {
 		mspans := pc.wrapMorsels(parts)
 		par, err := exec.NewParallel(parts, pc.workers, bs, done)
 		if err != nil {
@@ -145,6 +138,139 @@ func (pc *planCtx) planParallel(r *resolvedQuery) (exec.Operator, bool, error) {
 		return nil, false, err
 	}
 	return op, true, nil
+}
+
+// planParallelJoin is the morsel-parallel join plan: the build side (table 1)
+// is scanned morsel-parallel into a shared partitioned hash table
+// (exec.SharedBuild), and one probe pipeline per probe-side morsel
+// (exec.HashProbe) runs on the exchange's worker pool. Probe morsels replay
+// in file order with matches in build stream order, so the joined stream —
+// and everything the serial finish() stacks above it (aggregation, HAVING,
+// projection) — is byte-identical to the serial HashJoin plan.
+func (pc *planCtx) planParallelJoin(r *resolvedQuery) (exec.Operator, bool, error) {
+	filterCols, outputCols := r.neededColumns()
+	var cols [2][]int
+	var slots [2]map[int]int
+	for t := 0; t < 2; t++ {
+		c := append(append([]int{}, filterCols[t]...), outputCols[t]...)
+		sortInts(c)
+		c = dedupInts(c)
+		// The join key is always a filter column, so c is never empty.
+		cols[t] = c
+		m := make(map[int]int, len(c))
+		for i, cc := range c {
+			m[cc] = i
+		}
+		slots[t] = m
+	}
+
+	// Build side: its morsels feed a private exchange under the shared
+	// build. A single morsel is fine here — the probe side provides the
+	// parallelism, and the build-side parse still overlaps probe scans.
+	pc.allowSingleMorsel = true
+	buildParts, buildDone, ok, err := pc.sideMorsels(r, 1, cols[1], slots[1])
+	pc.allowSingleMorsel = false
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	bs := pc.e.cfg.BatchSize
+	bspans := pc.wrapMorsels(buildParts)
+	bpar, err := exec.NewParallel(buildParts, pc.workers, bs, buildDone)
+	if err != nil {
+		return nil, false, err
+	}
+	bop, bspan := pc.opSpan(bpar,
+		fmt.Sprintf("build-exchange[workers=%d morsels=%d]", pc.workers, len(buildParts)), bspans...)
+	build, err := exec.NewSharedBuild(bop, slots[1][r.join.rightCol], pc.workers)
+	if err != nil {
+		return nil, false, err
+	}
+
+	// Probe side: one HashProbe per morsel against the shared table.
+	probeParts, probeDone, ok, err := pc.sideMorsels(r, 0, cols[0], slots[0])
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	for i, part := range probeParts {
+		hp, err := exec.NewHashProbe(part, build, slots[0][r.join.leftCol])
+		if err != nil {
+			return nil, false, err
+		}
+		probeParts[i] = hp
+	}
+	mspans := pc.wrapMorsels(probeParts)
+	par, err := exec.NewParallel(probeParts, pc.workers, bs, probeDone)
+	if err != nil {
+		return nil, false, err
+	}
+	children := mspans
+	if bspan != nil {
+		children = append(children, bspan)
+	}
+	xop, xspan := pc.opSpan(par,
+		fmt.Sprintf("probe-exchange[workers=%d morsels=%d]", pc.workers, len(probeParts)), children...)
+	pc.pathf("par:hashjoin(%s,%s)", r.tables[0].st.tab.Name, r.tables[1].st.tab.Name)
+
+	p := &pipe{op: xop, pos: make(map[boundRef]int), rid: map[int]int{0: -1, 1: -1}, span: xspan}
+	for i, c := range cols[0] {
+		p.pos[boundRef{0, c}] = i
+	}
+	w := len(cols[0])
+	for i, c := range cols[1] {
+		p.pos[boundRef{1, c}] = w + i
+	}
+	op, err := pc.finish(r, p)
+	if err != nil {
+		return nil, false, err
+	}
+	return op, true, nil
+}
+
+// sideMorsels builds the morsel parts for one side of a join. The side is
+// wrapped as a single-table shadow query — exactly how dataset partitions
+// are planned — so the ordinary morsel machinery (every strategy, every
+// format, datasets included) plans it unchanged, with residual predicates
+// cloned onto each morsel.
+func (pc *planCtx) sideMorsels(r *resolvedQuery, t int, cols []int, needSlot map[int]int) ([]exec.Operator, func() error, bool, error) {
+	bt := r.tables[t]
+	shadow := shadowQuery(bt.alias, bt.st, r.filters[t], cols, bt.st.tab.Schema)
+	if bt.st.ds != nil {
+		return pc.datasetMorsels(shadow, cols, needSlot)
+	}
+	parts, done, residual, ok, err := pc.morselScans(shadow, cols, r.filters[t])
+	if err != nil || !ok {
+		return nil, nil, false, err
+	}
+	parts, err = filterParts(parts, residual, needSlot)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return parts, done, true, nil
+}
+
+// dedupInts removes duplicates from a sorted int slice in place: a column in
+// both WHERE and SELECT must occupy one morsel slot, not two.
+func dedupInts(s []int) []int {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// countColumn picks the column an unfiltered COUNT(*) materialises: batches
+// need one column to carry a row count, and a fixed-width numeric column is
+// the cheapest to parse — never a wide string column just because it sits
+// first in the schema.
+func countColumn(tab *catalog.Table) int {
+	for i, c := range tab.Schema {
+		if c.Type == vector.Int64 || c.Type == vector.Float64 {
+			return i
+		}
+	}
+	return 0
 }
 
 // wrapMorsels wraps each morsel pipeline in its own span, one
@@ -196,14 +322,26 @@ func filterParts(parts []exec.Operator, residual []boundPred, needSlot map[int]i
 	return parts, nil
 }
 
+// outRef locates one query aggregate in the combining stage's output: either
+// a final aggregate column or a divide column appended above them (AVG).
+type outRef struct {
+	div bool
+	idx int
+}
+
 // finishParallelAgg splits aggregation into a per-morsel partial aggregate
-// and a final combining aggregate above the exchange. COUNT partials merge
-// by summation; MIN/MAX/SUM merge by re-applying the same function (exact
-// for integers, and for float MIN/MAX). Group keys stay in first-encounter
-// order because morsels partition the file in order and the exchange replays
-// partial outputs in morsel order.
+// and a final combining aggregate above the exchange. COUNT partials merge by
+// summation; MIN/MAX and integer SUM merge by re-applying the same function.
+// Float SUM travels as a (Sum, SumErr) pair — the correctly rounded morsel
+// sum plus the residue rounding dropped — merged exactly by MergeSum, so the
+// total is bit-identical to the serial sum. AVG is decomposed into final SUM
+// and COUNT combined by a Divide column above the final aggregate, and HAVING
+// filters above that. Group keys stay in first-encounter order because
+// morsels partition the file in order and the exchange replays partial
+// outputs in morsel order.
 func (pc *planCtx) finishParallelAgg(r *resolvedQuery, parts []exec.Operator,
 	needSlot map[int]int, done func() error) (exec.Operator, error) {
+	tab := r.tables[0].st.tab
 	groupIdx := make([]int, len(r.groupBy))
 	for i, g := range r.groupBy {
 		slot, ok := needSlot[g.col]
@@ -213,22 +351,92 @@ func (pc *planCtx) finishParallelAgg(r *resolvedQuery, parts []exec.Operator,
 		groupIdx[i] = slot
 	}
 
-	// Deduplicate aggregate specs exactly like the serial finish() so the
-	// output layout (groups first, then specs in first-use order) matches.
-	var specs []exec.AggSpec
-	addSpec := func(it boundItem) int {
-		col := -1
-		if !it.star {
-			col = needSlot[it.ref.col]
-		}
-		for si, s := range specs {
-			if s.Func == it.agg && s.Col == col {
-				return len(r.groupBy) + si
+	// Three registries build the two-stage plan, each deduplicating like the
+	// serial addSpec: partial aggregates computed per morsel, final
+	// aggregates combining them above the exchange, and divide columns
+	// (AVG = final SUM ÷ final COUNT) appended above the final aggregate.
+	var partials, finals []exec.AggSpec
+	type divSpec struct {
+		num, den int // final-aggregate spec indexes
+		name     string
+	}
+	var divides []divSpec
+	addPartial := func(f exec.AggFunc, col int, name string) int {
+		for i, s := range partials {
+			if s.Func == f && s.Col == col {
+				return i
 			}
 		}
-		specs = append(specs, exec.AggSpec{Func: it.agg, Col: col, As: it.name})
-		return len(r.groupBy) + len(specs) - 1
+		partials = append(partials, exec.AggSpec{Func: f, Col: col, As: name})
+		return len(partials) - 1
 	}
+	// pcol maps a partial spec index onto its column in the exchange stream
+	// (group keys first, then the partials in registration order).
+	pcol := func(pi int) int { return len(groupIdx) + pi }
+	addFinal := func(f exec.AggFunc, col, col2 int, name string) int {
+		for i, s := range finals {
+			if s.Func == f && s.Col == col && s.Col2 == col2 {
+				return i
+			}
+		}
+		finals = append(finals, exec.AggSpec{Func: f, Col: col, Col2: col2, As: name})
+		return len(finals) - 1
+	}
+	addDivide := func(num, den int, name string) int {
+		for i, d := range divides {
+			if d.num == num && d.den == den {
+				return i
+			}
+		}
+		divides = append(divides, divSpec{num: num, den: den, name: name})
+		return len(divides) - 1
+	}
+
+	// decompose registers the partial/final (and divide) specs implementing
+	// one query aggregate and returns where its value lands.
+	decompose := func(it boundItem) (outRef, error) {
+		col := -1
+		isFloat := false
+		if !it.star {
+			slot, ok := needSlot[it.ref.col]
+			if !ok {
+				return outRef{}, fmt.Errorf("engine: internal: aggregate input %q not materialised", it.name)
+			}
+			col = slot
+			isFloat = tab.Schema[it.ref.col].Type == vector.Float64
+		}
+		switch {
+		case it.agg == exec.Count:
+			p := addPartial(exec.Count, col, it.name)
+			return outRef{idx: addFinal(exec.Sum, pcol(p), -1, it.name)}, nil
+		case it.agg == exec.Min || it.agg == exec.Max:
+			p := addPartial(it.agg, col, it.name)
+			return outRef{idx: addFinal(it.agg, pcol(p), -1, it.name)}, nil
+		case it.agg == exec.Sum && !isFloat:
+			p := addPartial(exec.Sum, col, it.name)
+			return outRef{idx: addFinal(exec.Sum, pcol(p), -1, it.name)}, nil
+		case it.agg == exec.Sum:
+			hi := addPartial(exec.Sum, col, it.name)
+			lo := addPartial(exec.SumErr, col, it.name+"#err")
+			return outRef{idx: addFinal(exec.MergeSum, pcol(hi), pcol(lo), it.name)}, nil
+		case it.agg == exec.Avg && isFloat:
+			hi := addPartial(exec.Sum, col, it.name+"#sum")
+			lo := addPartial(exec.SumErr, col, it.name+"#err")
+			n := addPartial(exec.Count, -1, "#rows")
+			fs := addFinal(exec.MergeSum, pcol(hi), pcol(lo), it.name+"#sum")
+			fn := addFinal(exec.Sum, pcol(n), -1, "#rows")
+			return outRef{div: true, idx: addDivide(fs, fn, it.name)}, nil
+		case it.agg == exec.Avg:
+			s := addPartial(exec.Sum, col, it.name+"#sum")
+			n := addPartial(exec.Count, -1, "#rows")
+			fs := addFinal(exec.Sum, pcol(s), -1, it.name+"#sum")
+			fn := addFinal(exec.Sum, pcol(n), -1, "#rows")
+			return outRef{div: true, idx: addDivide(fs, fn, it.name)}, nil
+		}
+		return outRef{}, fmt.Errorf("engine: internal: no parallel form for aggregate %s", it.agg)
+	}
+
+	refs := make([]outRef, len(r.items))
 	aggOut := make([]int, len(r.items))
 	for i, it := range r.items {
 		if !it.isAgg {
@@ -239,32 +447,68 @@ func (pc *planCtx) finishParallelAgg(r *resolvedQuery, parts []exec.Operator,
 			}
 			continue
 		}
-		aggOut[i] = addSpec(it)
+		ref, err := decompose(it)
+		if err != nil {
+			return nil, err
+		}
+		refs[i] = ref
+	}
+	havingRefs := make([]outRef, len(r.having))
+	for i, h := range r.having {
+		ref, err := decompose(h.item)
+		if err != nil {
+			return nil, err
+		}
+		havingRefs[i] = ref
+	}
+	if len(partials) == 0 {
+		// Bare GROUP BY projection (SELECT g FROM t GROUP BY g): stage a
+		// hidden COUNT so both aggregate stages have a spec; the projection
+		// drops it.
+		if _, err := decompose(boundItem{agg: exec.Count, isAgg: true, star: true, name: "#rows"}); err != nil {
+			return nil, err
+		}
 	}
 
 	// Ungrouped partials emit one row even when their morsel filtered down
 	// to nothing (COUNT = 0 with identity-less zero aggregates); those rows
-	// must not feed MIN/MAX/SUM merging. Reuse a requested COUNT as the
-	// guard, or stage a hidden one, and filter empty partials out. Grouped
-	// partials only emit groups that saw rows, so no guard is needed there.
-	partialSpecs := specs
-	guardIdx := -1
+	// must not feed MIN/MAX/SUM merging. Reuse any registered COUNT partial
+	// as the guard, or stage a hidden one, and filter empty partials out.
+	// Grouped partials only emit groups that saw rows, so no guard is needed
+	// there.
+	guardPos := -1
 	if len(groupIdx) == 0 {
-		for si, s := range specs {
+		gpi := -1
+		for i, s := range partials {
 			if s.Func == exec.Count {
-				guardIdx = si
+				gpi = i
 				break
 			}
 		}
-		if guardIdx < 0 {
-			partialSpecs = append(append([]exec.AggSpec{}, specs...),
-				exec.AggSpec{Func: exec.Count, Col: -1, As: "#partial_rows"})
-			guardIdx = len(partialSpecs) - 1
+		if gpi < 0 {
+			gpi = addPartial(exec.Count, -1, "#partial_rows")
+		}
+		guardPos = pcol(gpi)
+	}
+
+	// Every output position is now known: final aggregate emits the group
+	// keys then the finals, and each Divide appends one column above that.
+	finalBase := len(groupIdx)
+	divBase := finalBase + len(finals)
+	posOf := func(ref outRef) int {
+		if ref.div {
+			return divBase + ref.idx
+		}
+		return finalBase + ref.idx
+	}
+	for i, it := range r.items {
+		if it.isAgg {
+			aggOut[i] = posOf(refs[i])
 		}
 	}
 
 	for i, part := range parts {
-		agg, err := exec.NewAggregate(part, partialSpecs, groupIdx)
+		agg, err := exec.NewAggregate(part, partials, groupIdx)
 		if err != nil {
 			return nil, err
 		}
@@ -276,8 +520,8 @@ func (pc *planCtx) finishParallelAgg(r *resolvedQuery, parts []exec.Operator,
 		return nil, err
 	}
 	child, top := pc.wrapExchange(par, len(parts), mspans)
-	if guardIdx >= 0 {
-		f, err := exec.NewFilter(child, []exec.Pred{{Col: guardIdx, Op: exec.Gt, I64: 0}})
+	if guardPos >= 0 {
+		f, err := exec.NewFilter(child, []exec.Pred{{Col: guardPos, Op: exec.Gt, I64: 0}})
 		if err != nil {
 			return nil, err
 		}
@@ -288,20 +532,33 @@ func (pc *planCtx) finishParallelAgg(r *resolvedQuery, parts []exec.Operator,
 	for i := range finalGroup {
 		finalGroup[i] = i
 	}
-	finalSpecs := make([]exec.AggSpec, len(specs))
-	for si, s := range specs {
-		fn := s.Func
-		if fn == exec.Count {
-			fn = exec.Sum // total count = sum of partial counts
-		}
-		finalSpecs[si] = exec.AggSpec{Func: fn, Col: len(groupIdx) + si, As: s.As}
-	}
-	fagg, err := exec.NewAggregate(child, finalSpecs, finalGroup)
+	fagg, err := exec.NewAggregate(child, finals, finalGroup)
 	if err != nil {
 		return nil, err
 	}
 	out, top := pc.opSpan(fagg,
-		fmt.Sprintf("final-aggregate[groups=%d aggs=%d]", len(finalGroup), len(finalSpecs)), top)
+		fmt.Sprintf("final-aggregate[groups=%d aggs=%d]", len(finalGroup), len(finals)), top)
+	if len(divides) > 0 {
+		for _, d := range divides {
+			dv, err := exec.NewDivide(out, finalBase+d.num, finalBase+d.den, d.name)
+			if err != nil {
+				return nil, err
+			}
+			out = dv
+		}
+		out, top = pc.opSpan(out, fmt.Sprintf("divide[%d]", len(divides)), top)
+	}
+	if len(r.having) > 0 {
+		preds := make([]exec.Pred, len(r.having))
+		for i, h := range r.having {
+			preds[i] = exec.Pred{Col: posOf(havingRefs[i]), Op: h.op, I64: h.i64, F64: h.f64}
+		}
+		f, err := exec.NewFilter(out, preds)
+		if err != nil {
+			return nil, err
+		}
+		out, top = pc.opSpan(f, fmt.Sprintf("having[%d]", len(preds)), top)
+	}
 	names := make([]string, len(r.items))
 	for i, it := range r.items {
 		names[i] = it.name
@@ -378,8 +635,12 @@ func (pc *planCtx) morselScans(r *resolvedQuery, cols []int, candidates []boundP
 	// vectors.
 	if tab.Format == catalog.Memory {
 		parts, err := pc.memMorsels(tab, st.loaded, cols, nm, bs)
-		if err != nil || parts == nil {
+		if err != nil {
 			return nil, nil, nil, false, err
+		}
+		if parts == nil {
+			return nil, nil, nil, pc.declineParallel(fallbackSmallFile,
+				"memory table %s yields fewer than %d morsels", tab.Name, pc.minMorsels()), nil
 		}
 		pc.pathf("par[%d]:memory:scan(%s)", len(parts), tab.Name)
 		return parts, nil, candidates, true, nil
@@ -389,8 +650,12 @@ func (pc *planCtx) morselScans(r *resolvedQuery, cols []int, candidates []boundP
 			return nil, nil, nil, false, err
 		}
 		parts, err := pc.memMorsels(tab, st.loaded, cols, nm, bs)
-		if err != nil || parts == nil {
+		if err != nil {
 			return nil, nil, nil, false, err
+		}
+		if parts == nil {
+			return nil, nil, nil, pc.declineParallel(fallbackSmallFile,
+				"loaded table %s yields fewer than %d morsels", tab.Name, pc.minMorsels()), nil
 		}
 		pc.pathf("par[%d]:dbms:memscan(%s)", len(parts), tab.Name)
 		return parts, nil, candidates, true, nil
@@ -399,11 +664,13 @@ func (pc *planCtx) morselScans(r *resolvedQuery, cols []int, candidates []boundP
 	switch pc.strategy {
 	case StrategyExternal:
 		if tab.Format != catalog.CSV {
-			return nil, nil, nil, false, nil
+			return nil, nil, nil, pc.declineParallel(fallbackUnsupportedFormat,
+				"external tool has no parallel %s scan", tab.Format), nil
 		}
 		spans := csvfile.Split(st.csvData, nm)
 		if len(spans) < pc.minMorsels() {
-			return nil, nil, nil, false, nil
+			return nil, nil, nil, pc.declineParallel(fallbackSmallFile,
+				"%s splits into %d morsels (need %d)", tab.Name, len(spans), pc.minMorsels()), nil
 		}
 		for _, sp := range spans {
 			sc, err := insitu.NewExternalScan(st.csvData[sp.Start:sp.End], tab, cols, bs)
@@ -427,7 +694,8 @@ func (pc *planCtx) morselScans(r *resolvedQuery, cols []int, candidates []boundP
 		case catalog.Binary:
 			ranges := splitRows(st.bin.NRows(), nm)
 			if len(ranges) < pc.minMorsels() {
-				return nil, nil, nil, false, nil
+				return nil, nil, nil, pc.declineParallel(fallbackSmallFile,
+					"%s splits into %d morsels (need %d)", tab.Name, len(ranges), pc.minMorsels()), nil
 			}
 			for _, rr := range ranges {
 				sc, err := insitu.NewBinScan(st.bin, tab, cols, false, bs)
@@ -442,7 +710,8 @@ func (pc *planCtx) morselScans(r *resolvedQuery, cols []int, candidates []boundP
 			pc.pathf("par[%d]:insitu:bin(%s)", len(parts), tab.Name)
 			return parts, nil, candidates, true, nil
 		}
-		return nil, nil, nil, false, nil
+		return nil, nil, nil, pc.declineParallel(fallbackRootTable,
+			"%s tables page through the format library at its own pace", tab.Format), nil
 
 	case StrategyJIT, StrategyShreds:
 		// All requested columns cached as full shreds: scan row ranges of
@@ -477,11 +746,10 @@ func (pc *planCtx) morselScans(r *resolvedQuery, cols []int, candidates []boundP
 				pc.notePush(tab.Name, len(pushable), skip != nil)
 				return parts, nil, rest, true, nil
 			}
-			if len(cached) > 0 {
-				// Partially cached column set: the serial late-materialization
-				// cascade handles the mix.
-				return nil, nil, nil, false, nil
-			}
+			// Partially cached column sets fall through: the raw file is
+			// still the source of truth, and an unpruned pass recaptures
+			// every column as a full shred (Put overwrites the partial
+			// entries harmlessly).
 		}
 		switch tab.Format {
 		case catalog.CSV:
@@ -491,7 +759,8 @@ func (pc *planCtx) morselScans(r *resolvedQuery, cols []int, candidates []boundP
 		case catalog.Binary:
 			ranges := splitRows(st.bin.NRows(), nm)
 			if len(ranges) < pc.minMorsels() {
-				return nil, nil, nil, false, nil
+				return nil, nil, nil, pc.declineParallel(fallbackSmallFile,
+					"%s splits into %d morsels (need %d)", tab.Name, len(ranges), pc.minMorsels()), nil
 			}
 			pushable, rest := pc.parallelPush(candidates)
 			var skip func(start, end int64) bool
@@ -552,9 +821,11 @@ func (pc *planCtx) morselScans(r *resolvedQuery, cols []int, candidates []boundP
 			}
 			return parts, pc.captureDone(tab, cols, caps, mergeSyn), rest, true, nil
 		}
-		return nil, nil, nil, false, nil
+		return nil, nil, nil, pc.declineParallel(fallbackRootTable,
+			"%s tables page through the format library at its own pace", tab.Format), nil
 	}
-	return nil, nil, nil, false, nil
+	return nil, nil, nil, pc.declineParallel(fallbackInternal,
+		"no parallel planner for strategy %s", pc.strategy), nil
 }
 
 // noteSynCapture emits a captured lifecycle event iff the completion hooks
@@ -610,7 +881,8 @@ func (pc *planCtx) csvMorsels(r *resolvedQuery, cols []int, candidates []boundPr
 	if pm := st.posMap(); pm != nil && pm.NRows() > 0 && pmCovers(pm, cols) {
 		ranges := splitRows(pm.NRows(), nm)
 		if len(ranges) < pc.minMorsels() {
-			return nil, nil, nil, false, nil
+			return nil, nil, nil, pc.declineParallel(fallbackSmallFile,
+				"%s splits into %d morsels (need %d)", tab.Name, len(ranges), pc.minMorsels()), nil
 		}
 		var skip func(start, end int64) bool
 		if jitMode && pc.zonemaps && !pc.captureActive() {
@@ -675,7 +947,8 @@ func (pc *planCtx) csvMorsels(r *resolvedQuery, cols []int, candidates []boundPr
 	// same way.
 	spans := csvfile.Split(st.csvData, nm)
 	if len(spans) < pc.minMorsels() {
-		return nil, nil, nil, false, nil
+		return nil, nil, nil, pc.declineParallel(fallbackSmallFile,
+			"%s splits into %d morsels (need %d)", tab.Name, len(spans), pc.minMorsels()), nil
 	}
 	capture := !jitMode || len(pushable) == 0
 	frags := make([]*posmap.Map, len(spans))
@@ -781,7 +1054,8 @@ func (pc *planCtx) jsonMorsels(r *resolvedQuery, cols []int, candidates []boundP
 	if idx := st.jsonIdx(); idx != nil && idx.NRows() > 0 {
 		ranges := splitRows(idx.NRows(), nm)
 		if len(ranges) < pc.minMorsels() {
-			return nil, nil, nil, false, nil
+			return nil, nil, nil, pc.declineParallel(fallbackSmallFile,
+				"%s splits into %d morsels (need %d)", tab.Name, len(ranges), pc.minMorsels()), nil
 		}
 		// Morsel-level zone skipping requires every needed path tracked:
 		// dropping a morsel would otherwise leave adaptive-recording holes.
@@ -846,7 +1120,8 @@ func (pc *planCtx) jsonMorsels(r *resolvedQuery, cols []int, candidates []boundP
 	// in morsel order on completion.
 	spans := jsonfile.Split(st.jsonData, nm)
 	if len(spans) < pc.minMorsels() {
-		return nil, nil, nil, false, nil
+		return nil, nil, nil, pc.declineParallel(fallbackSmallFile,
+			"%s splits into %d morsels (need %d)", tab.Name, len(spans), pc.minMorsels()), nil
 	}
 	capture := !jitMode || len(pushable) == 0
 	frags := make([]*jsonidx.Index, len(spans))

@@ -1,0 +1,402 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rawdb/internal/catalog"
+	"rawdb/internal/obs"
+	"rawdb/internal/storage/csvfile"
+	"rawdb/internal/storage/rootfile"
+	"rawdb/internal/vector"
+)
+
+// floatData builds a CSV image with one low-cardinality BIGINT group column
+// followed by DOUBLE columns filled with adversarial magnitudes: random
+// signs and exponents spread over ~24 binades, so a naively re-associated
+// sum rounds differently from the serial left-to-right sum with high
+// probability. Any worker-count-dependent rounding shows up as a bit
+// mismatch.
+func floatData(t *testing.T, rows int, seed int64) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	types := []vector.Type{vector.Int64, vector.Float64, vector.Float64}
+	var buf bytes.Buffer
+	w := csvfile.NewWriter(&buf, types)
+	for r := 0; r < rows; r++ {
+		f1 := rng.NormFloat64() * math.Pow(2, float64(rng.Intn(24)-12))
+		f2 := rng.NormFloat64() * math.Pow(2, float64(rng.Intn(24)-12))
+		if err := w.WriteRow([]int64{rng.Int63n(5)}, []float64{f1, f2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+var floatSchema = []catalog.Column{
+	{Name: "g", Type: vector.Int64},
+	{Name: "a", Type: vector.Float64},
+	{Name: "b", Type: vector.Float64},
+}
+
+// queryAt runs src at the given worker count and fails the test on error.
+func queryAt(t *testing.T, e *Engine, src string, workers int) *Result {
+	t.Helper()
+	res, err := e.QueryOpt(src, Options{Parallelism: &workers})
+	if err != nil {
+		t.Fatalf("workers %d: %q: %v", workers, src, err)
+	}
+	return res
+}
+
+// sameResult asserts two results agree cell for cell, floats by bit pattern.
+func sameResult(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got.NumRows() != want.NumRows() || len(got.Columns) != len(want.Columns) {
+		t.Fatalf("%s: shape %dx%d vs %dx%d",
+			label, got.NumRows(), len(got.Columns), want.NumRows(), len(want.Columns))
+	}
+	for r := 0; r < want.NumRows(); r++ {
+		for c := range want.Columns {
+			if want.Types[c] == vector.Float64 {
+				g, w := got.Float64(r, c), want.Float64(r, c)
+				if math.Float64bits(g) != math.Float64bits(w) {
+					t.Fatalf("%s: cell (%d,%d) = %v (bits %x) vs %v (bits %x)",
+						label, r, c, g, math.Float64bits(g), w, math.Float64bits(w))
+				}
+			} else if g, w := got.Int64(r, c), want.Int64(r, c); g != w {
+				t.Fatalf("%s: cell (%d,%d) = %d vs %d", label, r, c, g, w)
+			}
+		}
+	}
+}
+
+// TestCountColumnPicksFixedWidth pins the COUNT(*) column choice: the
+// batches only pace the count, so the planner must pick the first
+// fixed-width numeric column and never drag a variable-width column through
+// the scan just because it is column 0.
+func TestCountColumnPicksFixedWidth(t *testing.T) {
+	cases := []struct {
+		types []vector.Type
+		want  int
+	}{
+		{[]vector.Type{vector.Int64, vector.Int64}, 0},
+		{[]vector.Type{vector.Bytes, vector.Int64}, 1},
+		{[]vector.Type{vector.Bytes, vector.Bool, vector.Float64}, 2},
+		{[]vector.Type{vector.Bool, vector.Bytes}, 0}, // no numeric column: fall back to 0
+	}
+	for i, c := range cases {
+		tab := &catalog.Table{Name: "t"}
+		for j, typ := range c.types {
+			tab.Schema = append(tab.Schema, catalog.Column{Name: fmt.Sprintf("c%d", j), Type: typ})
+		}
+		if got := countColumn(tab); got != c.want {
+			t.Errorf("case %d (%v): countColumn = %d, want %d", i, c.types, got, c.want)
+		}
+	}
+}
+
+// TestCountStarSkipsWideColumn runs an unfiltered COUNT(*) over a memory
+// table whose column 0 is a wide VARCHAR payload: the planner must pace the
+// count on the BIGINT column (countColumn), serially and in parallel, and
+// the parallel plan must not fall back.
+func TestCountStarSkipsWideColumn(t *testing.T) {
+	const nrows = 4000
+	payload := bytes.Repeat([]byte("x"), 512)
+	wide := vector.New(vector.Bytes, nrows)
+	keys := vector.New(vector.Int64, nrows)
+	for i := 0; i < nrows; i++ {
+		wide.AppendBytes(payload)
+		keys.AppendInt64(int64(i))
+	}
+	e := newTestEngine(t, Config{BatchSize: 256})
+	schema := []catalog.Column{
+		{Name: "blob", Type: vector.Bytes},
+		{Name: "k", Type: vector.Int64},
+	}
+	if err := e.RegisterMemory("m", schema, []*vector.Vector{wide, keys}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.state("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countColumn(st.tab); got != 1 {
+		t.Fatalf("countColumn = %d, want 1 (skip the VARCHAR payload)", got)
+	}
+	for _, w := range []int{1, 8} {
+		res := queryAt(t, e, "SELECT COUNT(*) FROM m", w)
+		if res.Int64(0, 0) != nrows {
+			t.Fatalf("workers %d: COUNT(*) = %d, want %d", w, res.Int64(0, 0), nrows)
+		}
+		if w > 1 && res.Stats.ParallelFallback != "" {
+			t.Fatalf("workers %d: unexpected fallback %q (%s)",
+				w, res.Stats.ParallelFallback, res.Stats.ParallelFallbackDetail)
+		}
+	}
+}
+
+// BenchmarkCountStarWideBytes measures the unfiltered COUNT(*) the
+// cheapest-column choice protects: a memory table with a 512-byte VARCHAR
+// column 0 and a BIGINT column 1. The planner paces the count on the BIGINT
+// column; the wide payload is never projected into a scan.
+func BenchmarkCountStarWideBytes(b *testing.B) {
+	const nrows = 20000
+	payload := bytes.Repeat([]byte("x"), 512)
+	wide := vector.New(vector.Bytes, nrows)
+	keys := vector.New(vector.Int64, nrows)
+	for i := 0; i < nrows; i++ {
+		wide.AppendBytes(payload)
+		keys.AppendInt64(int64(i))
+	}
+	e := New(Config{})
+	schema := []catalog.Column{
+		{Name: "blob", Type: vector.Bytes},
+		{Name: "k", Type: vector.Int64},
+	}
+	if err := e.RegisterMemory("m", schema, []*vector.Vector{wide, keys}); err != nil {
+		b.Fatal(err)
+	}
+	w := 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.QueryOpt("SELECT COUNT(*) FROM m", Options{Parallelism: &w})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Int64(0, 0) != nrows {
+			b.Fatalf("COUNT(*) = %d, want %d", res.Int64(0, 0), nrows)
+		}
+	}
+}
+
+// TestParallelDuplicateColumnSlot regresses the planParallel column-slot
+// build: a column referenced by both the select list and a filter (and
+// repeated in the select list) must occupy one scan slot, and the parallel
+// answer must match the serial one.
+func TestParallelDuplicateColumnSlot(t *testing.T) {
+	csvData, _, schema, _ := testData(t, 400, 6, 99)
+	e := newTestEngine(t, Config{})
+	if err := e.RegisterCSVData("t", csvData, schema); err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"SELECT col3, col3 FROM t WHERE col3 < 500000000",
+		"SELECT col3, col1, col3 FROM t WHERE col3 >= 250000000 AND col1 < 750000000",
+		"SELECT SUM(col2), MIN(col2), COUNT(col2) FROM t WHERE col2 <> 0",
+	}
+	for _, src := range queries {
+		want := queryAt(t, e, src, 1)
+		got := queryAt(t, e, src, 4)
+		if got.Stats.ParallelFallback != "" {
+			t.Fatalf("%q: unexpected fallback %q (%s)",
+				src, got.Stats.ParallelFallback, got.Stats.ParallelFallbackDetail)
+		}
+		sameResult(t, src, got, want)
+	}
+}
+
+// TestParallelFloatAggBitExact drives float SUM and AVG — ungrouped,
+// filtered and grouped — through worker counts 1/2/8 over
+// cancellation-prone data. Every worker count must produce the exact bits
+// of the serial answer: the parallel plan ships exact partial sums (hi/lo
+// expansion transport) and rounds once at the top, like the serial
+// aggregate.
+func TestParallelFloatAggBitExact(t *testing.T) {
+	csvData := floatData(t, 5000, 42)
+	e := newTestEngine(t, Config{})
+	if err := e.RegisterCSVData("t", csvData, floatSchema); err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"SELECT SUM(a) FROM t",
+		"SELECT AVG(a), SUM(b) FROM t",
+		"SELECT SUM(a), AVG(b), COUNT(*) FROM t WHERE a > 0",
+		"SELECT g, SUM(a), AVG(b) FROM t GROUP BY g",
+		"SELECT g, AVG(a) FROM t GROUP BY g HAVING COUNT(*) > 900",
+	}
+	for _, src := range queries {
+		want := queryAt(t, e, src, 1)
+		for _, w := range []int{2, 8} {
+			got := queryAt(t, e, src, w)
+			if got.Stats.ParallelFallback != "" {
+				t.Fatalf("%q workers %d: unexpected fallback %q (%s)",
+					src, w, got.Stats.ParallelFallback, got.Stats.ParallelFallbackDetail)
+			}
+			sameResult(t, fmt.Sprintf("%q workers %d", src, w), got, want)
+		}
+	}
+}
+
+// TestParallelJoinHavingNative pins the tentpole plan shapes: equi-joins,
+// HAVING above a grouped aggregate and bare GROUP BY all run the parallel
+// plan (no fallback) and reproduce the serial answers.
+func TestParallelJoinHavingNative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mkCSV := func(rows, ncols int, keyCol int) []byte {
+		types := make([]vector.Type, ncols)
+		for i := range types {
+			types[i] = vector.Int64
+		}
+		var buf bytes.Buffer
+		w := csvfile.NewWriter(&buf, types)
+		row := make([]int64, ncols)
+		for r := 0; r < rows; r++ {
+			for c := range row {
+				if c == keyCol {
+					row[c] = rng.Int63n(7)
+				} else {
+					row[c] = rng.Int63n(1000)
+				}
+			}
+			if err := w.WriteRow(row, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	mkSchema := func(ncols int) []catalog.Column {
+		var s []catalog.Column
+		for i := 0; i < ncols; i++ {
+			s = append(s, catalog.Column{Name: fmt.Sprintf("col%d", i+1), Type: vector.Int64})
+		}
+		return s
+	}
+	e := newTestEngine(t, Config{})
+	if err := e.RegisterCSVData("t", mkCSV(300, 4, 1), mkSchema(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterCSVData("u", mkCSV(60, 3, 0), mkSchema(3)); err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"SELECT COUNT(*) FROM t, u WHERE t.col2 = u.col1",
+		"SELECT t.col1, u.col2 FROM t, u WHERE t.col2 = u.col1 AND t.col3 < 500",
+		"SELECT SUM(t.col3), MAX(u.col2) FROM t, u WHERE t.col2 = u.col1",
+		"SELECT col2, COUNT(*) FROM t GROUP BY col2 HAVING COUNT(*) > 40",
+		"SELECT col2, SUM(col3) FROM t GROUP BY col2 HAVING SUM(col3) >= 10000",
+		"SELECT col2 FROM t GROUP BY col2",
+	}
+	for _, src := range queries {
+		want := queryAt(t, e, src, 1)
+		got := queryAt(t, e, src, 4)
+		if got.Stats.ParallelFallback != "" {
+			t.Fatalf("%q: unexpected fallback %q (%s)",
+				src, got.Stats.ParallelFallback, got.Stats.ParallelFallbackDetail)
+		}
+		sameResult(t, src, got, want)
+	}
+	// The join's access path names the parallel hash join explicitly.
+	res := queryAt(t, e, "SELECT COUNT(*) FROM t, u WHERE t.col2 = u.col1", 4)
+	found := false
+	for _, ap := range res.Stats.AccessPaths {
+		if ap == "par:hashjoin(t,u)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected par:hashjoin(t,u) access path, got %v", res.Stats.AccessPaths)
+	}
+}
+
+// TestParallelFallbackReporting pins the structured fallback surface: the
+// only remaining serial fallbacks (ROOT tables, sub-2-morsel files) must
+// name themselves in Stats, in Explain and in the lifecycle event log.
+func TestParallelFallbackReporting(t *testing.T) {
+	t.Run("root-table", func(t *testing.T) {
+		var buf bytes.Buffer
+		w := rootfile.NewWriter(&buf, rootfile.Options{BasketEntries: 64})
+		tw := w.Tree("t")
+		vb := tw.Branch("v", vector.Int64)
+		for i := 0; i < 500; i++ {
+			vb.AppendInt64(int64(i))
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		f, err := rootfile.Parse(buf.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		schema := []catalog.Column{{Name: "v", Type: vector.Int64}}
+		e := newTestEngine(t, Config{})
+		if err := e.RegisterRootFile("t", f, "t", schema); err != nil {
+			t.Fatal(err)
+		}
+		// Explain before any execution: once a query runs, its captured
+		// shreds make parallel ROOT scans possible (the fallback is about
+		// paging the raw format, not the cached columns).
+		w8 := 8
+		plan, err := e.Explain("SELECT COUNT(*) FROM t", Options{Parallelism: &w8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(plan, "parallel fallback: root-table") {
+			t.Fatalf("Explain missing fallback line:\n%s", plan)
+		}
+		res := queryAt(t, e, "SELECT COUNT(*) FROM t", 8)
+		if res.Int64(0, 0) != 500 {
+			t.Fatalf("COUNT(*) = %d, want 500", res.Int64(0, 0))
+		}
+		if res.Stats.ParallelFallback != fallbackRootTable {
+			t.Fatalf("fallback = %q (%s), want %q",
+				res.Stats.ParallelFallback, res.Stats.ParallelFallbackDetail, fallbackRootTable)
+		}
+		if res.Stats.ParallelFallbackDetail == "" {
+			t.Fatal("fallback detail empty")
+		}
+		foundEvent := false
+		for _, ev := range e.RecentEvents() {
+			if ev.Kind == obs.EventFallback && ev.Structure == "planner" &&
+				ev.Table == "t" && ev.Reason == fallbackRootTable {
+				foundEvent = true
+			}
+		}
+		if !foundEvent {
+			t.Fatalf("no fallback lifecycle event, have %v", e.RecentEvents())
+		}
+	})
+	t.Run("small-file", func(t *testing.T) {
+		// One row = one record-aligned morsel: below the 2-morsel floor.
+		csvData, _, schema, _ := testData(t, 1, 3, 11)
+		e := newTestEngine(t, Config{})
+		if err := e.RegisterCSVData("tiny", csvData, schema); err != nil {
+			t.Fatal(err)
+		}
+		res := queryAt(t, e, "SELECT COUNT(*) FROM tiny", 8)
+		if res.Int64(0, 0) != 1 {
+			t.Fatalf("COUNT(*) = %d, want 1", res.Int64(0, 0))
+		}
+		if res.Stats.ParallelFallback != fallbackSmallFile {
+			t.Fatalf("fallback = %q (%s), want %q",
+				res.Stats.ParallelFallback, res.Stats.ParallelFallbackDetail, fallbackSmallFile)
+		}
+	})
+	t.Run("none-when-parallel", func(t *testing.T) {
+		csvData, _, schema, _ := testData(t, 500, 4, 12)
+		e := newTestEngine(t, Config{})
+		if err := e.RegisterCSVData("t", csvData, schema); err != nil {
+			t.Fatal(err)
+		}
+		res := queryAt(t, e, "SELECT SUM(col2) FROM t WHERE col1 > 0", 8)
+		if res.Stats.ParallelFallback != "" {
+			t.Fatalf("unexpected fallback %q (%s)",
+				res.Stats.ParallelFallback, res.Stats.ParallelFallbackDetail)
+		}
+		for _, ev := range e.RecentEvents() {
+			if ev.Kind == obs.EventFallback {
+				t.Fatalf("unexpected fallback event %v", ev)
+			}
+		}
+	})
+}

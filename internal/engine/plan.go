@@ -54,6 +54,41 @@ type planCtx struct {
 	// span it belongs to (assigned when the enclosing scan site finishes
 	// building), so per-operator prune counts land on the right span.
 	probes []*pruneProbe
+
+	// fallbackReason/fallbackDetail record why planParallel declined a
+	// workers > 1 query (the first decline site wins — it is the innermost
+	// and most specific); plan() copies them into Stats, the trace, and an
+	// obs event whenever the serial plan runs instead.
+	fallbackReason string
+	fallbackDetail string
+}
+
+// Structured parallel-fallback reasons. With joins, HAVING, AVG, float SUM,
+// and bare GROUP BY parallel-native, these are the only ways a workers > 1
+// query still runs serial.
+const (
+	// fallbackRootTable: ROOT files are accessed through the library pacing
+	// the paper measures; there is no splittable raw byte range.
+	fallbackRootTable = "root-table"
+	// fallbackSmallFile: the file (or dataset) yields fewer than two
+	// morsels, so an exchange would only add overhead over the serial scan.
+	fallbackSmallFile = "small-file"
+	// fallbackUnsupportedFormat: the strategy has no reader for this format
+	// at all (the serial plan errors too).
+	fallbackUnsupportedFormat = "unsupported-format"
+	// fallbackInternal marks decline paths that should be unreachable.
+	fallbackInternal = "planner-internal"
+)
+
+// declineParallel records the structured reason the parallel planner is
+// declining this query. The first recorded reason wins. It always returns
+// false so decline sites can return it directly as their ok value.
+func (pc *planCtx) declineParallel(reason, detailf string, args ...any) bool {
+	if pc.fallbackReason == "" {
+		pc.fallbackReason = reason
+		pc.fallbackDetail = fmt.Sprintf(detailf, args...)
+	}
+	return false
 }
 
 // pruneProbe defers a scan's runtime prune counters to onComplete time and
@@ -348,6 +383,9 @@ func (pc *planCtx) scanSpan(p *pipe, mark scanMark) {
 func (pc *planCtx) plan(r *resolvedQuery) (exec.Operator, error) {
 	if pc.workers > 1 {
 		mark := pc.trace.Mark()
+		savedStats := *pc.stats // slice headers snapshot current lengths
+		savedHooks := len(pc.onComplete)
+		savedProbes := len(pc.probes)
 		op, ok, err := pc.planParallel(r)
 		if err != nil {
 			return nil, err
@@ -355,9 +393,29 @@ func (pc *planCtx) plan(r *resolvedQuery) (exec.Operator, error) {
 		if ok {
 			return op, nil
 		}
-		// The attempt fell back to serial: its spans describe a plan that
-		// never runs, so drop them from the trace.
+		// The attempt fell back to serial: its spans, stats entries, and
+		// completion hooks describe a plan that never runs, so roll them
+		// back — and record the structured reason so the fallback is never
+		// silent (Explain, Stats, trace, obs event).
 		pc.trace.Rewind(mark)
+		*pc.stats = savedStats
+		pc.onComplete = pc.onComplete[:savedHooks]
+		pc.probes = pc.probes[:savedProbes]
+		if pc.fallbackReason == "" {
+			pc.fallbackReason = fallbackInternal
+			pc.fallbackDetail = "parallel planner declined without a recorded reason"
+		}
+		pc.stats.ParallelFallback = pc.fallbackReason
+		pc.stats.ParallelFallbackDetail = pc.fallbackDetail
+		if pc.trace != nil {
+			s := pc.trace.NewSpan("parallel-fallback")
+			s.AddAttr("reason", pc.fallbackReason)
+			if pc.fallbackDetail != "" {
+				s.AddAttr("detail", pc.fallbackDetail)
+			}
+			now := time.Now()
+			s.Window(now, now)
+		}
 	}
 	var p *pipe
 	var err error
@@ -407,7 +465,7 @@ func (pc *planCtx) planSingle(r *resolvedQuery) (*pipe, error) {
 	// A query touching no columns at all (unfiltered COUNT(*)) still needs
 	// one materialised column: zero-column batches cannot carry a row count.
 	if len(baseCols) == 0 && len(lateFilterCols)+len(lateOutputCols) == 0 {
-		baseCols = []int{0}
+		baseCols = []int{countColumn(bt.st.tab)}
 	}
 
 	// Predicates over base columns are candidates for pushdown into the
@@ -1306,6 +1364,13 @@ func (pc *planCtx) finish(r *resolvedQuery, p *pipe) (exec.Operator, error) {
 			return nil, err
 		}
 		havingPos[i] = pos
+	}
+	if len(specs) == 0 {
+		// Bare GROUP BY projection (SELECT g FROM t GROUP BY g): stage a
+		// hidden COUNT so the aggregate has a spec; the projection drops it.
+		if _, err := addSpec(boundItem{agg: exec.Count, isAgg: true, star: true, name: "#rows"}); err != nil {
+			return nil, err
+		}
 	}
 	agg, err := exec.NewAggregate(p.op, specs, groupIdx)
 	if err != nil {

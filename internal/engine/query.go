@@ -107,6 +107,10 @@ func (e *Engine) run(r *resolvedQuery, strategy Strategy, place JoinPlacement,
 	if err != nil {
 		return nil, fmt.Errorf("engine: planning %s: %w", r.describe(), err)
 	}
+	if stats.ParallelFallback != "" {
+		e.emitEvent(obs.EventFallback, "planner", r.tables[0].st.tab.Name, 0,
+			stats.ParallelFallback)
+	}
 	sp = tr.Phase("execute")
 	cols, err := exec.Collect(op)
 	sp.End()
@@ -243,6 +247,10 @@ func (e *Engine) Explain(src string, opts Options) (string, error) {
 	if stats.TemplateMisses > 0 || stats.TemplateHits > 0 {
 		fmt.Fprintf(&b, "templates: %d generated, %d reused\n",
 			stats.TemplateMisses, stats.TemplateHits)
+	}
+	if stats.ParallelFallback != "" {
+		fmt.Fprintf(&b, "parallel fallback: %s (%s)\n",
+			stats.ParallelFallback, stats.ParallelFallbackDetail)
 	}
 	return b.String(), nil
 }

@@ -10,13 +10,21 @@ import (
 // AggFunc identifies an aggregate function.
 type AggFunc uint8
 
-// Supported aggregate functions.
+// Supported aggregate functions. SumErr and MergeSum are not surfaced in
+// SQL; they are the transport pair parallel plans use to move a morsel's
+// float SUM through an exchange without losing precision. A partial
+// aggregate emits Sum (the correctly rounded morsel sum, hi) next to SumErr
+// (the residue the rounding dropped, lo); the combining aggregate's MergeSum
+// re-accumulates every (hi, lo) pair exactly and emits the correctly rounded
+// total — bit-identical to a serial SUM over the same rows.
 const (
 	Min AggFunc = iota
 	Max
 	Sum
 	Count
 	Avg
+	SumErr
+	MergeSum
 )
 
 // String returns the SQL name of the function.
@@ -32,16 +40,22 @@ func (f AggFunc) String() string {
 		return "COUNT"
 	case Avg:
 		return "AVG"
+	case SumErr:
+		return "SUMERR"
+	case MergeSum:
+		return "MERGESUM"
 	default:
 		return "?"
 	}
 }
 
 // AggSpec is one aggregate to compute. Col is ignored for Count (COUNT(*)
-// uses Col = -1).
+// uses Col = -1). Col2 is used only by MergeSum: Col carries the partial
+// sums (hi) and Col2 the matching residues (lo).
 type AggSpec struct {
 	Func AggFunc
 	Col  int
+	Col2 int
 	// As names the output column; empty derives "FUNC(col)".
 	As string
 }
@@ -90,6 +104,9 @@ type aggState struct {
 	count int64
 	i64   int64
 	f64   float64
+	// exp holds the exact float expansion for SUM/AVG over DOUBLE (and the
+	// SumErr/MergeSum transport funcs); allocated on first use.
+	exp *fsum
 }
 
 // NewAggregate validates specs and groupBy against the child schema.
@@ -127,11 +144,27 @@ func NewAggregate(child Operator, specs []AggSpec, groupBy []int) (*Aggregate, e
 		if ct != vector.Int64 && ct != vector.Float64 {
 			return nil, fmt.Errorf("exec: aggregate: cannot aggregate %s column %q", ct, cs[s.Col].Name)
 		}
+		switch s.Func {
+		case SumErr:
+			if ct != vector.Float64 {
+				return nil, fmt.Errorf("exec: aggregate: SUMERR requires a %s column, got %s", vector.Float64, ct)
+			}
+		case MergeSum:
+			if ct != vector.Float64 {
+				return nil, fmt.Errorf("exec: aggregate: MERGESUM requires %s columns, got %s", vector.Float64, ct)
+			}
+			if s.Col2 < 0 || s.Col2 >= len(cs) {
+				return nil, fmt.Errorf("exec: aggregate: MERGESUM residue column %d out of range", s.Col2)
+			}
+			if cs[s.Col2].Type != vector.Float64 {
+				return nil, fmt.Errorf("exec: aggregate: MERGESUM residue column %q must be %s", cs[s.Col2].Name, vector.Float64)
+			}
+		}
 		if name == "" {
 			name = fmt.Sprintf("%s(%s)", s.Func, cs[s.Col].Name)
 		}
 		outType := ct
-		if s.Func == Avg {
+		if s.Func == Avg || s.Func == SumErr || s.Func == MergeSum {
 			outType = vector.Float64
 		}
 		if s.Func == Count {
@@ -171,7 +204,23 @@ func newStates(n int) []aggState {
 func (a *Aggregate) update(st []aggState, b *vector.Batch, row int) {
 	for si, s := range a.specs {
 		state := &st[si]
-		if s.Func == Count {
+		switch s.Func {
+		case Count:
+			state.count++
+			continue
+		case SumErr:
+			if state.exp == nil {
+				state.exp = &fsum{}
+			}
+			state.exp.add(b.Cols[s.Col].Float64s[row])
+			state.count++
+			continue
+		case MergeSum:
+			if state.exp == nil {
+				state.exp = &fsum{}
+			}
+			state.exp.add(b.Cols[s.Col].Float64s[row])
+			state.exp.add(b.Cols[s.Col2].Float64s[row])
 			state.count++
 			continue
 		}
@@ -206,10 +255,13 @@ func (a *Aggregate) update(st []aggState, b *vector.Batch, row int) {
 					state.f64 = v
 				}
 			case Sum, Avg:
-				if state.count == 0 {
-					state.f64 = 0
+				// Exact expansion, not a running float: SUM/AVG over DOUBLE
+				// is the correctly rounded sum, independent of row order —
+				// the invariant that keeps morsel-parallel plans bit-exact.
+				if state.exp == nil {
+					state.exp = &fsum{}
 				}
-				state.f64 += v
+				state.exp.add(v)
 			}
 		}
 		state.count++
@@ -353,14 +405,26 @@ func (a *Aggregate) emit() (*vector.Batch, error) {
 				var sum float64
 				if s.Col >= 0 && cs[s.Col].Type == vector.Int64 {
 					sum = float64(state.i64)
-				} else {
-					sum = state.f64
+				} else if state.exp != nil {
+					sum = state.exp.round()
 				}
 				if state.count == 0 {
 					out.Cols[col].AppendFloat64(0)
 				} else {
 					out.Cols[col].AppendFloat64(sum / float64(state.count))
 				}
+			case s.Func == SumErr:
+				var lo float64
+				if state.exp != nil && state.count > 0 {
+					_, lo = state.exp.compress()
+				}
+				out.Cols[col].AppendFloat64(lo)
+			case s.Func == MergeSum:
+				var v float64
+				if state.exp != nil && state.count > 0 {
+					v = state.exp.round()
+				}
+				out.Cols[col].AppendFloat64(v)
 			case cs[s.Col].Type == vector.Int64:
 				v := state.i64
 				if state.count == 0 {
@@ -368,9 +432,13 @@ func (a *Aggregate) emit() (*vector.Batch, error) {
 				}
 				out.Cols[col].AppendInt64(v)
 			default:
-				v := state.f64
-				if state.count == 0 {
-					v = 0
+				var v float64
+				if s.Func == Sum {
+					if state.exp != nil && state.count > 0 {
+						v = state.exp.round()
+					}
+				} else if state.count > 0 {
+					v = state.f64
 				}
 				out.Cols[col].AppendFloat64(v)
 			}

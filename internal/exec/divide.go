@@ -1,0 +1,83 @@
+package exec
+
+import (
+	"fmt"
+
+	"rawdb/internal/vector"
+)
+
+// Divide appends a Float64 quotient column (num / den) to every batch of its
+// child: the final step of a parallel AVG, dividing a merged exact SUM by
+// the merged COUNT above the exchange. Rows where den is zero emit 0,
+// matching Aggregate's empty-input AVG, so a group whose partials were all
+// empty divides to the same value a serial plan produces.
+type Divide struct {
+	child  Operator
+	num    int
+	den    int
+	schema vector.Schema
+	quot   *vector.Vector
+	out    vector.Batch
+}
+
+// NewDivide validates that num is a numeric column and den an Int64 column
+// of child, and names the appended quotient column.
+func NewDivide(child Operator, num, den int, name string) (*Divide, error) {
+	cs := child.Schema()
+	if num < 0 || num >= len(cs) {
+		return nil, fmt.Errorf("exec: divide: numerator column %d out of range", num)
+	}
+	if cs[num].Type != vector.Int64 && cs[num].Type != vector.Float64 {
+		return nil, fmt.Errorf("exec: divide: cannot divide %s column %q", cs[num].Type, cs[num].Name)
+	}
+	if den < 0 || den >= len(cs) {
+		return nil, fmt.Errorf("exec: divide: denominator column %d out of range", den)
+	}
+	if cs[den].Type != vector.Int64 {
+		return nil, fmt.Errorf("exec: divide: denominator column %q must be %s", cs[den].Name, vector.Int64)
+	}
+	schema := append(append(vector.Schema{}, cs...), vector.Col{Name: name, Type: vector.Float64})
+	return &Divide{child: child, num: num, den: den, schema: schema}, nil
+}
+
+// Schema implements Operator.
+func (d *Divide) Schema() vector.Schema { return d.schema }
+
+// Open implements Operator.
+func (d *Divide) Open() error { return d.child.Open() }
+
+// Next implements Operator. The quotient is computed for every physical row
+// so a selection vector passes through untouched.
+func (d *Divide) Next() (*vector.Batch, error) {
+	b, err := d.child.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	if d.quot == nil {
+		d.quot = vector.New(vector.Float64, b.Len())
+	}
+	d.quot.Reset()
+	n := b.Len()
+	num := b.Cols[d.num]
+	den := b.Cols[d.den].Int64s
+	for i := 0; i < n; i++ {
+		var v float64
+		if c := den[i]; c != 0 {
+			if num.Type == vector.Int64 {
+				v = float64(num.Int64s[i]) / float64(c)
+			} else {
+				v = num.Float64s[i] / float64(c)
+			}
+		}
+		d.quot.AppendFloat64(v)
+	}
+	d.out.Cols = append(d.out.Cols[:0], b.Cols...)
+	d.out.Cols = append(d.out.Cols, d.quot)
+	d.out.Sel = b.Sel
+	return &d.out, nil
+}
+
+// Close implements Operator.
+func (d *Divide) Close() error { return d.child.Close() }
+
+var _ Operator = (*Divide)(nil)

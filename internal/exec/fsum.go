@@ -1,0 +1,97 @@
+package exec
+
+import "math"
+
+// fsum is an exact float64 accumulator: a Shewchuk-style expansion (the
+// algorithm behind Python's math.fsum) keeping a short list of
+// non-overlapping partials whose mathematical sum equals the sum of every
+// value added, with no rounding error. round collapses the partials into the
+// correctly rounded float64 of that exact sum.
+//
+// Because the partials represent the exact sum, the result is independent of
+// the order values were added in — which is what makes float SUM and AVG
+// reproducible across serial plans, morsel boundaries, and worker counts.
+type fsum struct {
+	partials []float64
+	// Non-finite inputs (Inf/NaN) leave exact arithmetic undefined; they are
+	// folded into special with plain IEEE addition and dominate the result.
+	special    float64
+	hasSpecial bool
+}
+
+// add accumulates x exactly (grow-expansion: a two-sum cascade against each
+// existing partial, keeping every non-zero rounding residue).
+func (s *fsum) add(x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		s.special += x
+		s.hasSpecial = true
+		return
+	}
+	i := 0
+	for _, y := range s.partials {
+		if math.Abs(x) < math.Abs(y) {
+			x, y = y, x
+		}
+		hi := x + y
+		lo := y - (hi - x)
+		if lo != 0 {
+			s.partials[i] = lo
+			i++
+		}
+		x = hi
+	}
+	s.partials = append(s.partials[:i], x)
+}
+
+// round returns the correctly rounded value of the exact sum. The partials
+// are non-overlapping and sorted by magnitude, so summing from the largest
+// down, the first non-zero residue decides the rounding direction; a half-ulp
+// tie is broken toward even using the sign of the next partial (the tail of
+// CPython's math.fsum).
+func (s *fsum) round() float64 {
+	if s.hasSpecial {
+		return s.special
+	}
+	n := len(s.partials)
+	if n == 0 {
+		return 0
+	}
+	i := n - 1
+	hi := s.partials[i]
+	var lo float64
+	for i > 0 {
+		i--
+		x := hi
+		y := s.partials[i]
+		hi = x + y
+		yr := hi - x
+		lo = y - yr
+		if lo != 0 {
+			break
+		}
+	}
+	if i > 0 && ((lo < 0 && s.partials[i-1] < 0) || (lo > 0 && s.partials[i-1] > 0)) {
+		y := lo * 2
+		x := hi + y
+		if y == x-hi {
+			hi = x
+		}
+	}
+	return hi
+}
+
+// compress returns the exact sum as a two-term expansion (hi, lo): hi is the
+// correctly rounded sum, lo the correctly rounded residue sum-hi. hi+lo
+// carries the sum exactly whenever it fits in two floats, which is how a
+// morsel's partial float SUM travels through the exchange without losing the
+// bits a later merge needs (see SumErr / MergeSum).
+func (s *fsum) compress() (hi, lo float64) {
+	hi = s.round()
+	if s.hasSpecial || len(s.partials) == 0 {
+		return hi, 0
+	}
+	var r fsum
+	r.partials = append(r.partials, s.partials...)
+	r.add(-hi)
+	return hi, r.round()
+}

@@ -1,0 +1,277 @@
+package exec
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"rawdb/internal/vector"
+)
+
+// bigSum computes the correctly rounded float64 sum of vals through
+// arbitrary-precision arithmetic: the independent reference fsum must match
+// bit for bit.
+func bigSum(vals []float64) float64 {
+	acc := new(big.Float).SetPrec(2048)
+	for _, v := range vals {
+		acc.Add(acc, new(big.Float).SetPrec(2048).SetFloat64(v))
+	}
+	f, _ := acc.Float64()
+	return f
+}
+
+func TestFsumMatchesBigFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(400)
+		vals := make([]float64, n)
+		for i := range vals {
+			// Wildly mixed magnitudes force cancellation and absorption.
+			m := math.Ldexp(rng.Float64()*2-1, rng.Intn(120)-60)
+			vals[i] = m
+		}
+		var s fsum
+		for _, v := range vals {
+			s.add(v)
+		}
+		got, want := s.round(), bigSum(vals)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("trial %d: fsum %v (bits %x), big.Float %v (bits %x)",
+				trial, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+}
+
+func TestFsumOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, 300)
+	for i := range vals {
+		vals[i] = math.Ldexp(rng.Float64()*2-1, rng.Intn(100)-50)
+	}
+	var fwd fsum
+	for _, v := range vals {
+		fwd.add(v)
+	}
+	want := fwd.round()
+	for trial := 0; trial < 20; trial++ {
+		rng.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+		var s fsum
+		for _, v := range vals {
+			s.add(v)
+		}
+		if got := s.round(); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("shuffle %d: sum %v differs from %v", trial, got, want)
+		}
+	}
+}
+
+func TestFsumAdversarialCancellation(t *testing.T) {
+	cases := [][]float64{
+		{1e16, 1, -1e16}, // absorbed then revealed
+		{math.MaxFloat64, 1, -math.MaxFloat64},
+		{1, 1e100, 1, -1e100},
+		{1e-300, 1e300, -1e300, 1e-300},
+		{0.1, 0.2, 0.3, -0.6},
+	}
+	for i, vals := range cases {
+		var s fsum
+		for _, v := range vals {
+			s.add(v)
+		}
+		got, want := s.round(), bigSum(vals)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("case %d: fsum %v, big.Float %v", i, got, want)
+		}
+	}
+}
+
+func TestFsumSpecials(t *testing.T) {
+	var s fsum
+	s.add(1)
+	s.add(math.Inf(1))
+	s.add(2)
+	if got := s.round(); !math.IsInf(got, 1) {
+		t.Fatalf("sum with +Inf = %v, want +Inf", got)
+	}
+	var n fsum
+	n.add(math.Inf(1))
+	n.add(math.Inf(-1))
+	if got := n.round(); !math.IsNaN(got) {
+		t.Fatalf("sum of opposing Infs = %v, want NaN", got)
+	}
+}
+
+// TestFsumCompressRoundTrip: for any input set, hi must be the rounded sum
+// and hi+lo must re-merge to the same rounded sum through a fresh expansion —
+// the exchange-transport invariant behind SumErr/MergeSum.
+func TestFsumCompressRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		var s fsum
+		n := 1 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			s.add(math.Ldexp(rng.Float64()*2-1, rng.Intn(120)-60))
+		}
+		want := s.round()
+		hi, lo := s.compress()
+		if math.Float64bits(hi) != math.Float64bits(want) {
+			t.Fatalf("trial %d: compress hi %v != round %v", trial, hi, want)
+		}
+		var m fsum
+		m.add(hi)
+		m.add(lo)
+		if got := m.round(); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("trial %d: hi+lo re-merge %v != %v", trial, got, want)
+		}
+	}
+}
+
+// TestAggregateFloatSumExact: the serial aggregate's float SUM/AVG must be
+// the correctly rounded exact sum, not a running-error accumulation.
+func TestAggregateFloatSumExact(t *testing.T) {
+	vals := []float64{1e16, 3.5, -1e16, 0.25, 2.5, -0.125}
+	schema := vector.Schema{{Name: "x", Type: vector.Float64}}
+	scan := memScan(t, schema, []*vector.Vector{floatVec(vals...)}, 2)
+	agg, err := NewAggregate(scan, []AggSpec{
+		{Func: Sum, Col: 0}, {Func: Avg, Col: 0},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSum := bigSum(vals)
+	if got := cols[0].Float64s[0]; math.Float64bits(got) != math.Float64bits(wantSum) {
+		t.Fatalf("SUM = %v, want exact %v", got, wantSum)
+	}
+	wantAvg := wantSum / float64(len(vals))
+	if got := cols[1].Float64s[0]; math.Float64bits(got) != math.Float64bits(wantAvg) {
+		t.Fatalf("AVG = %v, want %v", got, wantAvg)
+	}
+}
+
+// TestAggregateMergeSumTransport runs the full two-stage parallel shape over
+// adversarial data: per-morsel Sum+SumErr partials merged by MergeSum must
+// reproduce the single-pass rounded sum bit for bit, for any morsel split.
+func TestAggregateMergeSumTransport(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]float64, 500)
+	for i := range vals {
+		vals[i] = math.Ldexp(rng.Float64()*2-1, rng.Intn(110)-55)
+	}
+	want := bigSum(vals)
+	schema := vector.Schema{{Name: "x", Type: vector.Float64}}
+	for _, nmorsels := range []int{1, 2, 3, 7, 16} {
+		// Stage 1: per-morsel partials (hi, lo).
+		his, los := vector.New(vector.Float64, nmorsels), vector.New(vector.Float64, nmorsels)
+		for m := 0; m < nmorsels; m++ {
+			lo, hi := len(vals)*m/nmorsels, len(vals)*(m+1)/nmorsels
+			scan := memScan(t, schema, []*vector.Vector{floatVec(vals[lo:hi]...)}, 64)
+			agg, err := NewAggregate(scan, []AggSpec{
+				{Func: Sum, Col: 0, As: "hi"}, {Func: SumErr, Col: 0, As: "lo"},
+			}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cols, err := Collect(agg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			his.AppendFloat64(cols[0].Float64s[0])
+			los.AppendFloat64(cols[1].Float64s[0])
+		}
+		// Stage 2: merge the transported pairs.
+		pschema := vector.Schema{{Name: "hi", Type: vector.Float64}, {Name: "lo", Type: vector.Float64}}
+		scan := memScan(t, pschema, []*vector.Vector{his, los}, 8)
+		merge, err := NewAggregate(scan, []AggSpec{{Func: MergeSum, Col: 0, Col2: 1}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cols, err := Collect(merge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := cols[0].Float64s[0]; math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("morsels=%d: merged sum %v (bits %x), want %v (bits %x)",
+				nmorsels, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+}
+
+func TestAggregateNewFuncValidation(t *testing.T) {
+	schema := vector.Schema{
+		{Name: "i", Type: vector.Int64},
+		{Name: "f", Type: vector.Float64},
+	}
+	scan := memScan(t, schema, []*vector.Vector{intVec(1), floatVec(1)}, 0)
+	if _, err := NewAggregate(scan, []AggSpec{{Func: SumErr, Col: 0}}, nil); err == nil {
+		t.Fatal("SUMERR over BIGINT column accepted")
+	}
+	if _, err := NewAggregate(scan, []AggSpec{{Func: MergeSum, Col: 1, Col2: 0}}, nil); err == nil {
+		t.Fatal("MERGESUM with BIGINT residue column accepted")
+	}
+	if _, err := NewAggregate(scan, []AggSpec{{Func: MergeSum, Col: 1, Col2: 9}}, nil); err == nil {
+		t.Fatal("MERGESUM with out-of-range residue column accepted")
+	}
+}
+
+func TestDivide(t *testing.T) {
+	schema := vector.Schema{
+		{Name: "s", Type: vector.Float64},
+		{Name: "n", Type: vector.Int64},
+	}
+	scan := memScan(t, schema, []*vector.Vector{floatVec(10, 0, -3), intVec(4, 0, 2)}, 2)
+	div, err := NewDivide(scan, 0, 1, "avg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := div.Schema()[2].Name; got != "avg" {
+		t.Fatalf("quotient column named %q", got)
+	}
+	cols, err := Collect(div)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2.5, 0, -1.5} // zero denominator divides to 0, not NaN
+	for i, w := range want {
+		if got := cols[2].Float64s[i]; got != w {
+			t.Fatalf("row %d: quotient %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestDivideIntNumerator(t *testing.T) {
+	schema := vector.Schema{
+		{Name: "s", Type: vector.Int64},
+		{Name: "n", Type: vector.Int64},
+	}
+	scan := memScan(t, schema, []*vector.Vector{intVec(7), intVec(2)}, 0)
+	div, err := NewDivide(scan, 0, 1, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, err := Collect(div)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cols[2].Float64s[0]; got != 3.5 {
+		t.Fatalf("7/2 = %v, want 3.5", got)
+	}
+}
+
+func TestDivideValidation(t *testing.T) {
+	schema := vector.Schema{
+		{Name: "s", Type: vector.Float64},
+		{Name: "n", Type: vector.Float64},
+	}
+	scan := memScan(t, schema, []*vector.Vector{floatVec(1), floatVec(1)}, 0)
+	if _, err := NewDivide(scan, 0, 1, "q"); err == nil {
+		t.Fatal("float denominator accepted")
+	}
+	if _, err := NewDivide(scan, 5, 1, "q"); err == nil {
+		t.Fatal("out-of-range numerator accepted")
+	}
+}

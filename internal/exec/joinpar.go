@@ -1,0 +1,249 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"rawdb/internal/vector"
+)
+
+// SharedBuild materialises a join build side once and builds a hash table
+// partitioned by key hash, one goroutine per partition. The source is
+// typically a Parallel exchange over morsel scans, so the expensive raw-file
+// parsing is already parallel; the partition pass parallelises the table
+// construction itself. Row indexes inside each per-key list stay in stream
+// order, so probes emit matches exactly as the serial HashJoin would.
+//
+// Many HashProbe operators share one SharedBuild: the first Open triggers
+// the build and the rest block on the same sync.Once. A SharedBuild belongs
+// to a single plan execution and cannot be re-opened.
+type SharedBuild struct {
+	src    Operator
+	key    int
+	nparts int
+
+	once sync.Once
+	err  error
+	cols []*vector.Vector
+	ht   []map[int64][]int32
+}
+
+// sharedBuildParallelMin is the build row count below which partitioning is
+// not worth spawning goroutines; one map serves every partition slot.
+const sharedBuildParallelMin = 4096
+
+// NewSharedBuild wraps src as a shared build side keyed on src column key.
+// parallelism bounds the partition count (clamped to [1, 16]).
+func NewSharedBuild(src Operator, key, parallelism int) (*SharedBuild, error) {
+	ss := src.Schema()
+	if key < 0 || key >= len(ss) {
+		return nil, fmt.Errorf("exec: sharedbuild: key index %d out of range", key)
+	}
+	if ss[key].Type != vector.Int64 {
+		return nil, fmt.Errorf("exec: sharedbuild: join key must be %s", vector.Int64)
+	}
+	np := parallelism
+	if np < 1 {
+		np = 1
+	}
+	if np > 16 {
+		np = 16
+	}
+	return &SharedBuild{src: src, key: key, nparts: np}, nil
+}
+
+// Schema describes the buffered build columns.
+func (b *SharedBuild) Schema() vector.Schema { return b.src.Schema() }
+
+// ensure runs the build exactly once; concurrent callers block until it
+// completes and observe the same error.
+func (b *SharedBuild) ensure() error {
+	b.once.Do(func() { b.err = b.build() })
+	return b.err
+}
+
+// khash spreads int64 join keys across partitions (Fibonacci hashing).
+func khash(k int64) uint64 {
+	return uint64(k) * 0x9E3779B97F4A7C15
+}
+
+func (b *SharedBuild) build() error {
+	cols, err := Collect(b.src)
+	if err != nil {
+		return err
+	}
+	b.cols = cols
+	keys := cols[b.key].Int64s
+	n := len(keys)
+	b.ht = make([]map[int64][]int32, b.nparts)
+	if b.nparts == 1 || n < sharedBuildParallelMin {
+		m := make(map[int64][]int32, n)
+		for i, k := range keys {
+			m[k] = append(m[k], int32(i))
+		}
+		// Every partition slot shares the one map; lookup routing stays
+		// uniform and the map contains all keys anyway.
+		for p := range b.ht {
+			b.ht[p] = m
+		}
+		return nil
+	}
+	// Two parallel passes: compute each row's partition, then let one
+	// goroutine per partition walk the rows ascending and append its own
+	// keys — per-key row lists end up in stream order with no locking.
+	pid := make([]uint8, n)
+	var wg sync.WaitGroup
+	chunk := (n + b.nparts - 1) / b.nparts
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				pid[i] = uint8(khash(keys[i]) % uint64(b.nparts))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	for p := 0; p < b.nparts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			m := make(map[int64][]int32)
+			mine := uint8(p)
+			for i, id := range pid {
+				if id == mine {
+					m[keys[i]] = append(m[keys[i]], int32(i))
+				}
+			}
+			b.ht[p] = m
+		}(p)
+	}
+	wg.Wait()
+	return nil
+}
+
+// lookup returns the build row indexes matching k, in stream order.
+func (b *SharedBuild) lookup(k int64) []int32 {
+	return b.ht[khash(k)%uint64(b.nparts)][k]
+}
+
+// HashProbe probes a SharedBuild with one morsel of the probe side: the
+// probe half of HashJoin split out so an exchange can run one probe pipeline
+// per morsel against a single shared table. Output rows preserve probe-row
+// order with matches in build stream order, so replaying the morsels in file
+// order reproduces the serial HashJoin output byte for byte.
+type HashProbe struct {
+	probe     Operator
+	build     *SharedBuild
+	key       int
+	schema    vector.Schema
+	batchSize int
+
+	out     *vector.Batch
+	pending *vector.Batch // current probe batch
+	ppos    int           // next probe row to resume from
+	pmatch  []int32       // unconsumed matches for probe row ppos-1
+
+	probeScratch *vector.Batch
+}
+
+// NewHashProbe joins probe ⋈ build on probe.Schema()[key] = build key.
+func NewHashProbe(probe Operator, build *SharedBuild, key int) (*HashProbe, error) {
+	ps := probe.Schema()
+	if key < 0 || key >= len(ps) {
+		return nil, fmt.Errorf("exec: hashprobe: key index %d out of range", key)
+	}
+	if ps[key].Type != vector.Int64 {
+		return nil, fmt.Errorf("exec: hashprobe: join key must be %s", vector.Int64)
+	}
+	schema := make(vector.Schema, 0, len(ps)+len(build.Schema()))
+	schema = append(schema, ps...)
+	schema = append(schema, build.Schema()...)
+	return &HashProbe{
+		probe: probe, build: build, key: key,
+		schema:    schema,
+		batchSize: vector.DefaultBatchSize,
+	}, nil
+}
+
+// Schema implements Operator.
+func (j *HashProbe) Schema() vector.Schema { return j.schema }
+
+// Open implements Operator. The first probe to open triggers the shared
+// build (its own exchange runs the build morsels in parallel); the others
+// block until the table is ready.
+func (j *HashProbe) Open() error {
+	if err := j.build.ensure(); err != nil {
+		return err
+	}
+	j.pending = nil
+	j.ppos = 0
+	j.pmatch = nil
+	return j.probe.Open()
+}
+
+// Next implements Operator.
+func (j *HashProbe) Next() (*vector.Batch, error) {
+	if j.out == nil {
+		j.out = vector.NewBatch(j.schema.Types(), j.batchSize)
+	}
+	j.out.Reset()
+	np := len(j.probe.Schema())
+	emit := func(probe *vector.Batch, pi int, bi int32) {
+		for c := 0; c < np; c++ {
+			appendRow(j.out.Cols[c], probe.Cols[c], pi)
+		}
+		for c := range j.build.cols {
+			appendRow(j.out.Cols[np+c], j.build.cols[c], int(bi))
+		}
+	}
+	for {
+		// Drain leftover matches from a row split across output batches.
+		for len(j.pmatch) > 0 && j.out.Len() < j.batchSize {
+			emit(j.pending, j.ppos-1, j.pmatch[0])
+			j.pmatch = j.pmatch[1:]
+		}
+		if j.out.Len() >= j.batchSize {
+			return j.out, nil
+		}
+		if j.pending == nil || j.ppos >= j.pending.Len() {
+			b, err := j.probe.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				if j.out.Len() > 0 {
+					return j.out, nil
+				}
+				return nil, nil
+			}
+			j.pending = b.Compact(&j.probeScratch)
+			j.ppos = 0
+		}
+		keys := j.pending.Cols[j.key].Int64s
+		for j.ppos < j.pending.Len() && j.out.Len() < j.batchSize {
+			matches := j.build.lookup(keys[j.ppos])
+			j.ppos++
+			for mi, bi := range matches {
+				if j.out.Len() >= j.batchSize {
+					j.pmatch = matches[mi:]
+					break
+				}
+				emit(j.pending, j.ppos-1, bi)
+			}
+		}
+		if j.out.Len() >= j.batchSize {
+			return j.out, nil
+		}
+	}
+}
+
+// Close implements Operator. The shared build belongs to the plan, not any
+// single probe; its buffers are dropped when the plan is garbage collected.
+func (j *HashProbe) Close() error { return j.probe.Close() }
+
+var _ Operator = (*HashProbe)(nil)

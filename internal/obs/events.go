@@ -12,12 +12,15 @@ type EventKind uint8
 // Lifecycle transitions. A structure is captured by a query (built as a
 // side effect of scanning raw data), restored from the persistent vault,
 // evicted by a memory budget, or invalidated because its raw file changed
-// or its table was dropped.
+// or its table was dropped. EventFallback marks a planner decision rather
+// than a structure transition: a multi-worker query fell back to the serial
+// plan, with the structured reason in Reason.
 const (
 	EventCaptured EventKind = iota
 	EventRestored
 	EventEvicted
 	EventInvalidated
+	EventFallback
 )
 
 // String returns the lifecycle label.
@@ -31,6 +34,8 @@ func (k EventKind) String() string {
 		return "evicted"
 	case EventInvalidated:
 		return "invalidated"
+	case EventFallback:
+		return "fallback"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}

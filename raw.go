@@ -103,11 +103,14 @@ type Config struct {
 	PosMapPolicy PosMapPolicy
 	// BatchSize is the vector size exchanged between operators (1024).
 	BatchSize int
-	// Parallelism is the number of worker goroutines eligible queries fan
-	// out over (morsel-driven parallel scans). Values <= 1 keep every query
-	// serial; queries the parallel planner cannot cover (joins, HAVING, AVG,
-	// SUM over DOUBLE, ROOT tables, partially cached columns) fall back to
-	// the serial plan automatically, with identical results.
+	// Parallelism is the number of worker goroutines queries fan out over
+	// (morsel-driven parallel scans, partial/final aggregation, shared-build
+	// hash joins). Values <= 1 keep every query serial. The only queries that
+	// still fall back to the serial plan are those over ROOT tables and files
+	// too small to split into two morsels; every fallback carries a
+	// structured reason in Stats.ParallelFallback, Explain output, and a
+	// lifecycle event, and results are bit-identical either way (float SUM
+	// and AVG use exact summation in both plans).
 	Parallelism int
 	// ShredCapacityBytes bounds the column-shred cache (256 MiB).
 	ShredCapacityBytes int64
@@ -178,12 +181,14 @@ type Metrics = obs.Registry
 // evicted, invalidated).
 type Event = obs.Event
 
-// Lifecycle event kinds.
+// Lifecycle event kinds. EventFallback reports a multi-worker query that ran
+// on the serial plan, with the structured reason in the event's Reason.
 const (
 	EventCaptured    = obs.EventCaptured
 	EventRestored    = obs.EventRestored
 	EventEvicted     = obs.EventEvicted
 	EventInvalidated = obs.EventInvalidated
+	EventFallback    = obs.EventFallback
 )
 
 // FormatMetrics renders a metrics snapshot as sorted "name value" lines.
