@@ -19,6 +19,11 @@
 //	rawql -dataset logs=data/logs -analyze -q "..."      # EXPLAIN ANALYZE-style span tree on stderr
 //	rawql -csv t=data.csv -trace out.json -q "..."       # chrome://tracing timeline
 //	rawql -csv t=data.csv -events -stats json -q "..."   # lifecycle events + machine-readable stats
+//	rawql -connect localhost:8081 -q "..."               # run against a rawserve session instead
+//
+// With -connect the query runs on a rawserve instance (line protocol), whose
+// long-lived engine keeps its adaptive structures warm across invocations;
+// table flags are then rejected — the server owns the catalog.
 
 package main
 
@@ -30,12 +35,8 @@ import (
 	"strings"
 
 	"rawdb"
-	"rawdb/internal/bytesconv"
-	"rawdb/internal/dataset"
-	"rawdb/internal/storage/binfile"
-	"rawdb/internal/storage/csvfile"
-	"rawdb/internal/storage/jsonfile"
-	"rawdb/internal/storage/rootfile"
+	"rawdb/internal/infer"
+	"rawdb/internal/server"
 )
 
 // multiFlag collects repeated name=path flags.
@@ -45,13 +46,15 @@ func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
-	var csvs, bins, jsons, roots, datasets multiFlag
-	flag.Var(&csvs, "csv", "register a CSV file as name=path (repeatable)")
-	flag.Var(&bins, "bin", "register a binary file as name=path (repeatable)")
-	flag.Var(&jsons, "json", "register a JSONL file as name=path (repeatable)")
-	flag.Var(&roots, "root", "register every tree of a root-like file (path; tree names become table names; repeatable)")
-	flag.Var(&datasets, "dataset", "register a directory or glob of raw files as one table, name=pattern (formats inferred per file by extension; schema inferred from the first file; repeatable)")
+	var specs infer.Specs
+	flag.Var((*multiFlag)(&specs.CSVs), "csv", "register a CSV file as name=path (repeatable)")
+	flag.Var((*multiFlag)(&specs.Bins), "bin", "register a binary file as name=path (repeatable)")
+	flag.Var((*multiFlag)(&specs.JSONs), "json", "register a JSONL file as name=path (repeatable)")
+	flag.Var((*multiFlag)(&specs.Roots), "root", "register every tree of a root-like file (path; tree names become table names; repeatable)")
+	flag.Var((*multiFlag)(&specs.Datasets), "dataset", "register a directory or glob of raw files as one table, name=pattern (formats inferred per file by extension; schema inferred from the first file; repeatable)")
 	query := flag.String("q", "", "SQL query to run")
+	connect := flag.String("connect", "", "run the query on a rawserve instance at host:port (line protocol) instead of an in-process engine")
+	timeoutMS := flag.Int64("timeout", 0, "per-query deadline in milliseconds, enforced by the server (-connect only; 0 = none)")
 	strategy := flag.String("strategy", "shreds", "access strategy: shreds, jit, insitu, external, dbms")
 	workers := flag.Int("workers", 1, "morsel-parallel workers for scans, aggregation and joins (<=1 serial; ROOT tables and sub-morsel files fall back to serial with the reason reported in -stats)")
 	cacheDir := flag.String("cachedir", "", "persistent vault directory: positional maps, structural indexes and column shreds persist here across runs (safe to delete at any time)")
@@ -66,20 +69,51 @@ func main() {
 	statsMode := flag.String("stats", "text", "stats output: text (human-readable stderr lines) or json (one machine-readable line with query stats and an engine metrics snapshot)")
 	flag.Parse()
 
-	if err := run(csvs, bins, jsons, roots, datasets, *query, *strategy, *workers, *cacheDir, *cacheBudget,
-		*noPushdown, *noZoneMaps, *noShredCache, *explain, *analyze, *traceOut, *events, *statsMode); err != nil {
+	var err error
+	if *connect != "" {
+		err = runRemote(specs, *connect, *query, *timeoutMS)
+	} else {
+		err = run(specs, *query, *strategy, *workers, *cacheDir, *cacheBudget,
+			*noPushdown, *noZoneMaps, *noShredCache, *explain, *analyze, *traceOut, *events, *statsMode)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "rawql:", err)
 		os.Exit(1)
 	}
 }
 
-func run(csvs, bins, jsons, roots, datasets []string, query, strategy string, workers int,
+// runRemote sends the query to a rawserve session over the line protocol.
+func runRemote(specs infer.Specs, addr, query string, timeoutMS int64) error {
+	if query == "" {
+		return fmt.Errorf("no query; pass -q \"SELECT ...\"")
+	}
+	if len(specs.CSVs)+len(specs.Bins)+len(specs.JSONs)+len(specs.Roots)+len(specs.Datasets) > 0 {
+		return fmt.Errorf("-connect runs against the server's catalog; table flags are not allowed")
+	}
+	c, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	resp, err := c.Query(server.Request{Query: query, TimeoutMillis: timeoutMS})
+	if err != nil {
+		return err
+	}
+	fmt.Println(strings.Join(resp.Columns, "\t"))
+	for _, row := range resp.Rows {
+		fmt.Println(strings.Join(row, "\t"))
+	}
+	fmt.Fprintf(os.Stderr, "(%d rows, via %s)\n", len(resp.Rows), addr)
+	return nil
+}
+
+func run(specs infer.Specs, query, strategy string, workers int,
 	cacheDir string, cacheBudget int64, noPushdown, noZoneMaps, noShredCache, explain bool,
 	analyze bool, traceOut string, events bool, statsMode string) error {
 	if query == "" {
 		return fmt.Errorf("no query; pass -q \"SELECT ...\"")
 	}
-	strat, err := parseStrategy(strategy)
+	strat, err := infer.ParseStrategy(strategy)
 	if err != nil {
 		return err
 	}
@@ -89,96 +123,8 @@ func run(csvs, bins, jsons, roots, datasets []string, query, strategy string, wo
 		DisableShredCache: noShredCache})
 	defer eng.Close() // flush vault write-backs so the next run starts warm
 
-	for _, spec := range csvs {
-		name, path, err := splitSpec(spec)
-		if err != nil {
-			return err
-		}
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return err
-		}
-		schema, err := inferCSVSchema(data)
-		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
-		if err := eng.RegisterCSVData(name, data, schema); err != nil {
-			return err
-		}
-	}
-	for _, spec := range jsons {
-		name, path, err := splitSpec(spec)
-		if err != nil {
-			return err
-		}
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return err
-		}
-		schema, err := inferJSONSchema(data)
-		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
-		if err := eng.RegisterJSONData(name, data, schema); err != nil {
-			return err
-		}
-	}
-	for _, spec := range bins {
-		name, path, err := splitSpec(spec)
-		if err != nil {
-			return err
-		}
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return err
-		}
-		r, err := binfile.NewReader(data)
-		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
-		schema := make([]raw.Column, len(r.Types()))
-		for i, t := range r.Types() {
-			schema[i] = raw.Column{Name: fmt.Sprintf("col%d", i+1), Type: t}
-		}
-		if err := eng.RegisterBinaryData(name, data, schema); err != nil {
-			return err
-		}
-	}
-	for _, spec := range datasets {
-		name, pattern, err := splitSpec(spec)
-		if err != nil {
-			return err
-		}
-		schema, err := inferDatasetSchema(pattern)
-		if err != nil {
-			return fmt.Errorf("%s: %w", pattern, err)
-		}
-		if err := eng.RegisterDataset(name, pattern, schema); err != nil {
-			return err
-		}
-	}
-	for _, path := range roots {
-		f, err := rootfile.Open(path)
-		if err != nil {
-			return err
-		}
-		for _, treeName := range f.Trees() {
-			tr, err := f.Tree(treeName)
-			if err != nil {
-				return err
-			}
-			var schema []raw.Column
-			for _, bn := range tr.Branches() {
-				br, err := tr.Branch(bn)
-				if err != nil {
-					return err
-				}
-				schema = append(schema, raw.Column{Name: bn, Type: br.Type})
-			}
-			if err := eng.RegisterRootFile(treeName, f, treeName, schema); err != nil {
-				return err
-			}
-		}
+	if err := infer.Register(eng, specs); err != nil {
+		return err
 	}
 
 	if explain {
@@ -268,142 +214,4 @@ func run(csvs, bins, jsons, roots, datasets []string, query, strategy string, wo
 		}
 	}
 	return nil
-}
-
-func splitSpec(spec string) (name, path string, err error) {
-	i := strings.IndexByte(spec, '=')
-	if i <= 0 || i == len(spec)-1 {
-		return "", "", fmt.Errorf("bad table spec %q (want name=path)", spec)
-	}
-	return spec[:i], spec[i+1:], nil
-}
-
-func parseStrategy(s string) (raw.Strategy, error) {
-	switch strings.ToLower(s) {
-	case "shreds":
-		return raw.StrategyShreds, nil
-	case "jit":
-		return raw.StrategyJIT, nil
-	case "insitu":
-		return raw.StrategyInSitu, nil
-	case "external":
-		return raw.StrategyExternal, nil
-	case "dbms":
-		return raw.StrategyDBMS, nil
-	default:
-		return 0, fmt.Errorf("unknown strategy %q", s)
-	}
-}
-
-// inferDatasetSchema infers a dataset's schema from its first partition
-// (partitions share one schema; CSV and binary columns are positional, so a
-// CSV-first mixed dataset gets col1..colN names that JSONL partitions will
-// not resolve — declare the schema in code via raw.RegisterDataset for
-// those).
-func inferDatasetSchema(pattern string) ([]raw.Column, error) {
-	m, err := dataset.Discover(pattern, dataset.AutoFormat)
-	if err != nil {
-		return nil, err
-	}
-	if len(m.Parts) == 0 {
-		return nil, fmt.Errorf("no files match (schema inference needs at least one)")
-	}
-	p := m.Parts[0]
-	data, err := os.ReadFile(p.Path)
-	if err != nil {
-		return nil, err
-	}
-	switch p.Format {
-	case raw.FormatCSV:
-		return inferCSVSchema(data)
-	case raw.FormatJSON:
-		return inferJSONSchema(data)
-	default: // binary
-		r, err := binfile.NewReader(data)
-		if err != nil {
-			return nil, err
-		}
-		schema := make([]raw.Column, len(r.Types()))
-		for i, t := range r.Types() {
-			schema[i] = raw.Column{Name: fmt.Sprintf("col%d", i+1), Type: t}
-		}
-		return schema, nil
-	}
-}
-
-// inferJSONSchema collects the numeric leaf paths of the first object (in
-// member order, descending into nested objects with dotted names): integer
-// if the value parses as one, else float. Non-numeric members are skipped —
-// they remain in the file but invisible, the partial-schema model.
-func inferJSONSchema(data []byte) ([]raw.Column, error) {
-	if len(data) == 0 {
-		return nil, fmt.Errorf("empty file")
-	}
-	var schema []raw.Column
-	var walk func(pos int, prefix string) error
-	walk = func(pos int, prefix string) error {
-		pos, ok := jsonfile.EnterObject(data, pos)
-		if !ok {
-			return fmt.Errorf("first row is not a JSON object")
-		}
-		for {
-			ks, ke, vpos, next, done, err := jsonfile.NextMember(data, pos)
-			if err != nil {
-				return err
-			}
-			if done {
-				return nil
-			}
-			path := prefix + string(data[ks:ke])
-			if data[vpos] == '{' {
-				if err := walk(vpos, path+"."); err != nil {
-					return err
-				}
-				pos = jsonfile.SkipValue(data, next)
-				continue
-			}
-			field := data[vpos:jsonfile.NumberEnd(data, vpos)]
-			if _, err := bytesconv.ParseInt64(field); err == nil {
-				schema = append(schema, raw.Column{Name: path, Type: raw.Int64})
-			} else if _, err := bytesconv.ParseFloat64(field); err == nil {
-				schema = append(schema, raw.Column{Name: path, Type: raw.Float64})
-			}
-			pos = jsonfile.SkipValue(data, next)
-		}
-	}
-	if err := walk(0, ""); err != nil {
-		return nil, err
-	}
-	if len(schema) == 0 {
-		return nil, fmt.Errorf("first row has no numeric leaf paths")
-	}
-	return schema, nil
-}
-
-// inferCSVSchema types each column from the first row: integer if it parses
-// as one, else float. Columns are named col1..colN (the paper's numbering).
-func inferCSVSchema(data []byte) ([]raw.Column, error) {
-	if len(data) == 0 {
-		return nil, fmt.Errorf("empty file")
-	}
-	var schema []raw.Column
-	pos := 0
-	for pos < len(data) {
-		start, end, next := csvfile.FieldBounds(data, pos)
-		field := data[start:end]
-		t := raw.Int64
-		if _, err := bytesconv.ParseInt64(field); err != nil {
-			if _, err := bytesconv.ParseFloat64(field); err != nil {
-				return nil, fmt.Errorf("column %d: first-row value %q is neither integer nor float",
-					len(schema)+1, field)
-			}
-			t = raw.Float64
-		}
-		schema = append(schema, raw.Column{Name: fmt.Sprintf("col%d", len(schema)+1), Type: t})
-		pos = next
-		if pos > 0 && pos <= len(data) && data[pos-1] == '\n' {
-			break
-		}
-	}
-	return schema, nil
 }

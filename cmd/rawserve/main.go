@@ -1,0 +1,129 @@
+// Command rawserve keeps one engine alive across many queries: it registers
+// tables exactly like rawql, then serves concurrent sessions over HTTP/JSON
+// and a newline-delimited line protocol. The point of a long-lived server in
+// the paper's setting is that the adaptive structures (positional maps,
+// structural indexes, column shreds, code templates) amortise across every
+// client instead of dying with each CLI invocation.
+//
+// Usage:
+//
+//	rawserve -csv t=data.csv -http :8080 -listen :8081
+//	rawql -connect localhost:8081 -q "SELECT MAX(col11) FROM t WHERE col1 < 500000000"
+//	curl -s localhost:8080/query -d '{"query":"SELECT COUNT(*) FROM t"}'
+//	curl -s localhost:8080/metrics
+//
+// Admission control: -max-concurrent queries execute at once, -max-queue may
+// wait (at most -queue-timeout); everything beyond that is rejected with
+// HTTP 429 / an in-band overload error, so a burst of sessions degrades into
+// fast rejections instead of memory exhaustion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rawdb"
+	"rawdb/internal/infer"
+	"rawdb/internal/server"
+)
+
+func main() {
+	var specs infer.Specs
+	flag.Var((*multiFlag)(&specs.CSVs), "csv", "register a CSV file as name=path (repeatable)")
+	flag.Var((*multiFlag)(&specs.Bins), "bin", "register a binary file as name=path (repeatable)")
+	flag.Var((*multiFlag)(&specs.JSONs), "json", "register a JSONL file as name=path (repeatable)")
+	flag.Var((*multiFlag)(&specs.Roots), "root", "register every tree of a root-like file (path; repeatable)")
+	flag.Var((*multiFlag)(&specs.Datasets), "dataset", "register a directory or glob of raw files as one table, name=pattern (repeatable)")
+	httpAddr := flag.String("http", "", "HTTP listen address (e.g. :8080) for POST /query, GET /metrics, GET /healthz")
+	lineAddr := flag.String("listen", "", "line-protocol listen address (e.g. :8081): one JSON request per line, one JSON response per line; rawql -connect speaks it")
+	strategy := flag.String("strategy", "shreds", "access strategy: shreds, jit, insitu, external, dbms")
+	workers := flag.Int("workers", 1, "morsel-parallel workers per query")
+	cacheDir := flag.String("cachedir", "", "persistent vault directory (structures survive restarts)")
+	cacheBudget := flag.Int64("cachebudget", 0, "unified in-memory cache budget in bytes (0 keeps per-structure defaults)")
+	noPushdown := flag.Bool("nopushdown", false, "disable predicate pushdown into generated access paths")
+	noZoneMaps := flag.Bool("nozonemaps", false, "disable per-block min/max zone maps")
+	noShredCache := flag.Bool("noshredcache", false, "disable column-shred capture and reuse")
+	maxConcurrent := flag.Int("max-concurrent", 8, "queries allowed to execute at once")
+	maxQueue := flag.Int("max-queue", 64, "queries allowed to wait for an execution slot")
+	queueTimeout := flag.Duration("queue-timeout", 5*time.Second, "longest a query waits for a slot before a 429")
+	queryTimeout := flag.Duration("query-timeout", 0, "server-side per-query deadline (0 = none)")
+	flag.Parse()
+
+	if err := run(specs, *httpAddr, *lineAddr, *strategy, *workers, *cacheDir, *cacheBudget,
+		*noPushdown, *noZoneMaps, *noShredCache,
+		server.Options{MaxConcurrent: *maxConcurrent, MaxQueue: *maxQueue,
+			QueueTimeout: *queueTimeout, QueryTimeout: *queryTimeout}); err != nil {
+		fmt.Fprintln(os.Stderr, "rawserve:", err)
+		os.Exit(1)
+	}
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return fmt.Sprint([]string(*m)) }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func run(specs infer.Specs, httpAddr, lineAddr, strategy string, workers int,
+	cacheDir string, cacheBudget int64, noPushdown, noZoneMaps, noShredCache bool,
+	sopts server.Options) error {
+	if httpAddr == "" && lineAddr == "" {
+		return fmt.Errorf("no listener; pass -http and/or -listen")
+	}
+	strat, err := infer.ParseStrategy(strategy)
+	if err != nil {
+		return err
+	}
+	eng := raw.NewEngine(raw.Config{Strategy: strat, Parallelism: workers,
+		CacheDir: cacheDir, CacheBudget: cacheBudget,
+		DisablePushdown: noPushdown, DisableZoneMaps: noZoneMaps,
+		DisableShredCache: noShredCache})
+	defer eng.Close()
+	if err := infer.Register(eng, specs); err != nil {
+		return err
+	}
+
+	srv := server.New(eng, sopts)
+	errc := make(chan error, 2)
+	var closers []func()
+	if lineAddr != "" {
+		l, err := net.Listen("tcp", lineAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "rawserve: line protocol on %s\n", l.Addr())
+		closers = append(closers, func() { l.Close() })
+		go func() { errc <- srv.ServeLine(l) }()
+	}
+	if httpAddr != "" {
+		l, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "rawserve: http on %s\n", l.Addr())
+		hs := &http.Server{Handler: srv.Handler()}
+		closers = append(closers, func() { hs.Close() })
+		go func() { errc <- hs.Serve(l) }()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "rawserve: %v, shutting down\n", s)
+		for _, c := range closers {
+			c()
+		}
+		return nil // deferred eng.Close flushes the vault
+	case err := <-errc:
+		for _, c := range closers {
+			c()
+		}
+		return err
+	}
+}

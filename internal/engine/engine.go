@@ -192,7 +192,11 @@ type Engine struct {
 	budget    *vault.Budget // nil unless Config.CacheBudget > 0
 	metrics   *obs.Registry
 	events    *obs.EventLog
-	vaultWG   sync.WaitGroup
+	// vaultIO tracks in-flight asynchronous vault writer goroutines. It is a
+	// counter + condvar rather than a sync.WaitGroup because queries add
+	// writers concurrently with FlushVault/Close waiting (WaitGroup forbids
+	// Add-while-Wait; the tracker just waits until the count drains to zero).
+	vaultIO ioTracker
 
 	mu     sync.Mutex
 	tables map[string]*tableState
@@ -200,10 +204,14 @@ type Engine struct {
 
 // tableState is the engine-side state of one registered table.
 type tableState struct {
-	// qmu serialises queries touching this table: planning reads and query
-	// execution mutates the per-table caches (positional map, loaded
-	// columns), so concurrent queries over the same table take turns while
-	// queries over disjoint tables run in parallel.
+	// qmu is the per-table query lock, held in phases rather than across a
+	// whole query: planning holds it (reading a consistent snapshot of the
+	// caches and the dataset partition list), execution releases it (operators
+	// run against immutable snapshots, so read-only queries over the same
+	// table overlap), and publication re-acquires it (the deferred hooks
+	// install freshly built structures, vault write-backs are scheduled).
+	// ROOT tables keep it held through execution — their format library's
+	// buffer pool is not internally locked (see queryExclusive).
 	qmu      sync.Mutex
 	tab      *catalog.Table
 	csvData  []byte

@@ -198,6 +198,21 @@ func (e *Engine) foldStats(stats *Stats) {
 	}
 }
 
+// foldErrStats folds the Stats of a failed (or cancelled) query into the
+// registry: the error is counted and the scan-side pushdown/prune counters —
+// real work the query did before dying — are preserved, but the success-only
+// series (query.count, rows, latency histogram) are not touched.
+func (e *Engine) foldErrStats(stats *Stats) {
+	m := e.metrics
+	m.Counter("query.errors").Inc()
+	m.Counter("push.preds").Add(int64(stats.PredsPushed))
+	m.Counter("prune.rows").Add(stats.RowsPruned)
+	m.Counter("prune.blocks").Add(stats.BlocksSkipped)
+	m.Counter("prune.morsels").Add(int64(stats.MorselsSkipped))
+	m.Counter("prune.partitions").Add(int64(stats.PartitionsSkipped))
+	m.Counter("scan.partitions").Add(int64(stats.PartitionsScanned))
+}
+
 // emitCaptured reports a structure freshly built by a query. The engine
 // calls it from the onComplete hooks that install structures, so only
 // builds that actually published are reported.

@@ -117,10 +117,12 @@ func (pc *planCtx) planParallel(r *resolvedQuery) (exec.Operator, bool, error) {
 	bs := pc.e.cfg.BatchSize
 	if !aggPath {
 		mspans := pc.wrapMorsels(parts)
-		par, err := exec.NewParallel(parts, pc.workers, bs, done)
+		par, err := exec.NewParallel(parts, pc.workers, bs, nil)
 		if err != nil {
 			return nil, false, err
 		}
+		par.SetContext(pc.ctx)
+		pc.deferMerge(done)
 		xop, xspan := pc.wrapExchange(par, len(parts), mspans)
 		p := &pipe{op: xop, pos: make(map[boundRef]int), rid: map[int]int{0: -1}, span: xspan}
 		for i, c := range cols {
@@ -133,7 +135,8 @@ func (pc *planCtx) planParallel(r *resolvedQuery) (exec.Operator, bool, error) {
 		return op, true, nil
 	}
 
-	op, err := pc.finishParallelAgg(r, parts, needSlot, done)
+	pc.deferMerge(done)
+	op, err := pc.finishParallelAgg(r, parts, needSlot)
 	if err != nil {
 		return nil, false, err
 	}
@@ -175,10 +178,12 @@ func (pc *planCtx) planParallelJoin(r *resolvedQuery) (exec.Operator, bool, erro
 	}
 	bs := pc.e.cfg.BatchSize
 	bspans := pc.wrapMorsels(buildParts)
-	bpar, err := exec.NewParallel(buildParts, pc.workers, bs, buildDone)
+	bpar, err := exec.NewParallel(buildParts, pc.workers, bs, nil)
 	if err != nil {
 		return nil, false, err
 	}
+	bpar.SetContext(pc.ctx)
+	pc.deferMerge(buildDone)
 	bop, bspan := pc.opSpan(bpar,
 		fmt.Sprintf("build-exchange[workers=%d morsels=%d]", pc.workers, len(buildParts)), bspans...)
 	build, err := exec.NewSharedBuild(bop, slots[1][r.join.rightCol], pc.workers)
@@ -199,10 +204,12 @@ func (pc *planCtx) planParallelJoin(r *resolvedQuery) (exec.Operator, bool, erro
 		probeParts[i] = hp
 	}
 	mspans := pc.wrapMorsels(probeParts)
-	par, err := exec.NewParallel(probeParts, pc.workers, bs, probeDone)
+	par, err := exec.NewParallel(probeParts, pc.workers, bs, nil)
 	if err != nil {
 		return nil, false, err
 	}
+	par.SetContext(pc.ctx)
+	pc.deferMerge(probeDone)
 	children := mspans
 	if bspan != nil {
 		children = append(children, bspan)
@@ -340,7 +347,7 @@ type outRef struct {
 // morsels partition the file in order and the exchange replays partial
 // outputs in morsel order.
 func (pc *planCtx) finishParallelAgg(r *resolvedQuery, parts []exec.Operator,
-	needSlot map[int]int, done func() error) (exec.Operator, error) {
+	needSlot map[int]int) (exec.Operator, error) {
 	tab := r.tables[0].st.tab
 	groupIdx := make([]int, len(r.groupBy))
 	for i, g := range r.groupBy {
@@ -515,10 +522,11 @@ func (pc *planCtx) finishParallelAgg(r *resolvedQuery, parts []exec.Operator,
 		parts[i] = agg
 	}
 	mspans := pc.wrapMorsels(parts)
-	par, err := exec.NewParallel(parts, pc.workers, pc.e.cfg.BatchSize, done)
+	par, err := exec.NewParallel(parts, pc.workers, pc.e.cfg.BatchSize, nil)
 	if err != nil {
 		return nil, err
 	}
+	par.SetContext(pc.ctx)
 	child, top := pc.wrapExchange(par, len(parts), mspans)
 	if guardPos >= 0 {
 		f, err := exec.NewFilter(child, []exec.Pred{{Col: guardPos, Op: exec.Gt, I64: 0}})
@@ -1017,11 +1025,10 @@ func (pc *planCtx) csvMorsels(r *resolvedQuery, cols []int, candidates []boundPr
 		pc.pathf("par[%d]:insitu:seq(%s)", len(parts), tab.Name)
 	}
 	oldPM := st.posMap()
-	pc.noteBuilt("posmap", tab, func() int64 {
+	pc.onComplete = append(pc.onComplete, func() {
 		if pm := st.posMap(); pm != nil && pm != oldPM {
-			return pm.MemoryFootprint()
+			pc.emitCaptured("posmap", tab, pm.MemoryFootprint())
 		}
-		return 0
 	})
 	if buildSyn {
 		pc.noteSynCapture(st)
@@ -1182,11 +1189,10 @@ func (pc *planCtx) jsonMorsels(r *resolvedQuery, cols []int, candidates []boundP
 		pc.pathf("par[%d]:insitu:jsonseq(%s)", len(parts), tab.Name)
 	}
 	oldIdx := st.jsonIdx()
-	pc.noteBuilt("jsonidx", tab, func() int64 {
+	pc.onComplete = append(pc.onComplete, func() {
 		if idx := st.jsonIdx(); idx != nil && idx != oldIdx {
-			return idx.MemoryFootprint()
+			pc.emitCaptured("jsonidx", tab, idx.MemoryFootprint())
 		}
-		return 0
 	})
 	if buildSyn {
 		pc.noteSynCapture(st)

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -31,6 +32,10 @@ type planCtx struct {
 	pushdown bool // absorb eligible predicates into generated access paths
 	zonemaps bool // build and consult per-block min/max synopses
 	stats    *Stats
+	// ctx is the query's cancellation context: base scans are wrapped with a
+	// per-batch check and exchanges hand it to their worker pools. nil (or a
+	// never-cancelled context) leaves the plan untouched.
+	ctx context.Context
 
 	// morselTarget overrides the morsel count of the next morselScans call
 	// (0 keeps workers * morselsPerWorker); the dataset planner sets it per
@@ -41,10 +46,23 @@ type planCtx struct {
 	// siblings on the worker pool.
 	allowSingleMorsel bool
 
-	// onComplete runs after a successful execution (table locks still held):
-	// publishing freshly built synopses and folding scan-side pushdown
-	// counters into stats.
+	// Completion hooks. Execution runs without the table locks (the engine
+	// releases them after planning and re-acquires them to publish), so
+	// EVERY mutation of shared per-table state a query performs is deferred
+	// to one of these lists, all of which run under the re-acquired locks:
+	//
+	//   - onMerge: the merge-on-completion hooks of parallel plans (positional
+	//     map / structural index fragments, zone-map fragments, captured
+	//     column shreds). They can fail and run first, so the install/event
+	//     hooks below observe the merged state. Success only.
+	//   - onComplete: installs of serially built structures and "captured"
+	//     lifecycle events. Success only — an aborted query publishes nothing.
+	//   - onFinish: stats folding (pushdown/prune runtime counters, span
+	//     annotations). Runs exactly once whether the query succeeded or
+	//     failed, so an aborted scan's counters are never silently dropped.
+	onMerge    []func() error
 	onComplete []func()
+	onFinish   []func()
 
 	// trace, when non-nil, collects operator spans: plan sites wrap the
 	// operators they build (exec.WithSpan) and phase work is timed. A nil
@@ -258,14 +276,40 @@ func (pc *planCtx) notePush(table string, npush int, zmap bool) {
 	}
 }
 
-// noteBuilt emits a captured lifecycle event for a navigation structure
-// installed at plan time and populated during the scan; the footprint is read
-// after execution, when the structure actually holds data.
-func (pc *planCtx) noteBuilt(structure string, tab *catalog.Table, footprint func() int64) {
+// deferMerge schedules a parallel plan's merge-on-completion hook to run
+// under the re-acquired table locks once execution succeeded. Merge hooks
+// publish shared cache state (fragment merges, shred publication), which must
+// never happen while other queries run unlocked against the same table.
+func (pc *planCtx) deferMerge(done func() error) {
+	if done != nil {
+		pc.onMerge = append(pc.onMerge, done)
+	}
+}
+
+// installPosMap defers publication of a positional map a serial sequential
+// scan builds: the map stays private to the query while it fills (execution
+// runs without the table locks, and posmap.Map is not internally locked) and
+// is installed — with its lifecycle event — only when the scan ran to
+// completion. An aborted scan leaves no partial map behind.
+func (pc *planCtx) installPosMap(st *tableState, pm *posmap.Map) {
 	pc.onComplete = append(pc.onComplete, func() {
-		if n := footprint(); n > 0 {
-			pc.emitCaptured(structure, tab, n)
+		if pm.NRows() <= 0 {
+			return // the scan never finished a row; nothing worth publishing
 		}
+		st.setPosMap(pm)
+		pc.emitCaptured("posmap", st.tab, pm.MemoryFootprint())
+	})
+}
+
+// installJSONIdx is installPosMap for the JSON structural index built by a
+// serial sequential scan.
+func (pc *planCtx) installJSONIdx(st *tableState, idx *jsonidx.Index) {
+	pc.onComplete = append(pc.onComplete, func() {
+		if idx.NRows() <= 0 {
+			return
+		}
+		st.setJSONIdx(idx)
+		pc.emitCaptured("jsonidx", st.tab, idx.MemoryFootprint())
 	})
 }
 
@@ -294,7 +338,7 @@ func (pc *planCtx) noteShredCapture(tab *catalog.Table, cols []int) {
 func (pc *planCtx) pushStats(f func() (int64, int64)) {
 	probe := &pruneProbe{f: f}
 	pc.probes = append(pc.probes, probe)
-	pc.onComplete = append(pc.onComplete, func() {
+	pc.onFinish = append(pc.onFinish, func() {
 		rows, blocks := probe.f()
 		pc.stats.RowsPruned += rows
 		pc.stats.BlocksSkipped += blocks
@@ -384,7 +428,9 @@ func (pc *planCtx) plan(r *resolvedQuery) (exec.Operator, error) {
 	if pc.workers > 1 {
 		mark := pc.trace.Mark()
 		savedStats := *pc.stats // slice headers snapshot current lengths
+		savedMerges := len(pc.onMerge)
 		savedHooks := len(pc.onComplete)
+		savedFinish := len(pc.onFinish)
 		savedProbes := len(pc.probes)
 		op, ok, err := pc.planParallel(r)
 		if err != nil {
@@ -399,7 +445,9 @@ func (pc *planCtx) plan(r *resolvedQuery) (exec.Operator, error) {
 		// silent (Explain, Stats, trace, obs event).
 		pc.trace.Rewind(mark)
 		*pc.stats = savedStats
+		pc.onMerge = pc.onMerge[:savedMerges]
 		pc.onComplete = pc.onComplete[:savedHooks]
+		pc.onFinish = pc.onFinish[:savedFinish]
 		pc.probes = pc.probes[:savedProbes]
 		if pc.fallbackReason == "" {
 			pc.fallbackReason = fallbackInternal
@@ -683,6 +731,12 @@ func (pc *planCtx) baseScan(r *resolvedQuery, t int, cols []int, needRID bool,
 	if err != nil {
 		return nil, nil, err
 	}
+	if pc.ctx != nil {
+		// Cancellation check under every batch the scan emits: even plans
+		// whose upper operators drain their input inside one Next call
+		// (aggregates, hash-join builds) then stop within one batch.
+		p.op = exec.WithContext(p.op, pc.ctx)
+	}
 	pc.scanSpan(p, mark)
 	return p, residual, nil
 }
@@ -795,8 +849,7 @@ func (pc *planCtx) baseScanInSitu(p *pipe, r *resolvedQuery, t int, cols []int,
 		if err != nil {
 			return nil, err
 		}
-		st.setPosMap(pm)
-		pc.noteBuilt("posmap", tab, pm.MemoryFootprint)
+		pc.installPosMap(st, pm)
 		p.op = sc
 		layout(cols, -1)
 		pc.pathf("insitu:seq(%s)", tab.Name)
@@ -836,8 +889,7 @@ func (pc *planCtx) baseScanInSitu(p *pipe, r *resolvedQuery, t int, cols []int,
 			idx := jsonidx.New(0)
 			sc, err = jit.NewJSONSequentialScan(st.jsonData, tab, cols, idx, false, bs)
 			if err == nil {
-				st.setJSONIdx(idx)
-				pc.noteBuilt("jsonidx", tab, idx.MemoryFootprint)
+				pc.installJSONIdx(st, idx)
 				if st.nrows < 0 {
 					st.nrows = jsonfile.CountRows(st.jsonData)
 				}
@@ -972,8 +1024,7 @@ func (pc *planCtx) baseScanJIT(p *pipe, r *resolvedQuery, t int, cols []int, nee
 			if err != nil {
 				return nil, nil, err
 			}
-			st.setPosMap(pm)
-			pc.noteBuilt("posmap", tab, pm.MemoryFootprint)
+			pc.installPosMap(st, pm)
 			op = sc
 			absorbed = opts.Preds
 			pc.pushStats(sc.PushStats)
@@ -1003,8 +1054,7 @@ func (pc *planCtx) baseScanJIT(p *pipe, r *resolvedQuery, t int, cols []int, nee
 			if err != nil {
 				return nil, nil, err
 			}
-			st.setJSONIdx(idx)
-			pc.noteBuilt("jsonidx", tab, idx.MemoryFootprint)
+			pc.installJSONIdx(st, idx)
 			op = sc
 			absorbed = opts.Preds
 			pc.pushStats(sc.PushStats)

@@ -1,27 +1,95 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"time"
 
+	"rawdb/internal/catalog"
 	"rawdb/internal/exec"
 	"rawdb/internal/obs"
 	"rawdb/internal/shred"
 	"rawdb/internal/sql"
 )
 
+// planOpts is the fully resolved per-query planning configuration: every
+// Config default with the per-query Options overrides applied. One struct —
+// produced only by resolveOptions — so Query, Explain, and the server always
+// resolve the same fields the same way.
+type planOpts struct {
+	strategy Strategy
+	place    JoinPlacement
+	multi    bool
+	workers  int
+	pushdown bool
+	zonemaps bool
+	trace    *obs.Trace
+}
+
+// resolveOptions merges per-query Options over the engine Config. It is the
+// single resolution point shared by QueryOpt and Explain (they previously
+// duplicated this block and drifted: Explain ignored opts.Trace).
+func resolveOptions(cfg Config, opts Options) planOpts {
+	po := planOpts{
+		strategy: cfg.Strategy,
+		place:    cfg.JoinPlacement,
+		multi:    cfg.MultiColumnShreds,
+		workers:  cfg.Parallelism,
+		pushdown: !cfg.DisablePushdown,
+		zonemaps: !cfg.DisableZoneMaps,
+		trace:    opts.Trace,
+	}
+	if opts.Strategy != nil {
+		po.strategy = *opts.Strategy
+	}
+	if opts.JoinPlacement != nil {
+		po.place = *opts.JoinPlacement
+	}
+	if opts.MultiColumnShreds != nil {
+		po.multi = *opts.MultiColumnShreds
+	}
+	if opts.Parallelism != nil {
+		po.workers = *opts.Parallelism
+	}
+	if opts.Pushdown != nil {
+		po.pushdown = *opts.Pushdown
+	}
+	if opts.ZoneMaps != nil {
+		po.zonemaps = *opts.ZoneMaps
+	}
+	return po
+}
+
 // Query parses, plans and executes one SQL statement with the engine's
 // default options.
 func (e *Engine) Query(src string) (*Result, error) {
-	return e.QueryOpt(src, Options{})
+	return e.QueryOptCtx(context.Background(), src, Options{})
 }
 
 // QueryOpt executes one SQL statement with per-query option overrides.
 func (e *Engine) QueryOpt(src string, opts Options) (*Result, error) {
-	tr := opts.Trace
+	return e.QueryOptCtx(context.Background(), src, opts)
+}
+
+// QueryCtx is Query with a cancellation context: when ctx is cancelled or its
+// deadline passes, the running plan is abandoned within one batch of work
+// (scans and exchange workers check between batches), no cache structure is
+// published, and the table locks and any budget bytes the query would have
+// claimed are released. The returned error wraps ctx.Err().
+func (e *Engine) QueryCtx(ctx context.Context, src string) (*Result, error) {
+	return e.QueryOptCtx(ctx, src, Options{})
+}
+
+// QueryOptCtx is QueryCtx with per-query option overrides.
+func (e *Engine) QueryOptCtx(ctx context.Context, src string, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	po := resolveOptions(e.cfg, opts)
+	tr := po.trace
 	sp := tr.Phase("parse")
 	q, err := sql.Parse(src)
 	sp.End()
@@ -35,50 +103,49 @@ func (e *Engine) QueryOpt(src string, opts Options) (*Result, error) {
 		return nil, err
 	}
 
-	strategy := e.cfg.Strategy
-	if opts.Strategy != nil {
-		strategy = *opts.Strategy
-	}
-	place := e.cfg.JoinPlacement
-	if opts.JoinPlacement != nil {
-		place = *opts.JoinPlacement
-	}
-	multi := e.cfg.MultiColumnShreds
-	if opts.MultiColumnShreds != nil {
-		multi = *opts.MultiColumnShreds
-	}
-	workers := e.cfg.Parallelism
-	if opts.Parallelism != nil {
-		workers = *opts.Parallelism
-	}
-	pushdown := !e.cfg.DisablePushdown
-	if opts.Pushdown != nil {
-		pushdown = *opts.Pushdown
-	}
-	zonemaps := !e.cfg.DisableZoneMaps
-	if opts.ZoneMaps != nil {
-		zonemaps = *opts.ZoneMaps
-	}
-
-	res, err := e.run(r, strategy, place, multi, workers, pushdown, zonemaps, true, tr)
+	res, err := e.run(ctx, r, po, true)
 	if err != nil && errors.Is(err, shred.ErrNotCached) {
 		// An optimistically chosen partial shred did not subsume this
 		// query's rows; replan without cache reuse (the raw file remains the
 		// source of truth).
 		tr.Phase("replan: shred miss").End()
-		res, err = e.run(r, strategy, place, multi, workers, pushdown, zonemaps, false, tr)
+		res, err = e.run(ctx, r, po, false)
 	}
 	return res, err
 }
 
-func (e *Engine) run(r *resolvedQuery, strategy Strategy, place JoinPlacement,
-	multi bool, workers int, pushdown, zonemaps, useCache bool, tr *obs.Trace) (*Result, error) {
-	unlock := lockTables(r)
-	defer unlock()
+// run executes one resolved query through the engine's three lock phases:
+//
+//  1. plan (locks held): datasets are refreshed, the physical plan is built
+//     against a consistent snapshot of the per-table caches, and any
+//     structure the query will build is created private to the query.
+//  2. execute (locks released): the operator tree runs without the table
+//     locks, so read-only queries over the same table overlap; everything the
+//     operators touch is either immutable after planning (raw bytes, loaded
+//     vectors, published positional maps, synopses) or internally locked
+//     (shred pool, structural index). ROOT tables are the exception — their
+//     format library pages through an unlocked buffer pool, so queryExclusive
+//     keeps the locks held through execution for them.
+//  3. publish (locks re-acquired): on success the deferred hooks install the
+//     structures the query built (onMerge first — parallel fragment merges —
+//     then onComplete) and vault write-backs are scheduled; on failure
+//     nothing is installed. The onFinish hooks (stats folding) run on both
+//     paths, so an aborted scan's prune counters are never silently dropped.
+func (e *Engine) run(ctx context.Context, r *resolvedQuery, po planOpts, useCache bool) (*Result, error) {
+	tr := po.trace
+	locks := lockTables(r)
+	locks.lock()
+	held := true
+	defer func() {
+		if held {
+			locks.unlock()
+		}
+	}()
 	// Incremental discovery: datasets re-stat their directories under the
 	// query locks, so newly-arrived files join this query and rewritten or
 	// truncated ones are invalidated per partition before planning reads any
-	// cached structure.
+	// cached structure. Refresh swaps in fresh partition states; a query
+	// already executing against the old ones keeps its snapshot.
 	sp := tr.Phase("manifest-refresh")
 	refreshStart := time.Now()
 	err := e.refreshDatasets(r)
@@ -87,18 +154,19 @@ func (e *Engine) run(r *resolvedQuery, strategy Strategy, place JoinPlacement,
 	if err != nil {
 		return nil, err
 	}
-	stats := &Stats{Strategy: strategy, ManifestRefresh: refresh}
+	stats := &Stats{Strategy: po.strategy, ManifestRefresh: refresh}
 	pc := &planCtx{
 		e:        e,
-		strategy: strategy,
-		place:    place,
-		multi:    multi,
-		workers:  workers,
+		strategy: po.strategy,
+		place:    po.place,
+		multi:    po.multi,
+		workers:  po.workers,
 		useCache: useCache && !e.cfg.DisableShredCache,
-		pushdown: pushdown,
-		zonemaps: zonemaps,
+		pushdown: po.pushdown,
+		zonemaps: po.zonemaps,
 		stats:    stats,
 		trace:    tr,
+		ctx:      ctx,
 	}
 	start := time.Now()
 	sp = tr.Phase("plan")
@@ -111,16 +179,48 @@ func (e *Engine) run(r *resolvedQuery, strategy Strategy, place JoinPlacement,
 		e.emitEvent(obs.EventFallback, "planner", r.tables[0].st.tab.Name, 0,
 			stats.ParallelFallback)
 	}
+
+	exclusive := queryExclusive(r)
+	if !exclusive {
+		held = false
+		locks.unlock()
+	}
 	sp = tr.Phase("execute")
-	cols, err := exec.Collect(op)
+	cols, execErr := exec.CollectCtx(ctx, op)
 	sp.End()
-	if err != nil {
-		return nil, err
+	if !exclusive {
+		locks.lock()
+		held = true
 	}
 	stats.Elapsed = time.Since(start)
-	// Post-execution hooks: publish freshly built synopses and fold
-	// scan-side pushdown counters into the stats (locks still held).
+
+	// Publication phase (locks re-acquired). Merge hooks run first and can
+	// fail; a failed merge fails the query like an execution error.
+	if execErr == nil {
+		for _, m := range pc.onMerge {
+			if err := m(); err != nil {
+				execErr = err
+				break
+			}
+		}
+	}
+	if execErr != nil {
+		// Deterministic error path: nothing is installed or written back,
+		// but runtime counters still fold (onFinish always runs). Engine-wide
+		// error accounting is skipped for the internal shred-miss replan —
+		// QueryOptCtx retries and the retry folds its own stats.
+		for _, f := range pc.onFinish {
+			f()
+		}
+		if !errors.Is(execErr, shred.ErrNotCached) {
+			e.foldErrStats(stats)
+		}
+		return nil, execErr
+	}
 	for _, f := range pc.onComplete {
+		f()
+	}
+	for _, f := range pc.onFinish {
 		f()
 	}
 	// Refresh unified-budget accounting and schedule vault write-backs for
@@ -140,10 +240,30 @@ func (e *Engine) run(r *resolvedQuery, strategy Strategy, place JoinPlacement,
 	return res, nil
 }
 
-// lockTables acquires the per-table query locks of every distinct table in
-// the query, in name order (a deterministic order prevents deadlock between
-// concurrent multi-table queries), and returns the matching unlock.
-func lockTables(r *resolvedQuery) func() {
+// queryExclusive reports whether a query must keep its table locks held
+// through execution. ROOT tables qualify: the format library serves reads
+// through a shared buffer pool with no internal locking, so two unlocked
+// readers would race on its LRU state.
+func queryExclusive(r *resolvedQuery) bool {
+	for _, bt := range r.tables {
+		if bt.st.tab.Format == catalog.Root {
+			return true
+		}
+	}
+	return false
+}
+
+// tableLocks holds the per-table query locks of one query in their canonical
+// acquisition order, so the engine can release them for the execution phase
+// and re-acquire them for publication.
+type tableLocks struct {
+	states []*tableState
+}
+
+// lockTables collects the distinct tables of a query in name order (a
+// deterministic order prevents deadlock between concurrent multi-table
+// queries). The locks are NOT acquired yet; call lock.
+func lockTables(r *resolvedQuery) *tableLocks {
 	distinct := make([]*tableState, 0, len(r.tables))
 	for _, bt := range r.tables {
 		dup := false
@@ -160,13 +280,18 @@ func lockTables(r *resolvedQuery) func() {
 	sort.Slice(distinct, func(i, j int) bool {
 		return distinct[i].tab.Name < distinct[j].tab.Name
 	})
-	for _, st := range distinct {
+	return &tableLocks{states: distinct}
+}
+
+func (l *tableLocks) lock() {
+	for _, st := range l.states {
 		st.qmu.Lock()
 	}
-	return func() {
-		for i := len(distinct) - 1; i >= 0; i-- {
-			distinct[i].qmu.Unlock()
-		}
+}
+
+func (l *tableLocks) unlock() {
+	for i := len(l.states) - 1; i >= 0; i-- {
+		l.states[i].qmu.Unlock()
 	}
 }
 
@@ -182,47 +307,27 @@ func (e *Engine) Explain(src string, opts Options) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	// Planning reads and installs per-table state (positional maps built at
-	// plan time, dataset partition lists swapped by refresh), so Explain
-	// serialises with queries over the same tables exactly like execution
-	// does. It does not refresh datasets: the plan describes the manifest as
-	// currently known.
-	unlock := lockTables(r)
-	defer unlock()
-	strategy := e.cfg.Strategy
-	if opts.Strategy != nil {
-		strategy = *opts.Strategy
-	}
-	place := e.cfg.JoinPlacement
-	if opts.JoinPlacement != nil {
-		place = *opts.JoinPlacement
-	}
-	multi := e.cfg.MultiColumnShreds
-	if opts.MultiColumnShreds != nil {
-		multi = *opts.MultiColumnShreds
-	}
-	workers := e.cfg.Parallelism
-	if opts.Parallelism != nil {
-		workers = *opts.Parallelism
-	}
-	pushdown := !e.cfg.DisablePushdown
-	if opts.Pushdown != nil {
-		pushdown = *opts.Pushdown
-	}
-	zonemaps := !e.cfg.DisableZoneMaps
-	if opts.ZoneMaps != nil {
-		zonemaps = *opts.ZoneMaps
-	}
-	stats := &Stats{Strategy: strategy}
-	pc := &planCtx{e: e, strategy: strategy, place: place, multi: multi,
-		workers: workers, useCache: !e.cfg.DisableShredCache,
-		pushdown: pushdown, zonemaps: zonemaps, stats: stats}
+	// Planning reads per-table cache state (and loads columns for the DBMS
+	// strategy), so Explain serialises with the plan phase of queries over
+	// the same tables. It does not refresh datasets: the plan describes the
+	// manifest as currently known. The deferred install hooks are dropped —
+	// describing a plan must not publish the structures it would build.
+	po := resolveOptions(e.cfg, opts)
+	locks := lockTables(r)
+	locks.lock()
+	defer locks.unlock()
+	stats := &Stats{Strategy: po.strategy}
+	pc := &planCtx{e: e, strategy: po.strategy, place: po.place, multi: po.multi,
+		workers: po.workers, useCache: !e.cfg.DisableShredCache,
+		pushdown: po.pushdown, zonemaps: po.zonemaps, stats: stats, trace: po.trace}
+	sp := po.trace.Phase("plan")
 	op, err := pc.plan(r)
+	sp.End()
 	if err != nil {
 		return "", err
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "strategy: %s\n", strategy)
+	fmt.Fprintf(&b, "strategy: %s\n", po.strategy)
 	fmt.Fprintf(&b, "output:  ")
 	for i, c := range op.Schema() {
 		if i > 0 {

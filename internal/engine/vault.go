@@ -3,6 +3,7 @@ package engine
 import (
 	"hash/fnv"
 	"sort"
+	"sync"
 
 	"rawdb/internal/catalog"
 	"rawdb/internal/jsonidx"
@@ -284,9 +285,9 @@ func (e *Engine) vaultSaveAsync(st *tableState) {
 	st.installMarkers(m)
 	e.notePublish(writes)
 	name := st.tab.Name
-	e.vaultWG.Add(1)
+	e.vaultIO.add()
 	go func() {
-		defer e.vaultWG.Done()
+		defer e.vaultIO.done()
 		defer st.wmu.Unlock()
 		for _, w := range writes {
 			// Best effort: a failed write only costs restart warmth.
@@ -345,7 +346,43 @@ func (e *Engine) FlushVault() {
 		}
 		st.qmu.Unlock()
 	}
-	e.vaultWG.Wait()
+	e.vaultIO.wait()
+}
+
+// ioTracker counts in-flight asynchronous writer goroutines and lets a
+// flusher wait for the count to drain. Unlike sync.WaitGroup it tolerates
+// add() racing wait(): a query completing mid-flush simply extends the wait
+// until its write lands too.
+type ioTracker struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending int
+}
+
+func (t *ioTracker) add() {
+	t.mu.Lock()
+	t.pending++
+	t.mu.Unlock()
+}
+
+func (t *ioTracker) done() {
+	t.mu.Lock()
+	t.pending--
+	if t.pending == 0 && t.cond != nil {
+		t.cond.Broadcast()
+	}
+	t.mu.Unlock()
+}
+
+func (t *ioTracker) wait() {
+	t.mu.Lock()
+	for t.pending > 0 {
+		if t.cond == nil {
+			t.cond = sync.NewCond(&t.mu)
+		}
+		t.cond.Wait()
+	}
+	t.mu.Unlock()
 }
 
 // Close flushes pending vault write-backs. The engine remains usable

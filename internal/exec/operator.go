@@ -9,6 +9,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"rawdb/internal/vector"
@@ -203,6 +204,21 @@ func (p *Project) Close() error { return p.child.Close() }
 // Collect drains op and returns all of its output copied into fresh vectors.
 // It is the standard way tests and result presentation consume a plan.
 func Collect(op Operator) ([]*vector.Vector, error) {
+	return CollectCtx(context.Background(), op)
+}
+
+// CollectCtx is Collect with a per-batch cancellation check: when ctx is
+// cancelled (or its deadline passes) the drain stops before pulling the next
+// batch, so a runaway pipeline is abandoned within one batch of work. The
+// returned error wraps ctx.Err(), so callers can errors.Is against
+// context.Canceled / context.DeadlineExceeded.
+func CollectCtx(ctx context.Context, op Operator) ([]*vector.Vector, error) {
+	cancellable := ctx.Done() != nil
+	if cancellable {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+	}
 	if err := op.Open(); err != nil {
 		return nil, err
 	}
@@ -213,6 +229,11 @@ func Collect(op Operator) ([]*vector.Vector, error) {
 		out[i] = vector.New(c.Type, vector.DefaultBatchSize)
 	}
 	for {
+		if cancellable {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
 		b, err := op.Next()
 		if err != nil {
 			return nil, err
@@ -231,3 +252,49 @@ func Collect(op Operator) ([]*vector.Vector, error) {
 		}
 	}
 }
+
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("exec: query abandoned: %w", err)
+	}
+	return nil
+}
+
+// ctxOp injects a cancellation check under every Next of its child. The
+// planner wraps base scans with it, so even plans whose upper operators drain
+// their input inside a single Next call (aggregation, hash-join builds) stop
+// within one batch of a cancelled scan.
+type ctxOp struct {
+	child Operator
+	ctx   context.Context
+}
+
+// WithContext wraps op so every Open/Next first checks ctx. When ctx can
+// never be cancelled (Background/TODO), op is returned unwrapped and the hot
+// path stays untouched.
+func WithContext(op Operator, ctx context.Context) Operator {
+	if ctx == nil || ctx.Done() == nil {
+		return op
+	}
+	return &ctxOp{child: op, ctx: ctx}
+}
+
+func (c *ctxOp) Schema() vector.Schema { return c.child.Schema() }
+
+func (c *ctxOp) Open() error {
+	if err := ctxErr(c.ctx); err != nil {
+		return err
+	}
+	return c.child.Open()
+}
+
+func (c *ctxOp) Next() (*vector.Batch, error) {
+	if err := ctxErr(c.ctx); err != nil {
+		return nil, err
+	}
+	return c.child.Next()
+}
+
+func (c *ctxOp) Close() error { return c.child.Close() }
+
+var _ Operator = (*ctxOp)(nil)

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -25,6 +26,11 @@ type Parallel struct {
 	// the merge-on-completion hook parallel plans use to publish per-morsel
 	// cache fragments (positional maps, structural indexes, column shreds).
 	onDone func() error
+
+	// ctx, when cancellable, is checked by every worker between morsels and
+	// between batches within a morsel, so a cancelled query stops the whole
+	// pool within one batch of work. Defaults to context.Background().
+	ctx context.Context
 
 	results [][]*vector.Vector
 	part    int
@@ -62,8 +68,16 @@ func NewParallel(parts []Operator, workers, batchSize int, onDone func() error) 
 	}
 	return &Parallel{
 		schema: schema, parts: parts, workers: workers,
-		batchSize: batchSize, onDone: onDone,
+		batchSize: batchSize, onDone: onDone, ctx: context.Background(),
 	}, nil
+}
+
+// SetContext attaches a cancellation context to the exchange. Must be called
+// before Open.
+func (p *Parallel) SetContext(ctx context.Context) {
+	if ctx != nil {
+		p.ctx = ctx
+	}
 }
 
 // Schema implements Operator.
@@ -95,7 +109,7 @@ func (p *Parallel) Open() error {
 				if failed {
 					continue // drain remaining indexes without running them
 				}
-				cols, err := Collect(p.parts[i])
+				cols, err := CollectCtx(p.ctx, p.parts[i])
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {

@@ -122,6 +122,7 @@ func All() []Runner {
 		{"vault", "Persistent vault: cold vs restart-warm vs in-memory-warm first queries", RunVault},
 		{"pushdown", "Predicate pushdown and zone-map pruning: selectivity sweeps, on vs off", RunPushdown},
 		{"partition", "Partitioned datasets: file-count sweep 1→64 with pruning on/off on a sorted-key split", RunPartition},
+		{"server", "Query server: shared-engine QPS and tail latency at 1/8/64 concurrent sessions, mixed hot/cold", RunServer},
 	}
 }
 

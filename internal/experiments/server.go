@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"rawdb"
+	"rawdb/internal/server"
+	"rawdb/internal/workload"
+)
+
+// RunServer measures query-server throughput and tail latency over one
+// shared engine: 1, 8 and 64 concurrent line-protocol sessions issue a mixed
+// workload against a real TCP listener — 70% "hot" requests (a fixed probe
+// query whose adaptive structures are warm after the first execution) and
+// 30% "cold" requests (a fresh predicate constant per request, so cached
+// shreds cannot subsume the answer and the scan goes back to the raw file).
+// Reported per sweep point: wall-clock QPS and client-observed p50/p99,
+// plus how many requests admission control rejected (MaxConcurrent 8, the
+// default). The paper's adaptive-structure argument is strongest here: every
+// session amortises the structures every other session builds.
+func RunServer(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	ds, err := workload.Narrow(cfg.NarrowRows, 1)
+	if err != nil {
+		return nil, err
+	}
+	schema := make([]raw.Column, len(ds.Schema))
+	for i, c := range ds.Schema {
+		schema[i] = raw.Column{Name: c.Name, Type: c.Type}
+	}
+	eng := raw.NewEngine(raw.Config{Strategy: raw.StrategyShreds, Parallelism: 2})
+	defer eng.Close()
+	if err := eng.RegisterCSVData("t", ds.CSV, schema); err != nil {
+		return nil, err
+	}
+	srv := server.New(eng, server.Options{MaxConcurrent: 8, MaxQueue: 256,
+		QueueTimeout: 60 * time.Second})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	go srv.ServeLine(l)
+	addr := l.Addr().String()
+
+	hot := fmt.Sprintf("SELECT MAX(col11) FROM t WHERE col1 < %d", workload.Threshold(0.4))
+	cold := func(i int) string {
+		// A distinct constant per request defeats shred subsumption.
+		return fmt.Sprintf("SELECT MAX(col11) FROM t WHERE col1 < %d", workload.Threshold(0.4)+int64(i)*17+1)
+	}
+	// Warm the structures once so "hot" means hot from the first measured
+	// request (the paper's steady-state server).
+	if _, err := eng.Query(hot); err != nil {
+		return nil, err
+	}
+
+	t := &Table{ID: "server", Title: "Query server: shared engine, concurrent sessions (70% hot / 30% cold)",
+		Header: []string{"sessions", "queries", "seconds", "qps", "p50_ms", "p99_ms", "rejected"}}
+	for _, sessions := range []int{1, 8, 64} {
+		perSession := 240 / sessions
+		if perSession < 3 {
+			perSession = 3
+		}
+		latencies := make([][]time.Duration, sessions)
+		errs := make(chan error, sessions)
+		rejectedBefore := eng.Metrics().Snapshot()["server.rejections"]
+		start := time.Now()
+		var wg sync.WaitGroup
+		for s := 0; s < sessions; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				c, err := server.Dial(addr)
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer c.Close()
+				for i := 0; i < perSession; i++ {
+					q := hot
+					if (s+i)%10 >= 7 {
+						q = cold(s*perSession + i)
+					}
+					t0 := time.Now()
+					if _, err := c.Query(server.Request{Query: q}); err != nil {
+						errs <- fmt.Errorf("session %d: %w", s, err)
+						return
+					}
+					latencies[s] = append(latencies[s], time.Since(t0))
+				}
+			}(s)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		close(errs)
+		for err := range errs {
+			return nil, err
+		}
+		var all []time.Duration
+		for _, ls := range latencies {
+			all = append(all, ls...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		total := len(all)
+		qps := float64(total) / elapsed.Seconds()
+		rejected := eng.Metrics().Snapshot()["server.rejections"] - rejectedBefore
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", sessions), fmt.Sprintf("%d", total), secs(elapsed),
+			fmt.Sprintf("%.0f", qps),
+			fmt.Sprintf("%.3f", quantileDur(all, 0.50).Seconds()*1000),
+			fmt.Sprintf("%.3f", quantileDur(all, 0.99).Seconds()*1000),
+			fmt.Sprintf("%d", rejected),
+		})
+	}
+	t.Metrics = eng.Metrics().Snapshot()
+	return t, nil
+}
+
+// quantileDur returns the q-quantile of sorted latencies.
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

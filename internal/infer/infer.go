@@ -1,0 +1,275 @@
+// Package infer derives table schemas from raw file bytes and registers
+// command-line table specs against an engine. It is the shared front end of
+// cmd/rawql and cmd/rawserve: both accept the same name=path flags, and both
+// must infer identical schemas so a query typed locally and one sent to a
+// server see the same types.
+//
+// Inference rules (the paper's conventions): CSV columns are typed from the
+// first row and named col1..colN; JSONL columns are the numeric leaf paths of
+// the first object, dotted; binary files carry their types in the header;
+// datasets borrow the schema of their first partition.
+package infer
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"rawdb"
+	"rawdb/internal/bytesconv"
+	"rawdb/internal/dataset"
+	"rawdb/internal/storage/binfile"
+	"rawdb/internal/storage/csvfile"
+	"rawdb/internal/storage/jsonfile"
+	"rawdb/internal/storage/rootfile"
+)
+
+// CSVSchema types each column from the first row: integer if it parses as
+// one, else float. Columns are named col1..colN (the paper's numbering).
+func CSVSchema(data []byte) ([]raw.Column, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("empty file")
+	}
+	var schema []raw.Column
+	pos := 0
+	for pos < len(data) {
+		start, end, next := csvfile.FieldBounds(data, pos)
+		field := data[start:end]
+		t := raw.Int64
+		if _, err := bytesconv.ParseInt64(field); err != nil {
+			if _, err := bytesconv.ParseFloat64(field); err != nil {
+				return nil, fmt.Errorf("column %d: first-row value %q is neither integer nor float",
+					len(schema)+1, field)
+			}
+			t = raw.Float64
+		}
+		schema = append(schema, raw.Column{Name: fmt.Sprintf("col%d", len(schema)+1), Type: t})
+		pos = next
+		if pos > 0 && pos <= len(data) && data[pos-1] == '\n' {
+			break
+		}
+	}
+	return schema, nil
+}
+
+// JSONSchema collects the numeric leaf paths of the first object (in member
+// order, descending into nested objects with dotted names): integer if the
+// value parses as one, else float. Non-numeric members are skipped — they
+// remain in the file but invisible, the partial-schema model.
+func JSONSchema(data []byte) ([]raw.Column, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("empty file")
+	}
+	var schema []raw.Column
+	var walk func(pos int, prefix string) error
+	walk = func(pos int, prefix string) error {
+		pos, ok := jsonfile.EnterObject(data, pos)
+		if !ok {
+			return fmt.Errorf("first row is not a JSON object")
+		}
+		for {
+			ks, ke, vpos, next, done, err := jsonfile.NextMember(data, pos)
+			if err != nil {
+				return err
+			}
+			if done {
+				return nil
+			}
+			path := prefix + string(data[ks:ke])
+			if data[vpos] == '{' {
+				if err := walk(vpos, path+"."); err != nil {
+					return err
+				}
+				pos = jsonfile.SkipValue(data, next)
+				continue
+			}
+			field := data[vpos:jsonfile.NumberEnd(data, vpos)]
+			if _, err := bytesconv.ParseInt64(field); err == nil {
+				schema = append(schema, raw.Column{Name: path, Type: raw.Int64})
+			} else if _, err := bytesconv.ParseFloat64(field); err == nil {
+				schema = append(schema, raw.Column{Name: path, Type: raw.Float64})
+			}
+			pos = jsonfile.SkipValue(data, next)
+		}
+	}
+	if err := walk(0, ""); err != nil {
+		return nil, err
+	}
+	if len(schema) == 0 {
+		return nil, fmt.Errorf("first row has no numeric leaf paths")
+	}
+	return schema, nil
+}
+
+// BinarySchema reads the column types from a binary file's header and names
+// the columns col1..colN.
+func BinarySchema(data []byte) ([]raw.Column, error) {
+	r, err := binfile.NewReader(data)
+	if err != nil {
+		return nil, err
+	}
+	schema := make([]raw.Column, len(r.Types()))
+	for i, t := range r.Types() {
+		schema[i] = raw.Column{Name: fmt.Sprintf("col%d", i+1), Type: t}
+	}
+	return schema, nil
+}
+
+// DatasetSchema infers a dataset's schema from its first partition
+// (partitions share one schema; CSV and binary columns are positional, so a
+// CSV-first mixed dataset gets col1..colN names that JSONL partitions will
+// not resolve — declare the schema in code via raw.RegisterDataset for
+// those).
+func DatasetSchema(pattern string) ([]raw.Column, error) {
+	m, err := dataset.Discover(pattern, dataset.AutoFormat)
+	if err != nil {
+		return nil, err
+	}
+	if len(m.Parts) == 0 {
+		return nil, fmt.Errorf("no files match (schema inference needs at least one)")
+	}
+	p := m.Parts[0]
+	data, err := os.ReadFile(p.Path)
+	if err != nil {
+		return nil, err
+	}
+	switch p.Format {
+	case raw.FormatCSV:
+		return CSVSchema(data)
+	case raw.FormatJSON:
+		return JSONSchema(data)
+	default: // binary
+		return BinarySchema(data)
+	}
+}
+
+// Specs carries the repeated name=path table flags of the command line.
+type Specs struct {
+	CSVs     []string // name=path
+	Bins     []string // name=path
+	JSONs    []string // name=path
+	Roots    []string // path; every tree becomes a table
+	Datasets []string // name=pattern (directory or glob)
+}
+
+// Register infers a schema for every spec and registers the tables on eng.
+// File-backed specs are read fully into memory (the model of DESIGN.md: disk
+// I/O is outside the measured system); datasets stay on disk and are re-stat
+// ed per query.
+func Register(eng *raw.Engine, s Specs) error {
+	for _, spec := range s.CSVs {
+		name, path, err := SplitSpec(spec)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		schema, err := CSVSchema(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if err := eng.RegisterCSVData(name, data, schema); err != nil {
+			return err
+		}
+	}
+	for _, spec := range s.JSONs {
+		name, path, err := SplitSpec(spec)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		schema, err := JSONSchema(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if err := eng.RegisterJSONData(name, data, schema); err != nil {
+			return err
+		}
+	}
+	for _, spec := range s.Bins {
+		name, path, err := SplitSpec(spec)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		schema, err := BinarySchema(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if err := eng.RegisterBinaryData(name, data, schema); err != nil {
+			return err
+		}
+	}
+	for _, spec := range s.Datasets {
+		name, pattern, err := SplitSpec(spec)
+		if err != nil {
+			return err
+		}
+		schema, err := DatasetSchema(pattern)
+		if err != nil {
+			return fmt.Errorf("%s: %w", pattern, err)
+		}
+		if err := eng.RegisterDataset(name, pattern, schema); err != nil {
+			return err
+		}
+	}
+	for _, path := range s.Roots {
+		f, err := rootfile.Open(path)
+		if err != nil {
+			return err
+		}
+		for _, treeName := range f.Trees() {
+			tr, err := f.Tree(treeName)
+			if err != nil {
+				return err
+			}
+			var schema []raw.Column
+			for _, bn := range tr.Branches() {
+				br, err := tr.Branch(bn)
+				if err != nil {
+					return err
+				}
+				schema = append(schema, raw.Column{Name: bn, Type: br.Type})
+			}
+			if err := eng.RegisterRootFile(treeName, f, treeName, schema); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SplitSpec splits one name=path table spec.
+func SplitSpec(spec string) (name, path string, err error) {
+	i := strings.IndexByte(spec, '=')
+	if i <= 0 || i == len(spec)-1 {
+		return "", "", fmt.Errorf("bad table spec %q (want name=path)", spec)
+	}
+	return spec[:i], spec[i+1:], nil
+}
+
+// ParseStrategy maps a command-line strategy name to the engine constant.
+func ParseStrategy(s string) (raw.Strategy, error) {
+	switch strings.ToLower(s) {
+	case "shreds":
+		return raw.StrategyShreds, nil
+	case "jit":
+		return raw.StrategyJIT, nil
+	case "insitu":
+		return raw.StrategyInSitu, nil
+	case "external":
+		return raw.StrategyExternal, nil
+	case "dbms":
+		return raw.StrategyDBMS, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"rawdb"
+)
+
+// HTTP endpoint.
+//
+//	POST /query   {"query": "...", "timeout_ms": 0}  -> Response (JSON)
+//	GET  /metrics  engine + server metrics snapshot, text form
+//	GET  /healthz  "ok"
+//
+// Status mapping: 200 success, 400 parse/plan/execute errors, 429 admission
+// rejected (ErrOverloaded), 504 deadline exceeded, 499-ish client cancel is
+// reported as 400 with the context error (the client is usually gone by
+// then). The request context carries the client disconnect, so closing the
+// connection cancels the running scan within one batch.
+
+// Handler returns the HTTP handler for the server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, &Response{Error: "bad request: " + err.Error()})
+		return
+	}
+	resp, status := s.serve(r.Context(), req)
+	writeJSON(w, status, resp)
+}
+
+// serve runs one wire request through admission and execution and maps the
+// outcome to a response + HTTP status. Shared by the HTTP handler and the
+// line protocol (which reports the status in-band).
+func (s *Server) serve(ctx context.Context, req Request) (*Response, int) {
+	if req.TimeoutMillis > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMillis)*time.Millisecond)
+		defer cancel()
+	}
+	var opts raw.Options
+	if req.Workers > 0 {
+		opts.Parallelism = &req.Workers
+	}
+	res, err := s.ExecuteOpt(ctx, req.Query, opts)
+	switch {
+	case err == nil:
+		return encodeResult(res), http.StatusOK
+	case errors.Is(err, ErrOverloaded):
+		return &Response{Error: err.Error()}, http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return &Response{Error: err.Error()}, http.StatusGatewayTimeout
+	default:
+		return &Response{Error: err.Error()}, http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte(raw.FormatMetrics(s.eng.Metrics().Snapshot())))
+}
+
+func writeJSON(w http.ResponseWriter, status int, resp *Response) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(resp)
+}

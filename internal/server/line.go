@@ -1,0 +1,164 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+
+	"rawdb/internal/vector"
+)
+
+// Line protocol: one JSON object per line in each direction, strictly
+// sequential per connection — a client sends a Request line, reads exactly
+// one Response line, then may send the next. Concurrency comes from opening
+// many connections (a "session" is a connection), which keeps the protocol
+// trivial to speak from netcat or a shell script while still exercising the
+// shared engine from N sessions at once. Per-query deadlines travel in-band
+// (timeout_ms); mid-query cancellation needs the richer HTTP transport.
+
+// ServeLine accepts line-protocol connections until the listener is closed
+// (it returns the listener's error then). Each connection gets its own
+// goroutine; queries within a connection run one at a time.
+func (s *Server) ServeLine(l net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	w := bufio.NewWriter(conn)
+	enc := json.NewEncoder(w)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		var resp *Response
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp = &Response{Error: "bad request: " + err.Error()}
+		} else {
+			resp, _ = s.serve(context.Background(), req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Client speaks the line protocol. One Client is one session: queries issued
+// through it are sequential (guarded by a mutex so a Client may be shared,
+// though difftest opens one per simulated session).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	sc   *bufio.Scanner
+	w    *bufio.Writer
+}
+
+// Dial connects a line-protocol session to addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Client{conn: conn, sc: sc, w: bufio.NewWriter(conn)}, nil
+}
+
+// Query sends one request and reads its response. A Response with a non-empty
+// Error field is surfaced as a Go error.
+func (c *Client) Query(req Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	line, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	line = append(line, '\n')
+	if _, err := c.w.Write(line); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("server: connection closed mid-query")
+	}
+	var resp Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return nil, err
+	}
+	if resp.Error != "" {
+		return nil, fmt.Errorf("server: %s", resp.Error)
+	}
+	return &resp, nil
+}
+
+// Close ends the session.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// DecodeRow parses one wire row back into engine values, keyed by the
+// response's type names (see DecodeCell for the exactness argument).
+func (r *Response) DecodeRow(i int) ([]any, error) {
+	row := r.Rows[i]
+	out := make([]any, len(row))
+	for c, cell := range row {
+		v, err := DecodeCell(r.Types[c], cell)
+		if err != nil {
+			return nil, fmt.Errorf("row %d col %d: %w", i, c, err)
+		}
+		out[c] = v
+	}
+	return out, nil
+}
+
+// Int64 decodes one cell as BIGINT, panicking on type or syntax mismatch
+// (test helper).
+func (r *Response) Int64(row, col int) int64 {
+	if r.Types[col] != vector.Int64.String() {
+		panic(fmt.Sprintf("column %d is %s, not BIGINT", col, r.Types[col]))
+	}
+	v, err := strconv.ParseInt(r.Rows[row][col], 10, 64)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Float64 decodes one cell as DOUBLE, panicking on type or syntax mismatch
+// (test helper).
+func (r *Response) Float64(row, col int) float64 {
+	if r.Types[col] != vector.Float64.String() {
+		panic(fmt.Sprintf("column %d is %s, not DOUBLE", col, r.Types[col]))
+	}
+	v, err := strconv.ParseFloat(r.Rows[row][col], 64)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+
+	"rawdb"
+	"rawdb/internal/vector"
+)
+
+// Wire format. Both protocols (HTTP/JSON and the line protocol) exchange the
+// same request/response objects, and every cell crosses the wire as a STRING
+// paired with a column type name. JSON numbers are float64 on the floor of
+// every decoder, which silently rounds int64s above 2^53 and denormalises
+// float bit patterns; strings dodge that entirely. Integers are formatted in
+// base 10 and floats with strconv's shortest round-trip form ('g', -1), so
+// decoding with the type name reproduces the exact bits the engine computed —
+// the property difftest's server mode asserts against in-process execution.
+
+// Request is one query submission.
+type Request struct {
+	Query string `json:"query"`
+	// TimeoutMillis, when positive, sets a client-side deadline for this
+	// query; the server cancels the running plan when it expires.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// Workers, when positive, overrides the engine's morsel-parallel worker
+	// count for this query (<=1 forces the serial plan).
+	Workers int `json:"workers,omitempty"`
+}
+
+// Response carries one query's result set or its error (never both).
+type Response struct {
+	Columns []string   `json:"columns,omitempty"`
+	Types   []string   `json:"types,omitempty"` // BIGINT, DOUBLE, BOOLEAN, VARCHAR
+	Rows    [][]string `json:"rows,omitempty"`
+	Error   string     `json:"error,omitempty"`
+}
+
+// encodeResult converts an engine result into a wire response.
+func encodeResult(res *raw.Result) *Response {
+	out := &Response{
+		Columns: append([]string(nil), res.Columns...),
+		Types:   make([]string, len(res.Types)),
+	}
+	for i, t := range res.Types {
+		out.Types[i] = t.String()
+	}
+	n := res.NumRows()
+	out.Rows = make([][]string, n)
+	for i := 0; i < n; i++ {
+		row := make([]string, len(res.Columns))
+		for c := range res.Columns {
+			row[c] = encodeCell(res.Types[c], res, i, c)
+		}
+		out.Rows[i] = row
+	}
+	return out
+}
+
+func encodeCell(t vector.Type, res *raw.Result, row, col int) string {
+	switch t {
+	case vector.Int64:
+		return strconv.FormatInt(res.Int64(row, col), 10)
+	case vector.Float64:
+		return strconv.FormatFloat(res.Float64(row, col), 'g', -1, 64)
+	case vector.Bool:
+		return strconv.FormatBool(res.Value(row, col).(bool))
+	default: // vector.Bytes
+		return fmt.Sprint(res.Value(row, col))
+	}
+}
+
+// DecodeCell parses one wire cell back into its engine value using the
+// column's wire type name. The round trip is exact: FormatInt/ParseInt are
+// inverses over all of int64, and ParseFloat of a shortest-form 'g' string
+// returns the identical float64 bits.
+func DecodeCell(typeName, cell string) (any, error) {
+	switch typeName {
+	case "BIGINT":
+		return strconv.ParseInt(cell, 10, 64)
+	case "DOUBLE":
+		return strconv.ParseFloat(cell, 64)
+	case "BOOLEAN":
+		return strconv.ParseBool(cell)
+	case "VARCHAR":
+		return cell, nil
+	default:
+		return nil, fmt.Errorf("server: unknown wire type %q", typeName)
+	}
+}

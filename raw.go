@@ -35,6 +35,7 @@
 package raw
 
 import (
+	"context"
 	"time"
 
 	"rawdb/internal/catalog"
@@ -361,6 +362,20 @@ func (e *Engine) Query(src string) (*Result, error) { return e.e.Query(src) }
 // QueryOpt executes one SQL statement with per-query option overrides.
 func (e *Engine) QueryOpt(src string, opts Options) (*Result, error) {
 	return e.e.QueryOpt(src, opts)
+}
+
+// QueryCtx is Query with a cancellation context: when ctx is cancelled or its
+// deadline passes, the running plan is abandoned within one batch of work, no
+// cache structure is published, and the query's table locks and budget bytes
+// are released. The returned error wraps ctx.Err(), so errors.Is against
+// context.Canceled / context.DeadlineExceeded works.
+func (e *Engine) QueryCtx(ctx context.Context, src string) (*Result, error) {
+	return e.e.QueryCtx(ctx, src)
+}
+
+// QueryOptCtx is QueryCtx with per-query option overrides.
+func (e *Engine) QueryOptCtx(ctx context.Context, src string, opts Options) (*Result, error) {
+	return e.e.QueryOptCtx(ctx, src, opts)
 }
 
 // Explain describes the physical plan the engine would choose for src under
