@@ -35,6 +35,7 @@ import (
 	"strings"
 
 	"rawdb"
+	"rawdb/internal/faults"
 	"rawdb/internal/infer"
 	"rawdb/internal/server"
 )
@@ -66,8 +67,19 @@ func main() {
 	analyze := flag.Bool("analyze", false, "execute the query with tracing on and print an EXPLAIN ANALYZE-style span tree (per-operator wall/busy time, rows, prune counts) to stderr")
 	traceOut := flag.String("trace", "", "execute the query with tracing on and write a chrome://tracing JSON timeline to this file")
 	events := flag.Bool("events", false, "print adaptive-structure lifecycle events (captured/restored/evicted/invalidated) to stderr after the query")
+	faultSpec := flag.String("faults", "", "chaos testing: inject deterministic faults into file and cache access, e.g. 'vault.read:corrupt:after=1' (see rawserve -faults for sites and kinds; in-process engine only)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the -faults schedule")
 	statsMode := flag.String("stats", "text", "stats output: text (human-readable stderr lines) or json (one machine-readable line with query stats and an engine metrics snapshot)")
 	flag.Parse()
+
+	if *faultSpec != "" {
+		sched, err := faults.ParseSpec(*faultSpec, *faultSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rawql:", err)
+			os.Exit(1)
+		}
+		faults.Install(sched)
+	}
 
 	var err error
 	if *connect != "" {

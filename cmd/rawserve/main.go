@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"rawdb"
+	"rawdb/internal/faults"
 	"rawdb/internal/infer"
 	"rawdb/internal/server"
 )
@@ -53,12 +54,27 @@ func main() {
 	maxQueue := flag.Int("max-queue", 64, "queries allowed to wait for an execution slot")
 	queueTimeout := flag.Duration("queue-timeout", 5*time.Second, "longest a query waits for a slot before a 429")
 	queryTimeout := flag.Duration("query-timeout", 0, "server-side per-query deadline (0 = none)")
+	memDegrade := flag.Float64("mem-degrade", 0.75, "cache-budget occupancy fraction above which new queries run in no-capture mode (needs -cachebudget)")
+	memReject := flag.Float64("mem-reject", 1.5, "projected cache-budget occupancy fraction above which queries are rejected with 429 (needs -cachebudget)")
+	faultSpec := flag.String("faults", "", "chaos testing: inject deterministic faults, e.g. 'vault.read:corrupt:after=2;csv.load:err:times=1' (sites: csv.load json.load vault.read vault.write dataset.stat exec.morsel exec.serial; kinds: err notexist shortread corrupt torn latency panic)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the -faults schedule (determinism across runs)")
 	flag.Parse()
+
+	if *faultSpec != "" {
+		sched, err := faults.ParseSpec(*faultSpec, *faultSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rawserve:", err)
+			os.Exit(1)
+		}
+		faults.Install(sched)
+		fmt.Fprintf(os.Stderr, "rawserve: fault injection armed: %s (seed %d)\n", *faultSpec, *faultSeed)
+	}
 
 	if err := run(specs, *httpAddr, *lineAddr, *strategy, *workers, *cacheDir, *cacheBudget,
 		*noPushdown, *noZoneMaps, *noShredCache,
 		server.Options{MaxConcurrent: *maxConcurrent, MaxQueue: *maxQueue,
-			QueueTimeout: *queueTimeout, QueryTimeout: *queryTimeout}); err != nil {
+			QueueTimeout: *queueTimeout, QueryTimeout: *queryTimeout,
+			MemoryDegrade: *memDegrade, MemoryReject: *memReject}); err != nil {
 		fmt.Fprintln(os.Stderr, "rawserve:", err)
 		os.Exit(1)
 	}

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"rawdb/internal/catalog"
+	"rawdb/internal/faults"
 )
 
 // AutoFormat asks Discover to infer each file's format from its extension.
@@ -108,6 +109,9 @@ func supportedOverride(f catalog.Format) bool {
 func Discover(pattern string, override catalog.Format) (*Manifest, error) {
 	if override != AutoFormat && !supportedOverride(override) {
 		return nil, fmt.Errorf("dataset: format %s cannot back dataset partitions", override)
+	}
+	if err := faults.Hit(faults.SiteDatasetStat); err != nil {
+		return nil, fmt.Errorf("dataset: discovering %q: %w", pattern, err)
 	}
 	var paths []string
 	if st, err := os.Stat(pattern); err == nil && st.IsDir() {

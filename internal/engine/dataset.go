@@ -175,6 +175,7 @@ func (e *Engine) newPartState(parent *tableState, p *dataset.Partition) *tableSt
 		Format: p.Format,
 		Schema: parent.tab.Schema,
 	}
+	ps.expectSize = p.Size
 	if p.Rows >= 0 {
 		ps.nrows = p.Rows
 	}
@@ -190,7 +191,7 @@ func (e *Engine) newPartState(parent *tableState, p *dataset.Partition) *tableSt
 func (e *Engine) loadPartData(ps *tableState) error {
 	ps.qmu.Lock()
 	defer ps.qmu.Unlock()
-	return loadTableData(ps)
+	return e.loadPartChecked(ps)
 }
 
 // refreshDatasets incrementally refreshes every dataset a query touches.
@@ -220,7 +221,13 @@ func (e *Engine) refreshDataset(st *tableState) error {
 	ds := st.ds
 	m, err := dataset.Discover(ds.pattern, ds.override)
 	if err != nil {
-		return fmt.Errorf("engine: refreshing dataset %q: %w", st.tab.Name, err)
+		// Degrade, don't fail: a transiently unreadable directory leaves the
+		// query running against the manifest it last saw (files that truly
+		// vanished will surface as retryable partition losses at load time).
+		e.metrics.Counter("manifest.refresh.errors").Inc()
+		e.emitEvent(obs.EventFallback, "manifest", st.tab.Name, 0,
+			"refresh failed: "+err.Error())
+		return nil
 	}
 	d := dataset.Compare(ds.manifest, m)
 	if d.Unchanged() {

@@ -180,6 +180,12 @@ type Options struct {
 	// tree: span wrapping happens at plan time only when a trace is present,
 	// so disabled tracing costs nothing on the scan hot paths.
 	Trace *obs.Trace
+	// NoCapture, when true, stops this query from building or publishing any
+	// new adaptive structure (positional map, structural index, synopsis,
+	// shred). Everything already cached is still reused. This is the memory
+	// governor's degraded mode: under budget pressure the server admits
+	// queries read-only rather than rejecting them outright.
+	NoCapture *bool
 }
 
 // Engine is a RAW query engine instance.
@@ -222,6 +228,10 @@ type tableState struct {
 	rootTree *rootfile.Tree
 	loaded   []*vector.Vector // DBMS-loaded full columns
 	nrows    int64            // -1 until known
+	// expectSize, for dataset partitions, is the file size the manifest
+	// recorded at refresh. A load observing different bytes means the file
+	// changed after refresh (sheared mid-query) — see loadPartChecked.
+	expectSize int64
 
 	// cmu guards the pm/jidx/syn pointers alone: queries read and install
 	// them under qmu, but the unified cache budget may evict them from any
@@ -348,6 +358,16 @@ func New(cfg Config) *Engine {
 		}
 	}
 	e.initObs()
+	if e.vault != nil {
+		// Corrupt vault entries are deleted on discovery and the structure
+		// rebuilds cold from the raw file; the degradation is transparent to
+		// the query, so the trace lives here — a counter plus a lifecycle
+		// event naming the table and structure kind.
+		e.vault.OnQuarantine(func(table string, kind vault.Kind, reason string) {
+			e.metrics.Counter("vault.quarantined").Inc()
+			e.emitEvent(obs.EventQuarantined, kind.String(), table, 0, reason)
+		})
+	}
 	return e
 }
 
@@ -547,7 +567,7 @@ func (e *Engine) state(name string) (*tableState, error) {
 	if st.tab.Format == catalog.Dataset {
 		return st, nil
 	}
-	if err := loadTableData(st); err != nil {
+	if err := e.loadWithRetry(st); err != nil {
 		return nil, err
 	}
 	return st, nil

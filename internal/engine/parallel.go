@@ -851,7 +851,7 @@ func (pc *planCtx) noteSynCapture(st *tableState) {
 // mergeSynopsis returns the merge-on-completion hook concatenating per-
 // morsel zone-map fragments in morsel order (nil when nothing was built).
 func (pc *planCtx) mergeSynopsis(st *tableState, frags []*synopsis.Builder) func() error {
-	if len(frags) == 0 {
+	if !pc.capture || len(frags) == 0 {
 		return nil
 	}
 	return func() error {
@@ -997,6 +997,9 @@ func (pc *planCtx) csvMorsels(r *resolvedQuery, cols []int, candidates []boundPr
 		parts = append(parts, sc)
 	}
 	mergePM := func() error {
+		if !pc.capture {
+			return nil // governor degraded mode: keep per-morsel state private
+		}
 		merged := posmap.New(pc.e.cfg.PosMapPolicy, len(tab.Schema))
 		for i, frag := range frags {
 			if err := merged.Merge(frag, int64(spans[i].Start)); err != nil {
@@ -1165,6 +1168,9 @@ func (pc *planCtx) jsonMorsels(r *resolvedQuery, cols []int, candidates []boundP
 		parts = append(parts, op)
 	}
 	mergeIdx := func() error {
+		if !pc.capture {
+			return nil
+		}
 		merged := jsonidx.Merge(frags, offs, 0)
 		st.setJSONIdx(merged)
 		if st.nrows < 0 {
@@ -1312,7 +1318,7 @@ func buildMemMorsels(tab *catalog.Table, vecs []*vector.Vector, cols []int,
 // concatenates the morsel vectors in order and publishes full columns to the
 // pool — merge-on-completion, so workers never write shared cache state.
 func (pc *planCtx) wrapCapture(tab *catalog.Table, scan exec.Operator, cols []int) (exec.Operator, *morselCapture) {
-	if !pc.useCache || pc.e.cfg.DisableShredCache {
+	if !pc.capture || !pc.useCache || pc.e.cfg.DisableShredCache {
 		return scan, nil
 	}
 	types := make([]vector.Type, len(cols))

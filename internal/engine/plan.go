@@ -29,6 +29,11 @@ type planCtx struct {
 	multi    bool
 	workers  int // morsel-parallel worker count; <= 1 plans serially
 	useCache bool
+	// capture allows this query to build and publish NEW adaptive structures
+	// (positional maps, structural indexes, synopses, shreds). False — the
+	// memory governor's degraded mode — still reuses everything already
+	// cached; the query simply leaves no new resident state behind.
+	capture  bool
 	pushdown bool // absorb eligible predicates into generated access paths
 	zonemaps bool // build and consult per-block min/max synopses
 	stats    *Stats
@@ -133,7 +138,7 @@ func (pc *planCtx) jitCapable() bool {
 // (DisableShredCache, or the no-cache replan); scans over already-cached
 // shreds absorb predicates unconditionally, since no capture is involved.
 func (pc *planCtx) captureActive() bool {
-	return pc.useCache && !pc.e.cfg.DisableShredCache
+	return pc.capture && pc.useCache && !pc.e.cfg.DisableShredCache
 }
 
 // execPred converts a bound predicate to its exec form keyed by the table
@@ -229,7 +234,7 @@ func (pc *planCtx) blockRows() int64 {
 // finalizer installs the synopsis once the query completed.
 func (pc *planCtx) newSynBuilder(st *tableState, cols []int, absorbed []exec.Pred,
 	vectorized bool) *synopsis.Builder {
-	if !pc.zonemaps {
+	if !pc.zonemaps || !pc.capture {
 		return nil
 	}
 	obs := observableCols(st.tab, cols, absorbed, vectorized)
@@ -292,6 +297,9 @@ func (pc *planCtx) deferMerge(done func() error) {
 // is installed — with its lifecycle event — only when the scan ran to
 // completion. An aborted scan leaves no partial map behind.
 func (pc *planCtx) installPosMap(st *tableState, pm *posmap.Map) {
+	if !pc.capture {
+		return // governor degraded mode: build stays private, nothing publishes
+	}
 	pc.onComplete = append(pc.onComplete, func() {
 		if pm.NRows() <= 0 {
 			return // the scan never finished a row; nothing worth publishing
@@ -304,6 +312,9 @@ func (pc *planCtx) installPosMap(st *tableState, pm *posmap.Map) {
 // installJSONIdx is installPosMap for the JSON structural index built by a
 // serial sequential scan.
 func (pc *planCtx) installJSONIdx(st *tableState, idx *jsonidx.Index) {
+	if !pc.capture {
+		return
+	}
 	pc.onComplete = append(pc.onComplete, func() {
 		if idx.NRows() <= 0 {
 			return
@@ -1157,7 +1168,7 @@ func (pc *planCtx) baseScanJIT(p *pipe, r *resolvedQuery, t int, cols []int, nee
 	// Capture file-read full columns into the pool. A zone-map-pruned scan
 	// skips rows, so its output is NOT a full column: capture it keyed by
 	// row ids instead (requires the rid column), or not at all.
-	if pc.useCache && !pc.e.cfg.DisableShredCache && (!pruned || emitRID) {
+	if pc.capture && pc.useCache && !pc.e.cfg.DisableShredCache && (!pruned || emitRID) {
 		ridFor := -1
 		if pruned {
 			ridFor = len(uncached) // partial capture via the rid column
@@ -1311,7 +1322,7 @@ func (pc *planCtx) lateScanInner(p *pipe, r *resolvedQuery, t int, cols []int) e
 	}
 
 	// Capture the shreds (partial columns keyed by row id).
-	if pc.useCache && !pc.e.cfg.DisableShredCache {
+	if pc.capture && pc.useCache && !pc.e.cfg.DisableShredCache {
 		specs := make([]shred.CaptureSpec, len(sorted))
 		for i, c := range sorted {
 			specs[i] = shred.CaptureSpec{

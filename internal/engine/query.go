@@ -26,7 +26,10 @@ type planOpts struct {
 	workers  int
 	pushdown bool
 	zonemaps bool
-	trace    *obs.Trace
+	// capture: this query may build and publish new adaptive structures.
+	// The memory governor clears it under pressure (see Options.NoCapture).
+	capture bool
+	trace   *obs.Trace
 }
 
 // resolveOptions merges per-query Options over the engine Config. It is the
@@ -40,6 +43,7 @@ func resolveOptions(cfg Config, opts Options) planOpts {
 		workers:  cfg.Parallelism,
 		pushdown: !cfg.DisablePushdown,
 		zonemaps: !cfg.DisableZoneMaps,
+		capture:  true,
 		trace:    opts.Trace,
 	}
 	if opts.Strategy != nil {
@@ -59,6 +63,9 @@ func resolveOptions(cfg Config, opts Options) planOpts {
 	}
 	if opts.ZoneMaps != nil {
 		po.zonemaps = *opts.ZoneMaps
+	}
+	if opts.NoCapture != nil {
+		po.capture = !*opts.NoCapture
 	}
 	return po
 }
@@ -111,6 +118,16 @@ func (e *Engine) QueryOptCtx(ctx context.Context, src string, opts Options) (*Re
 		tr.Phase("replan: shred miss").End()
 		res, err = e.run(ctx, r, po, false)
 	}
+	var pl *partLostError
+	if err != nil && errors.As(err, &pl) {
+		// A dataset partition vanished or changed between manifest refresh
+		// and load. Retry exactly once: the rerun's refresh reconciles the
+		// partition set first, so the query either answers against the new
+		// state or fails with a plain error (never a torn snapshot).
+		e.metrics.Counter("query.partition_retries").Inc()
+		tr.Phase("replan: partition lost").End()
+		res, err = e.run(ctx, r, po, true)
+	}
 	return res, err
 }
 
@@ -131,7 +148,18 @@ func (e *Engine) QueryOptCtx(ctx context.Context, src string, opts Options) (*Re
 //     then onComplete) and vault write-backs are scheduled; on failure
 //     nothing is installed. The onFinish hooks (stats folding) run on both
 //     paths, so an aborted scan's prune counters are never silently dropped.
-func (e *Engine) run(ctx context.Context, r *resolvedQuery, po planOpts, useCache bool) (*Result, error) {
+func (e *Engine) run(ctx context.Context, r *resolvedQuery, po planOpts, useCache bool) (res *Result, err error) {
+	// Panic containment for the serial path (the exchange recovers its own
+	// workers): a bug in a generated access path or operator fails this one
+	// query instead of the process. Declared before the lock defer, so
+	// unwinding releases the table locks first; the publication hooks below
+	// never ran, so no partial structure survives the panic.
+	defer func() {
+		if rec := recover(); rec != nil {
+			e.metrics.Counter("query.panics").Inc()
+			res, err = nil, fmt.Errorf("engine: query panicked: %v", rec)
+		}
+	}()
 	tr := po.trace
 	locks := lockTables(r)
 	locks.lock()
@@ -148,7 +176,7 @@ func (e *Engine) run(ctx context.Context, r *resolvedQuery, po planOpts, useCach
 	// already executing against the old ones keeps its snapshot.
 	sp := tr.Phase("manifest-refresh")
 	refreshStart := time.Now()
-	err := e.refreshDatasets(r)
+	err = e.refreshDatasets(r)
 	refresh := time.Since(refreshStart)
 	sp.End()
 	if err != nil {
@@ -162,6 +190,7 @@ func (e *Engine) run(ctx context.Context, r *resolvedQuery, po planOpts, useCach
 		multi:    po.multi,
 		workers:  po.workers,
 		useCache: useCache && !e.cfg.DisableShredCache,
+		capture:  po.capture,
 		pushdown: po.pushdown,
 		zonemaps: po.zonemaps,
 		stats:    stats,
@@ -186,7 +215,7 @@ func (e *Engine) run(ctx context.Context, r *resolvedQuery, po planOpts, useCach
 		locks.unlock()
 	}
 	sp = tr.Phase("execute")
-	cols, execErr := exec.CollectCtx(ctx, op)
+	cols, execErr := collectSerial(ctx, op)
 	sp.End()
 	if !exclusive {
 		locks.lock()
@@ -212,6 +241,10 @@ func (e *Engine) run(ctx context.Context, r *resolvedQuery, po planOpts, useCach
 		for _, f := range pc.onFinish {
 			f()
 		}
+		var pe *exec.PanicError
+		if errors.As(execErr, &pe) {
+			e.metrics.Counter("query.panics").Inc()
+		}
 		if !errors.Is(execErr, shred.ErrNotCached) {
 			e.foldErrStats(stats)
 		}
@@ -230,7 +263,7 @@ func (e *Engine) run(ctx context.Context, r *resolvedQuery, po planOpts, useCach
 	e.vaultUpdate(r)
 	sp.End()
 	schema := op.Schema()
-	res := &Result{Stats: *stats, cols: cols}
+	res = &Result{Stats: *stats, cols: cols}
 	for _, c := range schema {
 		res.Columns = append(res.Columns, c.Name)
 		res.Types = append(res.Types, c.Type)
@@ -318,7 +351,7 @@ func (e *Engine) Explain(src string, opts Options) (string, error) {
 	defer locks.unlock()
 	stats := &Stats{Strategy: po.strategy}
 	pc := &planCtx{e: e, strategy: po.strategy, place: po.place, multi: po.multi,
-		workers: po.workers, useCache: !e.cfg.DisableShredCache,
+		workers: po.workers, useCache: !e.cfg.DisableShredCache, capture: po.capture,
 		pushdown: po.pushdown, zonemaps: po.zonemaps, stats: stats, trace: po.trace}
 	sp := po.trace.Phase("plan")
 	op, err := pc.plan(r)

@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"time"
+
+	"rawdb/internal/catalog"
+	"rawdb/internal/exec"
+	"rawdb/internal/faults"
+	"rawdb/internal/sql"
+	"rawdb/internal/vector"
+)
+
+// This file is the engine's degradation ladder: every failure mode of the
+// raw files and caches underneath a query maps to the cheapest recovery that
+// preserves correctness — retry a transient read, refresh a manifest, rerun
+// cold — before the query is allowed to fail, and a failure never leaves
+// partial adaptive state behind (the publication hooks only run on success).
+
+// loadRetries and loadBackoff bound the transient-read retry loop: three
+// attempts with 2ms, 8ms between them. Raw-file reads fail transiently on
+// networked filesystems (and under fault injection); anything still failing
+// after two backoffs is treated as real.
+const loadRetries = 3
+
+const loadBackoff = 2 * time.Millisecond
+
+// loadWithRetry is loadTableData plus bounded backoff for transient errors.
+// A missing file fails fast: retrying ENOENT only delays the manifest
+// refresh that actually fixes it.
+func (e *Engine) loadWithRetry(st *tableState) error {
+	backoff := loadBackoff
+	var err error
+	for attempt := 0; attempt < loadRetries; attempt++ {
+		if attempt > 0 {
+			e.metrics.Counter("load.retries").Inc()
+			time.Sleep(backoff)
+			backoff *= 4
+		}
+		err = loadTableData(st)
+		if err == nil || errors.Is(err, fs.ErrNotExist) {
+			return err
+		}
+	}
+	return err
+}
+
+// partLostError marks a dataset partition that disappeared or changed
+// between manifest refresh and load (deleted, truncated, rewritten). It is
+// retryable at query granularity: QueryOptCtx reruns the query once, and the
+// rerun's manifest refresh reconciles the partition set first.
+type partLostError struct {
+	part string
+	err  error
+}
+
+func (p *partLostError) Error() string {
+	return fmt.Sprintf("engine: partition %s lost mid-query: %v", p.part, p.err)
+}
+
+func (p *partLostError) Unwrap() error { return p.err }
+
+// rawSize returns the loaded raw byte size of a CSV/JSON table state, or -1
+// when the format keeps no in-memory image to compare (binary readers page).
+func rawSize(st *tableState) int64 {
+	switch st.tab.Format {
+	case catalog.CSV:
+		if st.csvData != nil {
+			return int64(len(st.csvData))
+		}
+	case catalog.JSON:
+		if st.jsonData != nil {
+			return int64(len(st.jsonData))
+		}
+	}
+	return -1
+}
+
+// loadPartChecked loads one partition's raw bytes and verifies them against
+// the manifest snapshot the query planned with: a load error or a size that
+// no longer matches the stat identity means the file was deleted, truncated
+// or rewritten after refresh — the partition is lost for this query's
+// snapshot, and the caller surfaces a retryable partLostError. Sheared bytes
+// are dropped so the retry reloads from the (new) file.
+func (e *Engine) loadPartChecked(ps *tableState) error {
+	if err := e.loadWithRetry(ps); err != nil {
+		return &partLostError{part: ps.tab.Name, err: err}
+	}
+	if ps.expectSize > 0 {
+		if got := rawSize(ps); got >= 0 && got != ps.expectSize {
+			ps.csvData = nil
+			ps.jsonData = nil
+			return &partLostError{
+				part: ps.tab.Name,
+				err:  fmt.Errorf("size %d differs from manifest snapshot %d", got, ps.expectSize),
+			}
+		}
+	}
+	return nil
+}
+
+// collectSerial drains a serial plan to completion. The fault site makes the
+// serial execution phase injectable like the morsel workers are.
+func collectSerial(ctx context.Context, op exec.Operator) ([]*vector.Vector, error) {
+	if err := faults.Hit(faults.SiteExecSerial); err != nil {
+		return nil, err
+	}
+	return exec.CollectCtx(ctx, op)
+}
+
+// --- memory governor (engine side) ---
+
+// CacheBudgetUsage reports the unified cache budget's current size and
+// capacity in bytes. Both are 0 when the engine runs without a budget
+// (Config.CacheBudget unset), which callers must treat as "no pressure".
+func (e *Engine) CacheBudgetUsage() (used, capacity int64) {
+	if e.budget == nil {
+		return 0, 0
+	}
+	return e.budget.SizeBytes(), e.budget.CapacityBytes()
+}
+
+// EstimateQueryBytes estimates the adaptive-structure bytes a query could
+// add to the cache budget: the summed raw size of every touched table (and
+// dataset partition) whose bytes are not yet resident. Raw size upper-bounds
+// what one scan can capture (positional maps, indexes and shreds are all
+// sub-linear in the file), and tables already loaded have already built or
+// charged their structures. Unknown SQL or unknown tables estimate 0 — the
+// admission path must not reject a query the engine itself would answer with
+// a proper error.
+func (e *Engine) EstimateQueryBytes(src string) int64 {
+	q, err := sql.Parse(src)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, tr := range q.Tables {
+		st, ok := e.tables[tr.Name]
+		if !ok {
+			continue
+		}
+		if st.tab.Format == catalog.Dataset {
+			if st.ds == nil || st.ds.manifest == nil {
+				continue
+			}
+			for i := range st.ds.manifest.Parts {
+				if i < len(st.ds.parts) {
+					if ps := st.ds.parts[i]; ps != nil && (rawSize(ps) >= 0 || ps.bin != nil) {
+						continue // already resident
+					}
+				}
+				total += st.ds.manifest.Parts[i].Size
+			}
+			continue
+		}
+		if rawSize(st) >= 0 || st.bin != nil || st.rootTree != nil || st.loaded != nil {
+			continue
+		}
+		if st.tab.Path != "" {
+			if fi, err := os.Stat(st.tab.Path); err == nil {
+				total += fi.Size()
+			}
+		}
+	}
+	return total
+}

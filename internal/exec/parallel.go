@@ -3,10 +3,43 @@ package exec
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sync"
 
+	"rawdb/internal/faults"
 	"rawdb/internal/vector"
 )
+
+// PanicError is a panic recovered inside an execution pipeline, converted to
+// an ordinary query error so one poisoned morsel (a bug in a generated access
+// path, corrupt in-memory state) fails its query cleanly instead of killing
+// the process. The engine counts these separately from plain query errors.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements error. The stack is kept out of the message (it is for
+// logs, not clients); callers reach it via errors.As.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("exec: recovered panic: %v", p.Value)
+}
+
+// runPart drains one morsel pipeline with panic containment: a panicking
+// operator poisons only its own morsel, surfacing as a PanicError the
+// exchange propagates like any worker error (no partial structure is
+// published — the merge hooks never run on a failed query).
+func runPart(ctx context.Context, op Operator) (cols []*vector.Vector, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if err := faults.Hit(faults.SiteExecMorsel); err != nil {
+		return nil, err
+	}
+	return CollectCtx(ctx, op)
+}
 
 // Parallel is the morsel-driven exchange operator: it executes a set of
 // cloned pipelines — one per morsel of a raw file, typically scan → filter
@@ -109,7 +142,7 @@ func (p *Parallel) Open() error {
 				if failed {
 					continue // drain remaining indexes without running them
 				}
-				cols, err := CollectCtx(p.ctx, p.parts[i])
+				cols, err := runPart(p.ctx, p.parts[i])
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {

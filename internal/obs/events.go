@@ -21,6 +21,11 @@ const (
 	EventEvicted
 	EventInvalidated
 	EventFallback
+	// EventQuarantined marks a persistent vault entry deleted because its
+	// bytes would not decode (disk corruption, torn write): the structure is
+	// rebuilt cold from the raw file — the degradation is transparent, but
+	// the corruption itself deserves an operator-visible trace.
+	EventQuarantined
 )
 
 // String returns the lifecycle label.
@@ -36,6 +41,8 @@ func (k EventKind) String() string {
 		return "invalidated"
 	case EventFallback:
 		return "fallback"
+	case EventQuarantined:
+		return "quarantined"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}

@@ -39,6 +39,16 @@ type Options struct {
 	// QueryTimeout, when positive, is a per-query deadline applied on top of
 	// whatever deadline the client requested (0 means no server-side limit).
 	QueryTimeout time.Duration
+	// MemoryDegrade and MemoryReject are the memory governor's pressure
+	// thresholds, as fractions of the engine's unified cache budget
+	// (Config.CacheBudget). When the budget's projected occupancy — current
+	// bytes plus an estimate of what the query could capture — crosses
+	// MemoryDegrade, the query is admitted in no-capture mode: it reuses
+	// every cached structure but builds nothing new. Past MemoryReject, it
+	// is refused with ErrOverloaded (HTTP 429). Zero values select 0.75 and
+	// 1.5; the governor is inert when the engine runs without a budget.
+	MemoryDegrade float64
+	MemoryReject  float64
 }
 
 func (o Options) withDefaults() Options {
@@ -50,6 +60,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueueTimeout <= 0 {
 		o.QueueTimeout = 5 * time.Second
+	}
+	if o.MemoryDegrade <= 0 {
+		o.MemoryDegrade = 0.75
+	}
+	if o.MemoryReject <= 0 {
+		o.MemoryReject = 1.5
 	}
 	return o
 }
@@ -65,6 +81,8 @@ type Server struct {
 	queued     atomic.Int64 // queries waiting for a slot
 	active     atomic.Int64 // queries holding a slot
 	rejections atomic.Int64 // admissions refused (queue full or wait timeout)
+	degraded   atomic.Int64 // queries admitted in no-capture mode
+	memReject  atomic.Int64 // admissions refused by the memory governor
 }
 
 // New builds a Server over an already-populated engine. The engine stays
@@ -80,6 +98,8 @@ func New(eng *raw.Engine, opts Options) *Server {
 	m.Gauge("server.active", s.active.Load)
 	m.Gauge("server.queue", s.queued.Load)
 	m.Gauge("server.rejections", s.rejections.Load)
+	m.Gauge("server.degraded", s.degraded.Load)
+	m.Gauge("server.mem_rejections", s.memReject.Load)
 	return s
 }
 
@@ -111,10 +131,43 @@ func (s *Server) ExecuteOpt(ctx context.Context, query string, opts raw.Options)
 		ctx, cancel = context.WithTimeout(ctx, s.opts.QueryTimeout)
 		defer cancel()
 	}
+	if err := s.govern(query, &opts); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	res, err := s.eng.QueryOptCtx(ctx, query, opts)
 	s.eng.Metrics().ObserveSince("server.query.ns", start)
 	return res, err
+}
+
+// govern is the memory governor's admission check, running after a slot is
+// held (so the estimate sees the freshest budget state). With no budget the
+// engine cannot run out of structure memory — everything is uncapped by
+// operator choice — and the governor stays out of the way. Under a budget,
+// projected occupancy (live bytes + the query's estimated capture, as a
+// fraction of capacity) picks one of three rungs: admit normally, admit in
+// no-capture mode, or reject. Degraded queries still answer correctly and
+// still reuse every cached structure; they just leave nothing new behind —
+// load shedding that costs future latency, never availability.
+func (s *Server) govern(query string, opts *raw.Options) error {
+	used, capacity := s.eng.CacheBudgetUsage()
+	if capacity <= 0 {
+		return nil
+	}
+	projected := float64(used+s.eng.EstimateQueryBytes(query)) / float64(capacity)
+	if projected >= s.opts.MemoryReject {
+		s.memReject.Add(1)
+		s.rejections.Add(1)
+		return fmt.Errorf("%w (projected cache occupancy %.0f%% over budget)",
+			ErrOverloaded, projected*100)
+	}
+	if projected >= s.opts.MemoryDegrade && (opts.NoCapture == nil || !*opts.NoCapture) {
+		nc := true
+		opts.NoCapture = &nc
+		s.degraded.Add(1)
+		s.eng.Metrics().Counter("server.degraded.count").Inc()
+	}
+	return nil
 }
 
 // acquire takes an execution slot: immediately if one is free, else by

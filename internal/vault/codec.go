@@ -62,6 +62,24 @@ const (
 	KindManifest Kind = 5
 )
 
+// String returns the structure label used across metrics and events.
+func (k Kind) String() string {
+	switch k {
+	case KindPosMap:
+		return "posmap"
+	case KindJSONIdx:
+		return "jsonidx"
+	case KindShreds:
+		return "shred"
+	case KindSynopsis:
+		return "synopsis"
+	case KindManifest:
+		return "manifest"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
 // ErrCodec reports an undecodable (truncated, corrupted, or
 // version-mismatched) vault entry. Callers treat it as "entry absent".
 var ErrCodec = errors.New("vault: bad entry")

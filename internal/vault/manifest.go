@@ -124,7 +124,11 @@ func (s *Store) LoadManifest(table string, fp Fingerprint) *dataset.Manifest {
 		return nil
 	}
 	got, m, err := DecodeManifest(b)
-	if err != nil || got != fp {
+	if err != nil {
+		s.quarantine(table, KindManifest, err)
+		return nil
+	}
+	if got != fp {
 		s.Invalidate(table, KindManifest)
 		return nil
 	}

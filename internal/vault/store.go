@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
+	"rawdb/internal/faults"
 	"rawdb/internal/jsonidx"
 	"rawdb/internal/posmap"
 	"rawdb/internal/synopsis"
@@ -17,9 +19,14 @@ import (
 // or the new complete entry, never a torn mix).
 type Store struct {
 	dir string
+	// onQuarantine, when set, observes every entry deleted because its bytes
+	// would not decode (disk corruption, torn write); stale-but-well-formed
+	// entries invalidated by a fingerprint mismatch do not report here.
+	onQuarantine func(table string, kind Kind, reason string)
 }
 
-// Open creates (if needed) and opens a vault directory.
+// Open creates (if needed) and opens a vault directory, sweeping any
+// orphaned temporary files a crashed writer left behind.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("vault: empty cache directory")
@@ -27,7 +34,38 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	sweepOrphans(dir)
 	return &Store{dir: dir}, nil
+}
+
+// OnQuarantine registers the corruption observer. Call before the store is
+// shared; the engine wires it to its metrics and event log.
+func (s *Store) OnQuarantine(fn func(table string, kind Kind, reason string)) {
+	s.onQuarantine = fn
+}
+
+// sweepOrphans removes ".tmp-*" files from every table directory: a crash
+// between CreateTemp and Rename strands them, and nothing else ever reclaims
+// the space (published entries are renamed away from their temp name).
+func sweepOrphans(dir string) {
+	tables, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, td := range tables {
+		if !td.IsDir() {
+			continue
+		}
+		entries, err := os.ReadDir(filepath.Join(dir, td.Name()))
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), ".tmp-") {
+				os.Remove(filepath.Join(dir, td.Name(), e.Name()))
+			}
+		}
+	}
 }
 
 // Dir returns the vault's root directory.
@@ -74,9 +112,16 @@ func (s *Store) EntryPath(table string, kind Kind) string {
 }
 
 // WriteEntry atomically publishes one encoded entry: the bytes are written to
-// a temporary file in the table directory and renamed over the final name, so
-// a concurrent reader (or a crash mid-write) never observes partial content.
+// a temporary file in the table directory, synced, and renamed over the final
+// name, so a concurrent reader (or a crash mid-write) never observes partial
+// content. The fsync before the rename matters on journalled filesystems: a
+// rename can be durable before the data it points at, and a crash in that
+// window would publish a torn entry under the final name.
 func (s *Store) WriteEntry(table string, kind Kind, data []byte) error {
+	if err := faults.Hit(faults.SiteVaultWrite); err != nil {
+		return fmt.Errorf("vault: write %s/%s: %w", table, kindFile(kind), err)
+	}
+	data = faults.TornWrite(faults.SiteVaultWrite, data)
 	dir := filepath.Join(s.dir, tableDirName(table))
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -87,6 +132,11 @@ func (s *Store) WriteEntry(table string, kind Kind, data []byte) error {
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
 		return err
@@ -105,11 +155,25 @@ func (s *Store) WriteEntry(table string, kind Kind, data []byte) error {
 // ReadEntry returns the raw bytes of an entry, or nil when absent or
 // unreadable (the vault is a cache: every read failure means "cold").
 func (s *Store) ReadEntry(table string, kind Kind) []byte {
+	if faults.Hit(faults.SiteVaultRead) != nil {
+		return nil
+	}
 	b, err := os.ReadFile(s.EntryPath(table, kind))
 	if err != nil {
 		return nil
 	}
-	return b
+	return faults.ReadData(faults.SiteVaultRead, b)
+}
+
+// quarantine deletes an entry whose bytes would not decode and reports it to
+// the observer. Unlike a stale entry (fingerprint mismatch after a legitimate
+// file change), an undecodable one means the stored bytes themselves are bad
+// — disk corruption or a torn write — which operators want to see.
+func (s *Store) quarantine(table string, kind Kind, err error) {
+	os.Remove(s.EntryPath(table, kind))
+	if s.onQuarantine != nil {
+		s.onQuarantine(table, kind, err.Error())
+	}
 }
 
 // Invalidate removes one entry (best effort); used when a load finds a stale
@@ -136,7 +200,11 @@ func (s *Store) LoadPosMap(table string, fp Fingerprint) *posmap.Map {
 		return nil
 	}
 	got, pm, err := DecodePosMap(b)
-	if err != nil || got != fp {
+	if err != nil {
+		s.quarantine(table, KindPosMap, err)
+		return nil
+	}
+	if got != fp {
 		s.Invalidate(table, KindPosMap)
 		return nil
 	}
@@ -156,7 +224,11 @@ func (s *Store) LoadJSONIdx(table string, fp Fingerprint) *jsonidx.Index {
 		return nil
 	}
 	got, x, err := DecodeJSONIdx(b)
-	if err != nil || got != fp {
+	if err != nil {
+		s.quarantine(table, KindJSONIdx, err)
+		return nil
+	}
+	if got != fp {
 		s.Invalidate(table, KindJSONIdx)
 		return nil
 	}
@@ -176,7 +248,11 @@ func (s *Store) LoadSynopsis(table string, fp Fingerprint) *synopsis.Synopsis {
 		return nil
 	}
 	got, syn, err := DecodeSynopsis(b)
-	if err != nil || got != fp {
+	if err != nil {
+		s.quarantine(table, KindSynopsis, err)
+		return nil
+	}
+	if got != fp {
 		s.Invalidate(table, KindSynopsis)
 		return nil
 	}
@@ -196,7 +272,11 @@ func (s *Store) LoadShreds(table string, fp Fingerprint) []TableShred {
 		return nil
 	}
 	got, shreds, err := DecodeShreds(b)
-	if err != nil || got != fp {
+	if err != nil {
+		s.quarantine(table, KindShreds, err)
+		return nil
+	}
+	if got != fp {
 		s.Invalidate(table, KindShreds)
 		return nil
 	}

@@ -190,6 +190,9 @@ const (
 	EventEvicted     = obs.EventEvicted
 	EventInvalidated = obs.EventInvalidated
 	EventFallback    = obs.EventFallback
+	// EventQuarantined reports a corrupt persistent-vault entry that was
+	// deleted on discovery; the structure rebuilt cold from the raw file.
+	EventQuarantined = obs.EventQuarantined
 )
 
 // FormatMetrics renders a metrics snapshot as sorted "name value" lines.
@@ -348,6 +351,14 @@ func (e *Engine) DropTable(name string) error { return e.e.DropTable(name) }
 
 // Metrics exposes the engine-wide metrics registry.
 func (e *Engine) Metrics() *Metrics { return e.e.Metrics() }
+
+// CacheBudgetUsage reports the unified cache budget's current size and
+// capacity in bytes (both 0 when the engine runs without a budget).
+func (e *Engine) CacheBudgetUsage() (used, capacity int64) { return e.e.CacheBudgetUsage() }
+
+// EstimateQueryBytes estimates the adaptive-structure bytes a query could
+// add to the cache budget (see the server's memory governor).
+func (e *Engine) EstimateQueryBytes(src string) int64 { return e.e.EstimateQueryBytes(src) }
 
 // RecentEvents returns the buffered adaptive-structure lifecycle events,
 // oldest first.
