@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"rawdb/internal/experiments"
+	"rawdb/internal/obs"
 )
 
 func main() {
@@ -98,13 +99,14 @@ func main() {
 // effective (default-resolved) parameters, the measured table verbatim, and
 // the engine metrics-registry snapshot when the experiment captured one.
 type benchJSON struct {
-	Experiment string           `json:"experiment"`
-	Title      string           `json:"title"`
-	Params     map[string]int64 `json:"params"`
-	Header     []string         `json:"header"`
-	Rows       [][]string       `json:"rows"`
-	ElapsedNS  int64            `json:"elapsed_ns"`
-	Metrics    map[string]int64 `json:"metrics,omitempty"`
+	Experiment string            `json:"experiment"`
+	Title      string            `json:"title"`
+	Params     map[string]int64  `json:"params"`
+	Header     []string          `json:"header"`
+	Rows       [][]string        `json:"rows"`
+	ElapsedNS  int64             `json:"elapsed_ns"`
+	Metrics    map[string]int64  `json:"metrics,omitempty"`
+	Heat       *obs.HeatSnapshot `json:"heat,omitempty"`
 }
 
 func writeJSON(path string, cfg experiments.Config, tbl *experiments.Table, elapsed time.Duration) error {
@@ -126,6 +128,7 @@ func writeJSON(path string, cfg experiments.Config, tbl *experiments.Table, elap
 		Rows:      tbl.Rows,
 		ElapsedNS: elapsed.Nanoseconds(),
 		Metrics:   tbl.Metrics,
+		Heat:      tbl.Heat,
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

@@ -67,6 +67,9 @@ func main() {
 	analyze := flag.Bool("analyze", false, "execute the query with tracing on and print an EXPLAIN ANALYZE-style span tree (per-operator wall/busy time, rows, prune counts) to stderr")
 	traceOut := flag.String("trace", "", "execute the query with tracing on and write a chrome://tracing JSON timeline to this file")
 	events := flag.Bool("events", false, "print adaptive-structure lifecycle events (captured/restored/evicted/invalidated) to stderr after the query")
+	heat := flag.Bool("heat", false, "print the workload-heat profile (per-table scans, bytes read/avoided, structure hits vs builds, column touch counts) to stderr after the query")
+	queryLog := flag.String("query-log", "", "append one structured JSON record per query to this file ('-' for stderr)")
+	slowMs := flag.Int("slow-query-ms", 0, "with -query-log: embed the rendered span tree in records at or over this latency")
 	faultSpec := flag.String("faults", "", "chaos testing: inject deterministic faults into file and cache access, e.g. 'vault.read:corrupt:after=1' (see rawserve -faults for sites and kinds; in-process engine only)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the -faults schedule")
 	statsMode := flag.String("stats", "text", "stats output: text (human-readable stderr lines) or json (one machine-readable line with query stats and an engine metrics snapshot)")
@@ -86,7 +89,8 @@ func main() {
 		err = runRemote(specs, *connect, *query, *timeoutMS)
 	} else {
 		err = run(specs, *query, *strategy, *workers, *cacheDir, *cacheBudget,
-			*noPushdown, *noZoneMaps, *noShredCache, *explain, *analyze, *traceOut, *events, *statsMode)
+			*noPushdown, *noZoneMaps, *noShredCache, *explain, *analyze, *traceOut, *events,
+			*heat, *queryLog, *slowMs, *statsMode)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rawql:", err)
@@ -121,7 +125,8 @@ func runRemote(specs infer.Specs, addr, query string, timeoutMS int64) error {
 
 func run(specs infer.Specs, query, strategy string, workers int,
 	cacheDir string, cacheBudget int64, noPushdown, noZoneMaps, noShredCache, explain bool,
-	analyze bool, traceOut string, events bool, statsMode string) error {
+	analyze bool, traceOut string, events, heat bool, queryLog string, slowMs int,
+	statsMode string) error {
 	if query == "" {
 		return fmt.Errorf("no query; pass -q \"SELECT ...\"")
 	}
@@ -129,10 +134,25 @@ func run(specs infer.Specs, query, strategy string, workers int,
 	if err != nil {
 		return err
 	}
+	var qlog *raw.QueryLog
+	switch queryLog {
+	case "":
+		if slowMs > 0 {
+			return fmt.Errorf("-slow-query-ms needs -query-log")
+		}
+	case "-":
+		qlog = raw.NewQueryLog(os.Stderr)
+	default:
+		if qlog, err = raw.OpenQueryLog(queryLog, 0); err != nil {
+			return err
+		}
+		defer qlog.Close()
+	}
 	eng := raw.NewEngine(raw.Config{Strategy: strat, Parallelism: workers,
 		CacheDir: cacheDir, CacheBudget: cacheBudget,
 		DisablePushdown: noPushdown, DisableZoneMaps: noZoneMaps,
-		DisableShredCache: noShredCache})
+		DisableShredCache: noShredCache,
+		QueryLog:          qlog, SlowQueryMillis: slowMs})
 	defer eng.Close() // flush vault write-backs so the next run starts warm
 
 	if err := infer.Register(eng, specs); err != nil {
@@ -224,6 +244,9 @@ func run(specs infer.Specs, query, strategy string, workers int,
 			}
 			fmt.Fprintln(os.Stderr)
 		}
+	}
+	if heat {
+		fmt.Fprint(os.Stderr, eng.HeatSnapshot().Format())
 	}
 	return nil
 }

@@ -10,7 +10,10 @@
 //	rawserve -csv t=data.csv -http :8080 -listen :8081
 //	rawql -connect localhost:8081 -q "SELECT MAX(col11) FROM t WHERE col1 < 500000000"
 //	curl -s localhost:8080/query -d '{"query":"SELECT COUNT(*) FROM t"}'
-//	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/metrics                # text form
+//	curl -s 'localhost:8080/metrics?format=prom'  # Prometheus exposition
+//	curl -s localhost:8080/debug/queries          # in-flight queries
+//	curl -s localhost:8080/debug/heat             # workload-heat profile
 //
 // Admission control: -max-concurrent queries execute at once, -max-queue may
 // wait (at most -queue-timeout); everything beyond that is rejected with
@@ -23,6 +26,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -58,6 +62,10 @@ func main() {
 	memReject := flag.Float64("mem-reject", 1.5, "projected cache-budget occupancy fraction above which queries are rejected with 429 (needs -cachebudget)")
 	faultSpec := flag.String("faults", "", "chaos testing: inject deterministic faults, e.g. 'vault.read:corrupt:after=2;csv.load:err:times=1' (sites: csv.load json.load vault.read vault.write dataset.stat exec.morsel exec.serial; kinds: err notexist shortread corrupt torn latency panic)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the -faults schedule (determinism across runs)")
+	queryLog := flag.String("query-log", "", "structured query log: one JSON record per query, appended to this file ('-' for stderr), rotated once past -query-log-bytes")
+	queryLogBytes := flag.Int64("query-log-bytes", 0, "rotate the query log past this many bytes (default 64 MiB)")
+	slowMs := flag.Int("slow-query-ms", 0, "with -query-log: trace every query and embed the rendered span tree in records at or over this latency")
+	debugAddr := flag.String("debug", "", "debug listen address (e.g. localhost:6060) serving net/http/pprof")
 	flag.Parse()
 
 	if *faultSpec != "" {
@@ -70,13 +78,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rawserve: fault injection armed: %s (seed %d)\n", *faultSpec, *faultSeed)
 	}
 
+	obsCfg := obsOpts{queryLog: *queryLog, queryLogBytes: *queryLogBytes,
+		slowMs: *slowMs, debugAddr: *debugAddr}
 	if err := run(specs, *httpAddr, *lineAddr, *strategy, *workers, *cacheDir, *cacheBudget,
-		*noPushdown, *noZoneMaps, *noShredCache,
+		*noPushdown, *noZoneMaps, *noShredCache, obsCfg,
 		server.Options{MaxConcurrent: *maxConcurrent, MaxQueue: *maxQueue,
 			QueueTimeout: *queueTimeout, QueryTimeout: *queryTimeout,
 			MemoryDegrade: *memDegrade, MemoryReject: *memReject}); err != nil {
 		fmt.Fprintln(os.Stderr, "rawserve:", err)
 		os.Exit(1)
+	}
+}
+
+// obsOpts bundles the observability flags: query log destination, slow-query
+// threshold, and the pprof debug listener.
+type obsOpts struct {
+	queryLog      string
+	queryLogBytes int64
+	slowMs        int
+	debugAddr     string
+}
+
+// openQueryLog builds the query log the flags describe, or (nil, nil) when
+// logging is off.
+func (o obsOpts) openQueryLog() (*raw.QueryLog, error) {
+	switch o.queryLog {
+	case "":
+		if o.slowMs > 0 {
+			return nil, fmt.Errorf("-slow-query-ms needs -query-log")
+		}
+		return nil, nil
+	case "-":
+		return raw.NewQueryLog(os.Stderr), nil
+	default:
+		return raw.OpenQueryLog(o.queryLog, o.queryLogBytes)
 	}
 }
 
@@ -87,7 +122,7 @@ func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func run(specs infer.Specs, httpAddr, lineAddr, strategy string, workers int,
 	cacheDir string, cacheBudget int64, noPushdown, noZoneMaps, noShredCache bool,
-	sopts server.Options) error {
+	obsCfg obsOpts, sopts server.Options) error {
 	if httpAddr == "" && lineAddr == "" {
 		return fmt.Errorf("no listener; pass -http and/or -listen")
 	}
@@ -95,18 +130,38 @@ func run(specs infer.Specs, httpAddr, lineAddr, strategy string, workers int,
 	if err != nil {
 		return err
 	}
+	qlog, err := obsCfg.openQueryLog()
+	if err != nil {
+		return err
+	}
+	if qlog != nil {
+		defer qlog.Close()
+	}
 	eng := raw.NewEngine(raw.Config{Strategy: strat, Parallelism: workers,
 		CacheDir: cacheDir, CacheBudget: cacheBudget,
 		DisablePushdown: noPushdown, DisableZoneMaps: noZoneMaps,
-		DisableShredCache: noShredCache})
+		DisableShredCache: noShredCache,
+		QueryLog:          qlog, SlowQueryMillis: obsCfg.slowMs})
 	defer eng.Close()
 	if err := infer.Register(eng, specs); err != nil {
 		return err
 	}
 
 	srv := server.New(eng, sopts)
-	errc := make(chan error, 2)
+	errc := make(chan error, 3)
 	var closers []func()
+	if obsCfg.debugAddr != "" {
+		// net/http/pprof registers its handlers on DefaultServeMux; the debug
+		// listener serves that mux, kept off the query listener on purpose.
+		l, err := net.Listen("tcp", obsCfg.debugAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "rawserve: pprof on %s\n", l.Addr())
+		ds := &http.Server{Handler: http.DefaultServeMux}
+		closers = append(closers, func() { ds.Close() })
+		go func() { errc <- ds.Serve(l) }()
+	}
 	if lineAddr != "" {
 		l, err := net.Listen("tcp", lineAddr)
 		if err != nil {

@@ -225,7 +225,7 @@ func (e *Engine) refreshDataset(st *tableState) error {
 		// query running against the manifest it last saw (files that truly
 		// vanished will surface as retryable partition losses at load time).
 		e.metrics.Counter("manifest.refresh.errors").Inc()
-		e.emitEvent(obs.EventFallback, "manifest", st.tab.Name, 0,
+		e.emitEvent(obs.EventStaleManifest, "manifest", st.tab.Name, 0,
 			"refresh failed: "+err.Error())
 		return nil
 	}
@@ -342,9 +342,10 @@ func (pc *planCtx) datasetPipe(r *resolvedQuery, t int) (*pipe, error) {
 
 	var parts []exec.Operator
 	var pspans []*obs.Span
-	for _, ps := range st.ds.parts {
+	for i, ps := range st.ds.parts {
 		if pc.prunePartition(ps, preds) {
 			pc.stats.PartitionsSkipped++
+			pc.noteAvoidedHeat(st.tab.Name, st.ds.manifest.Parts[i].Size)
 			continue
 		}
 		if err := pc.e.loadPartData(ps); err != nil {
@@ -451,6 +452,7 @@ func (pc *planCtx) datasetMorsels(r *resolvedQuery, cols []int, needSlot map[int
 	for i, ps := range st.ds.parts {
 		if pc.prunePartition(ps, preds) {
 			pc.stats.PartitionsSkipped++
+			pc.noteAvoidedHeat(st.tab.Name, st.ds.manifest.Parts[i].Size)
 			continue
 		}
 		w := st.ds.manifest.Parts[i].Size

@@ -13,6 +13,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rawdb/internal/catalog"
@@ -160,6 +161,15 @@ type Config struct {
 	// EventLogSize bounds the in-memory lifecycle event ring (<= 0 selects
 	// 512, the obs package default).
 	EventLogSize int
+	// QueryLog, when non-nil, receives one structured JSON record per query
+	// at completion (obs.NewQueryLog / obs.OpenQueryLog). A nil log costs one
+	// pointer compare per query.
+	QueryLog *obs.QueryLog
+	// SlowQueryMillis, when > 0, arms the slow-query path: every query gets
+	// a trace attached (unless the caller supplied one), and queries slower
+	// than the threshold carry their full rendered span tree in the query-log
+	// record. Requires QueryLog.
+	SlowQueryMillis int
 }
 
 // Options overrides Config for a single query. Nil pointers inherit.
@@ -198,6 +208,12 @@ type Engine struct {
 	budget    *vault.Budget // nil unless Config.CacheBudget > 0
 	metrics   *obs.Registry
 	events    *obs.EventLog
+	heat      *obs.Heat
+	// queryID hands out the monotonic per-engine query IDs stamped on
+	// traces, events and query-log records; inflight tracks the queries
+	// currently between admission and completion (see inflight.go).
+	queryID  atomic.Int64
+	inflight inflightSet
 	// vaultIO tracks in-flight asynchronous vault writer goroutines. It is a
 	// counter + condvar rather than a sync.WaitGroup because queries add
 	// writers concurrently with FlushVault/Close waiting (WaitGroup forbids
@@ -669,6 +685,12 @@ func resetStateCaches(st *tableState) {
 type Stats struct {
 	Strategy Strategy
 	Elapsed  time.Duration
+	// QueryID is the engine-assigned monotonic query ID, matching the IDs on
+	// traces, lifecycle events and query-log records.
+	QueryID int64
+	// Phase durations: the engine breaks Elapsed (plus the parse/analyze
+	// work that precedes it) into parse, analyze, plan, execute and publish.
+	PhaseParse, PhaseAnalyze, PhasePlan, PhaseExec, PhasePublish time.Duration
 	// ManifestRefresh is the time spent re-discovering dataset directories
 	// before planning (zero for queries touching no path-backed dataset).
 	// It is reported separately from Elapsed, which covers planning and

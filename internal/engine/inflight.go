@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Live query inspection: every query registers itself between admission and
+// completion, so a running server can answer "what is executing right now"
+// (GET /debug/queries) and cancel a runaway statement by ID without owning
+// its context. Registration is two small mutexed map operations per query;
+// the per-batch cost during execution is one atomic add for the row counter
+// and one atomic store per phase change — far below the per-batch work of
+// any scan.
+
+// queryPhase is the coarse lifecycle position of an in-flight query.
+type queryPhase int32
+
+const (
+	phaseAdmitted queryPhase = iota
+	phaseParse
+	phaseAnalyze
+	phasePlan
+	phaseExec
+	phasePublish
+)
+
+func (p queryPhase) String() string {
+	switch p {
+	case phaseAdmitted:
+		return "admitted"
+	case phaseParse:
+		return "parse"
+	case phaseAnalyze:
+		return "analyze"
+	case phasePlan:
+		return "plan"
+	case phaseExec:
+		return "execute"
+	case phasePublish:
+		return "publish"
+	default:
+		return "unknown"
+	}
+}
+
+// inflightQuery is the live record of one executing query. The driving
+// goroutine owns the writes; Inflight snapshots read the atomics from any
+// goroutine.
+type inflightQuery struct {
+	id      int64
+	sql     string
+	start   time.Time
+	workers int
+	phase   atomic.Int32
+	rows    atomic.Int64 // result rows drained so far
+	cancel  context.CancelFunc
+}
+
+func (q *inflightQuery) setPhase(p queryPhase) {
+	if q == nil {
+		return
+	}
+	q.phase.Store(int32(p))
+}
+
+// inflightSet is the engine's registry of running queries.
+type inflightSet struct {
+	mu sync.Mutex
+	m  map[int64]*inflightQuery
+}
+
+func (s *inflightSet) add(q *inflightQuery) {
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[int64]*inflightQuery)
+	}
+	s.m[q.id] = q
+	s.mu.Unlock()
+}
+
+func (s *inflightSet) remove(id int64) {
+	s.mu.Lock()
+	delete(s.m, id)
+	s.mu.Unlock()
+}
+
+func (s *inflightSet) get(id int64) *inflightQuery {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[id]
+}
+
+// InflightQuery describes one currently executing query.
+type InflightQuery struct {
+	ID      int64     `json:"id"`
+	SQL     string    `json:"sql"`
+	Phase   string    `json:"phase"`
+	Start   time.Time `json:"start"`
+	Rows    int64     `json:"rows"`
+	Workers int       `json:"workers"`
+}
+
+// Inflight returns a snapshot of the queries currently executing, ordered
+// by query ID.
+func (e *Engine) Inflight() []InflightQuery {
+	e.inflight.mu.Lock()
+	out := make([]InflightQuery, 0, len(e.inflight.m))
+	for _, q := range e.inflight.m {
+		out = append(out, InflightQuery{
+			ID:      q.id,
+			SQL:     q.sql,
+			Phase:   queryPhase(q.phase.Load()).String(),
+			Start:   q.start,
+			Rows:    q.rows.Load(),
+			Workers: q.workers,
+		})
+	}
+	e.inflight.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CancelQuery cancels the in-flight query with the given ID through the
+// same context path QueryCtx cancellation uses (the drain stops within one
+// batch). It reports whether a query with that ID was running.
+func (e *Engine) CancelQuery(id int64) bool {
+	q := e.inflight.get(id)
+	if q == nil {
+		return false
+	}
+	q.cancel()
+	return true
+}

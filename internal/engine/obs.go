@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"rawdb/internal/catalog"
+	"rawdb/internal/faults"
 	"rawdb/internal/obs"
 	"rawdb/internal/shred"
 )
@@ -24,13 +25,30 @@ func (e *Engine) EventLog() *obs.EventLog { return e.events }
 // RecentEvents returns the buffered lifecycle events, oldest first.
 func (e *Engine) RecentEvents() []obs.Event { return e.events.Recent() }
 
+// Heat exposes the engine's workload-heat profiler (per-table scan, byte
+// and structure-effectiveness counters, folded once per query).
+func (e *Engine) Heat() *obs.Heat { return e.heat }
+
 // initObs builds the registry and event log and registers the engine-level
 // gauges. Called once from New, before the engine is shared.
 func (e *Engine) initObs() {
 	e.metrics = obs.NewRegistry()
 	e.events = obs.NewEventLog(e.cfg.EventLogSize, e.cfg.OnEvent)
+	e.heat = obs.NewHeat()
+
+	// Relay fault-injection firings into the event log, so a chaos run's
+	// -events output shows each injected failure next to the degradation it
+	// triggered. The observer is process-global (the fault schedule is too);
+	// the engine created last wins, which is fine — schedules are installed
+	// by one test or one rawql invocation at a time.
+	faults.SetObserver(func(site string, kind string) {
+		e.metrics.Counter("faults.fired").Inc()
+		e.events.Emit(obs.Event{Kind: obs.EventFault, Structure: kind, Table: site,
+			Reason: "injected"})
+	})
 
 	m := e.metrics
+	obs.RegisterRuntimeGauges(m)
 	m.Gauge("jit.cache.entries", func() int64 { return int64(e.templates.Len()) })
 	m.Gauge("jit.cache.bytes", func() int64 { return e.templates.SizeBytes() })
 	m.Gauge("shred.pool.count", func() int64 { return int64(e.shreds.Len()) })
@@ -128,6 +146,13 @@ func (e *Engine) sumStates(f func(*tableState) int64) int64 {
 // table name ("parent#partID") into its parent and partition, and bumps the
 // per-kind counter.
 func (e *Engine) emitEvent(kind obs.EventKind, structure, table string, bytes int64, reason string) {
+	e.emitQueryEvent(0, kind, structure, table, bytes, reason)
+}
+
+// emitQueryEvent is emitEvent with the originating query ID stamped on the
+// event, so query-scoped transitions (retries, panics, captures) join
+// against query-log records and rendered traces.
+func (e *Engine) emitQueryEvent(qid int64, kind obs.EventKind, structure, table string, bytes int64, reason string) {
 	parent, part := table, ""
 	if i := strings.IndexByte(table, '#'); i >= 0 {
 		parent, part = table[:i], table[i+1:]
@@ -136,6 +161,7 @@ func (e *Engine) emitEvent(kind obs.EventKind, structure, table string, bytes in
 		Kind: kind, Structure: structure,
 		Table: parent, Partition: part,
 		Bytes: bytes, Reason: reason,
+		Query: qid,
 	})
 	e.metrics.Counter("lifecycle." + kind.String()).Inc()
 }
@@ -215,7 +241,10 @@ func (e *Engine) foldErrStats(stats *Stats) {
 
 // emitCaptured reports a structure freshly built by a query. The engine
 // calls it from the onComplete hooks that install structures, so only
-// builds that actually published are reported.
+// builds that actually published are reported. The build is also folded
+// into the query's heat sample: captures run at publish time (after any
+// parallel-attempt rollback), so a rolled-back attempt records nothing.
 func (pc *planCtx) emitCaptured(structure string, tab *catalog.Table, bytes int64) {
-	pc.e.emitEvent(obs.EventCaptured, structure, tab.Name, bytes, "scan")
+	pc.e.emitQueryEvent(pc.qid, obs.EventCaptured, structure, tab.Name, bytes, "scan")
+	pc.heatDelta(tab.Name).Build(structure, 1)
 }

@@ -1,0 +1,376 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rawdb/internal/catalog"
+	"rawdb/internal/faults"
+	"rawdb/internal/obs"
+	"rawdb/internal/vector"
+)
+
+// Tests for the production observability plane: the structured query log,
+// query-ID threading, the in-flight registry with cancellation, fault and
+// retry lifecycle events, and the workload-heat profiler.
+
+func TestQueryLogRecords(t *testing.T) {
+	csvData, _, schema, _ := testData(t, 500, 3, 7)
+	var buf bytes.Buffer
+	e := newTestEngine(t, Config{QueryLog: obs.NewQueryLog(&buf)})
+	if err := e.RegisterCSVData("t", csvData, schema); err != nil {
+		t.Fatal(err)
+	}
+	q := "SELECT MAX(col2) FROM t WHERE col1 < 500000000"
+	res, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query("SELECT FROM nonsense ("); err == nil {
+		t.Fatal("bad SQL succeeded")
+	}
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("query log lines = %d, want 3:\n%s", len(lines), buf.String())
+	}
+	var recs []obs.QueryRecord
+	for i, line := range lines {
+		var rec obs.QueryRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d not valid JSON: %v\n%s", i, err, line)
+		}
+		recs = append(recs, rec)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].ID <= recs[i-1].ID {
+			t.Fatalf("query IDs not increasing: %d then %d", recs[i-1].ID, recs[i].ID)
+		}
+	}
+	first := recs[0]
+	if first.ID != res.Stats.QueryID {
+		t.Fatalf("log ID %d != Stats.QueryID %d", first.ID, res.Stats.QueryID)
+	}
+	if first.SQLHash != obs.HashSQL(q) || first.SQL != q {
+		t.Fatalf("sql identity wrong: %+v", first)
+	}
+	if len(first.Tables) != 1 || first.Tables[0] != "t" {
+		t.Fatalf("tables = %v", first.Tables)
+	}
+	if first.Rows != 1 { // single-row aggregate
+		t.Fatalf("rows = %d, want 1", first.Rows)
+	}
+	if first.ElapsedNS <= 0 {
+		t.Fatal("elapsed missing")
+	}
+	for _, phase := range []string{"parse", "analyze", "plan", "exec", "publish"} {
+		if _, ok := first.PhaseNS[phase]; !ok {
+			t.Fatalf("phase %q missing from %v", phase, first.PhaseNS)
+		}
+	}
+	if len(first.AccessPaths) == 0 {
+		t.Fatalf("access paths missing: %+v", first)
+	}
+	if first.Error != "" {
+		t.Fatalf("unexpected error on success record: %q", first.Error)
+	}
+	bad := recs[2]
+	if bad.Error == "" {
+		t.Fatal("parse-error record carries no error")
+	}
+	if len(bad.Tables) != 0 || bad.Rows != 0 {
+		t.Fatalf("parse-error record = %+v", bad)
+	}
+	if ts, err := time.Parse(time.RFC3339Nano, first.Time); err != nil || ts.IsZero() {
+		t.Fatalf("record time %q: %v", first.Time, err)
+	}
+}
+
+func TestQueryIDInTraceAndEvents(t *testing.T) {
+	csvData, _, schema, _ := testData(t, 500, 3, 8)
+	e := newTestEngine(t, Config{})
+	if err := e.RegisterCSVData("t", csvData, schema); err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace()
+	res, err := e.QueryOpt("SELECT MAX(col2) FROM t WHERE col1 < 500000000", Options{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.QueryID <= 0 {
+		t.Fatalf("QueryID = %d", res.Stats.QueryID)
+	}
+	if want := fmt.Sprintf("query=%d", res.Stats.QueryID); !strings.Contains(tr.Render(), want) {
+		t.Fatalf("trace render missing %q:\n%s", want, tr.Render())
+	}
+	var captured bool
+	for _, ev := range e.RecentEvents() {
+		if ev.Kind == obs.EventCaptured {
+			captured = true
+			if ev.Query != res.Stats.QueryID {
+				t.Fatalf("captured event query=%d, want %d", ev.Query, res.Stats.QueryID)
+			}
+			if !strings.Contains(ev.String(), "query=") {
+				t.Fatalf("event string lacks query id: %s", ev.String())
+			}
+		}
+	}
+	if !captured {
+		t.Fatal("no captured event to check")
+	}
+}
+
+func TestSlowQueryEmbedsTrace(t *testing.T) {
+	csvData, _, schema, _ := testData(t, 200, 3, 9)
+	var buf bytes.Buffer
+	e := newTestEngine(t, Config{QueryLog: obs.NewQueryLog(&buf), SlowQueryMillis: 1})
+	if err := e.RegisterCSVData("t", csvData, schema); err != nil {
+		t.Fatal(err)
+	}
+	faults.Install(faults.NewSchedule(1, faults.Rule{
+		Site: faults.SiteExecSerial, Kind: faults.Latency, Latency: 20 * time.Millisecond}))
+	defer faults.Disable()
+	if _, err := e.Query("SELECT MAX(col2) FROM t"); err != nil {
+		t.Fatal(err)
+	}
+	var rec obs.QueryRecord
+	if err := json.Unmarshal(bytes.TrimRight(buf.Bytes(), "\n"), &rec); err != nil {
+		t.Fatalf("bad record: %v\n%s", err, buf.String())
+	}
+	if rec.SlowTrace == "" {
+		t.Fatalf("slow query carries no trace: %+v", rec)
+	}
+	if !strings.Contains(rec.SlowTrace, "query=") || !strings.Contains(rec.SlowTrace, "execute") {
+		t.Fatalf("slow trace incomplete:\n%s", rec.SlowTrace)
+	}
+}
+
+func TestFaultAndRetryEventSequence(t *testing.T) {
+	csvData, _, schema, _ := testData(t, 300, 3, 10)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	if err := os.WriteFile(path, csvData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e := newTestEngine(t, Config{})
+	if err := e.RegisterCSV("t", path, schema); err != nil {
+		t.Fatal(err)
+	}
+	// The first two load attempts fail with an injected error; the retry
+	// ladder absorbs both and the third succeeds.
+	sched := faults.NewSchedule(1, faults.Rule{
+		Site: faults.SiteCSVLoad, Kind: faults.Err, Times: 2})
+	faults.Install(sched)
+	defer faults.Disable()
+	if _, err := e.Query("SELECT MAX(col2) FROM t"); err != nil {
+		t.Fatalf("query did not survive transient faults: %v", err)
+	}
+	if fires := sched.Fires(); fires[0] != 2 {
+		t.Fatalf("rule fired %d times, want 2", fires[0])
+	}
+
+	var kinds []obs.EventKind
+	for _, ev := range e.RecentEvents() {
+		switch ev.Kind {
+		case obs.EventFault:
+			if ev.Table != faults.SiteCSVLoad || ev.Structure != "err" {
+				t.Fatalf("fault event = %+v", ev)
+			}
+			kinds = append(kinds, ev.Kind)
+		case obs.EventRetry:
+			if ev.Structure != "raw" || ev.Table != "t" {
+				t.Fatalf("retry event = %+v", ev)
+			}
+			if !strings.Contains(ev.Reason, "injected fault") {
+				t.Fatalf("retry reason = %q", ev.Reason)
+			}
+			kinds = append(kinds, ev.Kind)
+		}
+	}
+	want := []obs.EventKind{obs.EventFault, obs.EventRetry, obs.EventFault, obs.EventRetry}
+	if len(kinds) != len(want) {
+		t.Fatalf("fault/retry sequence = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("fault/retry sequence = %v, want %v", kinds, want)
+		}
+	}
+	snap := e.Metrics().Snapshot()
+	if snap["faults.fired"] != 2 || snap["load.retries"] != 2 {
+		t.Fatalf("faults.fired=%d load.retries=%d, want 2/2",
+			snap["faults.fired"], snap["load.retries"])
+	}
+}
+
+func TestInflightRegistryAndCancel(t *testing.T) {
+	csvData, _, schema, _ := testData(t, 300, 3, 11)
+	e := newTestEngine(t, Config{})
+	if err := e.RegisterCSVData("t", csvData, schema); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Inflight(); len(got) != 0 {
+		t.Fatalf("idle engine reports in-flight queries: %v", got)
+	}
+	// Hold the query inside the execute phase long enough to observe and
+	// cancel it.
+	faults.Install(faults.NewSchedule(1, faults.Rule{
+		Site: faults.SiteExecSerial, Kind: faults.Latency, Latency: 2 * time.Second}))
+	defer faults.Disable()
+
+	q := "SELECT MAX(col2) FROM t"
+	errc := make(chan error, 1)
+	go func() {
+		_, err := e.Query(q)
+		errc <- err
+	}()
+
+	var inf InflightQuery
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if qs := e.Inflight(); len(qs) == 1 && qs[0].Phase == "execute" {
+			inf = qs[0]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("query never appeared in-flight: %v", e.Inflight())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if inf.SQL != q || inf.ID <= 0 {
+		t.Fatalf("inflight = %+v", inf)
+	}
+	if inf.Start.IsZero() {
+		t.Fatal("inflight start time missing")
+	}
+	if !e.CancelQuery(inf.ID) {
+		t.Fatal("CancelQuery did not find the running query")
+	}
+	select {
+	case err := <-errc:
+		if err == nil || !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled query returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled query did not return")
+	}
+	if len(e.Inflight()) != 0 {
+		t.Fatal("finished query still registered")
+	}
+	if e.CancelQuery(inf.ID) {
+		t.Fatal("CancelQuery found a finished query")
+	}
+	if e.CancelQuery(99999) {
+		t.Fatal("CancelQuery found a made-up ID")
+	}
+}
+
+func TestHeatProfiler(t *testing.T) {
+	csvData, _, schema, _ := testData(t, 1000, 3, 12)
+	e := newTestEngine(t, Config{})
+	if err := e.RegisterCSVData("t", csvData, schema); err != nil {
+		t.Fatal(err)
+	}
+	q := "SELECT MAX(col2) FROM t WHERE col1 < 500000000"
+	if _, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Heat().Snapshot()
+	if len(snap.Tables) != 1 || snap.Tables[0].Table != "t" {
+		t.Fatalf("heat tables = %+v", snap.Tables)
+	}
+	tab := snap.Tables[0]
+	if tab.Scans != 1 {
+		t.Fatalf("scans = %d, want 1", tab.Scans)
+	}
+	if tab.BytesRead <= 0 {
+		t.Fatalf("bytes read = %d", tab.BytesRead)
+	}
+	var builds int64
+	for _, st := range tab.Structures {
+		builds += st.Builds
+	}
+	if builds == 0 {
+		t.Fatalf("cold query built no structures: %+v", tab.Structures)
+	}
+	var col1, col2 bool
+	for _, c := range tab.Columns {
+		if c.Name == "col1" && c.Filters >= 1 {
+			col1 = true
+		}
+		if c.Name == "col2" && c.Reads >= 1 {
+			col2 = true
+		}
+	}
+	if !col1 || !col2 {
+		t.Fatalf("column heat incomplete: %+v", tab.Columns)
+	}
+
+	// The second identical query serves from cache: structure hits appear
+	// and the raw file is not scanned again under the shreds strategy.
+	if _, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	tab = e.Heat().Snapshot().Tables[0]
+	var hits int64
+	for _, st := range tab.Structures {
+		hits += st.Hits
+	}
+	if hits == 0 {
+		t.Fatalf("warm query hit no structures: %+v", tab.Structures)
+	}
+	if got := tab.Columns[0].Filters + tab.Columns[1].Reads; got < 2 {
+		t.Fatalf("column heat did not accumulate: %+v", tab.Columns)
+	}
+}
+
+func TestHeatProfilerDatasetPruning(t *testing.T) {
+	// Two partitions with disjoint col1 ranges; a predicate excluding one
+	// partition records its manifest size as avoided bytes once zone maps
+	// exist (second query).
+	var p1, p2 bytes.Buffer
+	for i := 0; i < 200; i++ {
+		p1.WriteString("1,10\n")
+		p2.WriteString("1000000,20\n")
+	}
+	e := newTestEngine(t, Config{})
+	err := e.RegisterDatasetParts("d", []DataPart{
+		{Format: catalog.CSV, Data: p1.Bytes()},
+		{Format: catalog.CSV, Data: p2.Bytes()},
+	}, []catalog.Column{
+		{Name: "col1", Type: vector.Int64},
+		{Name: "col2", Type: vector.Int64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := "SELECT MAX(col2) FROM d WHERE col1 < 100"
+	if _, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query(q) // zone maps from query 1 prune partition 2 now
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PartitionsSkipped == 0 {
+		t.Skip("partition pruning did not engage; heat-avoided check not applicable")
+	}
+	snap := e.Heat().Snapshot()
+	if len(snap.Tables) != 1 || snap.Tables[0].Table != "d" {
+		t.Fatalf("heat tables = %+v", snap.Tables)
+	}
+	if snap.Tables[0].BytesAvoided <= 0 {
+		t.Fatalf("partition pruning recorded no avoided bytes: %+v", snap.Tables[0])
+	}
+}

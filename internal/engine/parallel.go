@@ -634,6 +634,20 @@ func (pc *planCtx) shredPush(candidates []boundPred) (pushable, residual []bound
 // Filter. ok is false when this strategy × format × cache state has no
 // parallel form and the serial plan must run.
 func (pc *planCtx) morselScans(r *resolvedQuery, cols []int, candidates []boundPred) (parts []exec.Operator, done func() error, residual []boundPred, ok bool, err error) {
+	probeMark := len(pc.probes)
+	parts, done, residual, ok, err = pc.morselScansInner(r, cols, candidates)
+	if ok && err == nil {
+		// One heat sample per parallel table scan, mirroring baseScan on the
+		// serial side. Registered as an onFinish hook, so a later decline of
+		// the whole parallel attempt rolls it back with the hook list.
+		if st := r.tables[0].st; st.tab.Format != catalog.Memory {
+			pc.noteScanHeat(st, probeMark)
+		}
+	}
+	return parts, done, residual, ok, err
+}
+
+func (pc *planCtx) morselScansInner(r *resolvedQuery, cols []int, candidates []boundPred) (parts []exec.Operator, done func() error, residual []boundPred, ok bool, err error) {
 	st := r.tables[0].st
 	tab := st.tab
 	bs := pc.e.cfg.BatchSize
@@ -750,6 +764,7 @@ func (pc *planCtx) morselScans(r *resolvedQuery, cols []int, candidates []boundP
 					return nil, nil, nil, false, err
 				}
 				pc.stats.ShredHits += len(cols)
+				pc.noteStructHit(tab.Name, "shred", len(cols))
 				pc.pathf("par[%d]:shred:scan(%s)", len(parts), tab.Name)
 				pc.notePush(tab.Name, len(pushable), skip != nil)
 				return parts, nil, rest, true, nil

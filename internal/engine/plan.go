@@ -84,6 +84,13 @@ type planCtx struct {
 	// obs event whenever the serial plan runs instead.
 	fallbackReason string
 	fallbackDetail string
+
+	// qid is the engine-assigned query ID, stamped on query-scoped events.
+	qid int64
+	// heat accumulates this query's per-table workload-heat deltas (see
+	// heat.go); populated by onFinish hooks and emitCaptured, folded into
+	// the engine registry once by foldHeat.
+	heat map[string]*obs.HeatDelta
 }
 
 // Structured parallel-fallback reasons. With joins, HAVING, AVG, float SUM,
@@ -278,6 +285,7 @@ func (pc *planCtx) notePush(table string, npush int, zmap bool) {
 	}
 	if zmap {
 		pc.pathf("zmap(%s)", table)
+		pc.noteStructHit(table, "synopsis", 1)
 	}
 }
 
@@ -742,6 +750,9 @@ func (pc *planCtx) baseScan(r *resolvedQuery, t int, cols []int, needRID bool,
 	if err != nil {
 		return nil, nil, err
 	}
+	if st := r.tables[t].st; st.tab.Format != catalog.Memory {
+		pc.noteScanHeat(st, mark.probes)
+	}
 	if pc.ctx != nil {
 		// Cancellation check under every batch the scan emits: even plans
 		// whose upper operators drain their input inside one Next call
@@ -853,6 +864,7 @@ func (pc *planCtx) baseScanInSitu(p *pipe, r *resolvedQuery, t int, cols []int,
 			p.op = sc
 			layout(cols, -1)
 			pc.pathf("insitu:viamap(%s)", tab.Name)
+			pc.noteStructHit(tab.Name, "posmap", 1)
 			return p, nil
 		}
 		pm := posmap.New(pc.e.cfg.PosMapPolicy, len(tab.Schema))
@@ -943,6 +955,7 @@ func (pc *planCtx) baseScanJIT(p *pipe, r *resolvedQuery, t int, cols []int, nee
 		}
 	}
 	pc.stats.ShredHits += len(cached)
+	pc.noteStructHit(tab.Name, "shred", len(cached))
 
 	// Everything cached: stream from the pool, no raw access at all.
 	// Predicates on the cached columns are still absorbed — the shred scan
@@ -1026,6 +1039,7 @@ func (pc *planCtx) baseScanJIT(p *pipe, r *resolvedQuery, t int, cols []int, nee
 			absorbed, skipped = opts.Preds, opts.Skip != nil
 			pc.pushStats(sc.PushStats)
 			pc.pathf("jit:viamap(%s)", tab.Name)
+			pc.noteStructHit(tab.Name, "posmap", 1)
 		} else {
 			mode = jit.Sequential
 			pm = posmap.New(pc.e.cfg.PosMapPolicy, len(tab.Schema))
@@ -1056,6 +1070,7 @@ func (pc *planCtx) baseScanJIT(p *pipe, r *resolvedQuery, t int, cols []int, nee
 			absorbed, skipped = opts.Preds, opts.Skip != nil
 			pc.pushStats(sc.PushStats)
 			pc.pathf("jit:jsonidx(%s)", tab.Name)
+			pc.noteStructHit(tab.Name, "jsonidx", 1)
 		} else {
 			mode = jit.Sequential
 			idx = jsonidx.New(0)
@@ -1256,6 +1271,7 @@ func (pc *planCtx) lateScanInner(p *pipe, r *resolvedQuery, t int, cols []int) e
 		}
 	}
 	pc.stats.ShredHits += len(fromCache)
+	pc.noteStructHit(tab.Name, "shred", len(fromCache))
 
 	if len(fromCache) > 0 {
 		names := make([]string, len(fromCache))

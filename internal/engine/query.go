@@ -30,6 +30,11 @@ type planOpts struct {
 	// The memory governor clears it under pressure (see Options.NoCapture).
 	capture bool
 	trace   *obs.Trace
+	// qid and inf are set by QueryOptCtx once per query (not by
+	// resolveOptions): the engine-assigned query ID and the live inflight
+	// record the run phases update.
+	qid int64
+	inf *inflightQuery
 }
 
 // resolveOptions merges per-query Options over the engine Config. It is the
@@ -96,39 +101,121 @@ func (e *Engine) QueryOptCtx(ctx context.Context, src string, opts Options) (*Re
 		ctx = context.Background()
 	}
 	po := resolveOptions(e.cfg, opts)
+	if po.trace == nil && e.cfg.QueryLog != nil && e.cfg.SlowQueryMillis > 0 {
+		// The slow-query path dumps a rendered span tree into the log record,
+		// which needs a trace attached; arm one when the caller did not.
+		po.trace = obs.NewTrace()
+	}
+	po.qid = e.queryID.Add(1)
 	tr := po.trace
-	sp := tr.Phase("parse")
-	q, err := sql.Parse(src)
-	sp.End()
-	if err != nil {
-		return nil, err
-	}
-	sp = tr.Phase("analyze")
-	r, err := e.analyze(q)
-	sp.End()
-	if err != nil {
-		return nil, err
-	}
+	tr.SetQueryID(po.qid)
+	// Every query is registered in the in-flight set with its own cancel
+	// function, so CancelQuery(id) reaches it through the same context path
+	// caller cancellation uses.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	inf := &inflightQuery{id: po.qid, sql: src, start: time.Now(), workers: po.workers, cancel: cancel}
+	po.inf = inf
+	e.inflight.add(inf)
+	defer e.inflight.remove(po.qid)
 
-	res, err := e.run(ctx, r, po, true)
-	if err != nil && errors.Is(err, shred.ErrNotCached) {
-		// An optimistically chosen partial shred did not subsume this
-		// query's rows; replan without cache reuse (the raw file remains the
-		// source of truth).
-		tr.Phase("replan: shred miss").End()
-		res, err = e.run(ctx, r, po, false)
+	inf.setPhase(phaseParse)
+	sp := tr.Phase("parse")
+	t0 := time.Now()
+	q, err := sql.Parse(src)
+	parseD := time.Since(t0)
+	sp.End()
+	var r *resolvedQuery
+	var res *Result
+	if err == nil {
+		inf.setPhase(phaseAnalyze)
+		sp = tr.Phase("analyze")
+		t0 = time.Now()
+		r, err = e.analyze(q)
+		analyzeD := time.Since(t0)
+		sp.End()
+		if err == nil {
+			res, err = e.run(ctx, r, po, true)
+			if err != nil && errors.Is(err, shred.ErrNotCached) {
+				// An optimistically chosen partial shred did not subsume this
+				// query's rows; replan without cache reuse (the raw file
+				// remains the source of truth).
+				tr.Phase("replan: shred miss").End()
+				res, err = e.run(ctx, r, po, false)
+			}
+			var pl *partLostError
+			if err != nil && errors.As(err, &pl) {
+				// A dataset partition vanished or changed between manifest
+				// refresh and load. Retry exactly once: the rerun's refresh
+				// reconciles the partition set first, so the query either
+				// answers against the new state or fails with a plain error
+				// (never a torn snapshot).
+				e.metrics.Counter("query.partition_retries").Inc()
+				e.emitQueryEvent(po.qid, obs.EventRetry, "partition", pl.part, 0,
+					"replan after partition lost: "+pl.err.Error())
+				tr.Phase("replan: partition lost").End()
+				res, err = e.run(ctx, r, po, true)
+			}
+		}
+		if res != nil {
+			res.Stats.PhaseParse, res.Stats.PhaseAnalyze = parseD, analyzeD
+		}
 	}
-	var pl *partLostError
-	if err != nil && errors.As(err, &pl) {
-		// A dataset partition vanished or changed between manifest refresh
-		// and load. Retry exactly once: the rerun's refresh reconciles the
-		// partition set first, so the query either answers against the new
-		// state or fails with a plain error (never a torn snapshot).
-		e.metrics.Counter("query.partition_retries").Inc()
-		tr.Phase("replan: partition lost").End()
-		res, err = e.run(ctx, r, po, true)
-	}
+	e.logQuery(src, inf, r, res, err, po, parseD)
 	return res, err
+}
+
+// logQuery emits the structured query-log record for one completed query
+// (success or failure). A nil Config.QueryLog returns immediately.
+func (e *Engine) logQuery(src string, inf *inflightQuery, r *resolvedQuery,
+	res *Result, err error, po planOpts, parseD time.Duration) {
+	ql := e.cfg.QueryLog
+	if ql == nil {
+		return
+	}
+	elapsed := time.Since(inf.start)
+	rec := &obs.QueryRecord{
+		ID:        inf.id,
+		Time:      time.Now().UTC().Format(time.RFC3339Nano),
+		SQLHash:   obs.HashSQL(src),
+		SQL:       obs.TruncateSQL(src),
+		ElapsedNS: elapsed.Nanoseconds(),
+		Workers:   po.workers,
+		NoCapture: !po.capture,
+	}
+	if r != nil {
+		seen := make(map[string]bool, len(r.tables))
+		for _, bt := range r.tables {
+			if name := bt.st.tab.Name; !seen[name] {
+				seen[name] = true
+				rec.Tables = append(rec.Tables, name)
+			}
+		}
+	}
+	phases := map[string]int64{"parse": parseD.Nanoseconds()}
+	if res != nil {
+		s := &res.Stats
+		rec.Rows = s.RowsOut
+		rec.AccessPaths = s.AccessPaths
+		rec.PredsPushed = s.PredsPushed
+		rec.RowsPruned = s.RowsPruned
+		rec.BlocksSkip = s.BlocksSkipped
+		rec.MorselsSkip = int64(s.MorselsSkipped)
+		rec.PartsSkip = s.PartitionsSkipped
+		rec.Fallback = s.ParallelFallback
+		phases["analyze"] = s.PhaseAnalyze.Nanoseconds()
+		phases["plan"] = s.PhasePlan.Nanoseconds()
+		phases["exec"] = s.PhaseExec.Nanoseconds()
+		phases["publish"] = s.PhasePublish.Nanoseconds()
+	}
+	rec.PhaseNS = phases
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	if ms := e.cfg.SlowQueryMillis; ms > 0 && elapsed >= time.Duration(ms)*time.Millisecond {
+		rec.SlowTrace = po.trace.Render()
+	}
+	ql.Emit(rec)
 }
 
 // run executes one resolved query through the engine's three lock phases:
@@ -157,6 +244,12 @@ func (e *Engine) run(ctx context.Context, r *resolvedQuery, po planOpts, useCach
 	defer func() {
 		if rec := recover(); rec != nil {
 			e.metrics.Counter("query.panics").Inc()
+			table := ""
+			if len(r.tables) > 0 {
+				table = r.tables[0].st.tab.Name
+			}
+			e.emitQueryEvent(po.qid, obs.EventPanicRecovered, "query", table, 0,
+				fmt.Sprintf("%v", rec))
 			res, err = nil, fmt.Errorf("engine: query panicked: %v", rec)
 		}
 	}()
@@ -182,7 +275,7 @@ func (e *Engine) run(ctx context.Context, r *resolvedQuery, po planOpts, useCach
 	if err != nil {
 		return nil, err
 	}
-	stats := &Stats{Strategy: po.strategy, ManifestRefresh: refresh}
+	stats := &Stats{Strategy: po.strategy, ManifestRefresh: refresh, QueryID: po.qid}
 	pc := &planCtx{
 		e:        e,
 		strategy: po.strategy,
@@ -196,10 +289,13 @@ func (e *Engine) run(ctx context.Context, r *resolvedQuery, po planOpts, useCach
 		stats:    stats,
 		trace:    tr,
 		ctx:      ctx,
+		qid:      po.qid,
 	}
+	po.inf.setPhase(phasePlan)
 	start := time.Now()
 	sp = tr.Phase("plan")
 	op, err := pc.plan(r)
+	stats.PhasePlan = time.Since(start)
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("engine: planning %s: %w", r.describe(), err)
@@ -214,14 +310,19 @@ func (e *Engine) run(ctx context.Context, r *resolvedQuery, po planOpts, useCach
 		held = false
 		locks.unlock()
 	}
+	po.inf.setPhase(phaseExec)
+	execStart := time.Now()
 	sp = tr.Phase("execute")
-	cols, execErr := collectSerial(ctx, op)
+	cols, execErr := collectSerial(ctx, op, po.inf)
 	sp.End()
+	stats.PhaseExec = time.Since(execStart)
 	if !exclusive {
 		locks.lock()
 		held = true
 	}
 	stats.Elapsed = time.Since(start)
+	po.inf.setPhase(phasePublish)
+	pubStart := time.Now()
 
 	// Publication phase (locks re-acquired). Merge hooks run first and can
 	// fail; a failed merge fails the query like an execution error.
@@ -241,9 +342,16 @@ func (e *Engine) run(ctx context.Context, r *resolvedQuery, po planOpts, useCach
 		for _, f := range pc.onFinish {
 			f()
 		}
+		e.foldHeat(r, pc)
 		var pe *exec.PanicError
 		if errors.As(execErr, &pe) {
 			e.metrics.Counter("query.panics").Inc()
+			table := ""
+			if len(r.tables) > 0 {
+				table = r.tables[0].st.tab.Name
+			}
+			e.emitQueryEvent(po.qid, obs.EventPanicRecovered, "worker", table, 0,
+				execErr.Error())
 		}
 		if !errors.Is(execErr, shred.ErrNotCached) {
 			e.foldErrStats(stats)
@@ -256,12 +364,14 @@ func (e *Engine) run(ctx context.Context, r *resolvedQuery, po planOpts, useCach
 	for _, f := range pc.onFinish {
 		f()
 	}
+	e.foldHeat(r, pc)
 	// Refresh unified-budget accounting and schedule vault write-backs for
 	// structures this query built or grew (locks still held: the encodes
 	// snapshot consistent state; only disk I/O happens asynchronously).
 	sp = tr.Phase("vault-publish")
 	e.vaultUpdate(r)
 	sp.End()
+	stats.PhasePublish = time.Since(pubStart)
 	schema := op.Schema()
 	res = &Result{Stats: *stats, cols: cols}
 	for _, c := range schema {

@@ -11,6 +11,7 @@ import (
 	"rawdb/internal/catalog"
 	"rawdb/internal/exec"
 	"rawdb/internal/faults"
+	"rawdb/internal/obs"
 	"rawdb/internal/sql"
 	"rawdb/internal/vector"
 )
@@ -38,6 +39,8 @@ func (e *Engine) loadWithRetry(st *tableState) error {
 	for attempt := 0; attempt < loadRetries; attempt++ {
 		if attempt > 0 {
 			e.metrics.Counter("load.retries").Inc()
+			e.emitEvent(obs.EventRetry, "raw", st.tab.Name, 0,
+				fmt.Sprintf("load attempt %d after: %v", attempt+1, err))
 			time.Sleep(backoff)
 			backoff *= 4
 		}
@@ -103,13 +106,18 @@ func (e *Engine) loadPartChecked(ps *tableState) error {
 	return nil
 }
 
-// collectSerial drains a serial plan to completion. The fault site makes the
-// serial execution phase injectable like the morsel workers are.
-func collectSerial(ctx context.Context, op exec.Operator) ([]*vector.Vector, error) {
+// collectSerial drains a serial plan to completion, streaming the running
+// row count into the query's in-flight record so /debug/queries shows live
+// progress. The fault site makes the serial execution phase injectable like
+// the morsel workers are.
+func collectSerial(ctx context.Context, op exec.Operator, inf *inflightQuery) ([]*vector.Vector, error) {
 	if err := faults.Hit(faults.SiteExecSerial); err != nil {
 		return nil, err
 	}
-	return exec.CollectCtx(ctx, op)
+	if inf == nil {
+		return exec.CollectCtx(ctx, op)
+	}
+	return exec.CollectCtxCount(ctx, op, &inf.rows)
 }
 
 // --- memory governor (engine side) ---

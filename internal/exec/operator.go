@@ -11,6 +11,7 @@ package exec
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"rawdb/internal/vector"
 )
@@ -213,6 +214,15 @@ func Collect(op Operator) ([]*vector.Vector, error) {
 // returned error wraps ctx.Err(), so callers can errors.Is against
 // context.Canceled / context.DeadlineExceeded.
 func CollectCtx(ctx context.Context, op Operator) ([]*vector.Vector, error) {
+	return CollectCtxCount(ctx, op, nil)
+}
+
+// CollectCtxCount is CollectCtx plus a live progress counter: after each
+// batch the number of rows drained so far is added to rows (when non-nil),
+// so an observer reading the atomic concurrently sees the query's output
+// grow while it executes. The counter costs one atomic add per batch, not
+// per row.
+func CollectCtxCount(ctx context.Context, op Operator, rows *atomic.Int64) ([]*vector.Vector, error) {
 	cancellable := ctx.Done() != nil
 	if cancellable {
 		if err := ctxErr(ctx); err != nil {
@@ -245,10 +255,16 @@ func CollectCtx(ctx context.Context, op Operator) ([]*vector.Vector, error) {
 			for i, c := range b.Cols {
 				out[i].Gather(c, b.Sel)
 			}
+			if rows != nil {
+				rows.Add(int64(len(b.Sel)))
+			}
 			continue
 		}
 		for i, c := range b.Cols {
 			out[i].AppendVector(c)
+		}
+		if rows != nil {
+			rows.Add(int64(b.Len()))
 		}
 	}
 }

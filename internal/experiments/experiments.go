@@ -24,6 +24,7 @@ import (
 	"rawdb/internal/catalog"
 	"rawdb/internal/engine"
 	"rawdb/internal/higgs"
+	"rawdb/internal/obs"
 	"rawdb/internal/posmap"
 	"rawdb/internal/profile"
 	"rawdb/internal/storage/rootfile"
@@ -86,6 +87,15 @@ type Table struct {
 	// cumulative prune/pushdown counters, cache gauges and query-latency
 	// histograms. rawbench -json folds it into BENCH_<id>.json.
 	Metrics map[string]int64
+	// Heat, when non-nil, is the same engine's workload-heat snapshot
+	// (per-table scans, bytes read/avoided, structure hits vs builds).
+	Heat *obs.HeatSnapshot
+}
+
+// heatOf snapshots an engine's workload-heat profiler for Table.Heat.
+func heatOf(e *engine.Engine) *obs.HeatSnapshot {
+	s := e.Heat().Snapshot()
+	return &s
 }
 
 // WithDefaults resolves zero-valued Config fields to their laptop-scale
@@ -292,6 +302,7 @@ func RunParallel(cfg Config) (*Table, error) {
 	}
 	if last != nil {
 		t.Metrics = last.Metrics().Snapshot()
+		t.Heat = heatOf(last)
 	}
 	return t, nil
 }
@@ -382,6 +393,7 @@ func RunVault(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		t.Metrics = e2.Metrics().Snapshot() // vault.restored* counters live here
+		t.Heat = heatOf(e2)
 		e2.Close()
 		t.Rows = append(t.Rows, []string{format, secs(cold), secs(restart), secs(memWarm)})
 	}
@@ -535,6 +547,7 @@ func RunPushdown(cfg Config) (*Table, error) {
 	}
 	if lastOn != nil {
 		t.Metrics = lastOn.Metrics().Snapshot() // prune.* and push.* counters
+		t.Heat = heatOf(lastOn)
 	}
 	return t, nil
 }

@@ -117,6 +117,8 @@ func RunServer(cfg Config) (*Table, error) {
 		})
 	}
 	t.Metrics = eng.Metrics().Snapshot()
+	hs := eng.HeatSnapshot()
+	t.Heat = &hs
 	return t, nil
 }
 

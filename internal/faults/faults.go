@@ -198,6 +198,39 @@ func (s *Schedule) Fires() []int {
 
 var active atomic.Pointer[Schedule]
 
+// observer receives a notification for every rule firing, outside the
+// schedule lock. The engine installs one that relays firings into its
+// lifecycle event log; nil means no one is listening.
+var observer atomic.Pointer[func(site string, kind string)]
+
+// SetObserver installs fn as the process-wide fault observer (nil removes
+// it). fn is called once per rule fire with the site and the kind's spec
+// label, after the schedule lock is released and before the fault's effect
+// (error return, sleep, panic) reaches the seam. Like the schedule itself
+// the observer is global; the last installer wins.
+func SetObserver(fn func(site string, kind string)) {
+	if fn == nil {
+		observer.Store(nil)
+		return
+	}
+	observer.Store(&fn)
+}
+
+// notify reports each fired rule to the observer, if one is installed.
+// Callers must not hold the schedule lock.
+func notify(site string, kinds []Kind) {
+	if len(kinds) == 0 {
+		return
+	}
+	fn := observer.Load()
+	if fn == nil {
+		return
+	}
+	for _, k := range kinds {
+		(*fn)(site, k.String())
+	}
+}
+
 // Install makes s the process-wide active schedule (nil disables injection).
 // Tests sharing the process must not overlap two installed schedules.
 func Install(s *Schedule) { active.Store(s) }
@@ -225,11 +258,13 @@ func (s *Schedule) hit(site string) error {
 	var hooks []func()
 	var doPanic bool
 	var err error
+	var fired []Kind
 	s.mu.Lock()
 	for _, r := range s.rules {
 		if r.Site != site || r.Kind.class() != classControl || !r.fire() {
 			continue
 		}
+		fired = append(fired, r.Kind)
 		switch r.Kind {
 		case Err:
 			if err == nil {
@@ -251,7 +286,9 @@ func (s *Schedule) hit(site string) error {
 	}
 	s.mu.Unlock()
 	// Effects run outside the lock: hooks may touch files, sleeps may be
-	// long, and a panic must not leave the schedule locked.
+	// long, and a panic must not leave the schedule locked. The observer is
+	// told first, so even a panicking fault is logged before it fires.
+	notify(site, fired)
 	for _, fn := range hooks {
 		fn()
 	}
@@ -276,8 +313,8 @@ func ReadData(site string, data []byte) []byte {
 }
 
 func (s *Schedule) readData(site string, data []byte) []byte {
+	var fired []Kind
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, r := range s.rules {
 		if r.Site != site || r.Kind.class() != classData || !r.fire() {
 			continue
@@ -285,6 +322,7 @@ func (s *Schedule) readData(site string, data []byte) []byte {
 		if len(data) == 0 {
 			continue
 		}
+		fired = append(fired, r.Kind)
 		switch r.Kind {
 		case ShortRead:
 			data = data[:s.rng.Intn(len(data))]
@@ -295,6 +333,8 @@ func (s *Schedule) readData(site string, data []byte) []byte {
 			}
 		}
 	}
+	s.mu.Unlock()
+	notify(site, fired)
 	return data
 }
 
@@ -307,16 +347,19 @@ func TornWrite(site string, data []byte) []byte {
 	if s == nil {
 		return data
 	}
+	var fired []Kind
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, r := range s.rules {
 		if r.Site != site || r.Kind.class() != classWrite || !r.fire() {
 			continue
 		}
 		if len(data) > 0 {
+			fired = append(fired, r.Kind)
 			data = data[:s.rng.Intn(len(data))]
 		}
 	}
+	s.mu.Unlock()
+	notify(site, fired)
 	return data
 }
 

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestObsConcurrent hammers the event log, registry and heat profiler from
+// 64 goroutines while readers snapshot them concurrently. Run under -race
+// (CI does), it proves the observability plane's shared state is safe to
+// read while queries mutate it.
+func TestObsConcurrent(t *testing.T) {
+	const goroutines = 64
+	const iters = 200
+
+	l := NewEventLog(128, nil)
+	r := NewRegistry()
+	h := NewHeat()
+	r.Gauge("g", func() int64 { return 1 })
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			table := fmt.Sprintf("t%d", g%8)
+			for i := 0; i < iters; i++ {
+				switch g % 4 {
+				case 0: // writers: events
+					l.Emit(Event{Kind: EventCaptured, Structure: "posmap", Table: table, Query: int64(i)})
+				case 1: // writers: metrics
+					r.Counter("c").Inc()
+					r.Histogram("h").Observe(int64(i))
+				case 2: // writers: heat
+					d := &HeatDelta{Scans: 1, BytesRead: 10}
+					d.Hit("shred", 1)
+					h.Fold(table, d)
+				case 3: // readers
+					_ = l.Recent()
+					_ = r.Snapshot()
+					_ = h.Snapshot()
+					if err := r.WritePrometheus(io.Discard); err != nil {
+						t.Errorf("WritePrometheus: %v", err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := r.Counter("c").Load(); got != goroutines/4*iters {
+		t.Fatalf("counter = %d, want %d", got, goroutines/4*iters)
+	}
+	if got := r.Histogram("h").Count(); got != goroutines/4*iters {
+		t.Fatalf("histogram count = %d", got)
+	}
+	var scans int64
+	for _, tab := range h.Snapshot().Tables {
+		scans += tab.Scans
+	}
+	if scans != goroutines/4*iters {
+		t.Fatalf("heat scans = %d, want %d", scans, goroutines/4*iters)
+	}
+	if len(l.Recent()) != 128 {
+		t.Fatalf("event ring = %d, want full 128", len(l.Recent()))
+	}
+}

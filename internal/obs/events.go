@@ -26,6 +26,21 @@ const (
 	// rebuilt cold from the raw file — the degradation is transparent, but
 	// the corruption itself deserves an operator-visible trace.
 	EventQuarantined
+	// EventFault marks an injected fault firing (internal/faults): Structure
+	// carries the fault kind, Table the injection site. Emitted only while a
+	// fault schedule is installed, so production logs never see it.
+	EventFault
+	// EventRetry marks a degradation-ladder retry: a transient raw-file read
+	// error retried with backoff, or a whole query replanned once after a
+	// partition was lost mid-scan. Reason carries the attempt and cause.
+	EventRetry
+	// EventStaleManifest marks a dataset refresh failure served from the
+	// last good manifest instead of failing the query.
+	EventStaleManifest
+	// EventPanicRecovered marks a panic contained by the query or worker
+	// recover fences: the query failed cleanly instead of crashing the
+	// process.
+	EventPanicRecovered
 )
 
 // String returns the lifecycle label.
@@ -43,6 +58,14 @@ func (k EventKind) String() string {
 		return "fallback"
 	case EventQuarantined:
 		return "quarantined"
+	case EventFault:
+		return "fault"
+	case EventRetry:
+		return "retry"
+	case EventStaleManifest:
+		return "stale-manifest"
+	case EventPanicRecovered:
+		return "panic-recovered"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -58,6 +81,7 @@ type Event struct {
 	Partition string // dataset partition id, "" for plain tables
 	Bytes     int64  // structure size where known, 0 otherwise
 	Reason    string // e.g. "scan", "vault", "budget", "file-changed", "dropped"
+	Query     int64  // originating query ID, 0 when not query-scoped
 }
 
 // String renders the event as one human-readable line.
@@ -72,6 +96,9 @@ func (ev Event) String() string {
 	}
 	if ev.Reason != "" {
 		s += " (" + ev.Reason + ")"
+	}
+	if ev.Query != 0 {
+		s += fmt.Sprintf(" query=%d", ev.Query)
 	}
 	return s
 }

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Workload-heat profiler: per-table, per-column and per-structure counters
+// describing where the workload actually lands — how often each table is
+// scanned, how many raw bytes those scans read, how many bytes adaptive
+// structures (pushdown, zone maps, partition pruning) avoided, and which
+// structures are paying their way (hits) versus being rebuilt cold
+// (builds). This is the measurement substrate the benefit-per-byte
+// self-tuning work consumes: a structure whose avoided-bytes × hits is
+// small relative to its resident size is a candidate for eviction, and a
+// column the workload keeps filtering on without a structure is a
+// candidate for proactive capture.
+//
+// The engine accumulates one HeatDelta per table per query (no shared
+// state touched during execution) and folds the deltas into the Heat
+// registry once at query end under a single short mutex — the same
+// fold-at-end discipline the metrics registry uses, so scan inner loops
+// stay instrumentation-free.
+
+// HeatDelta is one query's contribution to one table's heat. The zero
+// value is ready to use; map fields allocate lazily.
+type HeatDelta struct {
+	Scans        int64
+	BytesRead    int64
+	BytesAvoided int64
+	StructHits   map[string]int64
+	StructBuilds map[string]int64
+	ColReads     map[string]int64
+	ColFilters   map[string]int64
+}
+
+func bump(m *map[string]int64, key string, n int64) {
+	if *m == nil {
+		*m = make(map[string]int64, 4)
+	}
+	(*m)[key] += n
+}
+
+// Hit records n serves of a structure ("posmap", "jsonidx", "synopsis",
+// "shred", "manifest") from cache or vault.
+func (d *HeatDelta) Hit(structure string, n int64) { bump(&d.StructHits, structure, n) }
+
+// Build records n cold builds of a structure (captured from a raw scan).
+func (d *HeatDelta) Build(structure string, n int64) { bump(&d.StructBuilds, structure, n) }
+
+// Read records n queries reading a column (projection or aggregation).
+func (d *HeatDelta) Read(col string, n int64) { bump(&d.ColReads, col, n) }
+
+// Filter records n predicates over a column.
+func (d *HeatDelta) Filter(col string, n int64) { bump(&d.ColFilters, col, n) }
+
+// merge folds o into d.
+func (d *HeatDelta) merge(o *HeatDelta) {
+	d.Scans += o.Scans
+	d.BytesRead += o.BytesRead
+	d.BytesAvoided += o.BytesAvoided
+	for k, v := range o.StructHits {
+		bump(&d.StructHits, k, v)
+	}
+	for k, v := range o.StructBuilds {
+		bump(&d.StructBuilds, k, v)
+	}
+	for k, v := range o.ColReads {
+		bump(&d.ColReads, k, v)
+	}
+	for k, v := range o.ColFilters {
+		bump(&d.ColFilters, k, v)
+	}
+}
+
+// Heat is the engine-wide accumulated workload heat.
+type Heat struct {
+	mu     sync.Mutex
+	tables map[string]*HeatDelta
+}
+
+// NewHeat returns an empty heat registry.
+func NewHeat() *Heat {
+	return &Heat{tables: make(map[string]*HeatDelta)}
+}
+
+// Fold merges one query's delta for table into the registry. Nil-safe on
+// both receiver and delta.
+func (h *Heat) Fold(table string, d *HeatDelta) {
+	if h == nil || d == nil {
+		return
+	}
+	h.mu.Lock()
+	acc, ok := h.tables[table]
+	if !ok {
+		acc = &HeatDelta{}
+		h.tables[table] = acc
+	}
+	acc.merge(d)
+	h.mu.Unlock()
+}
+
+// StructHeat is one structure's accumulated serves vs cold builds.
+type StructHeat struct {
+	Name   string `json:"name"`
+	Hits   int64  `json:"hits"`
+	Builds int64  `json:"builds"`
+}
+
+// ColumnHeat is one column's accumulated reads and predicate filters.
+type ColumnHeat struct {
+	Name    string `json:"name"`
+	Reads   int64  `json:"reads"`
+	Filters int64  `json:"filters"`
+}
+
+// TableHeat is one table's accumulated heat, deterministically ordered.
+type TableHeat struct {
+	Table        string       `json:"table"`
+	Scans        int64        `json:"scans"`
+	BytesRead    int64        `json:"bytes_read"`
+	BytesAvoided int64        `json:"bytes_avoided"`
+	Structures   []StructHeat `json:"structures,omitempty"`
+	Columns      []ColumnHeat `json:"columns,omitempty"`
+}
+
+// HeatSnapshot is a point-in-time copy of the heat registry, sorted by
+// table (and structure/column within each table) so repeated snapshots of
+// the same state render and marshal identically.
+type HeatSnapshot struct {
+	Tables []TableHeat `json:"tables"`
+}
+
+// Snapshot returns the current heat, deterministically ordered. Nil-safe.
+func (h *Heat) Snapshot() HeatSnapshot {
+	var snap HeatSnapshot
+	if h == nil {
+		return snap
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	names := make([]string, 0, len(h.tables))
+	for k := range h.tables {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d := h.tables[name]
+		t := TableHeat{
+			Table:        name,
+			Scans:        d.Scans,
+			BytesRead:    d.BytesRead,
+			BytesAvoided: d.BytesAvoided,
+		}
+		for _, s := range sortedNames(d.StructHits) {
+			t.Structures = append(t.Structures, StructHeat{Name: s, Hits: d.StructHits[s]})
+		}
+		for _, s := range sortedNames(d.StructBuilds) {
+			i := sort.Search(len(t.Structures), func(i int) bool { return t.Structures[i].Name >= s })
+			if i < len(t.Structures) && t.Structures[i].Name == s {
+				t.Structures[i].Builds = d.StructBuilds[s]
+			} else {
+				t.Structures = append(t.Structures, StructHeat{})
+				copy(t.Structures[i+1:], t.Structures[i:])
+				t.Structures[i] = StructHeat{Name: s, Builds: d.StructBuilds[s]}
+			}
+		}
+		cols := make(map[string]*ColumnHeat)
+		for c, n := range d.ColReads {
+			cols[c] = &ColumnHeat{Name: c, Reads: n}
+		}
+		for c, n := range d.ColFilters {
+			if ch, ok := cols[c]; ok {
+				ch.Filters = n
+			} else {
+				cols[c] = &ColumnHeat{Name: c, Filters: n}
+			}
+		}
+		for _, c := range sortedNames(cols) {
+			t.Columns = append(t.Columns, *cols[c])
+		}
+		snap.Tables = append(snap.Tables, t)
+	}
+	return snap
+}
+
+// Format renders the snapshot as aligned human-readable text (rawql -heat).
+func (s HeatSnapshot) Format() string {
+	var b strings.Builder
+	for _, t := range s.Tables {
+		fmt.Fprintf(&b, "table %s: scans=%d bytes_read=%d bytes_avoided=%d\n",
+			t.Table, t.Scans, t.BytesRead, t.BytesAvoided)
+		for _, st := range t.Structures {
+			fmt.Fprintf(&b, "  structure %-8s hits=%d builds=%d\n", st.Name, st.Hits, st.Builds)
+		}
+		for _, c := range t.Columns {
+			fmt.Fprintf(&b, "  column    %-8s reads=%d filters=%d\n", c.Name, c.Reads, c.Filters)
+		}
+	}
+	return b.String()
+}

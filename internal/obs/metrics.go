@@ -75,6 +75,27 @@ func (h *Histogram) Sum() int64 { return h.sum.Load() }
 // Max returns the largest observation.
 func (h *Histogram) Max() int64 { return h.max.Load() }
 
+// BucketBound returns the inclusive upper edge of bucket i: bucket i counts
+// observations in [2^i, 2^(i+1)), so everything it holds is <= 2^(i+1)-1.
+func BucketBound(i int) int64 {
+	if i >= histBuckets-1 {
+		return int64(1)<<uint(histBuckets) - 1
+	}
+	return int64(1)<<uint(i+1) - 1
+}
+
+// Buckets returns the per-bucket observation counts. The load is not atomic
+// across buckets: concurrent Observe calls may be partially visible, which
+// Prometheus exposition tolerates (each scrape is a point-in-time estimate
+// and every individual bucket is monotone).
+func (h *Histogram) Buckets() [histBuckets]int64 {
+	var out [histBuckets]int64
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
 // Quantile returns an upper bound on the q-quantile (the upper edge of the
 // bucket the quantile falls in — conservative, never under-reports).
 func (h *Histogram) Quantile(q float64) int64 {
@@ -193,14 +214,22 @@ func (r *Registry) Snapshot() map[string]int64 {
 	return out
 }
 
-// Format renders a snapshot as sorted "name value" lines (rawql -stats and
-// debugging).
-func Format(snap map[string]int64) string {
+// SortedKeys returns snap's keys in sorted order. Both text and Prometheus
+// exposition iterate through it so /metrics output is byte-stable across
+// scrapes of the same state (map iteration order never leaks out).
+func SortedKeys(snap map[string]int64) []string {
 	keys := make([]string, 0, len(snap))
 	for k := range snap {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	return keys
+}
+
+// Format renders a snapshot as sorted "name value" lines (rawql -stats and
+// debugging).
+func Format(snap map[string]int64) string {
+	keys := SortedKeys(snap)
 	var b strings.Builder
 	for _, k := range keys {
 		fmt.Fprintf(&b, "%s %d\n", k, snap[k])

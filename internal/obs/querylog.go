@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"sync"
+)
+
+// QueryRecord is one structured query-log line: everything an operator
+// needs to reconstruct what a query did without having traced it. One JSON
+// object per query, emitted at completion (success or failure).
+type QueryRecord struct {
+	ID        int64    `json:"id"`
+	Time      string   `json:"time"` // RFC3339Nano completion time
+	SQLHash   string   `json:"sql_hash"`
+	SQL       string   `json:"sql,omitempty"` // truncated to maxLoggedSQL
+	Tables    []string `json:"tables,omitempty"`
+	Rows      int      `json:"rows"`
+	ElapsedNS int64    `json:"elapsed_ns"`
+	// PhaseNS breaks the query into engine phases (parse, analyze, plan,
+	// exec, publish); phases that did not run are omitted.
+	PhaseNS     map[string]int64 `json:"phase_ns,omitempty"`
+	AccessPaths []string         `json:"access_paths,omitempty"`
+	Workers     int              `json:"workers,omitempty"`
+	PredsPushed int              `json:"preds_pushed,omitempty"`
+	RowsPruned  int64            `json:"rows_pruned,omitempty"`
+	BlocksSkip  int64            `json:"blocks_skipped,omitempty"`
+	MorselsSkip int64            `json:"morsels_skipped,omitempty"`
+	PartsSkip   int              `json:"partitions_skipped,omitempty"`
+	Fallback    string           `json:"fallback,omitempty"`
+	NoCapture   bool             `json:"no_capture,omitempty"` // memory-governor degraded
+	Error       string           `json:"error,omitempty"`
+	// SlowTrace carries the rendered span tree when the query crossed the
+	// slow-query threshold and a trace was attached.
+	SlowTrace string `json:"slow_trace,omitempty"`
+}
+
+// maxLoggedSQL bounds the raw SQL text carried per record; the hash always
+// identifies the full statement.
+const maxLoggedSQL = 512
+
+// HashSQL returns the FNV-1a 64-bit hash of a statement in hex — a stable,
+// cheap identity for grouping query-log lines by statement shape.
+func HashSQL(sql string) string {
+	h := fnv.New64a()
+	io.WriteString(h, sql)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// TruncateSQL clips a statement to the logged length bound.
+func TruncateSQL(sql string) string {
+	if len(sql) <= maxLoggedSQL {
+		return sql
+	}
+	return sql[:maxLoggedSQL] + "…"
+}
+
+// QueryLog appends QueryRecords as JSON lines to a writer or a
+// size-bounded file. All methods are nil-safe, so engine code logs
+// unconditionally and a disabled log costs one pointer compare per query.
+type QueryLog struct {
+	mu       sync.Mutex
+	w        io.Writer
+	f        *os.File // non-nil when file-backed (enables rotation)
+	path     string
+	maxBytes int64
+	written  int64
+	errs     int64 // write/rotate failures, reported by Errors
+}
+
+// NewQueryLog returns a log writing JSON lines to w (e.g. os.Stderr).
+func NewQueryLog(w io.Writer) *QueryLog {
+	return &QueryLog{w: w}
+}
+
+// OpenQueryLog opens (appending) a file-backed query log. When the file
+// grows past maxBytes the log rotates once: the current file moves to
+// path+".1" (replacing any previous rotation) and a fresh file begins, so
+// disk usage is bounded by ~2×maxBytes. maxBytes <= 0 selects 64 MiB.
+func OpenQueryLog(path string, maxBytes int64) (*QueryLog, error) {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &QueryLog{w: f, f: f, path: path, maxBytes: maxBytes, written: st.Size()}, nil
+}
+
+// Emit appends one record as a JSON line. Failures are counted, not
+// returned: query execution never fails because its log line could not be
+// written.
+func (l *QueryLog) Emit(rec *QueryRecord) {
+	if l == nil || rec == nil {
+		return
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		l.mu.Lock()
+		l.errs++
+		l.mu.Unlock()
+		return
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f != nil && l.written+int64(len(b)) > l.maxBytes {
+		l.rotateLocked()
+	}
+	n, err := l.w.Write(b)
+	l.written += int64(n)
+	if err != nil {
+		l.errs++
+	}
+}
+
+// rotateLocked swaps the active file for a fresh one, keeping the previous
+// generation at path+".1". On any failure the log keeps writing to the old
+// file rather than dropping records.
+func (l *QueryLog) rotateLocked() {
+	if err := os.Rename(l.path, l.path+".1"); err != nil {
+		l.errs++
+		return
+	}
+	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		l.errs++
+		return
+	}
+	l.f.Close()
+	l.f, l.w, l.written = f, f, 0
+}
+
+// Errors returns the number of dropped or partially written records.
+func (l *QueryLog) Errors() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.errs
+}
+
+// Close flushes and closes a file-backed log; a writer-backed log is a
+// no-op.
+func (l *QueryLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	l.w = io.Discard
+	return err
+}

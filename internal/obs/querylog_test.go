@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestObsQueryLogEmit(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewQueryLog(&buf)
+	l.Emit(&QueryRecord{ID: 1, SQLHash: HashSQL("SELECT 1"), Rows: 3, ElapsedNS: 1000,
+		Tables: []string{"t"}, PhaseNS: map[string]int64{"parse": 10}})
+	l.Emit(&QueryRecord{ID: 2, SQLHash: HashSQL("SELECT 2"), Error: "boom"})
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	var rec QueryRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if rec.ID != 1 || rec.Rows != 3 || rec.Tables[0] != "t" {
+		t.Fatalf("record = %+v", rec)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil || rec.Error != "boom" {
+		t.Fatalf("error record = %+v (%v)", rec, err)
+	}
+	if l.Errors() != 0 {
+		t.Fatalf("errors = %d", l.Errors())
+	}
+
+	// Nil log swallows emits.
+	var nl *QueryLog
+	nl.Emit(&QueryRecord{ID: 9})
+	if nl.Errors() != 0 || nl.Close() != nil {
+		t.Fatal("nil log")
+	}
+}
+
+func TestObsQueryLogRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "query.log")
+	l, err := OpenQueryLog(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := strings.Repeat("x", 100)
+	for i := 0; i < 10; i++ {
+		l.Emit(&QueryRecord{ID: int64(i), SQL: long})
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Errors() != 0 {
+		t.Fatalf("rotation errors = %d", l.Errors())
+	}
+	for _, p := range []string{path, path + ".1"} {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if int64(len(data)) > 256+200 { // one record may straddle the bound
+			t.Fatalf("%s grew past the rotation bound: %d bytes", p, len(data))
+		}
+		for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+			var rec QueryRecord
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				t.Fatalf("%s: bad JSON line %q: %v", p, line, err)
+			}
+		}
+	}
+}
+
+func TestObsHashAndTruncate(t *testing.T) {
+	if HashSQL("a") == HashSQL("b") {
+		t.Fatal("hash collision on trivial inputs")
+	}
+	if len(HashSQL("SELECT 1")) != 16 {
+		t.Fatal("hash not 16 hex chars")
+	}
+	long := strings.Repeat("s", maxLoggedSQL+50)
+	if got := TruncateSQL(long); len([]rune(got)) != maxLoggedSQL+1 {
+		t.Fatalf("truncated length = %d", len([]rune(got)))
+	}
+	if TruncateSQL("short") != "short" {
+		t.Fatal("short SQL must pass through")
+	}
+}
+
+func TestObsHeatSnapshotDeterministic(t *testing.T) {
+	build := func(order []string) HeatSnapshot {
+		h := NewHeat()
+		for _, table := range order {
+			d := &HeatDelta{Scans: 1, BytesRead: 100, BytesAvoided: 40}
+			d.Hit("posmap", 2)
+			d.Build("shred", 1)
+			d.Read("b", 1)
+			d.Read("a", 2)
+			d.Filter("a", 1)
+			h.Fold(table, d)
+		}
+		return h.Snapshot()
+	}
+	s1 := build([]string{"t2", "t1", "t3"})
+	s2 := build([]string{"t3", "t2", "t1"})
+	j1, _ := json.Marshal(s1)
+	j2, _ := json.Marshal(s2)
+	if string(j1) != string(j2) {
+		t.Fatalf("snapshots differ by fold order:\n%s\n%s", j1, j2)
+	}
+	if len(s1.Tables) != 3 || s1.Tables[0].Table != "t1" {
+		t.Fatalf("tables not sorted: %+v", s1.Tables)
+	}
+	tab := s1.Tables[0]
+	if tab.Scans != 1 || tab.BytesRead != 100 || tab.BytesAvoided != 40 {
+		t.Fatalf("table heat = %+v", tab)
+	}
+	if len(tab.Structures) != 2 || tab.Structures[0].Name != "posmap" ||
+		tab.Structures[0].Hits != 2 || tab.Structures[1].Builds != 1 {
+		t.Fatalf("structures = %+v", tab.Structures)
+	}
+	if len(tab.Columns) != 2 || tab.Columns[0].Name != "a" ||
+		tab.Columns[0].Reads != 2 || tab.Columns[0].Filters != 1 {
+		t.Fatalf("columns = %+v", tab.Columns)
+	}
+	out := s1.Format()
+	if !strings.Contains(out, "table t1: scans=1 bytes_read=100 bytes_avoided=40") ||
+		!strings.Contains(out, "structure posmap") || !strings.Contains(out, "column    a") {
+		t.Fatalf("format output:\n%s", out)
+	}
+
+	// Folding twice accumulates.
+	h := NewHeat()
+	h.Fold("t", &HeatDelta{Scans: 1})
+	h.Fold("t", &HeatDelta{Scans: 2})
+	if got := h.Snapshot().Tables[0].Scans; got != 3 {
+		t.Fatalf("accumulated scans = %d, want 3", got)
+	}
+	// Nil heat and nil delta are safe.
+	var nh *Heat
+	nh.Fold("t", nil)
+	if len(nh.Snapshot().Tables) != 0 {
+		t.Fatal("nil heat snapshot")
+	}
+}

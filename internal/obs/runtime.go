@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsCache rate-limits runtime.ReadMemStats: the read stops the world
+// briefly, and gauges are pull-mode closures that a tight /metrics scrape
+// loop could otherwise turn into a GC stall generator. One cached read is
+// shared by all memory gauges and refreshed at most every memStatsTTL.
+type memStatsCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+const memStatsTTL = 100 * time.Millisecond
+
+func (c *memStatsCache) get() runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if time.Since(c.at) > memStatsTTL {
+		runtime.ReadMemStats(&c.stat)
+		c.at = time.Now()
+	}
+	return c.stat
+}
+
+// RegisterRuntimeGauges registers process-health gauges (goroutine count,
+// heap bytes, GC cycle count and total pause time) in r. Values are read
+// at snapshot/scrape time; memory stats are cached for 100ms between
+// reads.
+func RegisterRuntimeGauges(r *Registry) {
+	cache := &memStatsCache{}
+	r.Gauge("runtime.goroutines", func() int64 {
+		return int64(runtime.NumGoroutine())
+	})
+	r.Gauge("runtime.heap.bytes", func() int64 {
+		return int64(cache.get().HeapAlloc)
+	})
+	r.Gauge("runtime.gc.count", func() int64 {
+		return int64(cache.get().NumGC)
+	})
+	r.Gauge("runtime.gc.pause_total_ns", func() int64 {
+		return int64(cache.get().PauseTotalNs)
+	})
+}

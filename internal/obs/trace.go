@@ -165,13 +165,31 @@ func (s *Span) wall() time.Duration {
 // via the engine's per-query Options, then render (Render), export
 // (WriteChrome) or inspect (Spans) after the query returns.
 type Trace struct {
-	epoch time.Time
-	spans []*Span
+	epoch   time.Time
+	queryID int64
+	spans   []*Span
 }
 
 // NewTrace returns an empty trace whose epoch is now.
 func NewTrace() *Trace {
 	return &Trace{epoch: time.Now()}
+}
+
+// SetQueryID stamps the trace with the engine-assigned query ID, so a
+// rendered span tree can be joined against query-log lines and events.
+func (t *Trace) SetQueryID(id int64) {
+	if t == nil {
+		return
+	}
+	t.queryID = id
+}
+
+// QueryID returns the engine-assigned query ID (0 before the query runs).
+func (t *Trace) QueryID() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.queryID
 }
 
 // NewSpan creates a root-parented span. Safe on a nil trace (returns nil,
@@ -256,6 +274,9 @@ func (t *Trace) Render() string {
 		}
 	}
 	var b strings.Builder
+	if t.queryID != 0 {
+		fmt.Fprintf(&b, "query=%d\n", t.queryID)
+	}
 	var walk func(s *Span, depth int)
 	walk = func(s *Span, depth int) {
 		b.WriteString(strings.Repeat("  ", depth))

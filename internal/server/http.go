@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"time"
 
 	"rawdb"
@@ -13,7 +14,11 @@ import (
 // HTTP endpoint.
 //
 //	POST /query   {"query": "...", "timeout_ms": 0}  -> Response (JSON)
-//	GET  /metrics  engine + server metrics snapshot, text form
+//	GET  /metrics  engine + server metrics snapshot; text form by default,
+//	               Prometheus exposition format with ?format=prom
+//	GET  /debug/queries             in-flight queries (JSON)
+//	POST /debug/queries/{id}/cancel cancel one in-flight query
+//	GET  /debug/heat                workload-heat profiler snapshot (JSON)
 //	GET  /healthz  "ok"
 //
 // Status mapping: 200 success, 400 parse/plan/execute errors, 429 admission
@@ -27,6 +32,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/queries", s.handleInflight)
+	mux.HandleFunc("POST /debug/queries/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /debug/heat", s.handleHeat)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
@@ -74,8 +82,42 @@ func (s *Server) serve(ctx context.Context, req Request) (*Response, int) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		raw.WritePrometheus(w, s.eng.Metrics())
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Write([]byte(raw.FormatMetrics(s.eng.Metrics().Snapshot())))
+}
+
+// handleInflight serves the live query registry: one JSON object per
+// currently-executing query (id, sql, phase, start, rows so far, workers).
+func (s *Server) handleInflight(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.eng.Inflight())
+}
+
+// handleCancel cancels one in-flight query by ID, through the same context
+// path a client disconnect takes. 404 when the ID is unknown or the query
+// already finished.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad query id", http.StatusBadRequest)
+		return
+	}
+	if !s.eng.CancelQuery(id) {
+		http.Error(w, "no such in-flight query", http.StatusNotFound)
+		return
+	}
+	w.Write([]byte("cancelled\n"))
+}
+
+// handleHeat serves the workload-heat profiler snapshot.
+func (s *Server) handleHeat(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.eng.HeatSnapshot())
 }
 
 func writeJSON(w http.ResponseWriter, status int, resp *Response) {

@@ -6,12 +6,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"net"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -287,5 +289,123 @@ func TestConcurrentSessionsAgree(t *testing.T) {
 	}
 	if snap["server.query.ns.count"] < sessions {
 		t.Fatalf("server.query.ns.count = %d, want >= %d", snap["server.query.ns.count"], sessions)
+	}
+}
+
+func TestPrometheusEndpoint(t *testing.T) {
+	eng, _, _ := testEngine(t)
+	srv := New(eng, Options{})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	// Run a query first so counters and histograms carry real values.
+	body, _ := json.Marshal(Request{Query: "SELECT SUM(col2) FROM t WHERE col1 < 500000000"})
+	r, err := http.Post(hs.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+
+	resp, err := http.Get(hs.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The live scrape must pass the same format checker CI pipes curl output
+	// through (cmd/promcheck).
+	if err := raw.LintPrometheus(bytes.NewReader(data)); err != nil {
+		t.Fatalf("scrape fails lint: %v\n%s", err, data)
+	}
+	for _, want := range []string{"rawdb_query_count", "rawdb_server_query_ns_bucket"} {
+		if !bytes.Contains(data, []byte(want)) {
+			t.Fatalf("scrape missing %q:\n%s", want, data)
+		}
+	}
+
+	// The default text form still answers without the format parameter.
+	r2, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	plain, _ := io.ReadAll(r2.Body)
+	if bytes.Contains(plain, []byte("# TYPE")) {
+		t.Fatal("plain metrics view switched to prom exposition")
+	}
+}
+
+func TestDebugQueriesAndHeatEndpoints(t *testing.T) {
+	eng, _, _ := testEngine(t)
+	srv := New(eng, Options{})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	body, _ := json.Marshal(Request{Query: "SELECT MAX(col2) FROM t WHERE col1 < 500000000"})
+	r, err := http.Post(hs.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+
+	// No query is running: the in-flight view is an empty JSON array.
+	resp, err := http.Get(hs.URL + "/debug/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/queries status = %d", resp.StatusCode)
+	}
+	var inflight []raw.InflightQuery
+	if err := json.NewDecoder(resp.Body).Decode(&inflight); err != nil {
+		t.Fatalf("/debug/queries not JSON: %v", err)
+	}
+	if len(inflight) != 0 {
+		t.Fatalf("idle server reports in-flight queries: %+v", inflight)
+	}
+
+	// The heat profile knows the table the query touched.
+	hr, err := http.Get(hs.URL + "/debug/heat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/heat status = %d", hr.StatusCode)
+	}
+	var heat raw.HeatSnapshot
+	if err := json.NewDecoder(hr.Body).Decode(&heat); err != nil {
+		t.Fatalf("/debug/heat not JSON: %v", err)
+	}
+	if len(heat.Tables) != 1 || heat.Tables[0].Table != "t" || heat.Tables[0].Scans < 1 {
+		t.Fatalf("heat = %+v", heat)
+	}
+
+	// Cancelling an unknown ID is a 404; a malformed ID is a 400.
+	cr, err := http.Post(hs.URL+"/debug/queries/99999/cancel", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr.Body.Close()
+	if cr.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel unknown id status = %d, want 404", cr.StatusCode)
+	}
+	br, err := http.Post(hs.URL+"/debug/queries/nope/cancel", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br.Body.Close()
+	if br.StatusCode != http.StatusBadRequest {
+		t.Fatalf("cancel bad id status = %d, want 400", br.StatusCode)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
 	"testing"
 
@@ -268,6 +269,27 @@ func BenchmarkTraceOverhead(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := e.QueryOpt(q, raw.Options{Trace: raw.NewTrace()}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// The full observability plane as a production server would run it:
+	// structured query log (discarded writer isolates record-building cost
+	// from disk) plus the always-on heat profiler and in-flight registry.
+	// The ISSUE budget for this variant over "disabled" is <= 2%.
+	b.Run("qlog+heat", func(b *testing.B) {
+		data := obsSortedCSV(100000)
+		e := raw.NewEngine(raw.Config{Strategy: raw.StrategyJIT, DisableShredCache: true,
+			QueryLog: raw.NewQueryLog(io.Discard)})
+		if err := e.RegisterCSVData("t", data, obsSchema); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Query("SELECT COUNT(*) FROM t WHERE col1 >= 0"); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Query(q); err != nil {
 				b.Fatal(err)
 			}
 		}

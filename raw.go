@@ -36,6 +36,7 @@ package raw
 
 import (
 	"context"
+	"io"
 	"time"
 
 	"rawdb/internal/catalog"
@@ -155,6 +156,14 @@ type Config struct {
 	OnEvent func(Event)
 	// EventLogSize bounds the in-memory lifecycle event ring (default 512).
 	EventLogSize int
+	// QueryLog, when non-nil, receives one structured JSON record per query
+	// (ID, SQL hash, tables, rows, per-phase timings, access paths, prune
+	// counters, error). Build one with NewQueryLog or OpenQueryLog.
+	QueryLog *QueryLog
+	// SlowQueryMillis, when > 0 and QueryLog is set, additionally attaches a
+	// trace to every otherwise-untraced query and embeds the rendered span
+	// tree in the log record of any query at or over the threshold.
+	SlowQueryMillis int
 }
 
 // Options overrides engine defaults for a single query.
@@ -193,10 +202,57 @@ const (
 	// EventQuarantined reports a corrupt persistent-vault entry that was
 	// deleted on discovery; the structure rebuilt cold from the raw file.
 	EventQuarantined = obs.EventQuarantined
+	// EventFault reports an injected fault firing (chaos testing).
+	EventFault = obs.EventFault
+	// EventRetry reports a transient failure the engine absorbed by retrying
+	// (raw-file load backoff, partition-lost query rerun).
+	EventRetry = obs.EventRetry
+	// EventStaleManifest reports a dataset manifest refresh that failed; the
+	// query degraded to the partition list it last saw.
+	EventStaleManifest = obs.EventStaleManifest
+	// EventPanicRecovered reports a panic inside query execution that the
+	// engine converted into a query error.
+	EventPanicRecovered = obs.EventPanicRecovered
 )
 
 // FormatMetrics renders a metrics snapshot as sorted "name value" lines.
 func FormatMetrics(snap map[string]int64) string { return obs.Format(snap) }
+
+// WritePrometheus renders the registry in Prometheus text exposition format
+// (0.0.4): HELP/TYPE headers, rawdb_-prefixed normalized names, and
+// cumulative histogram buckets. Served by the query server at
+// /metrics?format=prom.
+func WritePrometheus(w io.Writer, m *Metrics) error { return m.WritePrometheus(w) }
+
+// LintPrometheus validates a Prometheus text exposition stream (the checks
+// promtool's format checker performs: name charset, TYPE placement, bucket
+// monotonicity, +Inf terminals). Used by CI to gate the /metrics endpoint.
+func LintPrometheus(r io.Reader) error { return obs.LintPrometheus(r) }
+
+// QueryLog is a bounded, rotating sink of structured per-query JSON records.
+// Attach one via Config.QueryLog; every query appends one QueryRecord line.
+type QueryLog = obs.QueryLog
+
+// QueryRecord is one structured query-log line.
+type QueryRecord = obs.QueryRecord
+
+// NewQueryLog returns a query log writing JSON lines to w (e.g. os.Stderr).
+func NewQueryLog(w io.Writer) *QueryLog { return obs.NewQueryLog(w) }
+
+// OpenQueryLog opens (appending) a query log at path, rotating once to
+// path+".1" when it exceeds maxBytes (default 64 MiB when 0).
+func OpenQueryLog(path string, maxBytes int64) (*QueryLog, error) {
+	return obs.OpenQueryLog(path, maxBytes)
+}
+
+// HeatSnapshot is a point-in-time view of the workload-heat profiler:
+// per-table scan counts, bytes read and avoided, per-structure hit/build
+// counts and per-column read/filter counts. See Engine.HeatSnapshot.
+type HeatSnapshot = obs.HeatSnapshot
+
+// InflightQuery describes one currently-executing query (see
+// Engine.Inflight).
+type InflightQuery = engine.InflightQuery
 
 // Stats describes how a query executed: strategy, chosen access paths,
 // template-cache and shred-cache outcomes.
@@ -230,6 +286,8 @@ func NewEngine(cfg Config) *Engine {
 		DisableZoneMaps:    cfg.DisableZoneMaps,
 		OnEvent:            cfg.OnEvent,
 		EventLogSize:       cfg.EventLogSize,
+		QueryLog:           cfg.QueryLog,
+		SlowQueryMillis:    cfg.SlowQueryMillis,
 	})}
 }
 
@@ -363,6 +421,19 @@ func (e *Engine) EstimateQueryBytes(src string) int64 { return e.e.EstimateQuery
 // RecentEvents returns the buffered adaptive-structure lifecycle events,
 // oldest first.
 func (e *Engine) RecentEvents() []Event { return e.e.RecentEvents() }
+
+// HeatSnapshot returns the workload-heat profiler's current per-table view
+// (scans, bytes read/avoided, structure effectiveness, column touch counts).
+func (e *Engine) HeatSnapshot() HeatSnapshot { return e.e.Heat().Snapshot() }
+
+// Inflight lists the queries currently executing (or queued inside the
+// engine), sorted by query ID.
+func (e *Engine) Inflight() []InflightQuery { return e.e.Inflight() }
+
+// CancelQuery cancels the in-flight query with the given ID, if it is still
+// running. The query fails with a context.Canceled-wrapping error, publishes
+// no cache structures, and releases its locks within one batch of work.
+func (e *Engine) CancelQuery(id int64) bool { return e.e.CancelQuery(id) }
 
 // Tables returns the registered table names, sorted.
 func (e *Engine) Tables() []string { return e.e.Catalog().Names() }
